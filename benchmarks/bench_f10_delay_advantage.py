@@ -1,0 +1,13 @@
+"""F10 — Section 3.4: delay advantage >= N over reservations."""
+
+from conftest import run_once
+from repro.experiments import run_f10_delay_advantage
+
+
+def test_f10_delay_advantage(benchmark):
+    result = run_once(benchmark, run_f10_delay_advantage,
+                      n_values=(2, 4, 8, 16), sim_horizon=3000.0)
+    result.require()
+    analytic = [row for row in result.rows if row[1] == "analytic"]
+    for row in analytic:
+        assert row[5] >= row[0]  # ratio >= N

@@ -1,0 +1,10 @@
+"""F11 — Section 4: DECbit / AIMD / Tahoe through the model's lens."""
+
+from conftest import run_once
+from repro.experiments import run_f11_real_algorithms
+
+
+def test_f11_real_algorithms(benchmark):
+    result = run_once(benchmark, run_f11_real_algorithms,
+                      steps=300, pipes=(20.0, 60.0))
+    result.require()

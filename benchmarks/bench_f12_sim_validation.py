@@ -1,0 +1,12 @@
+"""F12 — packet simulator vs analytic queue laws; closed loop."""
+
+from conftest import run_once
+from repro.experiments import run_f12_sim_validation
+
+
+def test_f12_simulator_validation(benchmark):
+    result = run_once(benchmark, run_f12_sim_validation,
+                      horizon=12000.0, warmup=1200.0, loop_steps=60,
+                      loop_interval=250.0, tolerance=0.25,
+                      loop_tolerance=0.3)
+    result.require()

@@ -1,0 +1,10 @@
+"""F1 — Theorem 1: time-scale invariance sweeps."""
+
+from conftest import run_once
+from repro.experiments import run_f1_tsi
+
+
+def test_f1_time_scale_invariance(benchmark):
+    result = run_once(benchmark, run_f1_tsi,
+                      scales=(0.1, 1.0, 10.0), latencies=(0.0, 5.0))
+    result.require()

@@ -1,0 +1,14 @@
+"""F2 — Theorem 2(1): the aggregate steady-state manifold."""
+
+from conftest import run_once
+from repro.experiments import run_f2_manifold
+
+
+def test_f2_aggregate_manifold(benchmark):
+    result = run_once(benchmark, run_f2_manifold,
+                      n_connections=5, n_starts=16, seed=7)
+    result.require()
+    # The manifold scatter is the artifact: endpoints differ, exactly
+    # one is fair.
+    fair_rows = [row for row in result.rows if row[4]]
+    assert len(fair_rows) < len(result.rows)

@@ -1,0 +1,10 @@
+"""F3 — Theorem 2(2): water-filling fair-point construction."""
+
+from conftest import run_once
+from repro.experiments import run_f3_fair_construction
+
+
+def test_f3_fair_construction(benchmark):
+    result = run_once(benchmark, run_f3_fair_construction)
+    result.require()
+    assert len(result.rows) == 4  # four topologies

@@ -1,0 +1,10 @@
+"""F4 — Theorem 3: individual feedback guaranteed fair."""
+
+from conftest import run_once
+from repro.experiments import run_f4_individual_fair
+
+
+def test_f4_individual_fairness(benchmark):
+    result = run_once(benchmark, run_f4_individual_fair,
+                      n_networks=2, starts_per_network=2)
+    result.require()

@@ -1,0 +1,13 @@
+"""F5 — Section 3.3: the 1 - eta*N instability of aggregate feedback."""
+
+from conftest import run_once
+from repro.experiments import run_f5_aggregate_instability
+
+
+def test_f5_aggregate_instability(benchmark):
+    result = run_once(benchmark, run_f5_aggregate_instability,
+                      n_values=(2, 4, 6, 8, 12))
+    result.require()
+    # Crossover: stable rows below N=2/eta=6.7, unstable above.
+    stable = {row[0] for row in result.rows if row[6]}
+    assert stable == {2, 4, 6}

@@ -1,0 +1,11 @@
+"""F6 — Section 3.3: stable -> oscillatory -> chaotic cascade."""
+
+from conftest import run_once
+from repro.experiments import run_f6_bifurcation
+
+
+def test_f6_bifurcation_to_chaos(benchmark):
+    result = run_once(benchmark, run_f6_bifurcation,
+                      gains=(1.0, 1.9, 2.2, 2.45, 2.62),
+                      transient=2500, keep=256)
+    result.require()

@@ -1,0 +1,9 @@
+"""F7 — Theorem 4: Fair Share turns unilateral into systemic stability."""
+
+from conftest import run_once
+from repro.experiments import run_f7_fs_stability
+
+
+def test_f7_fair_share_stability(benchmark):
+    result = run_once(benchmark, run_f7_fs_stability, n_values=(4, 10))
+    result.require()

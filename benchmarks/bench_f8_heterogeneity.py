@@ -1,0 +1,12 @@
+"""F8 — Section 3.4: aggregate feedback shuts out the meek source."""
+
+from conftest import run_once
+from repro.experiments import run_f8_heterogeneity
+
+
+def test_f8_heterogeneity_shutdown(benchmark):
+    result = run_once(benchmark, run_f8_heterogeneity, steps=5000)
+    result.require()
+    # The trajectory rows show rate_meek collapsing monotonically.
+    meek = [row[2] for row in result.rows]
+    assert meek[-1] < 1e-6 < meek[0]

@@ -1,0 +1,10 @@
+"""F9 — Theorem 5: robustness floors under heterogeneous greed."""
+
+from conftest import run_once
+from repro.experiments import run_f9_robustness
+
+
+def test_f9_robustness_floors(benchmark):
+    result = run_once(benchmark, run_f9_robustness,
+                      steps=50000, condition_trials=100)
+    result.require()

@@ -1,0 +1,11 @@
+"""T1 — regenerate the paper's Table 1 (Fair Share decomposition)."""
+
+from conftest import run_once
+from repro.experiments import run_table1
+
+
+def test_t1_fair_share_table(benchmark):
+    result = run_once(benchmark, run_table1,
+                      rates=(0.1, 0.2, 0.3, 0.4), mu=1.5)
+    result.require()
+    assert len(result.rows) == 4

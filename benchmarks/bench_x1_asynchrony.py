@@ -1,0 +1,9 @@
+"""X1 (extension) — asynchronous schedules vs synchronous instability."""
+
+from conftest import run_once
+from repro.experiments import run_x1_asynchrony
+
+
+def test_x1_asynchrony(benchmark):
+    result = run_once(benchmark, run_x1_asynchrony, n_values=(4, 8, 12))
+    result.require()

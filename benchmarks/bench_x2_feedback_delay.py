@@ -1,0 +1,10 @@
+"""X2 (extension) — feedback delay shrinks the stable gain."""
+
+from conftest import run_once
+from repro.experiments import run_x2_feedback_delay
+
+
+def test_x2_feedback_delay(benchmark):
+    result = run_once(benchmark, run_x2_feedback_delay,
+                      gains=(0.05, 0.3), delays=(0, 1, 4))
+    result.require()

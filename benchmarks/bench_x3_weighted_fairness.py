@@ -1,0 +1,9 @@
+"""X3 (extension) — weighted Fair Share allocation and floors."""
+
+from conftest import run_once
+from repro.experiments import run_x3_weighted_fairness
+
+
+def test_x3_weighted_fairness(benchmark):
+    result = run_once(benchmark, run_x3_weighted_fairness)
+    result.require()

@@ -1,0 +1,10 @@
+"""X4 (extension) — Fair Share with measured instead of oracle rates."""
+
+from conftest import run_once
+from repro.experiments import run_x4_thinning_ablation
+
+
+def test_x4_thinning_ablation(benchmark):
+    result = run_once(benchmark, run_x4_thinning_ablation,
+                      horizon=10000.0, warmup=1000.0)
+    result.require()

@@ -1,0 +1,9 @@
+"""X5 (extension) — implicit drop-based feedback and buffer policies."""
+
+from conftest import run_once
+from repro.experiments import run_x5_implicit_feedback
+
+
+def test_x5_implicit_feedback(benchmark):
+    result = run_once(benchmark, run_x5_implicit_feedback, n_steps=100)
+    result.require()

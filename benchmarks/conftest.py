@@ -1,0 +1,22 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one paper artifact (see DESIGN.md's
+experiment index) with parameters sized so a full `pytest benchmarks/
+--benchmark-only` run finishes in minutes.  Every benchmark asserts the
+experiment's shape checks — the qualitative conclusions of the paper —
+on the produced result.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer.
+
+    Experiment harnesses are deterministic and internally iterate
+    thousands of steps, so a single round gives a stable timing without
+    multiplying the suite's wall-clock by pytest-benchmark's default
+    calibration.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

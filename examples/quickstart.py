@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: feedback flow control on one shared gateway.
+
+Builds the paper's recommended design — TSI *individual* feedback with
+*Fair Share* gateways — for four connections sharing a unit-rate
+gateway, runs the synchronous dynamics from an arbitrary start, and
+compares the converged allocation against the closed-form prediction
+(water-filling at the steady utilisation).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (FairShare, FeedbackStyle, FlowControlSystem,
+                   LinearSaturating, TargetRule, predicted_steady_state,
+                   single_gateway)
+from repro.analysis import line_chart
+
+
+def main():
+    network = single_gateway(4, mu=1.0)
+    system = FlowControlSystem(
+        network,
+        discipline=FairShare(),
+        signal_fn=LinearSaturating(),       # B(C) = C / (C + 1)
+        rules=TargetRule(eta=0.1, beta=0.5),  # f = eta (beta - b)
+        style=FeedbackStyle.INDIVIDUAL,
+    )
+
+    start = np.array([0.05, 0.10, 0.30, 0.55])
+    trajectory = system.run(start)
+
+    print("outcome:        ", trajectory.outcome.value)
+    print("steps:          ", trajectory.steps)
+    print("final rates:    ", np.round(trajectory.final, 6))
+    print("prediction:     ", predicted_steady_state(system))
+    print("signals at end: ", np.round(system.signals(trajectory.final), 4))
+    print()
+    print(line_chart(trajectory.history[:, 3],
+                     title="rate of connection 3 (started greedy at "
+                           "0.55) vs step",
+                     y_label="sending rate"))
+    print()
+    print("Every connection converges to mu * rho_ss / N = 0.125: the")
+    print("unique fair steady state of Theorem 3, whatever the start.")
+
+
+if __name__ == "__main__":
+    main()

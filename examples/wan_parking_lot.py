@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Scenario: a long transfer crossing a WAN path with cross traffic.
+
+A classic wide-area pattern: one long file transfer traverses four
+gateways in series (the parking lot), competing at every hop with local
+one-hop cross traffic, over links of different speeds.  Two questions
+the paper answers:
+
+1. What is the *fair* allocation?  Theorem 2's water-filling over
+   capacities ``rho_ss * mu^a`` — and TSI individual feedback reaches
+   exactly that point from any start (Theorem 3), long path or not.
+2. What does a deployed *window* algorithm (DECbit-style) do instead?
+   Its ``1/d`` increase term penalises the long connection's larger
+   round-trip time, skewing the allocation against it (Section 4).
+
+Run:  python examples/wan_parking_lot.py
+"""
+
+import numpy as np
+
+from repro import (Connection, FairShare, FeedbackStyle,
+                   FlowControlSystem, Gateway, LinearSaturating, Network,
+                   TargetRule, fair_steady_state)
+from repro.baselines import run_decbit_windows
+
+# Four hops with different speeds and latencies; the long transfer
+# crosses them all, one cross connection per hop.
+GATEWAYS = [
+    Gateway("hop0", mu=1.0, latency=0.5),
+    Gateway("hop1", mu=0.8, latency=2.0),   # slow, high-latency segment
+    Gateway("hop2", mu=1.5, latency=0.2),
+    Gateway("hop3", mu=1.2, latency=0.4),
+]
+CONNECTIONS = [Connection("long", tuple(g.name for g in GATEWAYS))] + [
+    Connection(f"cross{k}", (GATEWAYS[k].name,)) for k in range(4)
+]
+
+
+def model_allocation(network):
+    rho_ss = LinearSaturating().steady_state_utilisation(0.5)
+    fair = fair_steady_state(network, rho_ss)
+    system = FlowControlSystem(network, FairShare(), LinearSaturating(),
+                               TargetRule(eta=0.05, beta=0.5),
+                               style=FeedbackStyle.INDIVIDUAL)
+    reached = system.solve(np.full(network.num_connections, 0.02),
+                           max_steps=120000)
+    print("TSI individual feedback + Fair Share (the paper's design):")
+    print(f"  {'connection':>10} {'fair (constructed)':>19} "
+          f"{'reached (dynamics)':>19}")
+    for i, name in enumerate(network.connection_names):
+        print(f"  {name:>10} {fair[i]:>19.4f} {reached[i]:>19.4f}")
+    print("  -> the long transfer gets its bottleneck's equal share;")
+    print("     path length and latency do not penalise it.\n")
+
+
+def decbit_allocation(network):
+    result = run_decbit_windows(network,
+                                np.ones(network.num_connections),
+                                steps=600)
+    means = result.mean_rates(150)
+    print("DECbit-style window algorithm (Section 4 baseline):")
+    for i, name in enumerate(network.connection_names):
+        print(f"  {name:>10} mean rate {means[i]:.4f}")
+    long_rate = means[0]
+    local = [means[k] for k in range(1, 5)]
+    print(f"  -> long-transfer rate {long_rate:.4f} vs one-hop rivals "
+          f"{np.round(local, 4)};")
+    print("     the 1/d window growth taxes the long round trip "
+          "(latency unfairness).")
+
+
+def main():
+    network = Network(GATEWAYS, CONNECTIONS)
+    model_allocation(network)
+    decbit_allocation(network)
+
+
+if __name__ == "__main__":
+    main()

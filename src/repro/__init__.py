@@ -1,0 +1,47 @@
+"""Reproduction of Shenker, *A Theoretical Analysis of Feedback Flow
+Control* (SIGCOMM 1990).
+
+The package has five layers:
+
+* :mod:`repro.core` — the paper's analytic model (topologies, FIFO and
+  Fair Share queue laws, aggregate/individual congestion signalling,
+  TSI rate-adjustment rules, the synchronous dynamics, and the four
+  performance goals: time-scale invariance, fairness, stability,
+  robustness).
+* :mod:`repro.simulation` — a packet-level discrete-event simulator
+  (Poisson sources, exponential servers) that validates the analytic
+  queue laws and runs the feedback loop with real, delayed signals.
+* :mod:`repro.analysis` — iterated-map tooling (orbits, bifurcations,
+  Lyapunov exponents) for the Section 3.3 route to chaos.
+* :mod:`repro.baselines` — DECbit / Jacobson / Chiu-Jain style
+  comparison algorithms and the reservation-based allocation.
+* :mod:`repro.experiments` — one harness per paper table/figure
+  (T1, F1..F12) plus a registry; see DESIGN.md and EXPERIMENTS.md.
+
+Quickstart::
+
+    import numpy as np
+    from repro import (single_gateway, FairShare, LinearSaturating,
+                       TargetRule, FlowControlSystem, FeedbackStyle)
+
+    net = single_gateway(4, mu=1.0)
+    system = FlowControlSystem(net, FairShare(), LinearSaturating(),
+                               TargetRule(eta=0.1, beta=0.5),
+                               style=FeedbackStyle.INDIVIDUAL)
+    traj = system.run(np.array([0.1, 0.2, 0.3, 0.4]))
+    print(traj.outcome, traj.final)
+"""
+
+from .core import *  # noqa: F401,F403 — the curated public API
+from .core import __all__ as _core_all
+from .errors import (ConvergenceError, ExperimentError, InfeasibleLoadError,
+                     NotTimeScaleInvariantError, RateVectorError, ReproError,
+                     SimulationError, TopologyError)
+
+__version__ = "1.0.0"
+
+__all__ = list(_core_all) + [
+    "ReproError", "TopologyError", "RateVectorError", "InfeasibleLoadError",
+    "ConvergenceError", "NotTimeScaleInvariantError", "SimulationError",
+    "ExperimentError", "__version__",
+]

@@ -1,0 +1,22 @@
+"""Iterated-map analysis: orbits, attractors, bifurcations, Lyapunov.
+
+Supports the Section 3.3 example in which the aggregate-feedback
+dynamics reduce to the quadratic map ``x <- x + eta N (beta - x^2)`` and
+walk from stability through period doubling into chaos as ``eta N``
+grows.
+"""
+
+from .ascii_plot import histogram, line_chart, scatter_chart
+from .bifurcation import (BifurcationPoint, bifurcation_diagram,
+                          quadratic_map_sweep)
+from .classify import OrbitClass, Regime, classify_tail
+from .lyapunov import lyapunov_exponent
+from .maps import QuadraticRateMap, orbit, orbit_tail
+
+__all__ = [
+    "QuadraticRateMap", "orbit", "orbit_tail",
+    "Regime", "OrbitClass", "classify_tail",
+    "lyapunov_exponent",
+    "BifurcationPoint", "bifurcation_diagram", "quadratic_map_sweep",
+    "line_chart", "scatter_chart", "histogram",
+]

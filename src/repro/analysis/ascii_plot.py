@@ -1,0 +1,97 @@
+"""Plain-text charts for examples and experiment reports.
+
+No plotting stack is assumed (the environment is offline); these helpers
+render numeric series as ASCII so examples remain runnable anywhere and
+EXPERIMENTS.md can embed figure-shaped evidence.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import RateVectorError
+
+__all__ = ["line_chart", "scatter_chart", "histogram"]
+
+
+def _bounds(values: np.ndarray) -> tuple:
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return 0.0, 1.0
+    lo, hi = float(np.min(finite)), float(np.max(finite))
+    if hi <= lo:
+        hi = lo + 1.0
+    return lo, hi
+
+
+def line_chart(ys: Sequence[float], width: int = 72, height: int = 16,
+               title: str = "", y_label: str = "") -> str:
+    """Render one series as an ASCII line chart (x = index)."""
+    arr = np.asarray(ys, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise RateVectorError("line_chart needs a nonempty 1-D series")
+    xs = np.arange(arr.size, dtype=float)
+    return scatter_chart(xs, arr, width=width, height=height, title=title,
+                         y_label=y_label, mark="*")
+
+
+def scatter_chart(xs: Sequence[float], ys: Sequence[float], width: int = 72,
+                  height: int = 16, title: str = "", y_label: str = "",
+                  mark: str = ".") -> str:
+    """Render (x, y) points on a character grid with axis annotations."""
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.shape != y.shape or x.ndim != 1 or x.size == 0:
+        raise RateVectorError("scatter_chart needs matching 1-D arrays")
+    if width < 16 or height < 4:
+        raise RateVectorError("chart must be at least 16x4")
+    x_lo, x_hi = _bounds(x)
+    y_lo, y_hi = _bounds(y)
+    grid = [[" "] * width for _ in range(height)]
+    for xi, yi in zip(x, y):
+        if not (math.isfinite(xi) and math.isfinite(yi)):
+            continue
+        col = int((xi - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = int((yi - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{y_hi:.4g}"
+    bottom = f"{y_lo:.4g}"
+    pad = max(len(top), len(bottom))
+    for idx, row in enumerate(grid):
+        if idx == 0:
+            label = top.rjust(pad)
+        elif idx == height - 1:
+            label = bottom.rjust(pad)
+        else:
+            label = " " * pad
+        lines.append(f"{label} |{''.join(row)}")
+    axis = " " * pad + " +" + "-" * width
+    lines.append(axis)
+    lines.append(" " * pad + f"  {x_lo:.4g}" +
+                 f"{x_hi:.4g}".rjust(width - len(f"{x_lo:.4g}")))
+    if y_label:
+        lines.append(f"[y: {y_label}]")
+    return "\n".join(lines)
+
+
+def histogram(values: Sequence[float], bins: int = 20, width: int = 50,
+              title: str = "") -> str:
+    """Render a horizontal-bar histogram of ``values``."""
+    arr = np.asarray(values, dtype=float)
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        raise RateVectorError("histogram needs at least one finite value")
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = max(int(np.max(counts)), 1)
+    lines = [title] if title else []
+    for k in range(bins):
+        bar = "#" * int(round(counts[k] / peak * width))
+        lines.append(f"{edges[k]:>10.4g} .. {edges[k + 1]:<10.4g} "
+                     f"|{bar} {counts[k]}")
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Attractor classification for orbit tails.
+
+Given a sampled attractor (the tail of a long orbit), decide whether the
+long-run behaviour is a fixed point, a periodic cycle (and of what
+period), or aperiodic/chaotic — the three regimes the paper names for
+the aggregate-feedback recursion.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import RateVectorError
+
+__all__ = ["Regime", "OrbitClass", "classify_tail"]
+
+
+class Regime(enum.Enum):
+    """Long-run behaviour of an orbit."""
+
+    FIXED_POINT = "fixed-point"
+    PERIODIC = "periodic"
+    APERIODIC = "aperiodic"
+
+
+@dataclass(frozen=True)
+class OrbitClass:
+    """Classification result: the regime and, if periodic, the period."""
+
+    regime: Regime
+    period: Optional[int]
+
+    def __str__(self):
+        if self.regime is Regime.PERIODIC:
+            return f"periodic({self.period})"
+        return self.regime.value
+
+
+def classify_tail(tail: Sequence[float], max_period: int = 64,
+                  rel_tol: float = 1e-6) -> OrbitClass:
+    """Classify an orbit tail as fixed point / periodic(p) / aperiodic.
+
+    A period ``p`` is accepted when the tail matches itself under a lag
+    of ``p`` to relative tolerance ``rel_tol`` *and* no smaller lag
+    matches (so period-2 is not reported as period-4).  Fixed points are
+    period 1.  The tail should be long enough to contain several copies
+    of the largest period probed: at least ``3 * max_period`` samples.
+    """
+    arr = np.asarray(tail, dtype=float)
+    if arr.ndim != 1:
+        raise RateVectorError(f"tail must be 1-D, got shape {arr.shape}")
+    if arr.size < 3 * max_period:
+        raise RateVectorError(
+            f"tail of {arr.size} samples is too short for max_period="
+            f"{max_period}; provide at least {3 * max_period}")
+    scale = max(float(np.max(np.abs(arr))), 1e-12)
+    for period in range(1, max_period + 1):
+        lagged = arr[:-period]
+        recent = arr[period:]
+        if np.max(np.abs(recent - lagged)) <= rel_tol * scale:
+            if period == 1:
+                return OrbitClass(Regime.FIXED_POINT, 1)
+            return OrbitClass(Regime.PERIODIC, period)
+    return OrbitClass(Regime.APERIODIC, None)

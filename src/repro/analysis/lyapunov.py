@@ -1,0 +1,54 @@
+"""Lyapunov exponents of one-dimensional maps.
+
+The Lyapunov exponent ``lambda = lim (1/n) sum log |F'(x_k)|``
+distinguishes the regimes of the Section 3.3 example: negative at a
+stable fixed point or periodic orbit, positive on a chaotic attractor.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from ..errors import RateVectorError
+
+__all__ = ["lyapunov_exponent"]
+
+#: Slopes below this magnitude contribute a clamped log to avoid ``-inf``
+#: from an exactly-superstable point poisoning the average.
+_SLOPE_FLOOR = 1e-12
+
+
+def lyapunov_exponent(fn: Callable[[float], float],
+                      derivative: Callable[[float], float],
+                      x0: float, steps: int = 5000,
+                      discard: int = 500) -> float:
+    """Average log-slope along the orbit of ``fn`` from ``x0``.
+
+    Args:
+        fn: the map.
+        derivative: its pointwise derivative ``F'``.
+        x0: initial condition.
+        steps: orbit length used for the average (after ``discard``).
+        discard: transient iterations excluded from the average.
+
+    Returns:
+        The finite-time Lyapunov exponent estimate.
+    """
+    if steps < 1:
+        raise RateVectorError(f"steps must be >= 1, got {steps!r}")
+    if discard < 0:
+        raise RateVectorError(f"discard must be >= 0, got {discard!r}")
+    x = float(x0)
+    for _ in range(discard):
+        x = float(fn(x))
+        if not math.isfinite(x):
+            raise RateVectorError("orbit diverged during transient")
+    total = 0.0
+    for _ in range(steps):
+        slope = abs(float(derivative(x)))
+        total += math.log(max(slope, _SLOPE_FLOOR))
+        x = float(fn(x))
+        if not math.isfinite(x):
+            raise RateVectorError("orbit diverged during averaging")
+    return total / steps

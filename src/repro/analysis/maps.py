@@ -1,0 +1,139 @@
+"""One-dimensional iterated maps (the Section 3.3 route to chaos).
+
+The paper observes that with the signalling function changed so the
+aggregate signal at a unit-rate gateway becomes ``rho**2``, a symmetric
+initial condition reduces the N-connection update to the scalar map
+
+    ``x <- x + eta N (beta - x**2)``
+
+(``x`` the total sending rate), which moves from a stable fixed point
+through period doubling to chaos as ``eta N`` grows — the standard
+quadratic-family story of Collet–Eckmann.  This module provides the map,
+orbit generation, and the exact reduction from the full
+:class:`~repro.core.dynamics.FlowControlSystem`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+from ..errors import RateVectorError
+
+__all__ = ["QuadraticRateMap", "orbit", "orbit_tail"]
+
+
+@dataclass(frozen=True)
+class QuadraticRateMap:
+    """The paper's reduced map ``x <- x + a (beta - x^2)``.
+
+    ``a = eta * N`` aggregates the per-connection gain and the number of
+    connections; ``beta`` is the target signal.  With ``truncate=True``
+    (the default) the image is clamped at 0, mirroring the rate
+    truncation of the full dynamics.
+
+    The family is universal in ``alpha = a sqrt(beta)`` (substituting
+    ``x = sqrt(beta) y`` gives ``y <- y + alpha (1 - y^2)``):
+
+    * fixed point ``x* = sqrt(beta)``, multiplier
+      ``F'(x*) = 1 - 2 alpha``; linearly stable iff ``alpha < 1``;
+    * the period-doubling cascade runs for ``alpha`` just above 1 and
+      accumulates into chaos near ``alpha ~ 1.28``;
+    * slightly before the chaotic band the orbit starts visiting
+      negative values, so under truncation the deepest chaos collapses
+      onto superstable boundary cycles through 0 — the *untruncated*
+      map is the one exhibiting the clean textbook cascade, which is
+      why experiments report both variants.
+    """
+
+    a: float
+    beta: float
+    truncate: bool = True
+
+    def __post_init__(self):
+        if not (math.isfinite(self.a) and self.a > 0):
+            raise RateVectorError(f"gain a must be positive, got {self.a!r}")
+        if not (math.isfinite(self.beta) and self.beta > 0):
+            raise RateVectorError(
+                f"target beta must be positive, got {self.beta!r}")
+
+    def __call__(self, x: float) -> float:
+        image = x + self.a * (self.beta - x * x)
+        if self.truncate:
+            return max(0.0, image)
+        return image
+
+    def derivative(self, x: float) -> float:
+        """``F'(x) = 1 - 2 a x``; 0 on the clamped branch when truncating."""
+        if self.truncate and x + self.a * (self.beta - x * x) < 0.0:
+            return 0.0
+        return 1.0 - 2.0 * self.a * x
+
+    @property
+    def fixed_point(self) -> float:
+        return math.sqrt(self.beta)
+
+    @property
+    def multiplier(self) -> float:
+        """``F'`` at the fixed point: ``1 - 2 a sqrt(beta)``."""
+        return 1.0 - 2.0 * self.a * self.fixed_point
+
+    @property
+    def is_linearly_stable(self) -> bool:
+        return abs(self.multiplier) < 1.0
+
+    @property
+    def period_doubling_gain(self) -> float:
+        """The ``a`` at which the fixed point loses stability:
+        ``a = 1 / sqrt(beta)``."""
+        return 1.0 / math.sqrt(self.beta)
+
+    @classmethod
+    def from_system(cls, n_connections: int, eta: float, beta: float,
+                    truncate: bool = True) -> "QuadraticRateMap":
+        """The reduction of the symmetric N-connection aggregate system.
+
+        With ``B(C) = (C/(C+1))**2``, ``f = eta (beta - b)`` and a single
+        unit-rate gateway, the total rate ``x = N r`` obeys
+        ``x <- x + eta N (beta - x^2)`` while ``x < 1`` (above capacity
+        the signal saturates at 1; the stable and oscillatory regimes
+        studied here stay below that).
+        """
+        if n_connections < 1:
+            raise RateVectorError("need at least one connection")
+        return cls(a=eta * n_connections, beta=beta, truncate=truncate)
+
+
+def orbit(fn: Callable[[float], float], x0: float, steps: int,
+          discard: int = 0) -> np.ndarray:
+    """Iterate ``fn`` from ``x0``; return the post-``discard`` orbit.
+
+    The returned array has ``steps - discard + 1`` entries when
+    ``discard == 0`` (it includes ``x0``), otherwise ``steps - discard``.
+    """
+    if steps < 1:
+        raise RateVectorError(f"steps must be >= 1, got {steps!r}")
+    if not 0 <= discard <= steps:
+        raise RateVectorError(
+            f"discard must lie in [0, steps], got {discard!r}")
+    out = []
+    x = float(x0)
+    if discard == 0:
+        out.append(x)
+    for k in range(1, steps + 1):
+        x = float(fn(x))
+        if not math.isfinite(x):
+            raise RateVectorError(
+                f"orbit diverged to {x!r} at step {k}")
+        if k > discard:
+            out.append(x)
+    return np.asarray(out)
+
+
+def orbit_tail(fn: Callable[[float], float], x0: float,
+               transient: int = 2000, keep: int = 200) -> np.ndarray:
+    """The attractor sample: iterate ``transient`` steps, keep ``keep``."""
+    return orbit(fn, x0, steps=transient + keep, discard=transient)

@@ -1,0 +1,23 @@
+"""Baseline algorithms from the paper's Section 4 and related work.
+
+* :mod:`repro.baselines.decbit` — the DECbit window algorithm (latency
+  sensitivity, non-TSI sawtooth).
+* :mod:`repro.baselines.chiu_jain` — binary-feedback AIMD (limit cycle
+  + monotone fairness convergence).
+* :mod:`repro.baselines.jacobson` — fluid TCP Tahoe at a drop-tail
+  bottleneck (synchronized sawtooth oscillation).
+* :mod:`repro.baselines.reservation` — the reservation-based allocation
+  that defines the robustness floor and the delay comparison.
+"""
+
+from .chiu_jain import AimdResult, run_chiu_jain
+from .decbit import DecbitWindowResult, run_decbit_windows
+from .jacobson import TahoeResult, run_tahoe
+from .reservation import reservation_delays, reservation_rates
+
+__all__ = [
+    "DecbitWindowResult", "run_decbit_windows",
+    "AimdResult", "run_chiu_jain",
+    "TahoeResult", "run_tahoe",
+    "reservation_rates", "reservation_delays",
+]

@@ -1,0 +1,52 @@
+"""The reservation-based allocation baseline (Section 2.4.4).
+
+A reservation network carves each server into ``N^a`` equal slices of
+rate ``mu^a / N^a``, guaranteeing every connection its slice whatever
+the others do — at the price of losing statistical multiplexing.  The
+robustness goal says a datagram scheme must never allocate less
+throughput than this baseline; the paper's closing remark is that a
+robust TSI individual+Fair Share scheme also beats it on queueing delay
+by a factor of at least ``N^a`` per gateway.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.robustness import reservation_floor
+from ..core.topology import Network
+
+__all__ = ["reservation_rates", "reservation_delays"]
+
+
+def reservation_rates(network: Network, rho_ss: float) -> np.ndarray:
+    """Steady rates under reservations: the robustness floor itself.
+
+    Each connection, alone on its reserved ``mu^a / N^a`` slices,
+    settles where its tightest slice reaches the steady utilisation:
+    ``min_a rho_ss mu^a / N^a``.
+    """
+    return reservation_floor(network, rho_ss)
+
+
+def reservation_delays(network: Network, rho_ss: float) -> np.ndarray:
+    """Mean round-trip delay under reservations at the steady rates.
+
+    At gateway ``a`` the connection is an M/M/1 with service rate
+    ``mu^a / N^a`` and arrival rate ``r_i``, so the sojourn is
+    ``1 / (mu^a / N^a - r_i)``; latencies add along the path.
+    """
+    rates = reservation_rates(network, rho_ss)
+    delays = np.zeros(network.num_connections, dtype=float)
+    for i in range(network.num_connections):
+        total = network.path_latency(i)
+        for gname in network.gamma(i):
+            slice_rate = network.mu(gname) / network.n_at(gname)
+            if rates[i] >= slice_rate:
+                total = math.inf
+                break
+            total += 1.0 / (slice_rate - rates[i])
+        delays[i] = total
+    return delays

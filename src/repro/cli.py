@@ -1,0 +1,103 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — enumerate the registered paper artifacts (T1, F1..F12);
+* ``run <id> [--csv PATH]`` — run one experiment with default
+  parameters, print its table, optionally dump the rows as CSV;
+* ``all [--csv-dir DIR]`` — run everything, print a summary line per
+  artifact, exit nonzero if any shape check fails;
+* ``table1 [--rates r1,r2,...] [--mu MU]`` — regenerate Table 1 for
+  custom rates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .experiments import (REGISTRY, format_summary, format_table, run,
+                          run_all, run_table1, to_csv)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Shenker, 'A Theoretical Analysis "
+                    "of Feedback Flow Control' (SIGCOMM 1990)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment_id",
+                       help="artifact id, e.g. T1 or F5")
+    run_p.add_argument("--csv", type=Path, default=None,
+                       help="also write the rows to this CSV file")
+
+    all_p = sub.add_parser("all", help="run every experiment")
+    all_p.add_argument("--csv-dir", type=Path, default=None,
+                       help="write one CSV per experiment here")
+
+    t1_p = sub.add_parser("table1", help="regenerate Table 1")
+    t1_p.add_argument("--rates", default="0.1,0.2,0.3,0.4",
+                      help="comma-separated sending rates")
+    t1_p.add_argument("--mu", type=float, default=1.5,
+                      help="gateway service rate")
+    return parser
+
+
+def _cmd_list() -> int:
+    for eid in sorted(REGISTRY):
+        exp = REGISTRY[eid]
+        print(f"{eid:>4}  {exp.paper_artifact}")
+    return 0
+
+
+def _cmd_run(experiment_id: str, csv: Optional[Path]) -> int:
+    result = run(experiment_id)
+    print(format_table(result))
+    if csv is not None:
+        to_csv(result, csv)
+        print(f"\nrows written to {csv}")
+    return 0 if result.all_checks_pass else 1
+
+
+def _cmd_all(csv_dir: Optional[Path]) -> int:
+    results = run_all()
+    print(format_summary(results))
+    if csv_dir is not None:
+        csv_dir.mkdir(parents=True, exist_ok=True)
+        for result in results:
+            to_csv(result, csv_dir / f"{result.experiment_id}.csv")
+        print(f"\nCSV files written to {csv_dir}")
+    return 0 if all(r.all_checks_pass for r in results) else 1
+
+
+def _cmd_table1(rates: str, mu: float) -> int:
+    values = [float(tok) for tok in rates.split(",") if tok.strip()]
+    result = run_table1(rates=values, mu=mu)
+    print(format_table(result))
+    return 0 if result.all_checks_pass else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment_id, args.csv)
+    if args.command == "all":
+        return _cmd_all(args.csv_dir)
+    if args.command == "table1":
+        return _cmd_table1(args.rates, args.mu)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,181 @@
+"""Asynchronous and delayed rate adjustment (the paper's Section 2.5).
+
+The model's synchronous, delay-free iteration is the assumption the
+paper itself flags as most suspect: *"the lack of asynchrony in our
+model certainly affects the stability results, and we are currently
+investigating the extent of this effect."*  This module carries out
+that investigation executably:
+
+* **update schedules** — instead of every source updating at every
+  step, a schedule picks which subset updates: round-robin (one source
+  per step), independent coin flips, or the synchronous all-at-once
+  baseline;
+* **feedback delay** — sources may react to congestion signals
+  computed from the rate vector ``tau`` steps in the past, modelling
+  the round-trip that real signals ride on.
+
+Both knobs preserve the *steady states* (a fixed point of the
+synchronous map is fixed under any schedule and any delay), but change
+the *stability* story, and in opposite directions:
+
+* round-robin (Gauss–Seidel-like) updating relaxes the synchronous
+  overshoot: the aggregate example ``DF = I - eta 11^T`` that diverges
+  synchronously for ``eta N > 2`` converges sequentially for any
+  ``eta < 2`` (each update sees the others' corrections immediately);
+* feedback delay destabilises: with signals ``tau`` steps stale, the
+  scalar loop gain that keeps ``|1 - eta N|`` stable must shrink
+  roughly like ``1 / tau``.
+
+The X1/X2 ablation benchmarks quantify both effects.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import RateVectorError
+from .dynamics import FlowControlSystem, Outcome, Trajectory, \
+    _detect_period
+from .math_utils import as_rate_vector, clip_nonnegative, sup_norm
+
+__all__ = [
+    "UpdateSchedule",
+    "SynchronousSchedule",
+    "RoundRobinSchedule",
+    "BernoulliSchedule",
+    "AsynchronousRunner",
+]
+
+
+class UpdateSchedule(abc.ABC):
+    """Chooses which connections update at each asynchronous step."""
+
+    @abc.abstractmethod
+    def participants(self, step: int, n: int) -> np.ndarray:
+        """Boolean mask (length ``n``) of connections updating now."""
+
+    def steps_per_sweep(self, n: int) -> int:
+        """How many schedule steps give every connection one update on
+        average — used to compare budgets fairly across schedules."""
+        return 1
+
+
+class SynchronousSchedule(UpdateSchedule):
+    """Everyone updates every step: the paper's baseline."""
+
+    def participants(self, step, n):
+        return np.ones(n, dtype=bool)
+
+
+class RoundRobinSchedule(UpdateSchedule):
+    """One connection per step, cyclically (Gauss–Seidel)."""
+
+    def participants(self, step, n):
+        mask = np.zeros(n, dtype=bool)
+        mask[step % n] = True
+        return mask
+
+    def steps_per_sweep(self, n):
+        return n
+
+
+class BernoulliSchedule(UpdateSchedule):
+    """Each connection updates independently with probability ``p``."""
+
+    def __init__(self, p: float, seed: int = 0):
+        if not 0.0 < p <= 1.0:
+            raise RateVectorError(
+                f"update probability must lie in (0, 1], got {p!r}")
+        self.p = float(p)
+        self._rng = np.random.default_rng(seed)
+
+    def participants(self, step, n):
+        return self._rng.random(n) < self.p
+
+    def steps_per_sweep(self, n):
+        return max(1, int(round(1.0 / self.p)))
+
+
+class AsynchronousRunner:
+    """Run a :class:`FlowControlSystem` under a schedule and delay.
+
+    At step ``t`` the scheduled connections apply their rule to the
+    signals and delays computed from the rate vector of step
+    ``t - signal_delay`` (0 = the current model); unscheduled
+    connections hold their rates.
+    """
+
+    def __init__(self, system: FlowControlSystem,
+                 schedule: Optional[UpdateSchedule] = None,
+                 signal_delay: int = 0):
+        if signal_delay < 0:
+            raise RateVectorError(
+                f"signal delay must be >= 0, got {signal_delay!r}")
+        self.system = system
+        self.schedule = schedule or SynchronousSchedule()
+        self.signal_delay = int(signal_delay)
+
+    def run(self, initial: Sequence[float], max_steps: int = 20000,
+            tol: float = 1e-10, settle: Optional[int] = None,
+            max_period: int = 64) -> Trajectory:
+        """Iterate; convergence requires a full quiet *sweep*.
+
+        ``settle`` defaults to ``2 * steps_per_sweep + signal_delay``
+        quiet steps: a round-robin run must stay quiet for whole
+        sweeps, and a delayed run must stay quiet longer than the
+        delay pipeline (otherwise a stale congestion spike still in
+        the buffer could pin the rates just long enough to fake a
+        fixed point).
+        """
+        n = self.system.network.num_connections
+        r = as_rate_vector(initial, n=n)
+        sweep = self.schedule.steps_per_sweep(n)
+        if settle is None:
+            settle = 2 * sweep + self.signal_delay + 3
+        buffer = deque([r.copy()] * (self.signal_delay + 1),
+                       maxlen=self.signal_delay + 1)
+        history = [r.copy()]
+        quiet = 0
+        limit = (FlowControlSystem.DIVERGENCE_FACTOR
+                 * max(self.system.network.mu(g)
+                       for g in self.system.network.gateway_names))
+        for step in range(1, max_steps + 1):
+            stale = buffer[0]
+            b = self.system.signals(stale)
+            d = self.system.delays(stale)
+            mask = self.schedule.participants(step - 1, n)
+            r_next = r.copy()
+            for i in np.nonzero(mask)[0]:
+                rule = self.system.rules[i]
+                r_next[i] = rule.apply(float(r[i]), float(b[i]),
+                                       float(d[i]))
+            r_next = clip_nonnegative(r_next)
+            history.append(r_next.copy())
+            buffer.append(r_next.copy())
+            if not np.all(np.isfinite(r_next)) or np.any(r_next > limit):
+                return Trajectory(np.array(history), Outcome.DIVERGED,
+                                  None, step)
+            change = sup_norm(r_next, r)
+            scale = max(1.0, float(np.max(r_next)))
+            if change <= tol * scale:
+                quiet += 1
+                if quiet >= settle:
+                    return Trajectory(np.array(history),
+                                      Outcome.CONVERGED, 1, step)
+            else:
+                quiet = 0
+            r = r_next
+        arr = np.array(history)
+        period = _detect_period(arr, max_period, tol)
+        if period is not None:
+            return Trajectory(arr, Outcome.OSCILLATING, period, max_steps)
+        return Trajectory(arr, Outcome.UNDECIDED, None, max_steps)
+
+    def is_steady_state(self, rates: Sequence[float],
+                        tol: float = 1e-9) -> bool:
+        """Fixed points coincide with the synchronous system's."""
+        return self.system.is_steady_state(rates, tol=tol)

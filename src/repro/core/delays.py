@@ -1,0 +1,55 @@
+"""Round-trip delay model (paper Sections 2.3.2 and 3.1).
+
+A source's only timing observable is the average round-trip delay of its
+packets,
+
+    ``d_i = L_i + sum_{a in gamma(i)} Q^a_i(r) / r_i``,
+
+the sum of the path's line latencies ``L_i`` and, by Little's law, the
+per-packet sojourn ``Q^a_i / r_i`` at each gateway.  For a single
+connection at one gateway this reduces to the familiar
+``d = l + 1 / (mu - r)`` used in the proof of Theorem 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .math_utils import as_rate_vector
+from .service import ServiceDiscipline
+from .topology import Network
+
+__all__ = ["round_trip_delays", "per_gateway_delays"]
+
+
+def per_gateway_delays(network: Network, discipline: ServiceDiscipline,
+                       rates: np.ndarray) -> dict:
+    """Mean sojourn time of each connection at each gateway it crosses.
+
+    Returns a mapping ``gateway name -> array`` in ``Gamma(a)`` order.
+    """
+    r = as_rate_vector(rates, n=network.num_connections)
+    out = {}
+    for gname in network.gateway_names:
+        local = network.local_rates(gname, r)
+        out[gname] = discipline.delays(local, network.mu(gname))
+    return out
+
+
+def round_trip_delays(network: Network, discipline: ServiceDiscipline,
+                      rates: np.ndarray) -> np.ndarray:
+    """``d_i = L_i + sum over the path of the gateway sojourn times``.
+
+    Entries are ``inf`` where any gateway on the path is overloaded for
+    that connection.
+    """
+    r = as_rate_vector(rates, n=network.num_connections)
+    sojourns = per_gateway_delays(network, discipline, r)
+    d = np.zeros(network.num_connections, dtype=float)
+    for i in range(network.num_connections):
+        total = network.path_latency(i)
+        for gname in network.gamma(i):
+            pos = network.connections_at(gname).index(i)
+            total += float(sojourns[gname][pos])
+        d[i] = total
+    return d

@@ -1,0 +1,215 @@
+"""Synchronous rate-adjustment dynamics ``r <- F(r)`` (Section 2.3.2).
+
+:class:`FlowControlSystem` bundles a network, a gateway service
+discipline, a congestion-signal function, a feedback style, and one
+rate-adjustment rule per connection (heterogeneity is first-class — it
+is the subject of the robustness results).  One synchronous step is
+
+    ``r_i <- max(0, r_i + f_i(r_i, b_i(r), d_i(r)))``
+
+with queue lengths assumed instantly equilibrated to the current rates,
+as in the model.  :meth:`FlowControlSystem.run` iterates the map,
+records the trajectory, and classifies the outcome as converged,
+oscillating (a small-period limit cycle), diverged, or undecided.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import ConvergenceError, RateVectorError
+from .delays import round_trip_delays
+from .math_utils import as_rate_vector, clip_nonnegative, sup_norm
+from .ratecontrol import RateAdjustment
+from .service import ServiceDiscipline
+from .signals import FeedbackScheme, FeedbackStyle, SignalFunction
+from .topology import Network
+
+__all__ = ["Outcome", "Trajectory", "FlowControlSystem"]
+
+
+class Outcome(enum.Enum):
+    """How a trajectory of the iterated map ended."""
+
+    CONVERGED = "converged"
+    OSCILLATING = "oscillating"
+    DIVERGED = "diverged"
+    UNDECIDED = "undecided"
+
+
+@dataclass
+class Trajectory:
+    """A recorded run of the synchronous dynamics.
+
+    Attributes:
+        history: array of shape ``(steps + 1, N)``; row 0 is the initial
+            condition and the last row the final state.
+        outcome: the classification of the run.
+        period: detected cycle length when ``outcome`` is OSCILLATING,
+            1 when CONVERGED, otherwise ``None``.
+        steps: number of map applications performed.
+    """
+
+    history: np.ndarray
+    outcome: Outcome
+    period: Optional[int]
+    steps: int
+
+    @property
+    def initial(self) -> np.ndarray:
+        return self.history[0]
+
+    @property
+    def final(self) -> np.ndarray:
+        return self.history[-1]
+
+    def tail(self, k: int) -> np.ndarray:
+        """The last ``k`` states (for time-average / attractor summaries)."""
+        if k < 1:
+            raise RateVectorError(f"tail length must be >= 1, got {k!r}")
+        return self.history[-k:]
+
+
+class FlowControlSystem:
+    """A complete feedback flow control configuration and its dynamics."""
+
+    #: Rates larger than ``DIVERGENCE_FACTOR * max(mu)`` mark divergence.
+    DIVERGENCE_FACTOR = 1e6
+
+    def __init__(self, network: Network, discipline: ServiceDiscipline,
+                 signal_fn: SignalFunction,
+                 rules: Union[RateAdjustment, Sequence[RateAdjustment]],
+                 style: FeedbackStyle = FeedbackStyle.INDIVIDUAL,
+                 weights=None):
+        self.network = network
+        self.discipline = discipline
+        self.scheme = FeedbackScheme(network, discipline, signal_fn, style,
+                                     weights=weights)
+        n = network.num_connections
+        if isinstance(rules, RateAdjustment):
+            self.rules: List[RateAdjustment] = [rules] * n
+        else:
+            self.rules = list(rules)
+            if len(self.rules) != n:
+                raise RateVectorError(
+                    f"need one rule per connection: got {len(self.rules)} "
+                    f"rules for {n} connections")
+        self._mu_max = max(network.mu(g) for g in network.gateway_names)
+
+    @property
+    def style(self) -> FeedbackStyle:
+        return self.scheme.style
+
+    @property
+    def signal_fn(self) -> SignalFunction:
+        return self.scheme.signal_fn
+
+    @property
+    def homogeneous(self) -> bool:
+        """True when every connection runs the same rule object."""
+        return all(rule is self.rules[0] for rule in self.rules)
+
+    # ------------------------------------------------------------------
+    # observables
+    # ------------------------------------------------------------------
+    def signals(self, rates: np.ndarray) -> np.ndarray:
+        """Bottleneck congestion signals ``b_i(r)``."""
+        return self.scheme.signals(rates)
+
+    def delays(self, rates: np.ndarray) -> np.ndarray:
+        """Round-trip delays ``d_i(r)``."""
+        return round_trip_delays(self.network, self.discipline, rates)
+
+    # ------------------------------------------------------------------
+    # the map
+    # ------------------------------------------------------------------
+    def step(self, rates: np.ndarray) -> np.ndarray:
+        """One synchronous application of ``F``."""
+        r = as_rate_vector(rates, n=self.network.num_connections)
+        b = self.signals(r)
+        d = self.delays(r)
+        new = np.array([
+            rule.apply(float(r[i]), float(b[i]), float(d[i]))
+            for i, rule in enumerate(self.rules)
+        ])
+        return clip_nonnegative(new)
+
+    def residual(self, rates: np.ndarray) -> np.ndarray:
+        """``F(r) - r``: zero exactly at (truncated) steady states."""
+        r = as_rate_vector(rates, n=self.network.num_connections)
+        return self.step(r) - r
+
+    def is_steady_state(self, rates: np.ndarray, tol: float = 1e-9) -> bool:
+        """True when ``r`` is a fixed point of the truncated map."""
+        r = as_rate_vector(rates, n=self.network.num_connections)
+        return sup_norm(self.step(r), r) <= tol * max(1.0, float(np.max(r)))
+
+    # ------------------------------------------------------------------
+    # trajectories
+    # ------------------------------------------------------------------
+    def run(self, initial: Sequence[float], max_steps: int = 20000,
+            tol: float = 1e-10, settle: int = 5,
+            max_period: int = 64) -> Trajectory:
+        """Iterate the map from ``initial`` and classify the outcome.
+
+        Convergence requires ``settle`` consecutive steps with sup-norm
+        change below ``tol * max(1, |r|_inf)``.  After the step budget,
+        a limit cycle of period ``<= max_period`` is searched for in the
+        trajectory tail; finding one yields OSCILLATING, otherwise
+        UNDECIDED.  Any non-finite or absurdly large rate yields
+        DIVERGED immediately.
+        """
+        r = as_rate_vector(initial, n=self.network.num_connections)
+        history = [r.copy()]
+        quiet = 0
+        limit = self.DIVERGENCE_FACTOR * self._mu_max
+        for step_count in range(1, max_steps + 1):
+            r_next = self.step(r)
+            history.append(r_next.copy())
+            if not np.all(np.isfinite(r_next)) or np.any(r_next > limit):
+                return Trajectory(np.array(history), Outcome.DIVERGED,
+                                  None, step_count)
+            change = sup_norm(r_next, r)
+            scale = max(1.0, float(np.max(r_next)))
+            if change <= tol * scale:
+                quiet += 1
+                if quiet >= settle:
+                    return Trajectory(np.array(history), Outcome.CONVERGED,
+                                      1, step_count)
+            else:
+                quiet = 0
+            r = r_next
+        arr = np.array(history)
+        period = _detect_period(arr, max_period, tol)
+        if period is not None:
+            return Trajectory(arr, Outcome.OSCILLATING, period, max_steps)
+        return Trajectory(arr, Outcome.UNDECIDED, None, max_steps)
+
+    def solve(self, initial: Sequence[float], **kwargs) -> np.ndarray:
+        """Run to convergence and return the steady state; raise otherwise."""
+        traj = self.run(initial, **kwargs)
+        if traj.outcome is not Outcome.CONVERGED:
+            raise ConvergenceError(
+                f"dynamics did not converge (outcome: {traj.outcome.value})")
+        return traj.final
+
+
+def _detect_period(history: np.ndarray, max_period: int,
+                   tol: float) -> Optional[int]:
+    """Smallest period ``p >= 2`` such that the tail repeats with lag p."""
+    steps = history.shape[0]
+    for p in range(2, max_period + 1):
+        window = 3 * p
+        if steps < window + p:
+            return None
+        recent = history[-window:]
+        lagged = history[-window - p:-p]
+        scale = max(1.0, float(np.max(np.abs(recent))))
+        if np.max(np.abs(recent - lagged)) <= 1e3 * tol * scale:
+            return p
+    return None

@@ -1,0 +1,154 @@
+"""The Fair Share service discipline (paper Section 2.2 and Table 1).
+
+Fair Share (FS), introduced in Shenker's 1989 "Making Greed Work in
+Networks" preprint, is a preemptive priority discipline built from
+*rate-ordered substreams*.  Label the connections so the rates are in
+increasing order, ``r_(1) <= r_(2) <= ... <= r_(N)``, and define N
+priority classes (``A`` highest).  Every connection contributes rate
+``r_(1)`` to class 1; every connection whose rate exceeds ``r_(1)``
+contributes a further ``r_(2) - r_(1)`` to class 2; and so on — exactly
+the paper's Table 1:
+
+    ==========  =====  =========  =========  =========
+    connection    A        B          C          D
+    ==========  =====  =========  =========  =========
+    1           r1
+    2           r1     r2 - r1
+    3           r1     r2 - r1    r3 - r2
+    4           r1     r2 - r1    r3 - r2    r4 - r3
+    ==========  =====  =========  =========  =========
+
+Because classes ``1..k`` jointly form an M/M/1 at cumulative load
+``sigma_k = (1/mu) * sum_m min(r_m, r_(k))`` (lower classes are invisible
+under preemptive priority), the class occupancies are
+``L_k = g(sigma_k) - g(sigma_{k-1})``, each shared equally by the
+``N - k + 1`` connections present in class ``k``.  Summing a connection's
+shares reproduces the paper's recursion
+
+    ``Q_(i) = [ g(sigma_i) - sum_{m<i} Q_(m) ] / (N - i + 1)``.
+
+The decisive structural property (used by Theorems 4 and 5) is
+**triangularity**: ``Q_(i)`` depends only on rates ``r_m <= r_(i)``, so a
+connection's queue — and hence its individual congestion signal — is
+completely insulated from greedier connections.  In particular small
+connections keep finite queues even when the gateway as a whole is
+overloaded.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from .math_utils import as_rate_vector, g, inverse_permutation, sorted_order
+from .service import ServiceDiscipline, _check_mu
+
+__all__ = ["FairShare", "priority_decomposition", "cumulative_loads",
+           "fair_share_queues_recursive"]
+
+
+def priority_decomposition(rates: Sequence[float]) -> np.ndarray:
+    """The Table 1 substream matrix, in the *original* connection order.
+
+    ``D[i, k]`` is the rate connection ``i`` contributes to priority
+    class ``k`` (class 0 highest).  Row sums equal ``r_i``; column ``k``'s
+    nonzero entries are all equal to ``r_(k+1) - r_(k)`` (sorted rates,
+    ``r_(0) = 0``).
+    """
+    r = as_rate_vector(rates)
+    order = sorted_order(r)
+    sorted_rates = r[order]
+    prev = np.concatenate(([0.0], sorted_rates[:-1]))
+    # D[i, k] = clip(min(r_i, r_(k)) - r_(k-1), 0)
+    capped = np.minimum(r[:, None], sorted_rates[None, :])
+    decomp = np.clip(capped - prev[None, :], 0.0, None)
+    return decomp
+
+
+def cumulative_loads(rates: Sequence[float], mu: float) -> np.ndarray:
+    """``sigma_k = (1/mu) sum_m min(r_m, r_(k))`` for sorted rank ``k``.
+
+    ``sigma_k`` is the cumulative utilisation of priority classes
+    ``1..k``; it is the only load the ``k``-th smallest connection ever
+    experiences under Fair Share.
+    """
+    r = as_rate_vector(rates)
+    _check_mu(mu)
+    sorted_rates = r[sorted_order(r)]
+    capped = np.minimum(r[None, :], sorted_rates[:, None])
+    return capped.sum(axis=1) / mu
+
+
+class FairShare(ServiceDiscipline):
+    """Fair Share service via the substream / priority-class construction."""
+
+    name = "fair-share"
+
+    def queue_lengths(self, rates, mu):
+        r = as_rate_vector(rates)
+        _check_mu(mu)
+        n = r.shape[0]
+        order = sorted_order(r)
+        inv = inverse_permutation(order)
+        sigma = cumulative_loads(r, mu)
+
+        # Class occupancies L_k = g(sigma_k) - g(sigma_{k-1}); classes at
+        # or beyond utilisation 1 have no steady state.
+        g_sigma = g(sigma)
+        q_sorted = np.zeros(n, dtype=float)
+        g_prev = 0.0
+        acc = np.zeros(n, dtype=float)  # running per-connection shares
+        for k in range(n):
+            g_now = float(np.atleast_1d(g_sigma)[k])
+            if math.isinf(g_now):
+                share = math.inf
+            else:
+                share = (g_now - g_prev) / (n - k)
+            # Connections of sorted rank >= k participate in class k,
+            # but only if they actually send in it (distinct rate or the
+            # class has zero width -> zero share anyway).
+            if share != 0.0:
+                acc[k:] = acc[k:] + share
+            g_prev = g_now if not math.isinf(g_now) else g_prev
+            if math.isinf(g_now):
+                # Every later class is also overloaded.
+                acc[k:] = math.inf
+                break
+        q_sorted[:] = acc
+        # A connection with zero rate has an empty queue regardless.
+        sorted_rates = r[order]
+        q_sorted[sorted_rates == 0.0] = 0.0
+        return q_sorted[inv]
+
+
+def fair_share_queues_recursive(rates: Sequence[float],
+                                mu: float) -> np.ndarray:
+    """The paper's recursion for the FS queues, for cross-validation.
+
+    ``Q_(i) = [ g(sigma_i) - sum_{m<i} Q_(m) ] / (N - i + 1)`` in sorted
+    order, mapped back to the original order.  Mathematically identical
+    to :meth:`FairShare.queue_lengths`; kept as an independent
+    implementation so tests can check the two derivations against each
+    other.
+    """
+    r = as_rate_vector(rates)
+    _check_mu(mu)
+    n = r.shape[0]
+    order = sorted_order(r)
+    inv = inverse_permutation(order)
+    sigma = cumulative_loads(r, mu)
+    g_sigma = np.atleast_1d(g(sigma))
+    q_sorted = np.zeros(n, dtype=float)
+    running = 0.0
+    for i in range(n):
+        gi = float(g_sigma[i])
+        if math.isinf(gi):
+            q_sorted[i:] = math.inf
+            break
+        q_sorted[i] = (gi - running) / (n - i)
+        running += q_sorted[i]
+    sorted_rates = r[order]
+    q_sorted[sorted_rates == 0.0] = 0.0
+    return q_sorted[inv]

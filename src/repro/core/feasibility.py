@@ -1,0 +1,209 @@
+"""Feasibility constraints on queue-length functions (paper Section 2.2).
+
+Not every vector function ``Q(r)`` can be realised by a physical,
+*nonstalling* service discipline (one whose server idles only when the
+queue is empty).  The paper states two constraints, which this module
+checks numerically for any :class:`~repro.core.service.ServiceDiscipline`:
+
+1. **Total conservation** — ``sum_i Q_i(r) = g(sum_i r_i / mu)``.  The
+   total number of packets in an M/M/1 system does not depend on the
+   service order.
+
+2. **Prefix bounds** — numbering the connections so that ``Q_i / r_i``
+   is increasing, for every ``k < N``:
+   ``sum_{i<=k} Q_i >= g(sum_{i<=k} r_i / mu)``.  No discipline can give
+   a subset of connections *less* total queue than a server devoted to
+   them alone under preemptive priority would.
+
+The module also checks the paper's standing structural assumptions:
+symmetry of ``Q`` under permutations, time-scale invariance
+(``Q(c*r; c*mu) = Q(r; mu)``), monotonicity ``dQ_i/dr_i >= 0``, and order
+preservation ``Q_i > Q_j <=> r_i > r_j``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from .math_utils import as_rate_vector, g
+from .service import ServiceDiscipline
+
+__all__ = [
+    "FeasibilityReport",
+    "check_total_conservation",
+    "check_prefix_bounds",
+    "check_symmetry",
+    "check_time_scale_invariance",
+    "check_rate_monotonicity",
+    "check_order_preservation",
+    "check_feasibility",
+]
+
+_DEFAULT_TOL = 1e-8
+
+
+@dataclass
+class FeasibilityReport:
+    """Outcome of the full feasibility check for one rate vector."""
+
+    discipline: str
+    rates: np.ndarray
+    mu: float
+    total_conservation: bool = True
+    prefix_bounds: bool = True
+    symmetry: bool = True
+    time_scale_invariance: bool = True
+    rate_monotonicity: bool = True
+    order_preservation: bool = True
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def feasible(self) -> bool:
+        """True when every individual check passed."""
+        return not self.failures
+
+    def _record(self, attr: str, ok: bool, detail: str) -> None:
+        if not ok:
+            setattr(self, attr, False)
+            self.failures.append(detail)
+
+
+def _finite_case(q: np.ndarray) -> bool:
+    return bool(np.all(np.isfinite(q)))
+
+
+def check_total_conservation(discipline: ServiceDiscipline,
+                             rates: Sequence[float], mu: float,
+                             tol: float = _DEFAULT_TOL) -> bool:
+    """``sum Q_i == g(rho_total)`` (both sides may be ``inf`` together)."""
+    r = as_rate_vector(rates)
+    q = discipline.queue_lengths(r, mu)
+    expected = g(float(np.sum(r)) / mu)
+    total = float(np.sum(q))
+    if math.isinf(expected) or math.isinf(total):
+        return math.isinf(expected) == math.isinf(total)
+    scale = max(1.0, abs(expected))
+    return abs(total - expected) <= tol * scale
+
+
+def check_prefix_bounds(discipline: ServiceDiscipline,
+                        rates: Sequence[float], mu: float,
+                        tol: float = _DEFAULT_TOL) -> bool:
+    """Prefix inequalities in increasing ``Q_i / r_i`` order."""
+    r = as_rate_vector(rates)
+    q = discipline.queue_lengths(r, mu)
+    positive = r > 0
+    r, q = r[positive], q[positive]
+    if r.size == 0:
+        return True
+    with np.errstate(divide="ignore"):
+        ratio = np.where(np.isinf(q), math.inf, q / np.maximum(r, 1e-300))
+    order = np.argsort(ratio, kind="stable")
+    r, q = r[order], q[order]
+    q_prefix = 0.0
+    r_prefix = 0.0
+    for k in range(r.size - 1):
+        q_prefix += q[k]
+        r_prefix += r[k]
+        bound = g(r_prefix / mu)
+        if math.isinf(q_prefix):
+            continue
+        if math.isinf(bound):
+            return False
+        scale = max(1.0, abs(bound))
+        if q_prefix < bound - tol * scale:
+            return False
+    return True
+
+
+def check_symmetry(discipline: ServiceDiscipline, rates: Sequence[float],
+                   mu: float, seed: int = 0,
+                   tol: float = _DEFAULT_TOL) -> bool:
+    """Permuting the rate vector permutes the queue vector identically."""
+    r = as_rate_vector(rates)
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(r.shape[0])
+    q = discipline.queue_lengths(r, mu)
+    q_perm = discipline.queue_lengths(r[perm], mu)
+    return _vectors_match(q[perm], q_perm, tol)
+
+
+def check_time_scale_invariance(discipline: ServiceDiscipline,
+                                rates: Sequence[float], mu: float,
+                                scale: float = 7.5,
+                                tol: float = _DEFAULT_TOL) -> bool:
+    """``Q(c*r; c*mu) == Q(r; mu)`` for a positive scale ``c``."""
+    r = as_rate_vector(rates)
+    q = discipline.queue_lengths(r, mu)
+    q_scaled = discipline.queue_lengths(r * scale, mu * scale)
+    return _vectors_match(q, q_scaled, tol)
+
+
+def check_rate_monotonicity(discipline: ServiceDiscipline,
+                            rates: Sequence[float], mu: float,
+                            h: float = 1e-7) -> bool:
+    """``Q_i`` does not decrease when ``r_i`` increases (finite regime)."""
+    r = as_rate_vector(rates)
+    q = discipline.queue_lengths(r, mu)
+    for i in range(r.shape[0]):
+        if not math.isfinite(q[i]):
+            continue
+        bumped = r.copy()
+        bumped[i] += h * mu
+        q_bumped = discipline.queue_lengths(bumped, mu)
+        if math.isfinite(q_bumped[i]) and q_bumped[i] < q[i] - 1e-9:
+            return False
+    return True
+
+
+def check_order_preservation(discipline: ServiceDiscipline,
+                             rates: Sequence[float], mu: float,
+                             tol: float = _DEFAULT_TOL) -> bool:
+    """``r_i > r_j`` implies ``Q_i >= Q_j`` (with equality only near ties)."""
+    r = as_rate_vector(rates)
+    q = discipline.queue_lengths(r, mu)
+    n = r.shape[0]
+    for i in range(n):
+        for j in range(n):
+            if r[i] > r[j] + tol and q[i] < q[j] - tol:
+                return False
+    return True
+
+
+def check_feasibility(discipline: ServiceDiscipline,
+                      rates: Sequence[float], mu: float,
+                      tol: float = _DEFAULT_TOL) -> FeasibilityReport:
+    """Run every feasibility and structural check; collect failures."""
+    r = as_rate_vector(rates)
+    report = FeasibilityReport(discipline=discipline.name, rates=r, mu=mu)
+    report._record("total_conservation",
+                   check_total_conservation(discipline, r, mu, tol),
+                   "total queue not conserved")
+    report._record("prefix_bounds",
+                   check_prefix_bounds(discipline, r, mu, tol),
+                   "prefix lower bound violated")
+    report._record("symmetry",
+                   check_symmetry(discipline, r, mu, tol=tol),
+                   "Q(r) is not permutation-symmetric")
+    report._record("time_scale_invariance",
+                   check_time_scale_invariance(discipline, r, mu, tol=tol),
+                   "Q(r) is not time-scale invariant")
+    report._record("rate_monotonicity",
+                   check_rate_monotonicity(discipline, r, mu),
+                   "Q_i decreases in r_i")
+    report._record("order_preservation",
+                   check_order_preservation(discipline, r, mu, tol),
+                   "larger rate does not imply larger queue")
+    return report
+
+
+def _vectors_match(a: np.ndarray, b: np.ndarray, tol: float) -> bool:
+    both_inf = np.isinf(a) & np.isinf(b)
+    finite = np.isfinite(a) & np.isfinite(b)
+    if not np.all(both_inf | finite):
+        return False
+    return bool(np.allclose(a[finite], b[finite], atol=tol, rtol=tol))

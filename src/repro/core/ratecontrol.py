@@ -1,0 +1,283 @@
+"""Rate-adjustment algorithms (paper Sections 2.3.2, 3.1 and 4).
+
+At each synchronous step every source applies
+
+    ``r_i <- max(0, r_i + f(r_i, b_i, d_i))``
+
+where ``f`` may use only the source's local state: its current rate, its
+bottleneck congestion signal, and its mean round-trip delay.  ``f`` must
+never be insensitive to the signal (``df/db != 0``).
+
+Theorem 1 characterises the **time-scale invariant** (TSI) rules: ``f``
+vanishes at exactly one signal value ``b_ss``, for *all* rates and
+delays.  The module provides the paper's named examples:
+
+* :class:`TargetRule` — ``f = eta (beta - b)``: TSI; the Section 3.3
+  instability example (unilateral margin ``|1 - eta|``, systemic
+  eigenvalue ``1 - eta N`` at a shared gateway with ``B(C)=C/(C+1)``).
+* :class:`ProportionalTargetRule` — ``f = eta r (beta - b)``: TSI and
+  *guaranteed unilaterally stable* for ``eta < 2`` with
+  ``B(C)=C/(C+1)``.
+* :class:`DecbitWindowRule` — ``f = (1-b) eta / d - beta b r``: the
+  window-interpreted linear-increase multiplicative-decrease rule of the
+  original DECbit/Jacobson schemes; neither TSI nor fair (latency
+  sensitivity through ``d``).
+* :class:`DecbitRateRule` — ``f = (1-b) eta - beta b r``: the rate
+  reinterpretation; guaranteed fair (steady rate
+  ``eta (1-b)/(beta b)`` is the same for all sharers) but not TSI.
+* :class:`BinaryAimdRule` — Chiu–Jain style additive-increase
+  multiplicative-decrease driven by a thresholded (binary) signal; never
+  admits ``f = 0``, so its asymptotics are a limit cycle, not a steady
+  state (why the paper's steady-state analysis excludes it).
+
+:func:`verify_tsi` checks Theorem 1's condition numerically for *any*
+rule, and :func:`tsi_target` extracts the unique ``b_ss``.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+from scipy import optimize
+
+from ..errors import NotTimeScaleInvariantError, RateVectorError
+
+__all__ = [
+    "RateAdjustment",
+    "TargetRule",
+    "ProportionalTargetRule",
+    "DecbitWindowRule",
+    "DecbitRateRule",
+    "BinaryAimdRule",
+    "verify_tsi",
+    "tsi_target",
+]
+
+
+class RateAdjustment(abc.ABC):
+    """A source's local update rule ``f(r, b, d)``."""
+
+    name: str = "abstract"
+
+    #: The rule's declared steady-state signal, or ``None`` when the rule
+    #: is (or claims to be) not time-scale invariant.  :func:`verify_tsi`
+    #: validates the claim numerically.
+    declared_target: Optional[float] = None
+
+    @abc.abstractmethod
+    def delta(self, rate: float, signal: float, delay: float) -> float:
+        """The adjustment ``f(r_i, b_i, d_i)`` (may be negative)."""
+
+    def apply(self, rate: float, signal: float, delay: float) -> float:
+        """One truncated update ``max(0, r + f(r, b, d))``."""
+        return max(0.0, rate + self.delta(rate, signal, delay))
+
+    def __repr__(self):
+        return f"{type(self).__name__}()"
+
+
+def _positive(value: float, what: str) -> float:
+    v = float(value)
+    if not (math.isfinite(v) and v > 0):
+        raise RateVectorError(f"{what} must be finite and positive, "
+                              f"got {value!r}")
+    return v
+
+
+def _signal_in_open_interval(value: float, what: str) -> float:
+    v = float(value)
+    if not (0.0 < v < 1.0):
+        raise RateVectorError(f"{what} must lie strictly in (0, 1), "
+                              f"got {value!r}")
+    return v
+
+
+class TargetRule(RateAdjustment):
+    """``f = eta (beta - b)``: drive the signal to the target ``beta``."""
+
+    name = "target"
+
+    def __init__(self, eta: float = 0.1, beta: float = 0.5):
+        self.eta = _positive(eta, "gain eta")
+        self.beta = _signal_in_open_interval(beta, "target beta")
+        self.declared_target = self.beta
+
+    def delta(self, rate, signal, delay):
+        return self.eta * (self.beta - signal)
+
+    def __repr__(self):
+        return f"TargetRule(eta={self.eta}, beta={self.beta})"
+
+
+class ProportionalTargetRule(RateAdjustment):
+    """``f = eta r (beta - b)``: multiplicative pressure toward ``beta``.
+
+    With ``B(C) = C/(C+1)`` this rule is guaranteed unilaterally stable
+    whenever ``eta < 2`` (the diagonal of ``DF`` is ``1 - eta rho_i`` at
+    a single shared gateway).  Note ``r = 0`` is an absorbing state —
+    trajectories must start strictly positive.
+    """
+
+    name = "proportional-target"
+
+    def __init__(self, eta: float = 0.5, beta: float = 0.5):
+        self.eta = _positive(eta, "gain eta")
+        self.beta = _signal_in_open_interval(beta, "target beta")
+        self.declared_target = self.beta
+
+    def delta(self, rate, signal, delay):
+        return self.eta * rate * (self.beta - signal)
+
+    def __repr__(self):
+        return f"ProportionalTargetRule(eta={self.eta}, beta={self.beta})"
+
+
+class DecbitWindowRule(RateAdjustment):
+    """``f = (1 - b) eta / d - beta b r`` (window LIMD, paper Section 4).
+
+    The ``1/d`` factor models a per-round-trip window increase expressed
+    as a rate: longer paths open their window more slowly, which is the
+    source of the latency unfairness the paper calls out.
+    """
+
+    name = "decbit-window"
+
+    def __init__(self, eta: float = 0.05, beta: float = 0.5):
+        self.eta = _positive(eta, "additive gain eta")
+        self.beta = _positive(beta, "multiplicative gain beta")
+        self.declared_target = None
+
+    def delta(self, rate, signal, delay):
+        if delay <= 0:
+            raise RateVectorError(f"delay must be positive, got {delay!r}")
+        if math.isinf(delay):
+            return -self.beta * signal * rate
+        return (1.0 - signal) * self.eta / delay - self.beta * signal * rate
+
+    def __repr__(self):
+        return f"DecbitWindowRule(eta={self.eta}, beta={self.beta})"
+
+
+class DecbitRateRule(RateAdjustment):
+    """``f = (1 - b) eta - beta b r`` (rate LIMD, paper Sections 3.2, 4).
+
+    Guaranteed fair — at steady state ``r = eta (1 - b)/(beta b)`` is the
+    same for every connection sharing a bottleneck — but not TSI: the
+    steady rate does not scale with the line speed.
+    """
+
+    name = "decbit-rate"
+
+    def __init__(self, eta: float = 0.05, beta: float = 0.5):
+        self.eta = _positive(eta, "additive gain eta")
+        self.beta = _positive(beta, "multiplicative gain beta")
+        self.declared_target = None
+
+    def delta(self, rate, signal, delay):
+        return (1.0 - signal) * self.eta - self.beta * signal * rate
+
+    def steady_rate(self, signal: float) -> float:
+        """The rate at which ``f = 0`` for a fixed signal ``b > 0``."""
+        if signal <= 0:
+            return math.inf
+        return self.eta * (1.0 - signal) / (self.beta * signal)
+
+    def __repr__(self):
+        return f"DecbitRateRule(eta={self.eta}, beta={self.beta})"
+
+
+class BinaryAimdRule(RateAdjustment):
+    """Chiu–Jain AIMD on a thresholded signal.
+
+    ``f = +increase`` when ``b < threshold`` (no congestion indicated)
+    and ``f = -decrease * r`` otherwise.  ``f`` never vanishes, so there
+    is no steady state; the long-run behaviour is a sawtooth oscillation
+    whose *average* is fair — matching the paper's remarks on [Chi89].
+    """
+
+    name = "binary-aimd"
+
+    def __init__(self, increase: float = 0.01, decrease: float = 0.125,
+                 threshold: float = 0.5):
+        self.increase = _positive(increase, "additive increase")
+        if not (0.0 < decrease < 1.0):
+            raise RateVectorError(
+                f"multiplicative decrease must lie in (0, 1), "
+                f"got {decrease!r}")
+        self.decrease = float(decrease)
+        self.threshold = _signal_in_open_interval(threshold, "threshold")
+        self.declared_target = None
+
+    def delta(self, rate, signal, delay):
+        if signal < self.threshold:
+            return self.increase
+        return -self.decrease * rate
+
+    def __repr__(self):
+        return (f"BinaryAimdRule(increase={self.increase}, "
+                f"decrease={self.decrease}, threshold={self.threshold})")
+
+
+# ----------------------------------------------------------------------
+# Theorem 1: the TSI test
+# ----------------------------------------------------------------------
+def _signal_roots(rule: RateAdjustment, rate: float, delay: float,
+                  grid: np.ndarray, tol: float) -> list:
+    """Zeros of ``b -> f(rate, b, delay)`` on (0, 1), by bracketing."""
+    values = np.array([rule.delta(rate, b, delay) for b in grid])
+    roots = []
+    for k in range(grid.size - 1):
+        lo, hi = values[k], values[k + 1]
+        if lo == 0.0:
+            roots.append(float(grid[k]))
+        elif lo * hi < 0:
+            root = optimize.brentq(
+                lambda b: rule.delta(rate, b, delay), grid[k], grid[k + 1],
+                xtol=tol)
+            roots.append(float(root))
+    if values[-1] == 0.0:
+        roots.append(float(grid[-1]))
+    merged = []
+    for root in sorted(roots):
+        if not merged or root - merged[-1] > 10 * tol:
+            merged.append(root)
+    return merged
+
+
+def verify_tsi(rule: RateAdjustment,
+               rates: Sequence[float] = (0.01, 0.5, 1.0, 10.0, 250.0),
+               delays: Sequence[float] = (0.05, 1.0, 30.0),
+               grid_points: int = 4001, tol: float = 1e-10) -> Optional[float]:
+    """Numerically test Theorem 1's TSI condition.
+
+    Returns the unique steady-state signal ``b_ss`` when the rule is TSI
+    on the sampled (rate, delay) lattice, or ``None`` otherwise.  The
+    check requires every sampled ``(r, d)`` to induce the *same single*
+    zero of ``b -> f(r, b, d)`` in (0, 1).
+    """
+    grid = np.linspace(1e-9, 1.0 - 1e-9, grid_points)
+    target = None
+    for r in rates:
+        for d in delays:
+            roots = _signal_roots(rule, float(r), float(d), grid, tol)
+            if len(roots) != 1:
+                return None
+            if target is None:
+                target = roots[0]
+            elif abs(roots[0] - target) > 1e-6:
+                return None
+    return target
+
+
+def tsi_target(rule: RateAdjustment, **kwargs) -> float:
+    """The unique ``b_ss`` of a TSI rule; raises if the rule is not TSI."""
+    if rule.declared_target is not None:
+        return float(rule.declared_target)
+    target = verify_tsi(rule, **kwargs)
+    if target is None:
+        raise NotTimeScaleInvariantError(
+            f"rule {rule!r} is not time-scale invariant")
+    return target

@@ -1,0 +1,153 @@
+"""Robustness in the presence of heterogeneity (Sections 2.4.4, 3.4).
+
+A feedback flow control algorithm is **robust** when, whatever mix of
+rate-adjustment rules the other sources run, every connection still
+receives at least the throughput it would get *alone* on a network whose
+server rates are divided by the local connection counts:
+
+    ``floor_i = min_{a in gamma(i)}  rho_ss * mu^a / N^a``
+
+— the allocation a reservation-based network would guarantee by carving
+the servers into equal shares.
+
+Theorem 5: a TSI individual feedback scheme is robust **iff** its
+service discipline satisfies
+
+    ``Q_i(r) <= r_i / (mu - N r_i)``    whenever ``N r_i < mu``.
+
+Fair Share satisfies the bound (its smallest-rate queue meets it with
+equality); FIFO violates it as soon as the other connections send faster.
+The module provides the floor, the Theorem 5 condition check, outcome
+verdicts, and the reservation-delay comparison (the paper's closing
+observation that robust individual+FS service beats reservations on
+queueing delay by a factor ``>= N^a``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import RateVectorError
+from .math_utils import as_rate_vector, g
+from .service import ServiceDiscipline
+from .topology import Network
+
+__all__ = [
+    "reservation_floor",
+    "reservation_floor_heterogeneous",
+    "theorem5_bound",
+    "satisfies_theorem5_condition",
+    "is_robust_outcome",
+    "worst_floor_ratio",
+    "reservation_delay",
+]
+
+
+def reservation_floor(network: Network, rho_ss: float) -> np.ndarray:
+    """Per-connection guaranteed throughput of the reservation baseline.
+
+    ``floor_i = min over the path of rho_ss * mu^a / N^a`` — the steady
+    rate connection ``i`` would reach alone on servers of rate
+    ``mu^a / N^a``.
+    """
+    if not (0.0 < rho_ss < 1.0):
+        raise RateVectorError(
+            f"steady utilisation must lie in (0, 1), got {rho_ss!r}")
+    floor = np.zeros(network.num_connections, dtype=float)
+    for i in range(network.num_connections):
+        floor[i] = min(rho_ss * network.mu(g) / network.n_at(g)
+                       for g in network.gamma(i))
+    return floor
+
+
+def reservation_floor_heterogeneous(network: Network,
+                                    rho_ss: Sequence[float]) -> np.ndarray:
+    """The robustness floor when connections run *different* rules.
+
+    Each connection's guarantee is computed with its own rule's steady
+    utilisation: ``floor_i = min_a rho_ss_i * mu^a / N^a`` (the rate it
+    would reach alone on the reduced servers) — the form used in the
+    proof of Theorem 5.
+    """
+    rho = np.asarray(rho_ss, dtype=float)
+    if rho.shape != (network.num_connections,):
+        raise RateVectorError(
+            f"need one rho_ss per connection "
+            f"({network.num_connections}), got shape {rho.shape}")
+    if np.any(rho <= 0) or np.any(rho >= 1):
+        raise RateVectorError("each rho_ss must lie in (0, 1)")
+    floor = np.zeros(network.num_connections, dtype=float)
+    for i in range(network.num_connections):
+        floor[i] = min(rho[i] * network.mu(g) / network.n_at(g)
+                       for g in network.gamma(i))
+    return floor
+
+
+def theorem5_bound(rates: Sequence[float], mu: float) -> np.ndarray:
+    """The right-hand side ``r_i / (mu - N r_i)`` of Theorem 5's condition.
+
+    Entries with ``N r_i >= mu`` are ``inf`` (the condition is vacuous
+    there: no discipline is constrained once the connection's own equal
+    share is exhausted).
+    """
+    r = as_rate_vector(rates)
+    n = r.shape[0]
+    denom = mu - n * r
+    out = np.empty_like(r)
+    positive = denom > 0
+    out[positive] = r[positive] / denom[positive]
+    out[~positive] = math.inf
+    return out
+
+
+def satisfies_theorem5_condition(discipline: ServiceDiscipline,
+                                 rates: Sequence[float], mu: float,
+                                 tol: float = 1e-9) -> bool:
+    """Check ``Q_i(r) <= r_i / (mu - N r_i)`` at one rate vector."""
+    r = as_rate_vector(rates)
+    q = discipline.queue_lengths(r, mu)
+    bound = theorem5_bound(r, mu)
+    for qi, bi in zip(q, bound):
+        if math.isinf(bi):
+            continue
+        if math.isinf(qi) or qi > bi + tol * max(1.0, bi):
+            return False
+    return True
+
+
+def is_robust_outcome(network: Network, rho_ss: float,
+                      rates: Sequence[float],
+                      rel_tol: float = 1e-6) -> bool:
+    """Did every connection reach its reservation floor?"""
+    return worst_floor_ratio(network, rho_ss, rates) >= 1.0 - rel_tol
+
+
+def worst_floor_ratio(network: Network, rho_ss: float,
+                      rates: Sequence[float]) -> float:
+    """``min_i  r_i / floor_i`` — 1 or more means a robust outcome.
+
+    The scalar the F9 experiment sweeps: ~1 for Fair Share, strictly
+    below 1 for FIFO, and approaching 0 for aggregate feedback.
+    """
+    r = as_rate_vector(rates, n=network.num_connections)
+    floor = reservation_floor(network, rho_ss)
+    ratios = r / floor
+    return float(np.min(ratios))
+
+
+def reservation_delay(mu: float, n: int, rate: float) -> float:
+    """Mean sojourn at a reserved ``mu / n`` server carrying ``rate``.
+
+    ``1 / (mu / n - rate)`` for a stable M/M/1, ``inf`` otherwise.  At
+    the symmetric fair point this is ``N`` times the Fair Share sojourn,
+    the factor quoted at the end of Section 3.4.
+    """
+    if n < 1:
+        raise RateVectorError(f"connection count must be >= 1, got {n!r}")
+    share = mu / n
+    if rate >= share:
+        return math.inf
+    return 1.0 / (share - rate)

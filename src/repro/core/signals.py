@@ -1,0 +1,331 @@
+"""Congestion signalling (paper Section 2.3.1).
+
+Each gateway ``a`` sends every connection ``i`` a real-valued congestion
+signal ``b^a_i in [0, 1]`` computed from its local mean queue lengths,
+and the source reacts only to its *bottleneck* signal
+``b_i = max_a b^a_i`` (bottleneck flow control, after Jaffe).
+
+Two feedback styles:
+
+* **aggregate** — ``b^a_i = B(C^a)`` with ``C^a = sum_k Q^a_k``; every
+  connection gets the same signal, independent of who causes the
+  congestion (and independent of the service discipline, because the
+  total queue is conserved).
+* **individual** — ``b^a_i = B(C^a_i)`` with
+  ``C^a_i = sum_k min(Q^a_k, Q^a_i)``: the signal never reflects queues
+  larger than the connection's own, and for the largest connection it
+  coincides with the aggregate measure.
+
+``B`` must be strictly increasing with ``B(0) = 0`` and ``B(inf) = 1``.
+Three concrete families are provided; :class:`LinearSaturating`
+(``B(C) = C / (C + 1)``) is the paper's running example — at a single
+gateway it makes the aggregate signal equal the utilisation ``rho``.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import math
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..errors import RateVectorError
+from .math_utils import as_rate_vector
+from .service import ServiceDiscipline
+from .topology import Network
+
+__all__ = [
+    "SignalFunction",
+    "LinearSaturating",
+    "PowerSaturating",
+    "ExponentialSignal",
+    "FeedbackStyle",
+    "aggregate_congestion",
+    "individual_congestion",
+    "weighted_individual_congestion",
+    "FeedbackScheme",
+]
+
+
+class SignalFunction(abc.ABC):
+    """A monotone map ``B`` from congestion measures to signals in [0, 1]."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def __call__(self, congestion: float) -> float:
+        """Signal for a congestion measure ``C >= 0`` (``C = inf`` -> 1)."""
+
+    @abc.abstractmethod
+    def congestion_for(self, signal: float) -> float:
+        """Inverse map: the congestion ``C`` with ``B(C) = signal``.
+
+        Defined for ``signal in [0, 1)``; ``signal -> 1`` gives ``inf``.
+        """
+
+    def steady_state_utilisation(self, b_ss: float) -> float:
+        """Utilisation ``rho_ss`` a bottleneck settles at under aggregate
+        feedback when the TSI target signal is ``b_ss``.
+
+        At the bottleneck the total queue is ``C_ss = B^{-1}(b_ss)`` and,
+        by conservation, ``C_ss = g(rho_ss)``, so
+        ``rho_ss = C_ss / (1 + C_ss)``.
+        """
+        c_ss = self.congestion_for(b_ss)
+        if math.isinf(c_ss):
+            return 1.0
+        return c_ss / (1.0 + c_ss)
+
+    def __repr__(self):
+        return f"{type(self).__name__}()"
+
+
+def _check_congestion(congestion: float) -> float:
+    value = float(congestion)
+    if math.isnan(value) or value < 0:
+        raise RateVectorError(
+            f"congestion measure must be >= 0, got {congestion!r}")
+    return value
+
+
+def _check_signal(signal: float) -> float:
+    value = float(signal)
+    if not (0.0 <= value <= 1.0):
+        raise RateVectorError(f"signal must lie in [0, 1], got {signal!r}")
+    return value
+
+
+class LinearSaturating(SignalFunction):
+    """``B(C) = C / (C + 1)`` — the paper's canonical signal function."""
+
+    name = "linear-saturating"
+
+    def __call__(self, congestion):
+        c = _check_congestion(congestion)
+        if math.isinf(c):
+            return 1.0
+        return c / (c + 1.0)
+
+    def congestion_for(self, signal):
+        b = _check_signal(signal)
+        if b >= 1.0:
+            return math.inf
+        return b / (1.0 - b)
+
+
+class PowerSaturating(SignalFunction):
+    """``B(C) = (C / (C + 1))**p`` for ``p > 0``.
+
+    With ``p = 2`` at a single unit-rate gateway the aggregate signal is
+    ``rho**2``, which (with the target rule ``f = eta (beta - b)``)
+    reduces the symmetric dynamics to the paper's quadratic map
+    ``x <- x + eta N (beta - x**2)`` — the Section 3.3 route to chaos.
+    """
+
+    name = "power-saturating"
+
+    def __init__(self, p: float = 2.0):
+        if not (math.isfinite(p) and p > 0):
+            raise RateVectorError(f"exponent must be positive, got {p!r}")
+        self.p = float(p)
+
+    def __call__(self, congestion):
+        c = _check_congestion(congestion)
+        if math.isinf(c):
+            return 1.0
+        return (c / (c + 1.0)) ** self.p
+
+    def congestion_for(self, signal):
+        b = _check_signal(signal)
+        if b >= 1.0:
+            return math.inf
+        root = b ** (1.0 / self.p)
+        return root / (1.0 - root)
+
+    def __repr__(self):
+        return f"PowerSaturating(p={self.p})"
+
+
+class ExponentialSignal(SignalFunction):
+    """``B(C) = 1 - exp(-k C)`` for ``k > 0``."""
+
+    name = "exponential"
+
+    def __init__(self, k: float = 1.0):
+        if not (math.isfinite(k) and k > 0):
+            raise RateVectorError(f"rate constant must be positive, got {k!r}")
+        self.k = float(k)
+
+    def __call__(self, congestion):
+        c = _check_congestion(congestion)
+        if math.isinf(c):
+            return 1.0
+        return 1.0 - math.exp(-self.k * c)
+
+    def congestion_for(self, signal):
+        b = _check_signal(signal)
+        if b >= 1.0:
+            return math.inf
+        return -math.log(1.0 - b) / self.k
+
+    def __repr__(self):
+        return f"ExponentialSignal(k={self.k})"
+
+
+class FeedbackStyle(enum.Enum):
+    """Which congestion measure feeds the signal function."""
+
+    AGGREGATE = "aggregate"
+    INDIVIDUAL = "individual"
+
+
+def aggregate_congestion(queues: Sequence[float]) -> float:
+    """``C = sum_k Q_k`` (``inf`` propagates)."""
+    return float(np.sum(np.asarray(queues, dtype=float)))
+
+
+def individual_congestion(queues: Sequence[float]) -> np.ndarray:
+    """``C_i = sum_k min(Q_k, Q_i)`` for every connection at a gateway.
+
+    For the smallest queue this is ``N * Q_min``; for the largest it is
+    the aggregate measure.  ``inf`` queues participate through the MIN.
+    """
+    q = np.asarray(queues, dtype=float)
+    if q.ndim != 1:
+        raise RateVectorError(f"queue vector must be 1-D, got {q.shape}")
+    capped = np.minimum(q[None, :], q[:, None])
+    return capped.sum(axis=1)
+
+
+def weighted_individual_congestion(queues: Sequence[float],
+                                   weights: Sequence[float]) -> np.ndarray:
+    """``C_i = sum_k min(Q_k, (phi_k / phi_i) Q_i)`` — the weighted
+    individual measure.
+
+    Derived from the same two consistency requirements as the paper's
+    unweighted measure: (1) for the largest *normalised* queue the
+    measure equals the aggregate, and (2) a connection's signal never
+    reflects congestion in excess of "everyone at my per-weight level"
+    (``C_i = Phi Q_i / phi_i`` for the smallest).  Equal weights reduce
+    to :func:`individual_congestion`, and with
+    :class:`~repro.core.weighted.WeightedFairShare` gateways the
+    Theorem 5 robustness argument carries over to weighted floors.
+    """
+    q = np.asarray(queues, dtype=float)
+    phi = np.asarray(weights, dtype=float)
+    if q.ndim != 1 or q.shape != phi.shape:
+        raise RateVectorError(
+            f"queues {q.shape} and weights {phi.shape} must be matching "
+            f"1-D vectors")
+    if np.any(phi <= 0) or not np.all(np.isfinite(phi)):
+        raise RateVectorError("weights must be finite and positive")
+    scaled_own = (phi[None, :] / phi[:, None]) * q[:, None]
+    with np.errstate(invalid="ignore"):
+        capped = np.minimum(q[None, :], scaled_own)
+    # inf * finite ratios stay inf; min handles them.
+    return capped.sum(axis=1)
+
+
+class FeedbackScheme:
+    """The full signalling pipeline of one network configuration.
+
+    Combines a :class:`~repro.core.topology.Network`, a
+    :class:`~repro.core.service.ServiceDiscipline`, a
+    :class:`SignalFunction`, and a :class:`FeedbackStyle` into the map
+    from a sending-rate vector ``r`` to the bottleneck signals ``b_i``.
+
+    ``weights`` (optional, one per connection) switches the individual
+    congestion measure to its weighted form — pair it with
+    :class:`~repro.core.weighted.WeightedFairShare` gateways.
+    """
+
+    def __init__(self, network: Network, discipline: ServiceDiscipline,
+                 signal_fn: SignalFunction,
+                 style: FeedbackStyle = FeedbackStyle.INDIVIDUAL,
+                 weights=None):
+        self.network = network
+        self.discipline = discipline
+        self.signal_fn = signal_fn
+        self.style = FeedbackStyle(style)
+        if weights is None:
+            self.weights = None
+        else:
+            self.weights = np.asarray(weights, dtype=float)
+            if self.weights.shape != (network.num_connections,):
+                raise RateVectorError(
+                    f"need one weight per connection "
+                    f"({network.num_connections}), got shape "
+                    f"{self.weights.shape}")
+            if np.any(self.weights <= 0):
+                raise RateVectorError("weights must be positive")
+
+    # -- per-gateway quantities ---------------------------------------
+    def local_queues(self, rates: np.ndarray) -> Dict[str, np.ndarray]:
+        """Mean queue vectors ``Q^a`` per gateway (in ``Gamma(a)`` order)."""
+        r = as_rate_vector(rates, n=self.network.num_connections)
+        out = {}
+        for gname in self.network.gateway_names:
+            local = self.network.local_rates(gname, r)
+            out[gname] = self.discipline.queue_lengths(
+                local, self.network.mu(gname))
+        return out
+
+    def local_congestion(self, rates: np.ndarray) -> Dict[str, np.ndarray]:
+        """Congestion measures ``C^a_i`` per gateway (style-dependent)."""
+        out = {}
+        for gname, q in self.local_queues(rates).items():
+            if self.style is FeedbackStyle.AGGREGATE:
+                out[gname] = np.full(q.shape[0], aggregate_congestion(q))
+            elif self.weights is not None:
+                local = list(self.network.connections_at(gname))
+                out[gname] = weighted_individual_congestion(
+                    q, self.weights[local])
+            else:
+                out[gname] = individual_congestion(q)
+        return out
+
+    def local_signals(self, rates: np.ndarray) -> Dict[str, np.ndarray]:
+        """Signals ``b^a_i`` per gateway (in ``Gamma(a)`` order)."""
+        out = {}
+        for gname, c in self.local_congestion(rates).items():
+            out[gname] = np.array([self.signal_fn(ci) for ci in c])
+        return out
+
+    # -- per-connection quantities ------------------------------------
+    def signals(self, rates: np.ndarray) -> np.ndarray:
+        """Bottleneck signals ``b_i = max_{a in gamma(i)} b^a_i``."""
+        local = self.local_signals(rates)
+        net = self.network
+        b = np.zeros(net.num_connections, dtype=float)
+        for i in range(net.num_connections):
+            best = 0.0
+            for gname in net.gamma(i):
+                pos = net.connections_at(gname).index(i)
+                best = max(best, float(local[gname][pos]))
+            b[i] = best
+        return b
+
+    def bottlenecks(self, rates: np.ndarray,
+                    tol: float = 1e-12) -> Dict[int, tuple]:
+        """Gateways achieving each connection's maximal signal.
+
+        A gateway with ``b^a_i = 0`` is never a bottleneck (paper: any
+        gateway with nonzero signal attaining the MAX is one).
+        """
+        local = self.local_signals(rates)
+        net = self.network
+        result = {}
+        for i in range(net.num_connections):
+            values = []
+            for gname in net.gamma(i):
+                pos = net.connections_at(gname).index(i)
+                values.append((gname, float(local[gname][pos])))
+            peak = max(v for _, v in values)
+            if peak <= 0.0:
+                result[i] = ()
+            else:
+                result[i] = tuple(gname for gname, v in values
+                                  if v >= peak - tol)
+        return result

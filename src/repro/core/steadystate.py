@@ -1,0 +1,133 @@
+"""Steady states of feedback flow control (Sections 3.1-3.2).
+
+For a TSI rate-adjustment rule with target signal ``b_ss``:
+
+* **aggregate feedback** — the steady states form a manifold: every
+  gateway must sit at or below the steady utilisation
+  ``rho_ss = g^{-1}(B^{-1}(b_ss))`` and every connection must have a
+  gateway on its path exactly at ``rho_ss``
+  (:func:`is_aggregate_steady_state`).  Exactly one point of that
+  manifold is fair (Theorem 2), constructed by water-filling
+  (:func:`fair_steady_state`).
+* **individual feedback** — the steady state is unique, fair, and
+  independent of the service discipline (Theorem 3 + Corollary); it is
+  the same water-filling point.
+
+:func:`predicted_steady_state` packages the prediction for a
+:class:`~repro.core.dynamics.FlowControlSystem`, and :func:`refine` uses
+a damped residual solve to polish an approximate fixed point.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConvergenceError, NotTimeScaleInvariantError
+from .dynamics import FlowControlSystem
+from .fairness import max_min_allocation
+from .math_utils import as_rate_vector, sup_norm
+from .ratecontrol import tsi_target
+from .signals import FeedbackStyle, SignalFunction
+from .topology import Network
+
+__all__ = [
+    "steady_utilisation",
+    "fair_steady_state",
+    "predicted_steady_state",
+    "is_aggregate_steady_state",
+    "single_connection_rate",
+    "refine",
+]
+
+
+def steady_utilisation(signal_fn: SignalFunction, b_ss: float) -> float:
+    """``rho_ss``: bottleneck utilisation implied by the target signal."""
+    return signal_fn.steady_state_utilisation(b_ss)
+
+
+def fair_steady_state(network: Network, rho_ss: float) -> np.ndarray:
+    """Theorem 2's unique fair steady state.
+
+    Max-min fair allocation with per-gateway capacities
+    ``rho_ss * mu^a``.  This is also the unique steady state of every
+    TSI *individual* feedback scheme on the same network (Corollary to
+    Theorem 3), whatever the service discipline.
+    """
+    if not (0.0 < rho_ss < 1.0):
+        raise ConvergenceError(
+            f"steady utilisation must lie in (0, 1), got {rho_ss!r}")
+    capacities = {g: rho_ss * network.mu(g) for g in network.gateway_names}
+    return max_min_allocation(network, capacities)
+
+
+def predicted_steady_state(system: FlowControlSystem) -> np.ndarray:
+    """The model's closed-form steady-state prediction for ``system``.
+
+    Requires a homogeneous TSI rule.  For individual feedback this is
+    *the* steady state; for aggregate feedback it is the unique fair
+    point of the steady-state manifold.
+    """
+    if not system.homogeneous:
+        raise NotTimeScaleInvariantError(
+            "closed-form prediction requires a homogeneous rule; "
+            "heterogeneous systems are the subject of the robustness "
+            "experiments, not of this helper")
+    b_ss = tsi_target(system.rules[0])
+    rho_ss = steady_utilisation(system.signal_fn, b_ss)
+    return fair_steady_state(system.network, rho_ss)
+
+
+def is_aggregate_steady_state(network: Network, rho_ss: float,
+                              rates: Sequence[float],
+                              tol: float = 1e-6) -> bool:
+    """Membership test for the aggregate-feedback steady-state manifold.
+
+    ``r`` is a steady state of a TSI aggregate scheme with steady
+    utilisation ``rho_ss`` iff every gateway's utilisation is at most
+    ``rho_ss`` and every connection with positive rate sees ``rho_ss``
+    on at least one of its gateways.  (A zero-rate connection can also
+    be steady when pinned by the ``max(0, .)`` truncation; we accept it
+    only when it, too, crosses a saturated gateway.)
+    """
+    r = as_rate_vector(rates, n=network.num_connections)
+    for gname in network.gateway_names:
+        if network.utilisation(gname, r) > rho_ss + tol:
+            return False
+    for i in range(network.num_connections):
+        peak = max(network.utilisation(g, r) for g in network.gamma(i))
+        if peak < rho_ss - tol:
+            return False
+    return True
+
+
+def single_connection_rate(mu: float, rho_ss: float) -> float:
+    """Steady rate of a connection alone at a gateway: ``mu * rho_ss``.
+
+    Used in Theorem 5's robustness floor with ``mu -> mu / N``.
+    """
+    return mu * rho_ss
+
+
+def refine(system: FlowControlSystem, approx: Sequence[float],
+           max_steps: int = 2000, tol: float = 1e-12,
+           damping: float = 1.0) -> np.ndarray:
+    """Polish an approximate fixed point by damped iteration.
+
+    Applies ``r <- (1 - damping) r + damping F(r)`` until the residual's
+    sup norm falls below ``tol`` (relative to the rate scale).  Raises
+    :class:`~repro.errors.ConvergenceError` on failure.  Plain damped
+    iteration respects the nonnegativity truncation, which generic
+    root-finders do not.
+    """
+    r = as_rate_vector(approx, n=system.network.num_connections)
+    for _ in range(max_steps):
+        nxt = system.step(r)
+        scale = max(1.0, float(np.max(nxt)))
+        if sup_norm(nxt, r) <= tol * scale:
+            return nxt
+        r = (1.0 - damping) * r + damping * nxt
+    raise ConvergenceError(
+        f"refinement did not reach tol={tol} in {max_steps} steps")

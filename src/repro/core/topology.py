@@ -1,0 +1,371 @@
+"""Network and traffic topology model (paper Section 2.1).
+
+The paper associates one *logical gateway* with each outgoing line, so a
+gateway and a unidirectional communication line are the same object here.
+A network is then fully described by:
+
+* a set of gateways ``a``, each with an exponential service rate ``mu^a``
+  and a traffic-independent line latency ``l^a``;
+* a set of connections ``i``, each with a routing path ``gamma(i)`` (the
+  ordered gateways it traverses).
+
+``Gamma(a)`` — the set of connections through gateway ``a`` — and
+``N^a = |Gamma(a)|`` are derived.  Routing and the connection set are
+static, exactly as in the model.
+
+:class:`Network` is immutable after construction; the "what if" helpers
+(:meth:`Network.scaled`, :meth:`Network.with_latencies`) return new
+networks, which keeps time-scale-invariance experiments honest.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..errors import TopologyError
+
+__all__ = [
+    "Gateway",
+    "Connection",
+    "Network",
+    "single_gateway",
+    "two_gateway_shared",
+    "tandem",
+    "parking_lot",
+    "random_network",
+]
+
+
+@dataclass(frozen=True)
+class Gateway:
+    """A logical gateway: one outgoing line with an exponential server.
+
+    Attributes:
+        name: unique identifier within the network.
+        mu: service rate (packets per unit time), strictly positive.
+        latency: traffic-independent propagation delay of the line,
+            nonnegative.
+    """
+
+    name: str
+    mu: float
+    latency: float = 0.0
+
+    def __post_init__(self):
+        if not (isinstance(self.name, str) and self.name):
+            raise TopologyError(f"gateway name must be a nonempty string, "
+                                f"got {self.name!r}")
+        if not (math.isfinite(self.mu) and self.mu > 0):
+            raise TopologyError(
+                f"gateway {self.name!r}: service rate must be finite and "
+                f"positive, got {self.mu!r}")
+        if not (math.isfinite(self.latency) and self.latency >= 0):
+            raise TopologyError(
+                f"gateway {self.name!r}: latency must be finite and "
+                f"nonnegative, got {self.latency!r}")
+
+
+@dataclass(frozen=True)
+class Connection:
+    """A source-destination pair with a static route.
+
+    Attributes:
+        name: unique identifier within the network.
+        path: ordered gateway names the connection traverses.  A gateway
+            may appear at most once on a path.
+    """
+
+    name: str
+    path: Tuple[str, ...]
+
+    def __post_init__(self):
+        if not (isinstance(self.name, str) and self.name):
+            raise TopologyError(f"connection name must be a nonempty "
+                                f"string, got {self.name!r}")
+        object.__setattr__(self, "path", tuple(self.path))
+        if len(self.path) == 0:
+            raise TopologyError(
+                f"connection {self.name!r}: path must not be empty")
+        if len(set(self.path)) != len(self.path):
+            raise TopologyError(
+                f"connection {self.name!r}: path visits a gateway twice: "
+                f"{self.path!r}")
+
+
+class Network:
+    """An immutable network + traffic topology.
+
+    Connections are indexed ``0..N-1`` in the order given; all rate
+    vectors used elsewhere in the library follow this indexing.
+    """
+
+    def __init__(self, gateways: Iterable[Gateway],
+                 connections: Iterable[Connection]):
+        gws = list(gateways)
+        conns = list(connections)
+        if not gws:
+            raise TopologyError("a network needs at least one gateway")
+        if not conns:
+            raise TopologyError("a network needs at least one connection")
+
+        self._gateways: Dict[str, Gateway] = {}
+        for gw in gws:
+            if gw.name in self._gateways:
+                raise TopologyError(f"duplicate gateway name {gw.name!r}")
+            self._gateways[gw.name] = gw
+
+        names = set()
+        for conn in conns:
+            if conn.name in names:
+                raise TopologyError(f"duplicate connection name "
+                                    f"{conn.name!r}")
+            names.add(conn.name)
+            for gname in conn.path:
+                if gname not in self._gateways:
+                    raise TopologyError(
+                        f"connection {conn.name!r} routed through unknown "
+                        f"gateway {gname!r}")
+        self._connections: Tuple[Connection, ...] = tuple(conns)
+        self._index: Dict[str, int] = {
+            c.name: i for i, c in enumerate(self._connections)}
+
+        members: Dict[str, List[int]] = {g: [] for g in self._gateways}
+        for i, conn in enumerate(self._connections):
+            for gname in conn.path:
+                members[gname].append(i)
+        self._members: Dict[str, Tuple[int, ...]] = {
+            g: tuple(v) for g, v in members.items()}
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_connections(self) -> int:
+        """Number of connections (the length of every rate vector)."""
+        return len(self._connections)
+
+    @property
+    def num_gateways(self) -> int:
+        return len(self._gateways)
+
+    @property
+    def gateway_names(self) -> Tuple[str, ...]:
+        return tuple(self._gateways)
+
+    @property
+    def connection_names(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in self._connections)
+
+    def gateway(self, name: str) -> Gateway:
+        try:
+            return self._gateways[name]
+        except KeyError:
+            raise TopologyError(f"no gateway named {name!r}") from None
+
+    def connection(self, i: int) -> Connection:
+        return self._connections[i]
+
+    def connection_index(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise TopologyError(f"no connection named {name!r}") from None
+
+    def mu(self, gateway_name: str) -> float:
+        """Service rate ``mu^a`` of a gateway."""
+        return self.gateway(gateway_name).mu
+
+    # ------------------------------------------------------------------
+    # the paper's gamma / Gamma / N^a
+    # ------------------------------------------------------------------
+    def gamma(self, i: int) -> Tuple[str, ...]:
+        """``gamma(i)``: gateways on connection ``i``'s path, in order."""
+        return self._connections[i].path
+
+    def connections_at(self, gateway_name: str) -> Tuple[int, ...]:
+        """``Gamma(a)``: indices of connections through gateway ``a``."""
+        if gateway_name not in self._members:
+            raise TopologyError(f"no gateway named {gateway_name!r}")
+        return self._members[gateway_name]
+
+    def n_at(self, gateway_name: str) -> int:
+        """``N^a``: number of connections through gateway ``a``."""
+        return len(self.connections_at(gateway_name))
+
+    def path_latency(self, i: int) -> float:
+        """``L_i``: total line latency along connection ``i``'s path."""
+        return sum(self._gateways[g].latency for g in self.gamma(i))
+
+    def local_rates(self, gateway_name: str,
+                    rates: np.ndarray) -> np.ndarray:
+        """Rates of the connections through a gateway, in ``Gamma(a)`` order."""
+        idx = list(self.connections_at(gateway_name))
+        return np.asarray(rates, dtype=float)[idx]
+
+    def utilisation(self, gateway_name: str, rates: np.ndarray) -> float:
+        """Offered load ``rho^a = sum_{i in Gamma(a)} r_i / mu^a``."""
+        local = self.local_rates(gateway_name, rates)
+        return float(np.sum(local)) / self.mu(gateway_name)
+
+    # ------------------------------------------------------------------
+    # derived networks
+    # ------------------------------------------------------------------
+    def scaled(self, c: float) -> "Network":
+        """A copy with every service rate multiplied by ``c`` (TSI probe)."""
+        if not (math.isfinite(c) and c > 0):
+            raise TopologyError(f"scale factor must be positive, got {c!r}")
+        gws = [Gateway(g.name, g.mu * c, g.latency)
+               for g in self._gateways.values()]
+        return Network(gws, self._connections)
+
+    def with_latencies(self, latencies: Mapping[str, float]) -> "Network":
+        """A copy with some gateway latencies replaced (TSI probe)."""
+        gws = []
+        unknown = set(latencies) - set(self._gateways)
+        if unknown:
+            raise TopologyError(f"unknown gateways in latency map: "
+                                f"{sorted(unknown)!r}")
+        for g in self._gateways.values():
+            lat = latencies.get(g.name, g.latency)
+            gws.append(Gateway(g.name, g.mu, lat))
+        return Network(gws, self._connections)
+
+    def __repr__(self):
+        return (f"Network({self.num_gateways} gateways, "
+                f"{self.num_connections} connections)")
+
+
+# ----------------------------------------------------------------------
+# canonical topologies
+# ----------------------------------------------------------------------
+def single_gateway(n_connections: int, mu: float = 1.0,
+                   latency: float = 0.0) -> Network:
+    """``n_connections`` connections sharing one gateway.
+
+    The workhorse topology of the paper's examples (Theorem 2's manifold,
+    the Section 3.3 instability example, the heterogeneity example).
+    """
+    if n_connections < 1:
+        raise TopologyError("need at least one connection")
+    gw = Gateway("g0", mu, latency)
+    conns = [Connection(f"c{i}", ("g0",)) for i in range(n_connections)]
+    return Network([gw], conns)
+
+
+def two_gateway_shared(mu_a: float = 1.0, mu_b: float = 1.0,
+                       latency: float = 0.0) -> Network:
+    """Three connections over two gateways.
+
+    Connection ``long`` crosses both gateways; ``a_only`` and ``b_only``
+    cross one each.  The smallest topology on which bottleneck selection
+    (the MAX over gateways) is exercised.
+    """
+    gws = [Gateway("ga", mu_a, latency), Gateway("gb", mu_b, latency)]
+    conns = [
+        Connection("long", ("ga", "gb")),
+        Connection("a_only", ("ga",)),
+        Connection("b_only", ("gb",)),
+    ]
+    return Network(gws, conns)
+
+
+def tandem(n_gateways: int, n_connections: int, mu: float = 1.0,
+           latency: float = 0.0) -> Network:
+    """``n_connections`` connections all crossing the same ``n_gateways``
+    gateways in series.  All gateways see identical traffic, so the first
+    gateway is the shared bottleneck."""
+    if n_gateways < 1 or n_connections < 1:
+        raise TopologyError("need at least one gateway and one connection")
+    gws = [Gateway(f"g{k}", mu, latency) for k in range(n_gateways)]
+    path = tuple(g.name for g in gws)
+    conns = [Connection(f"c{i}", path) for i in range(n_connections)]
+    return Network(gws, conns)
+
+
+def parking_lot(n_hops: int, mu: float = 1.0, latency: float = 0.0,
+                cross_per_hop: int = 1) -> Network:
+    """The classic parking-lot topology.
+
+    One ``long`` connection crosses ``n_hops`` gateways in series, and each
+    gateway additionally carries ``cross_per_hop`` one-hop cross
+    connections.  The standard stress test for fairness definitions: the
+    long connection competes at every hop.
+    """
+    if n_hops < 1:
+        raise TopologyError("need at least one hop")
+    if cross_per_hop < 0:
+        raise TopologyError("cross_per_hop must be nonnegative")
+    gws = [Gateway(f"g{k}", mu, latency) for k in range(n_hops)]
+    conns = [Connection("long", tuple(g.name for g in gws))]
+    for k in range(n_hops):
+        for j in range(cross_per_hop):
+            conns.append(Connection(f"x{k}_{j}", (f"g{k}",)))
+    return Network(gws, conns)
+
+
+def random_network(n_gateways: int, n_connections: int, seed: int,
+                   mu_range: Tuple[float, float] = (0.5, 2.0),
+                   latency_range: Tuple[float, float] = (0.0, 1.0),
+                   max_path_len: int = 4) -> Network:
+    """A random multi-gateway network for ensemble experiments.
+
+    Gateways are edges of a random connected graph; each connection's
+    path is a shortest path between two random distinct nodes, truncated
+    to ``max_path_len`` gateways.  Deterministic given ``seed``.
+    """
+    if n_gateways < 1 or n_connections < 1:
+        raise TopologyError("need at least one gateway and one connection")
+    rng = np.random.default_rng(seed)
+
+    # Enough graph nodes to host n_gateways directed edges.
+    n_nodes = max(3, int(math.ceil((1 + math.sqrt(1 + 4 * n_gateways)) / 2)))
+    while n_nodes * (n_nodes - 1) < n_gateways:
+        n_nodes += 1
+    graph = nx.complete_graph(n_nodes).to_directed()
+    edges = sorted(graph.edges())
+    order = rng.permutation(len(edges))[:n_gateways]
+    chosen = [edges[k] for k in sorted(order)]
+
+    gws = []
+    edge_name = {}
+    for (u, v) in chosen:
+        name = f"g{u}_{v}"
+        mu = float(rng.uniform(*mu_range))
+        lat = float(rng.uniform(*latency_range))
+        gws.append(Gateway(name, mu, lat))
+        edge_name[(u, v)] = name
+
+    usable = nx.DiGraph()
+    usable.add_edges_from(edge_name)
+
+    conns = []
+    attempts = 0
+    while len(conns) < n_connections:
+        attempts += 1
+        if attempts > 200 * n_connections:
+            # Fall back: route the remaining connections over a random
+            # single gateway so construction always succeeds.
+            gw = gws[int(rng.integers(len(gws)))]
+            conns.append(Connection(f"c{len(conns)}", (gw.name,)))
+            continue
+        nodes = list(usable.nodes())
+        if len(nodes) < 2:
+            gw = gws[int(rng.integers(len(gws)))]
+            conns.append(Connection(f"c{len(conns)}", (gw.name,)))
+            continue
+        src, dst = rng.choice(nodes, size=2, replace=False)
+        try:
+            node_path = nx.shortest_path(usable, src, dst)
+        except nx.NetworkXNoPath:
+            continue
+        hops = list(zip(node_path[:-1], node_path[1:]))[:max_path_len]
+        if not hops:
+            continue
+        path = tuple(edge_name[h] for h in hops)
+        conns.append(Connection(f"c{len(conns)}", path))
+    return Network(gws, conns)

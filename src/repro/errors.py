@@ -1,0 +1,50 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class TopologyError(ReproError):
+    """The network description is malformed or internally inconsistent.
+
+    Examples: a connection routed through an unknown gateway, a gateway
+    with a non-positive service rate, or a negative line latency.
+    """
+
+
+class RateVectorError(ReproError):
+    """A sending-rate vector has the wrong shape or contains bad values."""
+
+
+class InfeasibleLoadError(ReproError):
+    """An operation requires a stable queue but the offered load is >= 1.
+
+    Raised only by operations that cannot meaningfully return ``inf``
+    (for example, sampling a steady-state queue in the simulator
+    validation helpers).  The analytic queue laws themselves never raise
+    this; they return ``math.inf`` instead.
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative procedure failed to converge within its budget."""
+
+
+class NotTimeScaleInvariantError(ReproError):
+    """A rate-adjustment rule was required to be TSI but is not."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was misconfigured or produced no data."""

@@ -1,0 +1,43 @@
+"""Experiment harnesses: one per paper table/figure (see DESIGN.md).
+
+Use the registry::
+
+    from repro.experiments import run, run_all, format_table
+    print(format_table(run("F5")))
+"""
+
+from .base import ExperimentResult
+from .extensions import (run_x1_asynchrony, run_x2_feedback_delay,
+                         run_x3_weighted_fairness,
+                         run_x4_thinning_ablation,
+                         run_x5_implicit_feedback)
+from .registry import EXTENSIONS, REGISTRY, Experiment, get, run, run_all
+from .report import format_summary, format_table, to_csv
+from .table1 import run_table1
+from .exp_f1_tsi import run_f1_tsi
+from .exp_f2_manifold import run_f2_manifold
+from .exp_f3_fair_construction import run_f3_fair_construction
+from .exp_f4_individual_fair import run_f4_individual_fair
+from .exp_f5_aggregate_instability import run_f5_aggregate_instability
+from .exp_f6_bifurcation import run_f6_bifurcation
+from .exp_f7_fs_stability import run_f7_fs_stability, staircase_network
+from .exp_f8_heterogeneity import run_f8_heterogeneity
+from .exp_f9_robustness import run_f9_robustness
+from .exp_f10_delay_advantage import run_f10_delay_advantage
+from .exp_f11_real_algorithms import run_f11_real_algorithms
+from .exp_f12_sim_validation import run_f12_sim_validation
+
+__all__ = [
+    "ExperimentResult", "Experiment", "REGISTRY", "EXTENSIONS",
+    "get", "run", "run_all",
+    "run_x1_asynchrony", "run_x2_feedback_delay",
+    "run_x3_weighted_fairness", "run_x4_thinning_ablation",
+    "run_x5_implicit_feedback",
+    "format_table", "format_summary", "to_csv",
+    "run_table1", "run_f1_tsi", "run_f2_manifold",
+    "run_f3_fair_construction", "run_f4_individual_fair",
+    "run_f5_aggregate_instability", "run_f6_bifurcation",
+    "run_f7_fs_stability", "staircase_network", "run_f8_heterogeneity",
+    "run_f9_robustness", "run_f10_delay_advantage",
+    "run_f11_real_algorithms", "run_f12_sim_validation",
+]

@@ -1,0 +1,56 @@
+"""Common result type and utilities for the experiment harnesses.
+
+Every experiment function returns an :class:`ExperimentResult`:
+
+* ``rows`` — the table/series the paper's artifact would show;
+* ``checks`` — named boolean "shape" assertions (who wins, where the
+  threshold falls, what converges) that tests and benchmarks verify;
+* ``notes`` — free-form commentary recorded into EXPERIMENTS.md.
+
+Harnesses are import-safe: nothing runs at import time, and every run
+is deterministic given its ``seed`` arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ExperimentError
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment harness run."""
+
+    experiment_id: str
+    title: str
+    columns: Tuple[str, ...]
+    rows: List[Tuple]
+    checks: Dict[str, bool] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def __post_init__(self):
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise ExperimentError(
+                    f"{self.experiment_id}: row {row!r} does not match "
+                    f"columns {self.columns!r}")
+
+    @property
+    def all_checks_pass(self) -> bool:
+        """True when every shape assertion held."""
+        return all(self.checks.values())
+
+    def failed_checks(self) -> List[str]:
+        return [name for name, ok in self.checks.items() if not ok]
+
+    def require(self) -> "ExperimentResult":
+        """Raise when any check failed (used by strict callers)."""
+        failed = self.failed_checks()
+        if failed:
+            raise ExperimentError(
+                f"{self.experiment_id}: checks failed: {failed}")
+        return self

@@ -1,0 +1,115 @@
+"""F11 — Section 4: the real algorithms through the model's lens.
+
+Three baseline behaviours the paper derives from its framework:
+
+* the **DECbit window rule** (``f = (1-b) eta/d - beta b r``) is
+  latency-sensitive: a connection with a longer round trip gets less
+  throughput at a shared bottleneck;
+* the **rate reinterpretation** (``f = (1-b) eta - beta b r``) is
+  guaranteed fair — equal steady rates — but not TSI: scaling the line
+  speed by ``c`` does not scale the allocation by ``c``;
+* **binary-feedback AIMD** (Chiu–Jain) and **fluid Tahoe** never reach
+  a steady state: they oscillate, with a sawtooth period growing
+  linearly in the pipe size (the paper: "the period of oscillation
+  grows linearly with the server rate"), while AIMD's Jain index rises
+  monotonically toward 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.chiu_jain import run_chiu_jain
+from ..baselines.decbit import run_decbit_windows
+from ..baselines.jacobson import run_tahoe
+from ..core.dynamics import FlowControlSystem
+from ..core.fifo import Fifo
+from ..core.ratecontrol import DecbitRateRule
+from ..core.signals import FeedbackStyle, LinearSaturating
+from ..core.topology import Connection, Gateway, Network, single_gateway
+from .base import ExperimentResult
+
+__all__ = ["run_f11_real_algorithms"]
+
+
+def _unequal_latency_network(short_lat: float = 0.1,
+                             long_lat: float = 2.0) -> Network:
+    """One shared bottleneck; the long connection also crosses a fast,
+    high-latency feeder gateway, giving it a longer round trip."""
+    gws = [Gateway("bottleneck", 1.0, short_lat),
+           Gateway("feeder", 10.0, long_lat)]
+    conns = [Connection("short", ("bottleneck",)),
+             Connection("long", ("feeder", "bottleneck"))]
+    return Network(gws, conns)
+
+
+def run_f11_real_algorithms(steps: int = 400,
+                            pipes=(20.0, 40.0, 80.0)) -> ExperimentResult:
+    """Latency bias, fair-not-TSI, and oscillation measurements."""
+    rows = []
+
+    # (a) DECbit window rule: latency bias at a shared bottleneck.
+    network = _unequal_latency_network()
+    dec = run_decbit_windows(network, [1.0, 1.0], steps=steps)
+    mean_rates = dec.mean_rates(steps // 4)
+    short_rate, long_rate = float(mean_rates[0]), float(mean_rates[1])
+    bias = short_rate / max(long_rate, 1e-12)
+    rows.append(("decbit-window", "latency-bias short/long", bias))
+    latency_bias = bias > 1.3
+
+    # (b) Rate rule: guaranteed fair but not TSI.
+    rule = DecbitRateRule(eta=0.05, beta=0.5)
+    base = single_gateway(2, mu=1.0)
+    sys1 = FlowControlSystem(base, Fifo(), LinearSaturating(), rule,
+                             style=FeedbackStyle.AGGREGATE)
+    r1 = sys1.solve(np.array([0.05, 0.3]), max_steps=60000, tol=1e-11)
+    sys10 = FlowControlSystem(base.scaled(10.0), Fifo(), LinearSaturating(),
+                              rule, style=FeedbackStyle.AGGREGATE)
+    r10 = sys10.solve(np.array([0.5, 3.0]), max_steps=60000, tol=1e-11)
+    fair_spread = float(np.max(r1) - np.min(r1))
+    scaling_gap = float(np.max(np.abs(r10 / 10.0 - r1))) / max(
+        float(np.max(r1)), 1e-12)
+    rows.append(("decbit-rate", "steady spread (fairness)", fair_spread))
+    rows.append(("decbit-rate", "rel. deviation from 10x scaling",
+                 scaling_gap))
+    rate_rule_fair = fair_spread < 1e-6
+    rate_rule_not_tsi = scaling_gap > 0.1
+
+    # (c) Chiu-Jain AIMD: oscillation + monotone fairness.
+    aimd = run_chiu_jain([0.05, 0.75], goal=1.0, steps=800)
+    fairness = aimd.fairness_trajectory
+    monotone = bool(np.all(np.diff(fairness) >= -1e-9))
+    rows.append(("chiu-jain-aimd", "final Jain index",
+                 float(fairness[-1])))
+    rows.append(("chiu-jain-aimd", "limit-cycle amplitude",
+                 aimd.amplitude(200)))
+    aimd_oscillates = aimd.amplitude(200) > 0.01
+    aimd_fairness_converges = fairness[-1] > 0.999 and monotone
+
+    # (d) Fluid Tahoe: sawtooth period grows linearly with the pipe.
+    periods = []
+    for pipe in pipes:
+        tahoe = run_tahoe([1.0, 1.0], pipe=pipe, steps=3000)
+        saw = tahoe.sawtooth_periods
+        period = float(np.mean(saw[1:])) if saw.size > 1 else float("nan")
+        periods.append(period)
+        rows.append(("tahoe", f"sawtooth period @ pipe={pipe:g}", period))
+    ratios = np.diff(periods) / np.diff(np.asarray(pipes, dtype=float))
+    linear_growth = bool(np.all(ratios > 0.05))
+
+    return ExperimentResult(
+        experiment_id="F11",
+        title="Section 4: real algorithms — latency bias, fair-not-TSI, "
+              "oscillation",
+        columns=("algorithm", "metric", "value"),
+        rows=rows,
+        checks={
+            "decbit_window_biased_against_long_latency": latency_bias,
+            "decbit_rate_rule_guaranteed_fair": rate_rule_fair,
+            "decbit_rate_rule_not_tsi": rate_rule_not_tsi,
+            "aimd_oscillates_without_steady_state": aimd_oscillates,
+            "aimd_fairness_rises_monotonically_to_1":
+                aimd_fairness_converges,
+            "tahoe_period_grows_with_pipe": linear_growth,
+        },
+    )

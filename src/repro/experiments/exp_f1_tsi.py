@@ -1,0 +1,97 @@
+"""F1 — Theorem 1: time-scale invariance of the steady state.
+
+A TSI rate-adjustment rule must produce steady states that (a) scale
+linearly with the server rates, ``r_ss(c mu) = c r_ss(mu)``, and (b) do
+not depend on line latencies.  We verify both by running the dynamics
+to convergence on scaled / re-latencied copies of two topologies, and
+contrast with a *non*-TSI rule (``f = (1-b) eta - beta b r``), whose
+steady state fails the scaling test exactly as the paper predicts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.dynamics import FlowControlSystem
+from ..core.fairshare import FairShare
+from ..core.math_utils import sup_norm
+from ..core.ratecontrol import DecbitRateRule, ProportionalTargetRule
+from ..core.signals import FeedbackStyle, LinearSaturating
+from ..core.topology import Network, parking_lot, single_gateway
+from .base import ExperimentResult
+
+__all__ = ["run_f1_tsi"]
+
+
+def _steady(network: Network, rule, style=FeedbackStyle.INDIVIDUAL,
+            max_steps: int = 60000) -> np.ndarray:
+    system = FlowControlSystem(network, FairShare(), LinearSaturating(),
+                               rule, style=style)
+    start = np.full(network.num_connections,
+                    0.05 * min(network.mu(g)
+                               for g in network.gateway_names))
+    return system.solve(start, max_steps=max_steps, tol=1e-11)
+
+
+def run_f1_tsi(scales: Sequence[float] = (0.1, 1.0, 10.0, 100.0),
+               latencies: Sequence[float] = (0.0, 1.0, 25.0),
+               eta: float = 0.5, beta: float = 0.5) -> ExperimentResult:
+    """Scale and latency sweeps on two topologies; see module doc.
+
+    The probe rule is ``f = eta r (beta - b)``: its *gain* is
+    dimensionless (unlike ``f = eta (beta - b)``, whose absolute step
+    makes convergence scale-dependent even though the steady state is
+    TSI either way).
+    """
+    rule = ProportionalTargetRule(eta=eta, beta=beta)
+    non_tsi = DecbitRateRule(eta=0.05, beta=0.5)
+    topologies = {
+        "single-gateway(3)": single_gateway(3, mu=1.0),
+        "parking-lot(3)": parking_lot(3, mu=1.0),
+    }
+    rows = []
+    worst_scale_dev = 0.0
+    worst_latency_dev = 0.0
+    for name, base_net in topologies.items():
+        reference = _steady(base_net, rule)
+        for c in scales:
+            scaled = _steady(base_net.scaled(c), rule)
+            deviation = sup_norm(scaled / c, reference) / max(
+                1e-12, float(np.max(reference)))
+            worst_scale_dev = max(worst_scale_dev, deviation)
+            rows.append((name, "scale", float(c), deviation))
+        for lat in latencies:
+            lat_net = base_net.with_latencies(
+                {g: lat for g in base_net.gateway_names})
+            shifted = _steady(lat_net, rule)
+            deviation = sup_norm(shifted, reference) / max(
+                1e-12, float(np.max(reference)))
+            worst_latency_dev = max(worst_latency_dev, deviation)
+            rows.append((name, "latency", float(lat), deviation))
+
+    # The non-TSI contrast: scaling mu by 10 should NOT scale the rates.
+    contrast_net = single_gateway(3, mu=1.0)
+    base_rates = _steady(contrast_net, non_tsi)
+    scaled_rates = _steady(contrast_net.scaled(10.0), non_tsi)
+    non_tsi_deviation = sup_norm(scaled_rates / 10.0, base_rates) / max(
+        1e-12, float(np.max(base_rates)))
+    rows.append(("single-gateway(3) [non-TSI rule]", "scale", 10.0,
+                 non_tsi_deviation))
+
+    return ExperimentResult(
+        experiment_id="F1",
+        title="Theorem 1: time-scale invariance of steady states",
+        columns=("topology", "sweep", "value", "relative_deviation"),
+        rows=rows,
+        checks={
+            "steady_state_scales_with_mu": worst_scale_dev < 1e-5,
+            "steady_state_ignores_latency": worst_latency_dev < 1e-5,
+            "non_tsi_rule_fails_scaling": non_tsi_deviation > 0.1,
+        },
+        notes=[
+            "deviation is sup-norm distance to the unscaled reference, "
+            "relative to the largest reference rate",
+        ],
+    )

@@ -1,0 +1,89 @@
+"""F2 — Theorem 2(1): the aggregate steady-state manifold.
+
+At a single gateway with ``N`` connections, TSI aggregate feedback only
+pins the *total* rate (``sum r = rho_ss mu``); the individual split is
+an ``(N-1)``-dimensional manifold of steady states, so the outcome
+depends on the initial condition and is generically unfair.  We launch
+the dynamics from many random starts, confirm every endpoint lies on
+the manifold, that the endpoints genuinely differ, and that exactly the
+symmetric point is fair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dynamics import FlowControlSystem, Outcome
+from ..core.fairness import is_fair, jain_index
+from ..core.fifo import Fifo
+from ..core.ratecontrol import TargetRule
+from ..core.signals import FeedbackStyle, LinearSaturating
+from ..core.steadystate import (fair_steady_state,
+                                is_aggregate_steady_state)
+from ..core.topology import single_gateway
+from .base import ExperimentResult
+
+__all__ = ["run_f2_manifold"]
+
+
+def run_f2_manifold(n_connections: int = 5, n_starts: int = 24,
+                    eta: float = 0.08, beta: float = 0.5,
+                    seed: int = 7) -> ExperimentResult:
+    """Random-start ensemble on one shared gateway; see module doc."""
+    network = single_gateway(n_connections, mu=1.0)
+    signal = LinearSaturating()
+    rho_ss = signal.steady_state_utilisation(beta)
+    system = FlowControlSystem(network, Fifo(), signal,
+                               TargetRule(eta=eta, beta=beta),
+                               style=FeedbackStyle.AGGREGATE)
+    rng = np.random.default_rng(seed)
+
+    rows = []
+    endpoints = []
+    all_on_manifold = True
+    all_converged = True
+    any_unfair = False
+    for k in range(n_starts):
+        start = rng.uniform(0.0, 0.6, size=n_connections)
+        traj = system.run(start, max_steps=40000, tol=1e-11)
+        final = traj.final
+        endpoints.append(final)
+        converged = traj.outcome is Outcome.CONVERGED
+        on_manifold = is_aggregate_steady_state(network, rho_ss, final,
+                                                tol=1e-6)
+        fair = is_fair(system.scheme, final, tol=1e-6)
+        all_converged &= converged
+        all_on_manifold &= on_manifold
+        any_unfair |= not fair
+        rows.append((k, float(np.sum(final)), jain_index(final),
+                     on_manifold, fair))
+
+    endpoints = np.asarray(endpoints)
+    spread = float(np.max(endpoints.std(axis=0)))
+    fair_point = fair_steady_state(network, rho_ss)
+    symmetric_start = np.full(n_connections, 0.01)
+    symmetric_final = system.run(symmetric_start, max_steps=40000,
+                                 tol=1e-11).final
+    fair_reached = bool(np.allclose(symmetric_final, fair_point,
+                                    atol=1e-6))
+
+    return ExperimentResult(
+        experiment_id="F2",
+        title="Theorem 2(1): aggregate feedback has a manifold of "
+              "(mostly unfair) steady states",
+        columns=("start", "total_rate", "jain_index", "on_manifold",
+                 "fair"),
+        rows=rows,
+        checks={
+            "all_starts_converge": all_converged,
+            "all_endpoints_on_manifold": all_on_manifold,
+            "endpoints_differ_across_starts": spread > 0.02,
+            "unfair_endpoints_exist": any_unfair,
+            "symmetric_start_reaches_the_unique_fair_point": fair_reached,
+        },
+        notes=[
+            f"rho_ss = {rho_ss}; manifold constraint: total rate = "
+            f"{rho_ss} with every connection bottlenecked",
+            f"std of endpoint coordinates across starts: {spread:.4f}",
+        ],
+    )

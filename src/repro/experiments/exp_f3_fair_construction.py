@@ -1,0 +1,81 @@
+"""F3 — Theorem 2(2): the fair-point construction (water-filling).
+
+The proof of Theorem 2 constructs the unique fair steady state by
+repeatedly saturating the gateway with the smallest per-connection
+share ``rho_ss mu^a / N^a``.  We verify the construction against the
+converged dynamics of TSI *individual* feedback (whose unique steady
+state must equal it, by the Corollary to Theorem 3) on several
+multi-gateway topologies, and check the constructed point satisfies the
+aggregate steady-state conditions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dynamics import FlowControlSystem
+from ..core.fairness import is_fair
+from ..core.fairshare import FairShare
+from ..core.math_utils import sup_norm
+from ..core.ratecontrol import TargetRule
+from ..core.signals import FeedbackStyle, LinearSaturating
+from ..core.steadystate import (fair_steady_state,
+                                is_aggregate_steady_state)
+from ..core.topology import (parking_lot, random_network, single_gateway,
+                             two_gateway_shared)
+from .base import ExperimentResult
+
+__all__ = ["run_f3_fair_construction"]
+
+
+def run_f3_fair_construction(eta: float = 0.08,
+                             beta: float = 0.5,
+                             random_seed: int = 11) -> ExperimentResult:
+    """Water-filling vs converged dynamics across topologies."""
+    signal = LinearSaturating()
+    rho_ss = signal.steady_state_utilisation(beta)
+    rule = TargetRule(eta=eta, beta=beta)
+    topologies = {
+        "single-gateway(4)": single_gateway(4, mu=1.0),
+        "two-gateway-shared(mu=1,2)": two_gateway_shared(1.0, 2.0),
+        "parking-lot(4 hops)": parking_lot(4, mu=1.0),
+        "random(5 gw, 7 conn)": random_network(5, 7, seed=random_seed,
+                                               mu_range=(0.8, 2.5)),
+    }
+    rows = []
+    worst_gap = 0.0
+    all_fair = True
+    all_manifold = True
+    for name, network in topologies.items():
+        constructed = fair_steady_state(network, rho_ss)
+        system = FlowControlSystem(network, FairShare(), signal, rule,
+                                   style=FeedbackStyle.INDIVIDUAL)
+        start = np.full(network.num_connections, 0.01 * min(
+            network.mu(g) for g in network.gateway_names))
+        dynamic = system.solve(start, max_steps=80000, tol=1e-11)
+        gap = sup_norm(constructed, dynamic) / max(
+            1e-12, float(np.max(constructed)))
+        worst_gap = max(worst_gap, gap)
+        fair = is_fair(system.scheme, constructed, tol=1e-7)
+        manifold = is_aggregate_steady_state(network, rho_ss, constructed,
+                                             tol=1e-7)
+        all_fair &= fair
+        all_manifold &= manifold
+        rows.append((name, network.num_connections,
+                     float(np.min(constructed)), float(np.max(constructed)),
+                     gap, fair, manifold))
+
+    return ExperimentResult(
+        experiment_id="F3",
+        title="Theorem 2(2): water-filling constructs the unique fair "
+              "steady state",
+        columns=("topology", "connections", "min_rate", "max_rate",
+                 "rel_gap_to_dynamics", "constructed_point_fair",
+                 "on_aggregate_manifold"),
+        rows=rows,
+        checks={
+            "construction_matches_converged_dynamics": worst_gap < 1e-4,
+            "constructed_points_are_fair": all_fair,
+            "constructed_points_are_steady": all_manifold,
+        },
+    )

@@ -1,0 +1,373 @@
+"""Extension experiments (X1-X4): beyond the paper's published results.
+
+The paper closes Section 2.5 with *"the lack of asynchrony in our model
+certainly affects the stability results, and we are currently
+investigating the extent of this effect"* — X1 and X2 carry out that
+investigation.  X3 exercises the weighted generalisation of Fair Share,
+and X4 ablates the Fair Share gateway's rate-knowledge assumption in
+the packet simulator (oracle rates vs. rates the gateway measures
+itself).
+
+These are *extensions*: they are not artifacts of the 1990 paper, and
+EXPERIMENTS.md lists them separately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.asynchronous import (AsynchronousRunner, BernoulliSchedule,
+                                 RoundRobinSchedule)
+from ..core.dynamics import FlowControlSystem, Outcome
+from ..core.fairness import max_min_allocation
+from ..core.fairshare import FairShare
+from ..core.fifo import Fifo
+from ..core.fairness import jain_index
+from ..core.ratecontrol import BinaryAimdRule, TargetRule
+from ..simulation.closed_loop import run_closed_loop
+from ..core.signals import FeedbackStyle, LinearSaturating
+from ..core.steadystate import fair_steady_state
+from ..core.topology import single_gateway
+from ..core.weighted import (WeightedFairShare,
+                             weighted_max_min_allocation,
+                             weighted_reservation_floor)
+from ..simulation.validation import validate_single_gateway
+from ..simulation.network_sim import NetworkSimulation
+from .base import ExperimentResult
+
+__all__ = ["run_x1_asynchrony", "run_x2_feedback_delay",
+           "run_x3_weighted_fairness", "run_x4_thinning_ablation",
+           "run_x5_implicit_feedback"]
+
+
+def run_x1_asynchrony(eta: float = 0.3, beta: float = 0.5,
+                      n_values=(4, 8, 12, 20),
+                      seed: int = 31) -> ExperimentResult:
+    """X1 — does asynchrony help or hurt the aggregate instability?
+
+    The synchronous aggregate example loses stability at
+    ``N = 2 / eta`` (F5).  Re-run the same systems under sequential
+    (round-robin) and Bernoulli(1/2) schedules: Gauss–Seidel-style
+    updating sees the others' corrections immediately and converges
+    far beyond the synchronous threshold — the model's synchrony
+    assumption is *pessimistic* here.
+    """
+    signal = LinearSaturating()
+    rho_ss = signal.steady_state_utilisation(beta)
+    rule = TargetRule(eta=eta, beta=beta)
+    rng = np.random.default_rng(seed)
+    threshold = 2.0 / eta
+
+    rows = []
+    round_robin_all_stable = True
+    sync_matches_f5 = True
+    for n in n_values:
+        network = single_gateway(n, mu=1.0)
+        system = FlowControlSystem(network, Fifo(), signal, rule,
+                                   style=FeedbackStyle.AGGREGATE)
+        fair = fair_steady_state(network, rho_ss)
+        start = np.clip(fair * (1 + 1e-3 * rng.standard_normal(n)),
+                        0.0, None)
+        outcomes = {}
+        sync = system.run(start, max_steps=6000, tol=1e-10)
+        outcomes["synchronous"] = sync.outcome
+        budget = 6000 * n  # same number of sweeps as the sync run
+        rr = AsynchronousRunner(system, RoundRobinSchedule()).run(
+            start, max_steps=budget, tol=1e-10)
+        outcomes["round-robin"] = rr.outcome
+        bern = AsynchronousRunner(
+            system, BernoulliSchedule(0.5, seed=seed + n)).run(
+            start, max_steps=12000, tol=1e-10)
+        outcomes["bernoulli(1/2)"] = bern.outcome
+        for name, outcome in outcomes.items():
+            rows.append((n, name, outcome.value,
+                         outcome is Outcome.CONVERGED))
+        round_robin_all_stable &= rr.outcome is Outcome.CONVERGED
+        sync_stable = sync.outcome is Outcome.CONVERGED
+        sync_matches_f5 &= (sync_stable == (n < threshold))
+
+    return ExperimentResult(
+        experiment_id="X1",
+        title="Extension: asynchronous schedules vs the synchronous "
+              "instability (Section 2.5's open question)",
+        columns=("N", "schedule", "outcome", "converged"),
+        rows=rows,
+        checks={
+            "synchronous_threshold_as_in_F5": sync_matches_f5,
+            "round_robin_converges_beyond_threshold":
+                round_robin_all_stable,
+        },
+        notes=[f"synchronous theory: unstable for N > {threshold:.1f}; "
+               f"sequential updating removes the overshoot entirely"],
+    )
+
+
+def run_x2_feedback_delay(beta: float = 0.5, n: int = 4,
+                          gains=(0.05, 0.15, 0.3, 0.6),
+                          delays=(0, 1, 2, 4, 8),
+                          seed: int = 37) -> ExperimentResult:
+    """X2 — stale congestion signals shrink the stable gain.
+
+    Sources react to signals computed from rates ``tau`` steps old.
+    Linearising the shared-gateway aggregate loop gives
+    ``S_{t+1} = S_t - a (S_{t-tau} - S*)`` with loop gain
+    ``a = eta N``; the classical delay criterion is stability iff
+    ``a < 2 sin(pi / (2 (2 tau + 1)))`` — so the tolerable gain falls
+    roughly like ``1/tau``.  The model's delay-free assumption is
+    *optimistic* here (the mirror image of X1).
+    """
+    signal = LinearSaturating()
+    rho_ss = signal.steady_state_utilisation(beta)
+    rng = np.random.default_rng(seed)
+    network = single_gateway(n, mu=1.0)
+    fair = fair_steady_state(network, rho_ss)
+
+    rows = []
+    matches = 0
+    total = 0
+    monotone_ok = True
+    prev_stable_count = None
+    for tau in delays:
+        stable_count = 0
+        for eta in gains:
+            system = FlowControlSystem(network, Fifo(), signal,
+                                       TargetRule(eta=eta, beta=beta),
+                                       style=FeedbackStyle.AGGREGATE)
+            start = np.clip(
+                fair * (1 + 1e-3 * rng.standard_normal(n)), 0.0, None)
+            runner = AsynchronousRunner(system, signal_delay=tau)
+            traj = runner.run(start, max_steps=20000, tol=1e-9)
+            converged = traj.outcome is Outcome.CONVERGED
+            gain = eta * n
+            predicted = gain < 2.0 * np.sin(
+                np.pi / (2.0 * (2.0 * tau + 1.0)))
+            total += 1
+            matches += int(converged == predicted)
+            stable_count += int(converged)
+            rows.append((tau, eta, gain, predicted, traj.outcome.value))
+        if prev_stable_count is not None:
+            monotone_ok &= stable_count <= prev_stable_count
+        prev_stable_count = stable_count
+
+    return ExperimentResult(
+        experiment_id="X2",
+        title="Extension: feedback delay shrinks the stable gain "
+              "(a < 2 sin(pi / (2(2 tau + 1))))",
+        columns=("signal_delay", "eta", "loop_gain_etaN",
+                 "theory_stable", "outcome"),
+        rows=rows,
+        checks={
+            "delay_criterion_predicts_most_outcomes":
+                matches >= int(0.85 * total),
+            "stable_region_shrinks_with_delay": monotone_ok,
+        },
+        notes=[f"classical linear-delay criterion matched {matches}/"
+               f"{total} (gain, delay) cells"],
+    )
+
+
+def run_x3_weighted_fairness(weights=(1.0, 2.0, 4.0),
+                             beta: float = 0.5,
+                             eta: float = 0.04) -> ExperimentResult:
+    """X3 — weighted Fair Share delivers weight-proportional shares.
+
+    Three connections with weights 1:2:4 share a unit gateway.  The
+    weighted water-filling allocation is ``rho_ss * mu * phi_i / Phi``;
+    TSI individual feedback over a WeightedFairShare gateway converges
+    to it, and the weighted robustness floor holds under a
+    heterogeneous greed mix.
+    """
+    phi = np.asarray(weights, dtype=float)
+    n = phi.shape[0]
+    network = single_gateway(n, mu=1.0)
+    signal = LinearSaturating()
+    rho_ss = signal.steady_state_utilisation(beta)
+
+    expected = weighted_max_min_allocation(
+        network, {"g0": rho_ss * 1.0}, phi)
+    rows = [("allocation", i, float(phi[i]), float(expected[i]))
+            for i in range(n)]
+
+    proportional = np.allclose(expected / phi, expected[0] / phi[0])
+    conserves = np.isclose(float(expected.sum()), rho_ss)
+
+    # Heterogeneous greed over the weighted gateway: floors hold.
+    betas = (0.65, 0.5, 0.35)
+    rules = [TargetRule(eta=eta, beta=b) for b in betas]
+    system = FlowControlSystem(network, WeightedFairShare(phi), signal,
+                               rules, style=FeedbackStyle.INDIVIDUAL,
+                               weights=phi)
+    traj = system.run(np.full(n, 0.05), max_steps=80000, tol=1e-11)
+    final = (traj.final if traj.outcome is Outcome.CONVERGED
+             else traj.tail(200).mean(axis=0))
+    floors = np.array([
+        weighted_reservation_floor(
+            network, signal.steady_state_utilisation(betas[i]), phi)[i]
+        for i in range(n)])
+    ratios = final / floors
+    for i in range(n):
+        rows.append(("heterogeneous", i, float(final[i]),
+                     float(ratios[i])))
+
+    # Equal weights reduce to the paper's construction.
+    equal = weighted_max_min_allocation(network, {"g0": rho_ss},
+                                        np.ones(n))
+    classic = max_min_allocation(network, {"g0": rho_ss})
+    reduction_ok = np.allclose(equal, classic)
+
+    return ExperimentResult(
+        experiment_id="X3",
+        title="Extension: weighted Fair Share — weight-proportional "
+              "allocation and weighted robustness floors",
+        columns=("part", "connection", "value", "detail"),
+        rows=rows,
+        checks={
+            "allocation_proportional_to_weights": bool(proportional),
+            "allocation_saturates_capacity": bool(conserves),
+            "weighted_floors_hold_under_heterogeneity":
+                bool(np.all(ratios >= 1.0 - 1e-3)),
+            "equal_weights_reduce_to_paper_construction":
+                bool(reduction_ok),
+        },
+    )
+
+
+def run_x4_thinning_ablation(rates=(0.08, 0.22, 0.3),
+                             mu: float = 1.0,
+                             horizon: float = 15000.0,
+                             warmup: float = 1500.0,
+                             seed: int = 41) -> ExperimentResult:
+    """X4 — must Fair Share gateways *know* the sending rates?
+
+    The discipline's substream classes are defined by the connection
+    rates, which a 1990 gateway would not know.  Compare the simulated
+    per-connection queues when the classifier uses (a) oracle rates and
+    (b) rates the gateway estimates from its own arrival counts — the
+    measured variant should track the analytic law almost as well,
+    supporting deployability.
+    """
+    r = np.asarray(rates, dtype=float)
+    expected = FairShare().queue_lengths(r, mu)
+    rows = []
+    worst = {}
+    for mode in ("oracle", "measured"):
+        sim = NetworkSimulation(single_gateway(r.shape[0], mu=mu),
+                                discipline_kind="fair-share", seed=seed,
+                                initial_rates=r, rate_mode=mode)
+        sim.run_for(warmup)
+        if mode == "measured":
+            # Bootstrap the estimator from the warm-up window.
+            sim.refresh_measured_rates()
+        sim.reset_statistics()
+        sim.run_for(horizon)
+        if mode == "measured":
+            sim.refresh_measured_rates()
+        measured = sim.mean_queue_lengths()["g0"]
+        errors = np.abs(measured - expected) / np.maximum(expected, 0.05)
+        worst[mode] = float(np.max(errors))
+        for i in range(r.shape[0]):
+            rows.append((mode, i, float(expected[i]),
+                         float(measured[i]), float(errors[i])))
+
+    return ExperimentResult(
+        experiment_id="X4",
+        title="Extension: Fair Share with measured instead of oracle "
+              "rates",
+        columns=("rate_mode", "connection", "expected_Q", "measured_Q",
+                 "relative_error"),
+        rows=rows,
+        checks={
+            "oracle_matches_analytic_law": worst["oracle"] < 0.15,
+            "measured_rates_nearly_as_good": worst["measured"] < 0.25,
+        },
+        notes=[f"worst relative errors: oracle {worst['oracle']:.3f}, "
+               f"measured {worst['measured']:.3f}"],
+    )
+
+
+def run_x5_implicit_feedback(n_sources: int = 3, mu: float = 1.0,
+                             buffer_size: int = 20,
+                             control_interval: float = 150.0,
+                             n_steps: int = 120,
+                             seed: int = 43) -> ExperimentResult:
+    """X5 — implicit feedback: AIMD over drop-tail gateways.
+
+    Jacobson's scheme uses packet drops as the congestion signal.  We
+    run additive-increase multiplicative-decrease sources against a
+    finite-buffer (drop-tail) gateway in the packet simulator, with the
+    measured drop fraction as the (aggregate, implicit) signal:
+
+    * the loop never reaches a steady state — it oscillates in the
+      AIMD sawtooth (the paper: binary-feedback schemes have no fixed
+      point);
+    * the *time-averaged* rates are nevertheless fair and keep the
+      gateway busy;
+    * with heterogeneous AIMD aggressiveness, the *buffer policy*
+      matters: plain drop-tail punishes everyone for the aggressive
+      source's overflow, while Nagle's drop-from-longest-queue policy
+      [Nag87] concentrates the drops on the hog and pulls its share
+      back toward the fair split — the implicit-feedback analogue of
+      the paper's service-discipline story.
+    """
+    network = single_gateway(n_sources, mu=mu)
+    rule = BinaryAimdRule(increase=0.01, decrease=0.5, threshold=0.02)
+    homogeneous = run_closed_loop(
+        network, rule, LinearSaturating(),
+        style=FeedbackStyle.AGGREGATE, discipline_kind="fifo",
+        initial_rates=np.full(n_sources, 0.05),
+        control_interval=control_interval, n_steps=n_steps, seed=seed,
+        signal_source="drops", buffer_sizes=buffer_size)
+    tail = homogeneous.rate_history[-n_steps // 2:]
+    mean_rates = tail.mean(axis=0)
+    swing = float(tail.sum(axis=1).max() - tail.sum(axis=1).min())
+    fairness = jain_index(mean_rates)
+    utilisation = float(mean_rates.sum()) / mu
+
+    rows = [("homogeneous-fifo", "mean rate", float(r))
+            for r in mean_rates]
+    rows.append(("homogeneous-fifo", "jain index of mean rates",
+                 fairness))
+    rows.append(("homogeneous-fifo", "total-rate swing", swing))
+    rows.append(("homogeneous-fifo", "mean utilisation", utilisation))
+
+    # Heterogeneous aggressiveness: source 0 probes harder and backs
+    # off less (keeps 7/8 of its rate on a drop vs the others' 1/2).
+    rules = ([BinaryAimdRule(increase=0.02, decrease=0.125,
+                             threshold=0.02)]
+             + [BinaryAimdRule(increase=0.01, decrease=0.5,
+                               threshold=0.02)] * (n_sources - 1))
+    shares = {}
+    for policy in ("tail", "longest"):
+        res = run_closed_loop(
+            network, rules, LinearSaturating(),
+            style=FeedbackStyle.INDIVIDUAL, discipline_kind="fifo",
+            initial_rates=np.full(n_sources, 0.05),
+            control_interval=control_interval, n_steps=n_steps,
+            seed=seed + 1, signal_source="drops",
+            buffer_sizes=buffer_size, drop_policy=policy)
+        mean = res.rate_history[-n_steps // 2:].mean(axis=0)
+        shares[policy] = float(mean[0] / mean.sum())
+        rows.append((f"heterogeneous-drop-{policy}",
+                     "aggressive source's share", shares[policy]))
+
+    equal_share = 1.0 / n_sources
+    return ExperimentResult(
+        experiment_id="X5",
+        title="Extension: implicit (drop-based) feedback — AIMD with "
+              "drop-tail vs drop-from-longest-queue",
+        columns=("configuration", "metric", "value"),
+        rows=rows,
+        checks={
+            "aimd_oscillates_not_steady": swing > 0.01,
+            "time_average_is_fair": fairness > 0.95,
+            "gateway_kept_busy": utilisation > 0.55,
+            "aggressive_source_wins_under_drop_tail":
+                shares["tail"] > equal_share + 0.05,
+            "longest_queue_drop_restores_fairness":
+                shares["longest"] < shares["tail"] - 0.05,
+        },
+        notes=[f"aggressive source's share: drop-tail "
+               f"{shares['tail']:.3f} vs drop-longest "
+               f"{shares['longest']:.3f} (equal share "
+               f"{equal_share:.3f})"],
+    )

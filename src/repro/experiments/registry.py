@@ -1,0 +1,105 @@
+"""Registry of every paper artifact and the harness regenerating it."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List
+
+from ..errors import ExperimentError
+from .base import ExperimentResult
+from .exp_f1_tsi import run_f1_tsi
+from .exp_f2_manifold import run_f2_manifold
+from .exp_f3_fair_construction import run_f3_fair_construction
+from .exp_f4_individual_fair import run_f4_individual_fair
+from .exp_f5_aggregate_instability import run_f5_aggregate_instability
+from .exp_f6_bifurcation import run_f6_bifurcation
+from .exp_f7_fs_stability import run_f7_fs_stability
+from .exp_f8_heterogeneity import run_f8_heterogeneity
+from .exp_f9_robustness import run_f9_robustness
+from .exp_f10_delay_advantage import run_f10_delay_advantage
+from .exp_f11_real_algorithms import run_f11_real_algorithms
+from .exp_f12_sim_validation import run_f12_sim_validation
+from .extensions import (run_x1_asynchrony, run_x2_feedback_delay,
+                         run_x3_weighted_fairness,
+                         run_x4_thinning_ablation,
+                         run_x5_implicit_feedback)
+from .table1 import run_table1
+
+__all__ = ["Experiment", "REGISTRY", "EXTENSIONS", "get", "run",
+           "run_all"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered paper artifact."""
+
+    experiment_id: str
+    paper_artifact: str
+    runner: Callable[..., ExperimentResult]
+
+
+_ENTRIES = [
+    Experiment("T1", "Table 1 (Fair Share decomposition)", run_table1),
+    Experiment("F1", "Theorem 1 (time-scale invariance)", run_f1_tsi),
+    Experiment("F2", "Theorem 2(1) (aggregate manifold)", run_f2_manifold),
+    Experiment("F3", "Theorem 2(2) (fair construction)",
+               run_f3_fair_construction),
+    Experiment("F4", "Theorem 3 + Corollary (individual fairness)",
+               run_f4_individual_fair),
+    Experiment("F5", "Section 3.3 (aggregate instability 1-etaN)",
+               run_f5_aggregate_instability),
+    Experiment("F6", "Section 3.3 (bifurcation to chaos)",
+               run_f6_bifurcation),
+    Experiment("F7", "Theorem 4 (Fair Share stability)",
+               run_f7_fs_stability),
+    Experiment("F8", "Section 3.4 (heterogeneity shutdown)",
+               run_f8_heterogeneity),
+    Experiment("F9", "Theorem 5 (robustness floors)", run_f9_robustness),
+    Experiment("F10", "Section 3.4 (delay advantage >= N)",
+               run_f10_delay_advantage),
+    Experiment("F11", "Section 4 (real algorithms)",
+               run_f11_real_algorithms),
+    Experiment("F12", "Model vs packet simulator", run_f12_sim_validation),
+]
+
+REGISTRY: Dict[str, Experiment] = {e.experiment_id: e for e in _ENTRIES}
+
+#: Extensions beyond the paper (asynchrony, delay, weights, thinning
+#: ablation) — addressable through :func:`get`/:func:`run` but not part
+#: of :func:`run_all`'s default artifact sweep.
+EXTENSIONS: Dict[str, Experiment] = {
+    e.experiment_id: e for e in [
+        Experiment("X1", "Extension: asynchronous schedules",
+                   run_x1_asynchrony),
+        Experiment("X2", "Extension: feedback delay", run_x2_feedback_delay),
+        Experiment("X3", "Extension: weighted Fair Share",
+                   run_x3_weighted_fairness),
+        Experiment("X4", "Extension: measured-rate thinning ablation",
+                   run_x4_thinning_ablation),
+        Experiment("X5", "Extension: implicit drop-based feedback",
+                   run_x5_implicit_feedback),
+    ]
+}
+
+
+def get(experiment_id: str) -> Experiment:
+    """Look up an experiment by id (e.g. ``"F5"`` or ``"X1"``)."""
+    key = experiment_id.upper()
+    if key in REGISTRY:
+        return REGISTRY[key]
+    if key in EXTENSIONS:
+        return EXTENSIONS[key]
+    raise ExperimentError(
+        f"unknown experiment {experiment_id!r}; known ids: "
+        f"{sorted(REGISTRY) + sorted(EXTENSIONS)}")
+
+
+def run(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment with optional parameter overrides."""
+    return get(experiment_id).runner(**kwargs)
+
+
+def run_all(ids: Iterable[str] = None) -> List[ExperimentResult]:
+    """Run every (or the given) experiment with default parameters."""
+    selected = list(ids) if ids is not None else sorted(REGISTRY)
+    return [run(eid) for eid in selected]

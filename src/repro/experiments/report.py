@@ -1,0 +1,68 @@
+"""Rendering and persistence of experiment results."""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Iterable, Union
+
+from .base import ExperimentResult
+
+__all__ = ["format_table", "to_csv", "format_summary"]
+
+
+def _cell(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf"
+        if math.isnan(value):
+            return "nan"
+        return f"{value:.6g}"
+    return str(value)
+
+
+def format_table(result: ExperimentResult) -> str:
+    """A fixed-width text table with the checks appended."""
+    header = [str(c) for c in result.columns]
+    body = [[_cell(v) for v in row] for row in result.rows]
+    widths = [len(h) for h in header]
+    for row in body:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    lines = [f"== {result.experiment_id}: {result.title} =="]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if result.checks:
+        lines.append("")
+        for name, ok in result.checks.items():
+            lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+    for note in result.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+def to_csv(result: ExperimentResult, path: Union[str, Path]) -> Path:
+    """Write the rows as CSV; returns the path written."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(result.columns)
+        for row in result.rows:
+            writer.writerow([_cell(v) for v in row])
+    return path
+
+
+def format_summary(results: Iterable[ExperimentResult]) -> str:
+    """One status line per experiment (for the benchmark harness)."""
+    lines = []
+    for result in results:
+        status = "OK " if result.all_checks_pass else "FAIL"
+        lines.append(f"[{status}] {result.experiment_id}: {result.title} "
+                     f"({len(result.rows)} rows, "
+                     f"{len(result.checks)} checks)")
+    return "\n".join(lines)

@@ -1,0 +1,172 @@
+"""Measurement infrastructure: time-weighted queues, delays, throughput.
+
+:class:`GatewayMonitor` integrates per-connection *number in system*
+(waiting + in service) over time, yielding the simulated counterpart of
+the analytic ``Q^a_i(r)``.  :class:`EndToEndMonitor` tallies delivered
+packets and source-to-sink delays.  Both support a statistics reset so a
+warm-up transient can be discarded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["GatewayMonitor", "EndToEndMonitor"]
+
+
+class GatewayMonitor:
+    """Per-gateway, per-connection time-average queue statistics."""
+
+    def __init__(self, local_conns: Sequence[int]):
+        self._conns = list(local_conns)
+        self._pos = {conn: k for k, conn in enumerate(self._conns)}
+        n = len(self._conns)
+        self._in_system = np.zeros(n, dtype=int)
+        self._integral = np.zeros(n, dtype=float)
+        self._arrivals = np.zeros(n, dtype=int)
+        self._departures = np.zeros(n, dtype=int)
+        self._drops = np.zeros(n, dtype=int)
+        self._last_time = 0.0
+        self._start_time = 0.0
+
+    def _accumulate(self, now: float) -> None:
+        dt = now - self._last_time
+        if dt < 0:
+            raise SimulationError(
+                f"monitor time went backwards: {now} < {self._last_time}")
+        if dt > 0:
+            self._integral += self._in_system * dt
+            self._last_time = now
+
+    def on_arrival(self, conn: int, now: float) -> None:
+        self._accumulate(now)
+        self._in_system[self._pos[conn]] += 1
+        self._arrivals[self._pos[conn]] += 1
+
+    def on_departure(self, conn: int, now: float) -> None:
+        self._accumulate(now)
+        pos = self._pos[conn]
+        if self._in_system[pos] <= 0:
+            raise SimulationError(
+                f"departure of connection {conn} with empty gateway count")
+        self._in_system[pos] -= 1
+        self._departures[pos] += 1
+
+    def on_drop(self, conn: int, now: float) -> None:
+        """A packet was refused admission (finite buffer overflow)."""
+        self._accumulate(now)
+        self._drops[self._pos[conn]] += 1
+
+    def on_evict(self, conn: int, now: float) -> None:
+        """An already-admitted packet was evicted (longest-queue drop).
+
+        The packet leaves the system and its earlier arrival is
+        reclassified as a drop, so ``offered = arrivals + drops`` stays
+        consistent with what the sources actually sent.
+        """
+        self._accumulate(now)
+        pos = self._pos[conn]
+        if self._in_system[pos] <= 0:
+            raise SimulationError(
+                f"eviction of connection {conn} with empty gateway count")
+        self._in_system[pos] -= 1
+        if self._arrivals[pos] > 0:
+            self._arrivals[pos] -= 1
+        self._drops[pos] += 1
+
+    def reset_statistics(self, now: float) -> None:
+        """Discard everything accumulated so far; occupancy is kept."""
+        self._accumulate(now)
+        self._integral[:] = 0.0
+        self._arrivals[:] = 0
+        self._departures[:] = 0
+        self._drops[:] = 0
+        self._start_time = now
+        self._last_time = now
+
+    def mean_queue_lengths(self, now: float) -> np.ndarray:
+        """Time-average number in system per local connection."""
+        self._accumulate(now)
+        horizon = now - self._start_time
+        if horizon <= 0:
+            return np.zeros(len(self._conns), dtype=float)
+        return self._integral / horizon
+
+    def arrival_rates(self, now: float) -> np.ndarray:
+        """Measured arrival rate per local connection since the reset.
+
+        Drops count as arrivals (they did arrive); the offered load is
+        what a rate estimator at the gateway input would see.
+        """
+        horizon = now - self._start_time
+        if horizon <= 0:
+            return np.zeros(len(self._conns), dtype=float)
+        return (self._arrivals + self._drops) / horizon
+
+    def drop_fractions(self) -> np.ndarray:
+        """Per-connection fraction of offered packets dropped since the
+        reset (0 where nothing was offered)."""
+        offered = self._arrivals + self._drops
+        with np.errstate(invalid="ignore"):
+            return np.where(offered > 0,
+                            self._drops / np.maximum(offered, 1), 0.0)
+
+    @property
+    def drops(self) -> np.ndarray:
+        return self._drops.copy()
+
+    def aggregate_drop_fraction(self) -> float:
+        """Gateway-wide dropped / offered since the reset (0 if idle)."""
+        offered = int(self._arrivals.sum() + self._drops.sum())
+        if offered == 0:
+            return 0.0
+        return float(self._drops.sum()) / offered
+
+    @property
+    def local_conns(self) -> List[int]:
+        return list(self._conns)
+
+    def occupancy(self) -> np.ndarray:
+        """Current number-in-system per local connection (copy)."""
+        return self._in_system.copy()
+
+
+class EndToEndMonitor:
+    """Delivered-packet counts and source-to-sink delays per connection."""
+
+    def __init__(self, n_connections: int):
+        self._delivered = np.zeros(n_connections, dtype=int)
+        self._delay_sum = np.zeros(n_connections, dtype=float)
+        self._start_time = 0.0
+
+    def on_delivery(self, conn: int, created: float, now: float) -> None:
+        self._delivered[conn] += 1
+        self._delay_sum[conn] += now - created
+
+    def reset_statistics(self, now: float) -> None:
+        self._delivered[:] = 0
+        self._delay_sum[:] = 0.0
+        self._start_time = now
+
+    def throughput(self, now: float) -> np.ndarray:
+        """Delivered packets per unit time since the reset."""
+        horizon = now - self._start_time
+        if horizon <= 0:
+            return np.zeros_like(self._delay_sum)
+        return self._delivered / horizon
+
+    def mean_delays(self, now: float = 0.0) -> np.ndarray:
+        """Mean end-to-end delay; ``nan`` for connections with no
+        deliveries (the caller decides how to treat silence)."""
+        with np.errstate(invalid="ignore"):
+            return np.where(self._delivered > 0,
+                            self._delay_sum / np.maximum(self._delivered, 1),
+                            np.nan)
+
+    @property
+    def delivered(self) -> np.ndarray:
+        return self._delivered.copy()

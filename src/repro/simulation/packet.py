@@ -1,0 +1,40 @@
+"""Packets and per-connection bookkeeping for the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Packet"]
+
+
+@dataclass
+class Packet:
+    """One packet travelling through the simulated network.
+
+    Attributes:
+        conn: index of the owning connection.
+        seq: per-connection sequence number.
+        created: simulation time the source emitted the packet.
+        hop: index into the connection's path of the gateway currently
+            holding (or about to receive) the packet.
+        service_time: total service requirement at the current gateway,
+            sampled on arrival there (exponential with the gateway's
+            rate).
+        remaining: service still owed at the current gateway; equals
+            ``service_time`` until the packet is preempted, after which
+            it tracks the unserved remainder (preemptive *resume*).
+        priority_class: class assigned by a priority-style discipline at
+            the current gateway (0 is the highest priority).
+    """
+
+    conn: int
+    seq: int
+    created: float
+    hop: int = 0
+    service_time: float = 0.0
+    remaining: float = 0.0
+    priority_class: int = 0
+
+    def __repr__(self):
+        return (f"Packet(conn={self.conn}, seq={self.seq}, "
+                f"created={self.created:.4f}, hop={self.hop})")

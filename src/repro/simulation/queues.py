@@ -1,0 +1,323 @@
+"""Queueing disciplines for the simulated gateways.
+
+Four disciplines mirror the analytic layer:
+
+* :class:`FifoQueue` — arrival order, non-preemptive.
+* :class:`FixedPriorityQueue` — preemptive-resume head-of-line priority
+  with a static connection-to-class map (the analytic
+  :class:`~repro.core.service.PreemptivePriority`).
+* :class:`FairShareQueue` — the paper's Fair Share: each arriving packet
+  is assigned a priority class by *thinning* its connection's stream
+  into the rate-ordered substreams of Table 1; the server then runs
+  preemptive-resume priority over the classes.  Class boundaries come
+  from a rate provider (oracle sending rates, or a measurement-based
+  estimator), so the discipline works inside the closed feedback loop.
+* :class:`FairQueueingQueue` — Demers–Keshav–Shenker Fair Queueing via
+  virtual finish times (non-preemptive weighted fair queueing with equal
+  weights), the "realistic version of Fair Share" the paper points to.
+
+A discipline holds packets; the server (see
+:mod:`repro.simulation.server`) owns the in-service packet and the
+preemption mechanics.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from .packet import Packet
+
+__all__ = [
+    "SimDiscipline",
+    "FifoQueue",
+    "FixedPriorityQueue",
+    "FairShareQueue",
+    "FairQueueingQueue",
+    "make_discipline",
+]
+
+#: Signature of the rate oracle handed to rate-aware disciplines: given
+#: nothing, return the current sending-rate estimates of the *local*
+#: connections (indexed like the gateway's ``Gamma(a)`` order).
+RateProvider = Callable[[], np.ndarray]
+
+
+class SimDiscipline(abc.ABC):
+    """A gateway queue: holds waiting packets, picks the next to serve."""
+
+    #: Whether an arrival may preempt the packet in service.
+    preemptive = False
+
+    # Filled in by :meth:`bind`; present here so unbound use fails with
+    # a library error instead of an AttributeError.
+    _rate_provider: Optional[RateProvider] = None
+    _rng: Optional[np.random.Generator] = None
+
+    def bind(self, local_conns: Sequence[int],
+             rate_provider: Optional[RateProvider],
+             rng: Optional[np.random.Generator]) -> None:
+        """Attach gateway context before the simulation starts.
+
+        ``local_conns`` are the global connection indices at this
+        gateway; rate-aware disciplines also receive a rate provider and
+        a private random stream.
+        """
+        self._local_index: Dict[int, int] = {
+            conn: k for k, conn in enumerate(local_conns)}
+        self._rate_provider = rate_provider
+        self._rng = rng
+
+    @abc.abstractmethod
+    def push(self, pkt: Packet, now: float) -> None:
+        """Admit an arriving packet."""
+
+    @abc.abstractmethod
+    def pop(self, now: float) -> Optional[Packet]:
+        """Remove and return the next packet to serve, or ``None``."""
+
+    @abc.abstractmethod
+    def requeue_front(self, pkt: Packet) -> None:
+        """Return a preempted packet to the head of its queue."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of waiting packets (excluding the one in service)."""
+
+    def would_preempt(self, serving: Packet, arriving: Packet) -> bool:
+        """Should ``arriving`` interrupt ``serving``?  Default: never."""
+        return False
+
+    def remove_recent(self, conn: int) -> Optional[Packet]:
+        """Remove and return the most recently queued packet of
+        ``conn``, or ``None`` if it has no waiting packets.
+
+        Needed by the drop-from-longest-queue buffer policy (Nagle
+        [Nag87]): on overflow the gateway evicts from the hog instead
+        of refusing the newcomer.  Disciplines that cannot support
+        eviction raise.
+        """
+        raise SimulationError(
+            f"{type(self).__name__} does not support eviction")
+
+
+class FifoQueue(SimDiscipline):
+    """Serve in arrival order; no preemption."""
+
+    name = "fifo"
+
+    def __init__(self):
+        self._queue: Deque[Packet] = deque()
+
+    def push(self, pkt, now):
+        self._queue.append(pkt)
+
+    def pop(self, now):
+        return self._queue.popleft() if self._queue else None
+
+    def requeue_front(self, pkt):
+        self._queue.appendleft(pkt)
+
+    def remove_recent(self, conn):
+        for idx in range(len(self._queue) - 1, -1, -1):
+            if self._queue[idx].conn == conn:
+                pkt = self._queue[idx]
+                del self._queue[idx]
+                return pkt
+        return None
+
+    def __len__(self):
+        return len(self._queue)
+
+
+class _ClassQueue(SimDiscipline):
+    """Shared mechanics of class-based preemptive-resume priority."""
+
+    preemptive = True
+
+    def __init__(self):
+        self._classes: List[Deque[Packet]] = []
+
+    def _ensure_class(self, klass: int) -> None:
+        while len(self._classes) <= klass:
+            self._classes.append(deque())
+
+    def _classify(self, pkt: Packet, now: float) -> int:
+        raise NotImplementedError
+
+    def push(self, pkt, now):
+        pkt.priority_class = self._classify(pkt, now)
+        self._ensure_class(pkt.priority_class)
+        self._classes[pkt.priority_class].append(pkt)
+
+    def pop(self, now):
+        for queue in self._classes:
+            if queue:
+                return queue.popleft()
+        return None
+
+    def requeue_front(self, pkt):
+        self._ensure_class(pkt.priority_class)
+        self._classes[pkt.priority_class].appendleft(pkt)
+
+    def would_preempt(self, serving, arriving):
+        return arriving.priority_class < serving.priority_class
+
+    def remove_recent(self, conn):
+        # Evict from the *lowest-priority* end first: the hog's excess
+        # lives in its deepest substream classes.
+        for queue in reversed(self._classes):
+            for idx in range(len(queue) - 1, -1, -1):
+                if queue[idx].conn == conn:
+                    pkt = queue[idx]
+                    del queue[idx]
+                    return pkt
+        return None
+
+    def __len__(self):
+        return sum(len(q) for q in self._classes)
+
+
+class FixedPriorityQueue(_ClassQueue):
+    """Static priority by connection: class = position in a fixed order."""
+
+    name = "fixed-priority"
+
+    def __init__(self, class_of_conn: Dict[int, int]):
+        super().__init__()
+        self._class_of_conn = dict(class_of_conn)
+
+    def _classify(self, pkt, now):
+        try:
+            return self._class_of_conn[pkt.conn]
+        except KeyError:
+            raise SimulationError(
+                f"no priority class for connection {pkt.conn}") from None
+
+
+class FairShareQueue(_ClassQueue):
+    """Fair Share: thin each connection into rate-ordered substreams.
+
+    With local rates sorted increasingly ``r_(1) <= ... <= r_(N)``, a
+    packet from the connection of sorted rank ``j`` belongs to class
+    ``k <= j`` with probability ``(r_(k) - r_(k-1)) / r_j`` — the
+    substream widths of Table 1.  Thinning a Poisson stream yields
+    independent Poisson substreams, so the simulated system is exactly
+    the preemptive-priority construction behind the analytic
+    :class:`~repro.core.fairshare.FairShare` queue law.
+    """
+
+    name = "fair-share"
+
+    def _classify(self, pkt, now):
+        if self._rate_provider is None or self._rng is None:
+            raise SimulationError(
+                "FairShareQueue used without binding a rate provider")
+        rates = np.asarray(self._rate_provider(), dtype=float)
+        local = self._local_index[pkt.conn]
+        own = float(rates[local])
+        if own <= 0.0:
+            # A packet from a (currently believed) silent connection:
+            # treat as highest priority; it cannot be thinned.
+            return 0
+        sorted_rates = np.sort(rates)
+        prev = np.concatenate(([0.0], sorted_rates[:-1]))
+        widths = np.clip(np.minimum(own, sorted_rates) - prev, 0.0, None)
+        total = float(widths.sum())
+        if total <= 0.0:
+            return 0
+        u = self._rng.random() * total
+        acc = 0.0
+        for klass, width in enumerate(widths):
+            acc += float(width)
+            if u <= acc:
+                return klass
+        return int(np.max(np.nonzero(widths)[0]))
+
+
+class FairQueueingQueue(SimDiscipline):
+    """Fair Queueing (DKS '89) via virtual finish times, equal weights.
+
+    The virtual clock advances at rate ``1 / |backlogged flows|``; an
+    arriving packet is stamped
+    ``finish = max(V, last_finish[flow]) + service_time`` and the
+    smallest stamp is served next, non-preemptively.  When the gateway
+    drains completely the virtual clock and stamps reset (a new busy
+    period).
+    """
+
+    name = "fair-queueing"
+
+    def __init__(self):
+        self._heap: List = []
+        self._counter = 0
+        self._virtual = 0.0
+        self._last_update = 0.0
+        self._last_finish: Dict[int, float] = {}
+        self._backlog: Dict[int, int] = {}
+        self._size = 0
+
+    def _advance(self, now: float) -> None:
+        active = sum(1 for v in self._backlog.values() if v > 0)
+        if active > 0:
+            self._virtual += (now - self._last_update) / active
+        self._last_update = now
+
+    def push(self, pkt, now):
+        import heapq
+
+        self._advance(now)
+        start = max(self._virtual, self._last_finish.get(pkt.conn, 0.0))
+        finish = start + pkt.service_time
+        self._last_finish[pkt.conn] = finish
+        self._counter += 1
+        heapq.heappush(self._heap, (finish, self._counter, pkt))
+        self._backlog[pkt.conn] = self._backlog.get(pkt.conn, 0) + 1
+        self._size += 1
+
+    def pop(self, now):
+        import heapq
+
+        self._advance(now)
+        if not self._heap:
+            return None
+        _, _, pkt = heapq.heappop(self._heap)
+        self._size -= 1
+        return pkt
+
+    def release(self, pkt: Packet, now: float) -> None:
+        """Notify that ``pkt`` finished service (backlog bookkeeping)."""
+        self._advance(now)
+        count = self._backlog.get(pkt.conn, 0) - 1
+        self._backlog[pkt.conn] = max(count, 0)
+        if self._size == 0 and all(v == 0 for v in self._backlog.values()):
+            self._virtual = 0.0
+            self._last_finish.clear()
+
+    def requeue_front(self, pkt):
+        raise SimulationError("Fair Queueing is non-preemptive")
+
+    def __len__(self):
+        return self._size
+
+
+def make_discipline(kind: str, **kwargs) -> SimDiscipline:
+    """Factory by name: ``fifo``, ``fair-share``, ``fair-queueing``,
+    ``fixed-priority`` (needs ``class_of_conn=...``)."""
+    kinds = {
+        "fifo": FifoQueue,
+        "fair-share": FairShareQueue,
+        "fair-queueing": FairQueueingQueue,
+        "fixed-priority": FixedPriorityQueue,
+    }
+    try:
+        cls = kinds[kind]
+    except KeyError:
+        raise SimulationError(
+            f"unknown discipline {kind!r}; choose from {sorted(kinds)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,98 @@
+"""Output analysis for simulation estimates: batch means and CIs.
+
+Time averages from a single long run are autocorrelated, so the naive
+sample variance wildly understates the estimator error (the F12-style
+comparisons need honest tolerances).  The standard remedy is the
+*batch means* method: split the horizon into ``k`` contiguous batches,
+treat the batch averages as approximately independent, and build a
+Student-t confidence interval from their spread.
+
+:func:`batch_means` works on any per-batch statistic;
+:func:`measure_queue_ci` wires it to the network simulator's
+per-connection mean-queue measurement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as sps
+
+from ..core.topology import Network
+from ..errors import SimulationError
+from .network_sim import NetworkSimulation
+
+__all__ = ["BatchMeansEstimate", "batch_means", "measure_queue_ci"]
+
+
+@dataclass
+class BatchMeansEstimate:
+    """A point estimate with a batch-means confidence interval."""
+
+    mean: np.ndarray           #: estimate (per component)
+    half_width: np.ndarray     #: CI half-width (per component)
+    confidence: float          #: e.g. 0.95
+    n_batches: int
+
+    @property
+    def lower(self) -> np.ndarray:
+        return self.mean - self.half_width
+
+    @property
+    def upper(self) -> np.ndarray:
+        return self.mean + self.half_width
+
+    def contains(self, value: Sequence[float]) -> np.ndarray:
+        """Elementwise: does the CI cover ``value``?"""
+        v = np.asarray(value, dtype=float)
+        return (self.lower <= v) & (v <= self.upper)
+
+
+def batch_means(batches: Sequence[Sequence[float]],
+                confidence: float = 0.95) -> BatchMeansEstimate:
+    """Student-t CI from per-batch averages (rows = batches)."""
+    arr = np.asarray(batches, dtype=float)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    k = arr.shape[0]
+    if k < 2:
+        raise SimulationError(
+            f"batch means needs at least 2 batches, got {k}")
+    if not 0.0 < confidence < 1.0:
+        raise SimulationError(
+            f"confidence must lie in (0, 1), got {confidence!r}")
+    mean = arr.mean(axis=0)
+    std_err = arr.std(axis=0, ddof=1) / math.sqrt(k)
+    t_crit = float(sps.t.ppf(0.5 + confidence / 2.0, df=k - 1))
+    return BatchMeansEstimate(mean=mean, half_width=t_crit * std_err,
+                              confidence=confidence, n_batches=k)
+
+
+def measure_queue_ci(network: Network, rates: Sequence[float],
+                     discipline_kind: str = "fifo",
+                     gateway: str = None,
+                     n_batches: int = 10,
+                     batch_length: float = 3000.0,
+                     warmup: float = 2000.0, seed: int = 0,
+                     confidence: float = 0.95) -> BatchMeansEstimate:
+    """Per-connection mean queues at one gateway, with a CI.
+
+    Runs one simulation, discards ``warmup``, then records the
+    time-average queue vector over ``n_batches`` batches of
+    ``batch_length`` each.
+    """
+    if gateway is None:
+        gateway = network.gateway_names[0]
+    sim = NetworkSimulation(network, discipline_kind=discipline_kind,
+                            seed=seed,
+                            initial_rates=np.asarray(rates, dtype=float))
+    sim.run_for(warmup)
+    batches = []
+    for _ in range(n_batches):
+        sim.reset_statistics()
+        sim.run_for(batch_length)
+        batches.append(sim.mean_queue_lengths()[gateway].copy())
+    return batch_means(batches, confidence=confidence)

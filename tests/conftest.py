@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core import (FairShare, Fifo, LinearSaturating,
+                        PreemptivePriority, single_gateway)
+
+
+@pytest.fixture
+def fifo():
+    return Fifo()
+
+
+@pytest.fixture
+def fair_share():
+    return FairShare()
+
+
+@pytest.fixture(params=["fifo", "fair-share", "priority"])
+def any_discipline(request):
+    """Every analytic service discipline, parametrised."""
+    if request.param == "fifo":
+        return Fifo()
+    if request.param == "fair-share":
+        return FairShare()
+    return PreemptivePriority([0, 1, 2, 3])
+
+
+@pytest.fixture
+def rates4():
+    """A generic stable 4-connection rate vector at mu = 1."""
+    return np.array([0.1, 0.25, 0.3, 0.2])
+
+
+@pytest.fixture
+def linear_signal():
+    return LinearSaturating()
+
+
+@pytest.fixture
+def gateway3():
+    return single_gateway(3, mu=1.0)

@@ -1,0 +1,44 @@
+"""The public API surface: everything advertised must import and work."""
+
+import numpy as np
+import pytest
+
+import repro
+import repro.analysis
+import repro.baselines
+import repro.experiments
+import repro.simulation
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackage_alls_resolve(self):
+        for pkg in (repro.analysis, repro.baselines, repro.simulation,
+                    repro.experiments):
+            for name in pkg.__all__:
+                assert hasattr(pkg, name), (pkg.__name__, name)
+
+
+class TestQuickstartSnippet:
+    def test_docstring_example_runs(self):
+        # The example from repro/__init__ must work as written.
+        from repro import (FairShare, FeedbackStyle, FlowControlSystem,
+                           LinearSaturating, TargetRule, single_gateway)
+
+        net = single_gateway(4, mu=1.0)
+        system = FlowControlSystem(net, FairShare(), LinearSaturating(),
+                                   TargetRule(eta=0.1, beta=0.5),
+                                   style=FeedbackStyle.INDIVIDUAL)
+        traj = system.run(np.array([0.1, 0.2, 0.3, 0.4]))
+        assert traj.outcome is repro.Outcome.CONVERGED
+        assert np.allclose(traj.final, 0.125, atol=1e-6)
+
+    def test_errors_exported(self):
+        assert issubclass(repro.TopologyError, repro.ReproError)
+        assert issubclass(repro.SimulationError, repro.ReproError)

@@ -1,0 +1,153 @@
+"""Integration tests: the gateway server and whole-network simulation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.math_utils import g
+from repro.core.topology import (Connection, Gateway, Network,
+                                 single_gateway, two_gateway_shared)
+from repro.errors import SimulationError
+from repro.simulation.network_sim import NetworkSimulation
+
+
+class TestSingleGatewayMM1:
+    def test_mm1_mean_queue(self):
+        # One connection at rho = 0.5: E[N] = 1.
+        sim = NetworkSimulation(single_gateway(1, mu=1.0), "fifo", seed=11,
+                                initial_rates=[0.5])
+        sim.run_for(2000.0)
+        sim.reset_statistics()
+        sim.run_for(30000.0)
+        measured = sim.mean_queue_lengths()["g0"][0]
+        assert measured == pytest.approx(1.0, rel=0.08)
+
+    def test_throughput_matches_rate(self):
+        sim = NetworkSimulation(single_gateway(2, mu=1.0), "fifo", seed=3,
+                                initial_rates=[0.2, 0.3])
+        sim.run_for(500.0)
+        sim.reset_statistics()
+        sim.run_for(20000.0)
+        thr = sim.throughput()
+        assert thr[0] == pytest.approx(0.2, rel=0.07)
+        assert thr[1] == pytest.approx(0.3, rel=0.07)
+
+    def test_mean_delay_matches_mm1(self):
+        # Sojourn = 1/(mu - lambda) = 2 at rho = 0.5.
+        sim = NetworkSimulation(single_gateway(1, mu=1.0), "fifo", seed=5,
+                                initial_rates=[0.5])
+        sim.run_for(1000.0)
+        sim.reset_statistics()
+        sim.run_for(30000.0)
+        assert sim.mean_delays()[0] == pytest.approx(2.0, rel=0.08)
+
+    def test_zero_rate_connection_is_silent(self):
+        sim = NetworkSimulation(single_gateway(2, mu=1.0), "fifo", seed=1,
+                                initial_rates=[0.0, 0.3])
+        sim.run_for(2000.0)
+        assert sim.throughput()[0] == 0.0
+        assert sim.mean_queue_lengths()["g0"][0] == 0.0
+
+
+class TestRouting:
+    def test_latency_adds_to_delay(self):
+        net = Network([Gateway("g", 1.0, 3.0)],
+                      [Connection("c", ("g",))])
+        sim = NetworkSimulation(net, "fifo", seed=2, initial_rates=[0.5])
+        sim.run_for(1000.0)
+        sim.reset_statistics()
+        sim.run_for(20000.0)
+        # e2e delay = sojourn + latency = 2 + 3.
+        assert sim.mean_delays()[0] == pytest.approx(5.0, rel=0.08)
+
+    def test_two_hop_conservation(self):
+        net = two_gateway_shared(mu_a=1.0, mu_b=1.0)
+        sim = NetworkSimulation(net, "fifo", seed=4,
+                                initial_rates=[0.2, 0.2, 0.2])
+        sim.run_for(500.0)
+        sim.reset_statistics()
+        sim.run_for(20000.0)
+        thr = sim.throughput()
+        assert np.allclose(thr, 0.2, rtol=0.1)
+        # The long connection's arrivals appear at both gateways.
+        arr = sim.measured_arrival_rates()
+        assert arr["ga"][0] == pytest.approx(0.2, rel=0.1)
+        assert arr["gb"][0] == pytest.approx(0.2, rel=0.1)
+
+    def test_tandem_queues_independent_poisson(self):
+        # Burke's theorem: the second queue also behaves as M/M/1.
+        net = Network(
+            [Gateway("a", 1.0), Gateway("b", 1.0)],
+            [Connection("c", ("a", "b"))])
+        sim = NetworkSimulation(net, "fifo", seed=6, initial_rates=[0.5])
+        sim.run_for(2000.0)
+        sim.reset_statistics()
+        sim.run_for(40000.0)
+        queues = sim.mean_queue_lengths()
+        assert queues["a"][0] == pytest.approx(1.0, rel=0.1)
+        assert queues["b"][0] == pytest.approx(1.0, rel=0.1)
+
+
+class TestRateChanges:
+    def test_set_rates_changes_throughput(self):
+        sim = NetworkSimulation(single_gateway(1, mu=1.0), "fifo", seed=9,
+                                initial_rates=[0.1])
+        sim.run_for(2000.0)
+        sim.set_rates([0.6])
+        sim.reset_statistics()
+        sim.run_for(20000.0)
+        assert sim.throughput()[0] == pytest.approx(0.6, rel=0.08)
+
+    def test_silencing_a_source(self):
+        sim = NetworkSimulation(single_gateway(1, mu=1.0), "fifo", seed=9,
+                                initial_rates=[0.5])
+        sim.run_for(100.0)
+        sim.set_rates([0.0])
+        sim.run_for(200.0)
+        sim.reset_statistics()
+        sim.run_for(1000.0)
+        assert sim.throughput()[0] == 0.0
+
+    def test_rate_validation(self):
+        sim = NetworkSimulation(single_gateway(2, mu=1.0), "fifo", seed=1,
+                                initial_rates=[0.1, 0.1])
+        with pytest.raises(SimulationError):
+            sim.set_rates([0.1])
+        with pytest.raises(SimulationError):
+            sim.set_rates([-0.1, 0.1])
+
+    def test_bad_construction(self):
+        with pytest.raises(SimulationError):
+            NetworkSimulation(single_gateway(2), "fifo",
+                              initial_rates=[0.1])
+        with pytest.raises(SimulationError):
+            NetworkSimulation(single_gateway(2), "fifo",
+                              initial_rates=[0.1, 0.1],
+                              rate_mode="psychic")
+
+
+class TestFairSharePreemption:
+    def test_small_connection_isolated_from_hog(self):
+        # Under FS, a hog at 0.9 cannot hurt the small connection's
+        # queue: Q_small stays near g(2*0.05)/2.
+        rates = [0.05, 0.9]
+        sim = NetworkSimulation(single_gateway(2, mu=1.0), "fair-share",
+                                seed=21, initial_rates=rates)
+        sim.run_for(2000.0)
+        sim.reset_statistics()
+        sim.run_for(30000.0)
+        q_small = sim.mean_queue_lengths()["g0"][0]
+        expected = g(0.1) / 2
+        assert q_small == pytest.approx(expected, rel=0.25)
+
+    def test_fifo_small_connection_suffers(self):
+        rates = [0.05, 0.9]
+        sim = NetworkSimulation(single_gateway(2, mu=1.0), "fifo",
+                                seed=21, initial_rates=rates)
+        sim.run_for(2000.0)
+        sim.reset_statistics()
+        sim.run_for(30000.0)
+        q_small_fifo = sim.mean_queue_lengths()["g0"][0]
+        # FIFO: Q = rho_i/(1-rho_tot) = 0.05/0.05 = 1.0 >> FS's ~0.056.
+        assert q_small_fifo > 0.5

@@ -1,0 +1,175 @@
+"""End-to-end checks of the paper's five theorems on the analytic model.
+
+These are the reproduction's core assertions: each test states a
+theorem and verifies it computationally on configurations *not* tied to
+the experiment harnesses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (FairShare, FeedbackStyle, Fifo, FlowControlSystem,
+                        LinearSaturating, Outcome, ProportionalTargetRule,
+                        TargetRule, fair_steady_state, is_fair,
+                        jacobian, predicted_steady_state,
+                        reservation_floor, satisfies_theorem5_condition,
+                        single_gateway, triangularity_defect,
+                        two_gateway_shared, tsi_target,
+                        worst_floor_ratio)
+from repro.core.topology import random_network
+
+
+class TestTheorem1:
+    """TSI iff f vanishes at exactly one b_ss, independent of r and d."""
+
+    def test_steady_state_scales(self):
+        net = two_gateway_shared(mu_a=1.0, mu_b=2.0)
+        rule = ProportionalTargetRule(eta=0.5, beta=0.5)
+        sys1 = FlowControlSystem(net, FairShare(), LinearSaturating(),
+                                 rule)
+        r1 = sys1.solve(np.full(3, 0.05), max_steps=40000)
+        sys5 = FlowControlSystem(net.scaled(5.0), FairShare(),
+                                 LinearSaturating(), rule)
+        r5 = sys5.solve(np.full(3, 0.25), max_steps=40000)
+        assert np.allclose(r5, 5.0 * r1, rtol=1e-6)
+
+    def test_latency_independence(self):
+        net = two_gateway_shared()
+        rule = ProportionalTargetRule(eta=0.5, beta=0.5)
+        base = FlowControlSystem(net, FairShare(), LinearSaturating(),
+                                 rule).solve(np.full(3, 0.05),
+                                             max_steps=40000)
+        lat = net.with_latencies({"ga": 9.0, "gb": 2.5})
+        shifted = FlowControlSystem(lat, FairShare(), LinearSaturating(),
+                                    rule).solve(np.full(3, 0.05),
+                                                max_steps=40000)
+        assert np.allclose(base, shifted, atol=1e-9)
+
+    def test_tsi_target_extraction(self):
+        assert tsi_target(TargetRule(beta=0.42)) == pytest.approx(0.42)
+
+
+class TestTheorem2:
+    """Aggregate: never guaranteed fair, always potentially fair."""
+
+    def test_unfair_steady_state_exists(self):
+        net = single_gateway(3, mu=1.0)
+        system = FlowControlSystem(net, Fifo(), LinearSaturating(),
+                                   TargetRule(eta=0.05, beta=0.5),
+                                   style=FeedbackStyle.AGGREGATE)
+        skewed = system.solve(np.array([0.4, 0.05, 0.0]),
+                              max_steps=40000)
+        assert not is_fair(system.scheme, skewed)
+        assert system.is_steady_state(skewed, tol=1e-8)
+
+    def test_exactly_one_fair_point(self):
+        net = single_gateway(4, mu=1.0)
+        fair = fair_steady_state(net, 0.5)
+        assert np.allclose(fair, 0.125)
+        # Any other manifold point is unfair: perturb along the manifold.
+        system = FlowControlSystem(net, Fifo(), LinearSaturating(),
+                                   TargetRule(eta=0.05, beta=0.5),
+                                   style=FeedbackStyle.AGGREGATE)
+        other = fair + np.array([0.01, -0.01, 0.0, 0.0])
+        assert not is_fair(system.scheme, other)
+
+
+class TestTheorem3:
+    """Individual feedback: guaranteed fair, unique steady state,
+    discipline-independent."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_networks_converge_to_fair_point(self, seed):
+        net = random_network(3, 5, seed=seed, mu_range=(0.8, 2.0))
+        rule = TargetRule(eta=0.05, beta=0.5)
+        predicted = fair_steady_state(net, 0.5)
+        for discipline in (Fifo(), FairShare()):
+            system = FlowControlSystem(net, discipline,
+                                       LinearSaturating(), rule,
+                                       style=FeedbackStyle.INDIVIDUAL)
+            final = system.solve(np.full(5, 0.02), max_steps=150000)
+            assert np.allclose(final, predicted, atol=1e-5)
+            assert is_fair(system.scheme, final, tol=1e-5)
+
+
+class TestTheorem4:
+    """Fair Share: triangular DF; unilateral implies systemic."""
+
+    def test_triangularity_at_generic_points(self):
+        net = single_gateway(4, mu=1.0)
+        system = FlowControlSystem(net, FairShare(), LinearSaturating(),
+                                   TargetRule(eta=0.2, beta=0.5),
+                                   style=FeedbackStyle.INDIVIDUAL)
+        rng = np.random.default_rng(8)
+        for _ in range(5):
+            r = np.sort(rng.uniform(0.02, 0.2, 4))
+            # well-separated rates to stay off the MIN kinks
+            r += np.arange(4) * 0.05
+            df = jacobian(system, r, rel_step=1e-8)
+            assert triangularity_defect(df, r) < 1e-4
+
+    def test_guaranteed_unilateral_rule_always_converges(self):
+        rule = ProportionalTargetRule(eta=1.0, beta=0.5)
+        for n in (2, 10, 25):
+            net = single_gateway(n, mu=1.0)
+            system = FlowControlSystem(net, FairShare(),
+                                       LinearSaturating(), rule,
+                                       style=FeedbackStyle.INDIVIDUAL)
+            rng = np.random.default_rng(n)
+            start = rng.uniform(0.01, 0.5 / n, n)
+            traj = system.run(start, max_steps=40000)
+            assert traj.outcome is Outcome.CONVERGED
+
+
+class TestTheorem5:
+    """Robust iff Q_i <= r_i / (mu - N r_i); FS yes, FIFO no."""
+
+    def test_condition_split(self):
+        rng = np.random.default_rng(5)
+        fifo_ok, fs_ok = True, True
+        for _ in range(100):
+            r = rng.uniform(0.0, 0.3, 5)
+            fs_ok &= satisfies_theorem5_condition(FairShare(), r, 1.0)
+            fifo_ok &= satisfies_theorem5_condition(Fifo(), r, 1.0)
+        assert fs_ok
+        assert not fifo_ok
+
+    def test_fs_robust_outcome_with_heterogeneous_rules(self):
+        net = single_gateway(3, mu=1.0)
+        rules = [TargetRule(eta=0.03, beta=b) for b in (0.65, 0.5, 0.35)]
+        system = FlowControlSystem(net, FairShare(), LinearSaturating(),
+                                   rules, style=FeedbackStyle.INDIVIDUAL)
+        traj = system.run(np.full(3, 0.1), max_steps=60000, tol=1e-11)
+        final = traj.final
+        # Per-connection floors with each connection's own rho_ss.
+        from repro.core.robustness import reservation_floor_heterogeneous
+        signal = LinearSaturating()
+        rho = [signal.steady_state_utilisation(b)
+               for b in (0.65, 0.5, 0.35)]
+        floors = reservation_floor_heterogeneous(net, rho)
+        assert np.all(final >= floors * (1 - 1e-3))
+
+    def test_fifo_not_robust_but_not_starving(self):
+        net = single_gateway(3, mu=1.0)
+        rules = [TargetRule(eta=0.03, beta=b) for b in (0.65, 0.5, 0.35)]
+        system = FlowControlSystem(net, Fifo(), LinearSaturating(),
+                                   rules, style=FeedbackStyle.INDIVIDUAL)
+        traj = system.run(np.full(3, 0.1), max_steps=60000, tol=1e-11)
+        final = traj.final
+        from repro.core.robustness import reservation_floor_heterogeneous
+        signal = LinearSaturating()
+        rho = [signal.steady_state_utilisation(b)
+               for b in (0.65, 0.5, 0.35)]
+        floors = reservation_floor_heterogeneous(net, rho)
+        assert np.any(final < floors * (1 - 1e-3))  # not robust
+        assert np.all(final > 0.01)                 # yet nobody starves
+
+    def test_aggregate_starves_the_meek(self):
+        net = single_gateway(2, mu=1.0)
+        rules = [TargetRule(eta=0.05, beta=0.6),
+                 TargetRule(eta=0.05, beta=0.4)]
+        system = FlowControlSystem(net, Fifo(), LinearSaturating(),
+                                   rules, style=FeedbackStyle.AGGREGATE)
+        traj = system.run(np.full(2, 0.2), max_steps=20000)
+        assert traj.final[1] < 1e-6
+        assert worst_floor_ratio(net, 0.4, traj.final) < 1e-4

@@ -1,0 +1,115 @@
+"""Integration tests: simulator-vs-analytic validation and the closed
+feedback loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.ratecontrol import TargetRule
+from repro.core.signals import FeedbackStyle, LinearSaturating
+from repro.core.steadystate import fair_steady_state
+from repro.core.topology import single_gateway, two_gateway_shared
+from repro.errors import InfeasibleLoadError, SimulationError
+from repro.simulation.closed_loop import run_closed_loop
+from repro.simulation.validation import (analytic_counterpart,
+                                         validate_single_gateway)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kind", ["fifo", "fair-share",
+                                      "fixed-priority"])
+    def test_queue_laws_match(self, kind):
+        # Total load 0.7: every class mixes fast enough that a 30k
+        # horizon gives tight time-averages (at load 0.85 the lowest
+        # priority class needs far longer to converge).
+        result = validate_single_gateway([0.1, 0.2, 0.25, 0.15], 1.0,
+                                         kind, horizon=30000.0,
+                                         warmup=3000.0, seed=1)
+        assert result.worst_relative_error < 0.15
+
+    def test_overload_rejected(self):
+        with pytest.raises(InfeasibleLoadError):
+            validate_single_gateway([0.6, 0.6], 1.0, "fifo")
+
+    def test_unknown_counterpart(self):
+        with pytest.raises(SimulationError):
+            analytic_counterpart("fair-queueing", 2)
+
+    def test_seed_changes_measurement_not_expectation(self):
+        a = validate_single_gateway([0.2, 0.3], 1.0, "fifo",
+                                    horizon=3000.0, warmup=300.0, seed=1)
+        b = validate_single_gateway([0.2, 0.3], 1.0, "fifo",
+                                    horizon=3000.0, warmup=300.0, seed=2)
+        assert np.allclose(a.expected, b.expected)
+        assert not np.allclose(a.measured, b.measured)
+
+    def test_report_fields(self):
+        r = validate_single_gateway([0.2], 1.0, "fifo", horizon=2000.0,
+                                    warmup=200.0, seed=3)
+        assert r.discipline_kind == "fifo"
+        assert r.absolute_errors.shape == (1,)
+
+
+class TestClosedLoop:
+    def test_reaches_fair_point_fair_share(self):
+        net = single_gateway(3, mu=1.0)
+        fair = fair_steady_state(net, 0.5)
+        res = run_closed_loop(net, TargetRule(eta=0.05, beta=0.5),
+                              LinearSaturating(),
+                              style=FeedbackStyle.INDIVIDUAL,
+                              discipline_kind="fair-share",
+                              initial_rates=[0.05, 0.2, 0.4],
+                              control_interval=400.0, n_steps=50, seed=2)
+        settled = res.tail_mean_rates(10)
+        assert np.max(np.abs(settled - fair)) / np.max(fair) < 0.2
+
+    def test_aggregate_total_rate_controlled(self):
+        # Aggregate feedback pins the total rate near rho_ss * mu even
+        # though the split is path-dependent.
+        net = single_gateway(3, mu=1.0)
+        res = run_closed_loop(net, TargetRule(eta=0.05, beta=0.5),
+                              LinearSaturating(),
+                              style=FeedbackStyle.AGGREGATE,
+                              discipline_kind="fifo",
+                              initial_rates=[0.05, 0.1, 0.15],
+                              control_interval=400.0, n_steps=50, seed=3)
+        total = float(res.tail_mean_rates(10).sum())
+        assert total == pytest.approx(0.5, rel=0.15)
+
+    def test_multi_gateway_waterfill(self):
+        net = two_gateway_shared(mu_a=1.0, mu_b=2.0)
+        fair = fair_steady_state(net, 0.5)
+        res = run_closed_loop(net, TargetRule(eta=0.05, beta=0.5),
+                              LinearSaturating(),
+                              style=FeedbackStyle.INDIVIDUAL,
+                              discipline_kind="fair-share",
+                              initial_rates=[0.1, 0.1, 0.1],
+                              control_interval=400.0, n_steps=60, seed=4)
+        settled = res.tail_mean_rates(10)
+        assert np.max(np.abs(settled - fair)) / np.max(fair) < 0.25
+
+    def test_history_shapes(self):
+        net = single_gateway(2, mu=1.0)
+        res = run_closed_loop(net, TargetRule(eta=0.05, beta=0.5),
+                              LinearSaturating(),
+                              initial_rates=[0.1, 0.1],
+                              control_interval=50.0, n_steps=8, seed=5)
+        assert res.rate_history.shape == (9, 2)
+        assert res.signal_history.shape == (8, 2)
+        assert res.times.shape == (9,)
+        assert res.steps == 8
+
+    def test_rule_count_mismatch(self):
+        net = single_gateway(2, mu=1.0)
+        with pytest.raises(SimulationError):
+            run_closed_loop(net, [TargetRule()], LinearSaturating(),
+                            initial_rates=[0.1, 0.1], n_steps=1)
+
+    def test_measured_rate_mode_runs(self):
+        net = single_gateway(2, mu=1.0)
+        res = run_closed_loop(net, TargetRule(eta=0.05, beta=0.5),
+                              LinearSaturating(),
+                              discipline_kind="fair-share",
+                              initial_rates=[0.1, 0.3],
+                              control_interval=200.0, n_steps=20, seed=6,
+                              rate_mode="measured")
+        assert np.all(res.final_rates > 0)

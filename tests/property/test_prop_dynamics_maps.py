@@ -1,0 +1,109 @@
+"""Property-based tests for the dynamics and the quadratic map."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.classify import Regime, classify_tail
+from repro.analysis.maps import QuadraticRateMap, orbit, orbit_tail
+from repro.core.dynamics import FlowControlSystem, Outcome
+from repro.core.fairshare import FairShare
+from repro.core.ratecontrol import ProportionalTargetRule, TargetRule
+from repro.core.signals import FeedbackStyle, LinearSaturating
+from repro.core.steadystate import fair_steady_state
+from repro.core.topology import single_gateway
+
+
+class TestDynamicsInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(0.0, 0.5), min_size=2, max_size=5),
+           st.floats(0.05, 0.5), st.floats(0.2, 0.8))
+    def test_step_keeps_rates_nonnegative_finite(self, start, eta, beta):
+        n = len(start)
+        system = FlowControlSystem(single_gateway(n), FairShare(),
+                                   LinearSaturating(),
+                                   TargetRule(eta=eta, beta=beta),
+                                   style=FeedbackStyle.INDIVIDUAL)
+        r = np.array(start)
+        for _ in range(50):
+            r = system.step(r)
+            assert np.all(r >= 0)
+            assert np.all(np.isfinite(r))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(2, 6), st.floats(0.25, 0.75),
+           st.integers(0, 1000))
+    def test_individual_feedback_converges_to_waterfill(self, n, beta,
+                                                        seed):
+        rng = np.random.default_rng(seed)
+        system = FlowControlSystem(single_gateway(n), FairShare(),
+                                   LinearSaturating(),
+                                   ProportionalTargetRule(eta=0.8,
+                                                          beta=beta),
+                                   style=FeedbackStyle.INDIVIDUAL)
+        rho = LinearSaturating().steady_state_utilisation(beta)
+        start = rng.uniform(0.01, 0.3, n)
+        traj = system.run(start, max_steps=30000, tol=1e-10)
+        assert traj.outcome is Outcome.CONVERGED
+        fair = fair_steady_state(single_gateway(n), rho)
+        assert np.allclose(traj.final, fair, atol=1e-5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 5), st.floats(0.02, 0.45),
+           st.integers(0, 1000))
+    def test_aggregate_steady_total_independent_of_start(self, n, scale,
+                                                         seed):
+        rng = np.random.default_rng(seed)
+        system = FlowControlSystem(single_gateway(n), FairShare(),
+                                   LinearSaturating(),
+                                   TargetRule(eta=0.05, beta=0.5),
+                                   style=FeedbackStyle.AGGREGATE)
+        start = rng.uniform(0, scale, n)
+        traj = system.run(start, max_steps=30000, tol=1e-10)
+        assert traj.outcome is Outcome.CONVERGED
+        assert float(traj.final.sum()) == pytest.approx(0.5, abs=1e-5)
+
+
+class TestMapInvariants:
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(0.1, 3.0), st.floats(0.05, 0.9),
+           st.floats(0.0, 1.5))
+    def test_truncated_map_stays_nonnegative(self, a, beta, x0):
+        m = QuadraticRateMap(a=a, beta=beta)
+        x = x0
+        for _ in range(100):
+            x = m(x)
+            assert x >= 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(0.1, 1.9), st.floats(0.05, 0.9))
+    def test_stable_gain_converges_to_sqrt_beta(self, alpha, beta):
+        # alpha = a sqrt(beta) < 1 guarantees linear stability.
+        a = alpha / math.sqrt(beta) * 0.99
+        m = QuadraticRateMap(a=a, beta=beta)
+        if not m.is_linearly_stable:
+            return
+        tail = orbit_tail(m, x0=m.fixed_point * 1.01, transient=5000,
+                          keep=8)
+        assert np.allclose(tail, m.fixed_point, rtol=1e-5)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(0.05, 0.9))
+    def test_fixed_point_is_fixed(self, beta):
+        m = QuadraticRateMap(a=1.0, beta=beta)
+        assert m(m.fixed_point) == pytest.approx(m.fixed_point)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(0.0, 1.0), min_size=200, max_size=200),
+           st.integers(1, 16))
+    def test_classify_periodic_tilings(self, base, period):
+        pattern = np.array(base[:period])
+        # Make the pattern genuinely period-`period` (distinct values).
+        pattern = pattern + np.arange(period)
+        tail = np.tile(pattern, 300 // period + 3)
+        cls = classify_tail(tail, max_period=32)
+        assert cls.regime in (Regime.FIXED_POINT, Regime.PERIODIC)
+        assert cls.period <= period

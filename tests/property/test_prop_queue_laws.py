@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) on the queue laws of Section 2.2.
+
+These are the paper's feasibility and structure constraints, checked on
+arbitrary stable rate vectors rather than hand-picked examples.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.fairshare import (FairShare, cumulative_loads,
+                                  fair_share_queues_recursive,
+                                  priority_decomposition)
+from repro.core.feasibility import (check_prefix_bounds,
+                                    check_total_conservation)
+from repro.core.fifo import Fifo
+from repro.core.math_utils import g
+from repro.core.robustness import satisfies_theorem5_condition
+
+MU = 1.0
+
+
+def stable_rates(min_n=1, max_n=8, max_total=0.95):
+    """Rate vectors with total load strictly below capacity."""
+    return hnp.arrays(
+        dtype=float,
+        shape=st.integers(min_n, max_n),
+        elements=st.floats(0.0, 0.4, allow_nan=False,
+                           allow_infinity=False),
+    ).map(lambda v: v * (max_total / max(float(v.sum()), 1.0)))
+
+
+@st.composite
+def any_rates(draw):
+    """Rate vectors that may also overload the gateway."""
+    n = draw(st.integers(1, 8))
+    return np.array([draw(st.floats(0.0, 0.6)) for _ in range(n)])
+
+
+class TestConservationProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(stable_rates())
+    def test_fifo_conserves_total(self, rates):
+        assert check_total_conservation(Fifo(), rates, MU)
+
+    @settings(max_examples=120, deadline=None)
+    @given(stable_rates())
+    def test_fair_share_conserves_total(self, rates):
+        assert check_total_conservation(FairShare(), rates, MU)
+
+    @settings(max_examples=120, deadline=None)
+    @given(stable_rates())
+    def test_prefix_bounds_hold(self, rates):
+        assert check_prefix_bounds(Fifo(), rates, MU)
+        assert check_prefix_bounds(FairShare(), rates, MU)
+
+    @settings(max_examples=100, deadline=None)
+    @given(any_rates())
+    def test_conservation_including_overload(self, rates):
+        assert check_total_conservation(FairShare(), rates, MU)
+
+
+class TestFairShareProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(any_rates())
+    def test_substream_equals_recursion(self, rates):
+        direct = FairShare().queue_lengths(rates, MU)
+        recursive = fair_share_queues_recursive(rates, MU)
+        both_inf = np.isinf(direct) & np.isinf(recursive)
+        finite = np.isfinite(direct) & np.isfinite(recursive)
+        assert np.all(both_inf | finite)
+        assert np.allclose(direct[finite], recursive[finite], atol=1e-9)
+
+    @settings(max_examples=120, deadline=None)
+    @given(stable_rates(min_n=2))
+    def test_queue_order_follows_rate_order(self, rates):
+        q = FairShare().queue_lengths(rates, MU)
+        order = np.argsort(rates, kind="stable")
+        sorted_q = q[order]
+        assert np.all(np.diff(sorted_q) >= -1e-12)
+
+    @settings(max_examples=120, deadline=None)
+    @given(stable_rates(min_n=2), st.randoms(use_true_random=False))
+    def test_permutation_equivariance(self, rates, rnd):
+        perm = list(range(len(rates)))
+        rnd.shuffle(perm)
+        perm = np.array(perm)
+        q = FairShare().queue_lengths(rates, MU)
+        q_perm = FairShare().queue_lengths(rates[perm], MU)
+        assert np.allclose(q[perm], q_perm, atol=1e-12)
+
+    @settings(max_examples=120, deadline=None)
+    @given(stable_rates(), st.floats(0.1, 50.0))
+    def test_time_scale_invariance(self, rates, scale):
+        q1 = FairShare().queue_lengths(rates, MU)
+        q2 = FairShare().queue_lengths(rates * scale, MU * scale)
+        assert np.allclose(q1, q2, rtol=1e-9, atol=1e-12)
+
+    @settings(max_examples=120, deadline=None)
+    @given(stable_rates(min_n=2), st.integers(0, 7),
+           st.floats(0.01, 0.2))
+    def test_triangularity_bigger_rates_invisible(self, rates, idx,
+                                                  bump):
+        """Raising a rate never changes any strictly smaller queue."""
+        idx = idx % len(rates)
+        q_before = FairShare().queue_lengths(rates, MU)
+        bumped = rates.copy()
+        bumped[idx] += bump
+        q_after = FairShare().queue_lengths(bumped, MU)
+        smaller = rates < rates[idx] - 1e-12
+        assert np.allclose(q_before[smaller], q_after[smaller],
+                           atol=1e-10)
+
+    @settings(max_examples=120, deadline=None)
+    @given(any_rates())
+    def test_theorem5_condition_always_holds(self, rates):
+        assert satisfies_theorem5_condition(FairShare(), rates, MU)
+
+    @settings(max_examples=120, deadline=None)
+    @given(stable_rates())
+    def test_decomposition_rows_sum_to_rates(self, rates):
+        decomp = priority_decomposition(rates)
+        assert np.allclose(decomp.sum(axis=1), rates, atol=1e-12)
+
+    @settings(max_examples=120, deadline=None)
+    @given(stable_rates())
+    def test_cumulative_loads_monotone_and_bounded(self, rates):
+        sigma = cumulative_loads(rates, MU)
+        assert np.all(np.diff(sigma) >= -1e-12)
+        if len(rates):
+            assert sigma[-1] == pytest.approx(rates.sum() / MU)
+
+
+class TestCrossDiscipline:
+    @settings(max_examples=120, deadline=None)
+    @given(stable_rates(min_n=2))
+    def test_fifo_and_fs_share_total(self, rates):
+        total_fifo = Fifo().total_queue(rates, MU)
+        total_fs = FairShare().total_queue(rates, MU)
+        assert total_fifo == pytest.approx(total_fs, abs=1e-9)
+
+    @settings(max_examples=120, deadline=None)
+    @given(stable_rates(min_n=2))
+    def test_fs_never_gives_smallest_more_queue_than_fifo(self, rates):
+        """Fair Share protects the smallest connection relative to FIFO."""
+        if np.all(rates == 0):
+            return
+        small = int(np.argmin(np.where(rates > 0, rates, np.inf)))
+        if rates[small] == 0:
+            return
+        q_fs = FairShare().queue_lengths(rates, MU)[small]
+        q_fifo = Fifo().queue_lengths(rates, MU)[small]
+        assert q_fs <= q_fifo + 1e-9

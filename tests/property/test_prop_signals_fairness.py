@@ -1,0 +1,123 @@
+"""Property-based tests for signalling, fairness, and robustness."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.fairness import jain_index, max_min_allocation
+from repro.core.robustness import theorem5_bound
+from repro.core.signals import (ExponentialSignal, LinearSaturating,
+                                PowerSaturating, individual_congestion)
+from repro.core.topology import random_network
+
+SIGNALS = [LinearSaturating(), PowerSaturating(2.0),
+           ExponentialSignal(0.5)]
+
+
+class TestSignalProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(0.0, 1e6), st.floats(0.0, 1e6),
+           st.sampled_from(SIGNALS))
+    def test_monotone(self, c1, c2, signal):
+        lo, hi = min(c1, c2), max(c1, c2)
+        assert signal(lo) <= signal(hi) + 1e-12
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(0.0, 100.0), st.sampled_from(SIGNALS))
+    def test_range(self, c, signal):
+        assert 0.0 <= signal(c) <= 1.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(0.0, 10.0), st.sampled_from(SIGNALS))
+    def test_roundtrip_away_from_saturation(self, c, signal):
+        # Near b = 1 the inverse loses float precision (1 - b
+        # underflows), so the roundtrip is only tested where the signal
+        # retains resolution.
+        b = signal(c)
+        if b < 0.999:
+            assert signal.congestion_for(b) == pytest.approx(
+                c, abs=1e-6, rel=1e-6)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.floats(0.0, 20.0), min_size=1, max_size=8))
+    def test_individual_congestion_bounds(self, queues):
+        q = np.array(queues)
+        c = individual_congestion(q)
+        total = q.sum()
+        n = len(queues)
+        for i in range(n):
+            # N * Q_i >= C_i >= Q_i and C_i <= aggregate.
+            assert c[i] <= total + 1e-9
+            assert c[i] >= q[i] - 1e-9
+            assert c[i] <= n * q[i] + 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.floats(0.0, 20.0), min_size=2, max_size=8))
+    def test_individual_congestion_ordered_with_queues(self, queues):
+        q = np.array(queues)
+        c = individual_congestion(q)
+        order = np.argsort(q, kind="stable")
+        assert np.all(np.diff(c[order]) >= -1e-9)
+
+
+class TestMaxMinProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_allocation_feasible_and_saturating(self, seed):
+        net = random_network(4, 6, seed=seed, mu_range=(0.5, 3.0))
+        caps = {g: 0.5 * net.mu(g) for g in net.gateway_names}
+        rates = max_min_allocation(net, caps)
+        assert np.all(rates > 0)
+        for g in net.gateway_names:
+            used = sum(rates[i] for i in net.connections_at(g))
+            assert used <= caps[g] + 1e-9
+        # Max-min: every connection crosses a gateway that is saturated
+        # and where it holds a maximal rate.
+        for i in range(net.num_connections):
+            ok = False
+            for g in net.gamma(i):
+                used = sum(rates[j] for j in net.connections_at(g))
+                peers_max = max(rates[j] for j in net.connections_at(g))
+                if used >= caps[g] - 1e-9 and rates[i] >= peers_max - 1e-9:
+                    ok = True
+            assert ok
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000), st.floats(1.5, 10.0))
+    def test_allocation_scales_with_capacity(self, seed, c):
+        net = random_network(3, 5, seed=seed)
+        caps = {g: 0.5 * net.mu(g) for g in net.gateway_names}
+        scaled = {g: v * c for g, v in caps.items()}
+        r1 = max_min_allocation(net, caps)
+        r2 = max_min_allocation(net, scaled)
+        assert np.allclose(r2, c * r1, rtol=1e-9)
+
+
+class TestJainProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.floats(0.001, 10.0), min_size=1, max_size=10))
+    def test_range(self, rates):
+        j = jain_index(rates)
+        assert 1.0 / len(rates) - 1e-9 <= j <= 1.0 + 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(0.001, 10.0), st.integers(1, 10))
+    def test_equal_rates_max(self, r, n):
+        assert jain_index([r] * n) == pytest.approx(1.0)
+
+
+class TestTheorem5BoundProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.floats(0.0, 0.5), min_size=1, max_size=8))
+    def test_bound_nonnegative_and_inf_beyond_share(self, rates):
+        r = np.array(rates)
+        bound = theorem5_bound(r, 1.0)
+        n = len(rates)
+        for i in range(n):
+            if n * r[i] >= 1.0:
+                assert math.isinf(bound[i])
+            else:
+                assert bound[i] >= 0.0

@@ -1,0 +1,131 @@
+"""Property-based tests for the weighted and asynchronous extensions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.asynchronous import (AsynchronousRunner,
+                                     RoundRobinSchedule)
+from repro.core.dynamics import FlowControlSystem
+from repro.core.fairshare import FairShare
+from repro.core.math_utils import g
+from repro.core.ratecontrol import ProportionalTargetRule
+from repro.core.signals import (FeedbackStyle, LinearSaturating,
+                                weighted_individual_congestion)
+from repro.core.topology import single_gateway
+from repro.core.weighted import (WeightedFairShare,
+                                 weighted_max_min_allocation)
+
+MU = 1.0
+
+
+@st.composite
+def rates_and_weights(draw, max_n=6, stable=True):
+    n = draw(st.integers(2, max_n))
+    rates = np.array([draw(st.floats(0.0, 0.3)) for _ in range(n)])
+    if stable and rates.sum() >= 0.95:
+        rates = rates * (0.9 / rates.sum())
+    weights = np.array([draw(st.floats(0.2, 5.0)) for _ in range(n)])
+    return rates, weights
+
+
+class TestWeightedFairShareProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(rates_and_weights())
+    def test_conservation(self, rw):
+        rates, weights = rw
+        total = WeightedFairShare(weights).total_queue(rates, MU)
+        assert total == pytest.approx(g(rates.sum() / MU), abs=1e-8)
+
+    @settings(max_examples=120, deadline=None)
+    @given(rates_and_weights())
+    def test_weighted_robustness_bound(self, rw):
+        rates, weights = rw
+        q = WeightedFairShare(weights).queue_lengths(rates, MU)
+        big_phi = weights.sum()
+        for i in range(rates.shape[0]):
+            denom = MU - (big_phi / weights[i]) * rates[i]
+            if denom <= 0:
+                continue
+            assert q[i] <= rates[i] / denom + 1e-9
+
+    @settings(max_examples=120, deadline=None)
+    @given(rates_and_weights(), st.floats(0.1, 20.0))
+    def test_time_scale_invariance(self, rw, scale):
+        rates, weights = rw
+        wfs = WeightedFairShare(weights)
+        q1 = wfs.queue_lengths(rates, MU)
+        q2 = wfs.queue_lengths(rates * scale, MU * scale)
+        assert np.allclose(q1, q2, rtol=1e-9, atol=1e-12)
+
+    @settings(max_examples=120, deadline=None)
+    @given(rates_and_weights(), st.integers(0, 5),
+           st.floats(0.01, 0.2))
+    def test_triangular_in_normalised_order(self, rw, idx, bump):
+        rates, weights = rw
+        idx = idx % rates.shape[0]
+        v = rates / weights
+        wfs = WeightedFairShare(weights)
+        q1 = wfs.queue_lengths(rates, MU)
+        bumped = rates.copy()
+        bumped[idx] += bump
+        q2 = wfs.queue_lengths(bumped, MU)
+        strictly_below = v < v[idx] - 1e-12
+        assert np.allclose(q1[strictly_below], q2[strictly_below],
+                           atol=1e-9)
+
+    @settings(max_examples=80, deadline=None)
+    @given(rates_and_weights())
+    def test_weighted_congestion_bounds(self, rw):
+        rates, weights = rw
+        q = WeightedFairShare(weights).queue_lengths(rates, MU)
+        if not np.all(np.isfinite(q)):
+            return
+        c = weighted_individual_congestion(q, weights)
+        total = q.sum()
+        big_phi = weights.sum()
+        for i in range(q.shape[0]):
+            assert c[i] <= total + 1e-9
+            assert c[i] <= big_phi * q[i] / weights[i] + 1e-9
+
+
+class TestWeightedAllocationProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(2, 6), st.floats(0.2, 0.8),
+           st.lists(st.floats(0.2, 5.0), min_size=2, max_size=6))
+    def test_single_gateway_proportionality(self, n, cap, weights):
+        weights = np.array((weights * n)[:n])
+        net = single_gateway(n, mu=1.0)
+        rates = weighted_max_min_allocation(net, {"g0": cap}, weights)
+        assert rates.sum() == pytest.approx(cap)
+        assert np.allclose(rates / weights, rates[0] / weights[0])
+
+
+class TestAsynchronousProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 5), st.integers(0, 10_000))
+    def test_round_robin_reaches_same_fixed_point(self, n, seed):
+        system = FlowControlSystem(single_gateway(n, mu=1.0),
+                                   FairShare(), LinearSaturating(),
+                                   ProportionalTargetRule(eta=0.8,
+                                                          beta=0.5),
+                                   style=FeedbackStyle.INDIVIDUAL)
+        rng = np.random.default_rng(seed)
+        start = rng.uniform(0.02, 0.4 / n, n)
+        sync = system.run(start, max_steps=30000, tol=1e-10)
+        seq = AsynchronousRunner(system, RoundRobinSchedule()).run(
+            start, max_steps=30000 * n, tol=1e-10)
+        assert np.allclose(sync.final, seq.final, atol=1e-6)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(2, 5), st.integers(0, 3))
+    def test_rates_stay_nonnegative_under_any_delay(self, n, tau):
+        system = FlowControlSystem(single_gateway(n, mu=1.0),
+                                   FairShare(), LinearSaturating(),
+                                   ProportionalTargetRule(eta=1.5,
+                                                          beta=0.5),
+                                   style=FeedbackStyle.INDIVIDUAL)
+        runner = AsynchronousRunner(system, signal_delay=tau)
+        traj = runner.run(np.full(n, 0.1), max_steps=300)
+        assert np.all(traj.history >= 0.0)

@@ -1,0 +1,168 @@
+"""Unit tests for the iterated-map analysis toolkit."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.bifurcation import (bifurcation_diagram,
+                                        quadratic_map_sweep)
+from repro.analysis.classify import Regime, classify_tail
+from repro.analysis.lyapunov import lyapunov_exponent
+from repro.analysis.maps import QuadraticRateMap, orbit, orbit_tail
+from repro.errors import RateVectorError
+
+
+class TestQuadraticRateMap:
+    def test_fixed_point(self):
+        m = QuadraticRateMap(a=1.0, beta=0.25)
+        assert m.fixed_point == pytest.approx(0.5)
+        assert m(0.5) == pytest.approx(0.5)
+
+    def test_multiplier(self):
+        m = QuadraticRateMap(a=1.0, beta=0.25)
+        assert m.multiplier == pytest.approx(0.0)  # 1 - 2*1*0.5
+
+    def test_stability_threshold(self):
+        assert QuadraticRateMap(a=1.9, beta=0.25).is_linearly_stable
+        assert not QuadraticRateMap(a=2.1, beta=0.25).is_linearly_stable
+        assert QuadraticRateMap(a=1.0, beta=0.25).period_doubling_gain \
+            == pytest.approx(2.0)
+
+    def test_truncation(self):
+        m = QuadraticRateMap(a=10.0, beta=0.01)
+        assert m(5.0) == 0.0
+        free = QuadraticRateMap(a=10.0, beta=0.01, truncate=False)
+        assert free(5.0) < 0.0
+
+    def test_derivative_on_clamped_branch_is_zero(self):
+        m = QuadraticRateMap(a=10.0, beta=0.01)
+        assert m.derivative(5.0) == 0.0
+        assert m.derivative(0.05) == pytest.approx(1.0 - 2 * 10 * 0.05)
+
+    def test_from_system(self):
+        m = QuadraticRateMap.from_system(8, eta=0.25, beta=0.25)
+        assert m.a == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(RateVectorError):
+            QuadraticRateMap(a=0.0, beta=0.25)
+        with pytest.raises(RateVectorError):
+            QuadraticRateMap(a=1.0, beta=-1.0)
+        with pytest.raises(RateVectorError):
+            QuadraticRateMap.from_system(0, eta=0.1, beta=0.25)
+
+
+class TestOrbit:
+    def test_length_with_initial(self):
+        m = QuadraticRateMap(a=1.0, beta=0.25)
+        o = orbit(m, 0.1, steps=10)
+        assert o.shape == (11,)
+        assert o[0] == 0.1
+
+    def test_discard(self):
+        m = QuadraticRateMap(a=1.0, beta=0.25)
+        o = orbit(m, 0.1, steps=10, discard=5)
+        assert o.shape == (5,)
+
+    def test_convergence_to_fixed_point(self):
+        m = QuadraticRateMap(a=1.0, beta=0.25)
+        o = orbit(m, 0.1, steps=200)
+        assert o[-1] == pytest.approx(0.5, abs=1e-8)
+
+    def test_divergence_raises(self):
+        with pytest.raises(RateVectorError):
+            orbit(lambda x: 2 * x + 1, 1.0, steps=2000)
+
+    def test_bad_args(self):
+        m = QuadraticRateMap(a=1.0, beta=0.25)
+        with pytest.raises(RateVectorError):
+            orbit(m, 0.1, steps=0)
+        with pytest.raises(RateVectorError):
+            orbit(m, 0.1, steps=5, discard=9)
+
+    def test_orbit_tail_shape(self):
+        m = QuadraticRateMap(a=1.0, beta=0.25)
+        assert orbit_tail(m, 0.1, transient=50, keep=20).shape == (20,)
+
+
+class TestClassify:
+    def test_fixed_point(self):
+        tail = np.full(200, 0.5)
+        cls = classify_tail(tail, max_period=32)
+        assert cls.regime is Regime.FIXED_POINT
+        assert cls.period == 1
+
+    def test_period_two(self):
+        tail = np.tile([0.2, 0.8], 100)
+        cls = classify_tail(tail, max_period=32)
+        assert cls.regime is Regime.PERIODIC
+        assert cls.period == 2
+
+    def test_smallest_period_reported(self):
+        tail = np.tile([0.2, 0.8], 100)
+        # period 4 also matches, but 2 must win
+        assert classify_tail(tail, max_period=32).period == 2
+
+    def test_aperiodic(self):
+        rng = np.random.default_rng(0)
+        tail = rng.random(300)
+        cls = classify_tail(tail, max_period=32)
+        assert cls.regime is Regime.APERIODIC
+        assert cls.period is None
+
+    def test_too_short_rejected(self):
+        with pytest.raises(RateVectorError):
+            classify_tail(np.zeros(10), max_period=32)
+
+    def test_str(self):
+        tail = np.tile([0.2, 0.8], 100)
+        assert str(classify_tail(tail, max_period=8)) == "periodic(2)"
+
+
+class TestLyapunov:
+    def test_negative_at_stable_fixed_point(self):
+        m = QuadraticRateMap(a=1.5, beta=0.25)
+        lam = lyapunov_exponent(m, m.derivative, 0.3, steps=2000,
+                                discard=500)
+        # |F'(x*)| = |1 - 1.5| = 0.5 -> log 0.5
+        assert lam == pytest.approx(math.log(0.5), abs=1e-6)
+
+    def test_positive_in_chaotic_band(self):
+        m = QuadraticRateMap(a=2.62, beta=0.25, truncate=False)
+        lam = lyapunov_exponent(m, m.derivative, 0.4, steps=6000,
+                                discard=2000)
+        assert lam > 0.05
+
+    def test_validation(self):
+        m = QuadraticRateMap(a=1.0, beta=0.25)
+        with pytest.raises(RateVectorError):
+            lyapunov_exponent(m, m.derivative, 0.1, steps=0)
+
+
+class TestBifurcation:
+    def test_quadratic_sweep_regimes(self):
+        pts = quadratic_map_sweep([1.0, 2.3], beta=0.25, transient=2000,
+                                  keep=256)
+        assert pts[0].classification.regime is Regime.FIXED_POINT
+        assert pts[1].classification.regime is Regime.PERIODIC
+
+    def test_point_fields(self):
+        (pt,) = quadratic_map_sweep([1.5], beta=0.25, transient=1000,
+                                    keep=256)
+        assert pt.parameter == 1.5
+        assert pt.attractor.shape == (256,)
+        assert pt.n_branches == 1
+        assert math.isfinite(pt.lyapunov)
+
+    def test_keep_too_small_rejected(self):
+        with pytest.raises(RateVectorError):
+            bifurcation_diagram(
+                lambda a: QuadraticRateMap(a=a, beta=0.25),
+                [1.0], x0=0.1, keep=10, max_period=64)
+
+    def test_no_derivative_gives_nan(self):
+        pts = bifurcation_diagram(
+            lambda a: QuadraticRateMap(a=a, beta=0.25),
+            [1.0], x0=0.1, transient=500, keep=200, max_period=32)
+        assert math.isnan(pts[0].lyapunov)

@@ -1,0 +1,61 @@
+"""Unit tests for the ASCII chart helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plot import histogram, line_chart, scatter_chart
+from repro.errors import RateVectorError
+
+
+class TestLineChart:
+    def test_contains_title_and_marks(self):
+        out = line_chart([1, 2, 3, 2, 1], title="hill")
+        assert "hill" in out
+        assert "*" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(RateVectorError):
+            line_chart([])
+
+    def test_axis_labels_present(self):
+        out = line_chart([0.0, 10.0])
+        assert "10" in out
+
+
+class TestScatterChart:
+    def test_basic(self):
+        out = scatter_chart([0, 1, 2], [5, 6, 7])
+        assert "." in out
+
+    def test_shape_mismatch(self):
+        with pytest.raises(RateVectorError):
+            scatter_chart([0, 1], [1])
+
+    def test_too_small_grid(self):
+        with pytest.raises(RateVectorError):
+            scatter_chart([0], [0], width=4, height=2)
+
+    def test_nonfinite_points_skipped(self):
+        out = scatter_chart([0, 1, 2], [1, float("inf"), 3])
+        assert isinstance(out, str)
+
+    def test_constant_series_ok(self):
+        out = scatter_chart([0, 1], [5, 5])
+        assert "5" in out
+
+    def test_y_label(self):
+        out = scatter_chart([0, 1], [0, 1], y_label="rate")
+        assert "[y: rate]" in out
+
+
+class TestHistogram:
+    def test_counts_shown(self):
+        out = histogram([1, 1, 1, 5], bins=2)
+        assert "3" in out and "#" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(RateVectorError):
+            histogram([float("nan")])
+
+    def test_title(self):
+        assert histogram([1, 2], title="t").startswith("t")

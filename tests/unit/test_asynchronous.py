@@ -1,0 +1,134 @@
+"""Unit tests for asynchronous schedules and delayed feedback."""
+
+import numpy as np
+import pytest
+
+from repro.core.asynchronous import (AsynchronousRunner, BernoulliSchedule,
+                                     RoundRobinSchedule,
+                                     SynchronousSchedule)
+from repro.core.dynamics import FlowControlSystem, Outcome
+from repro.core.fairshare import FairShare
+from repro.core.fifo import Fifo
+from repro.core.ratecontrol import TargetRule
+from repro.core.signals import FeedbackStyle, LinearSaturating
+from repro.core.steadystate import fair_steady_state
+from repro.core.topology import single_gateway
+from repro.errors import RateVectorError
+
+
+def _aggregate(n, eta=0.3):
+    net = single_gateway(n, mu=1.0)
+    return FlowControlSystem(net, Fifo(), LinearSaturating(),
+                             TargetRule(eta=eta, beta=0.5),
+                             style=FeedbackStyle.AGGREGATE)
+
+
+class TestSchedules:
+    def test_synchronous_all(self):
+        mask = SynchronousSchedule().participants(3, 5)
+        assert mask.all() and mask.shape == (5,)
+
+    def test_round_robin_cycles(self):
+        sched = RoundRobinSchedule()
+        for step in range(10):
+            mask = sched.participants(step, 4)
+            assert mask.sum() == 1
+            assert mask[step % 4]
+
+    def test_round_robin_sweep(self):
+        assert RoundRobinSchedule().steps_per_sweep(7) == 7
+
+    def test_bernoulli_probability(self):
+        sched = BernoulliSchedule(0.5, seed=0)
+        total = sum(sched.participants(k, 100).sum() for k in range(100))
+        assert total == pytest.approx(5000, rel=0.1)
+
+    def test_bernoulli_validation(self):
+        with pytest.raises(RateVectorError):
+            BernoulliSchedule(0.0)
+        with pytest.raises(RateVectorError):
+            BernoulliSchedule(1.5)
+
+
+class TestAsynchronousRunner:
+    def test_synchronous_schedule_matches_system_run(self):
+        system = _aggregate(3, eta=0.05)
+        start = np.array([0.1, 0.2, 0.3])
+        sync = system.run(start, max_steps=5000, tol=1e-10)
+        async_run = AsynchronousRunner(system).run(start, max_steps=5000,
+                                                   tol=1e-10)
+        assert async_run.outcome is Outcome.CONVERGED
+        assert np.allclose(async_run.final, sync.final, atol=1e-8)
+
+    def test_fixed_points_shared(self):
+        system = _aggregate(3, eta=0.05)
+        fair = fair_steady_state(single_gateway(3), 0.5)
+        runner = AsynchronousRunner(system, RoundRobinSchedule())
+        assert runner.is_steady_state(fair)
+
+    def test_round_robin_stabilises_unstable_sync_case(self):
+        # eta N = 3.6 > 2: synchronous diverges, sequential converges.
+        system = _aggregate(12, eta=0.3)
+        fair = fair_steady_state(single_gateway(12), 0.5)
+        rng = np.random.default_rng(0)
+        start = np.clip(fair * (1 + 1e-3 * rng.standard_normal(12)),
+                        0.0, None)
+        sync = system.run(start, max_steps=4000, tol=1e-10)
+        assert sync.outcome is not Outcome.CONVERGED
+        seq = AsynchronousRunner(system, RoundRobinSchedule()).run(
+            start, max_steps=60000, tol=1e-10)
+        assert seq.outcome is Outcome.CONVERGED
+        assert float(seq.final.sum()) == pytest.approx(0.5, abs=1e-6)
+
+    def test_delay_destabilises_marginal_gain(self):
+        # eta N = 1.2 is fine without delay, unstable with one step of
+        # delay (threshold 2 sin(pi/6) = 1.0).
+        system = _aggregate(4, eta=0.3)
+        fair = fair_steady_state(single_gateway(4), 0.5)
+        rng = np.random.default_rng(1)
+        start = np.clip(fair * (1 + 1e-3 * rng.standard_normal(4)),
+                        0.0, None)
+        no_delay = AsynchronousRunner(system, signal_delay=0).run(
+            start, max_steps=8000)
+        delayed = AsynchronousRunner(system, signal_delay=1).run(
+            start, max_steps=8000)
+        assert no_delay.outcome is Outcome.CONVERGED
+        assert delayed.outcome is not Outcome.CONVERGED
+
+    def test_small_gain_tolerates_delay(self):
+        system = _aggregate(4, eta=0.01)
+        fair = fair_steady_state(single_gateway(4), 0.5)
+        start = fair * 1.05
+        delayed = AsynchronousRunner(system, signal_delay=8).run(
+            start, max_steps=30000)
+        assert delayed.outcome is Outcome.CONVERGED
+
+    def test_delayed_spike_not_mistaken_for_convergence(self):
+        # Regression: a stale congestion spike pinning rates at zero
+        # for a few steps must not be declared a fixed point.
+        system = _aggregate(4, eta=0.3)
+        fair = fair_steady_state(single_gateway(4), 0.5)
+        rng = np.random.default_rng(1)
+        start = np.clip(fair * (1 + 1e-3 * rng.standard_normal(4)),
+                        0.0, None)
+        traj = AsynchronousRunner(system, signal_delay=6).run(
+            start, max_steps=8000)
+        if traj.outcome is Outcome.CONVERGED:
+            assert system.is_steady_state(traj.final, tol=1e-6)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(RateVectorError):
+            AsynchronousRunner(_aggregate(2), signal_delay=-1)
+
+    def test_divergence_detected(self):
+        class Exploder(TargetRule):
+            def delta(self, rate, signal, delay):
+                return rate * 10.0 + 1.0
+
+        net = single_gateway(2, mu=1.0)
+        system = FlowControlSystem(net, FairShare(), LinearSaturating(),
+                                   Exploder(),
+                                   style=FeedbackStyle.INDIVIDUAL)
+        traj = AsynchronousRunner(system).run(np.array([0.1, 0.1]),
+                                              max_steps=200)
+        assert traj.outcome is Outcome.DIVERGED

@@ -1,0 +1,123 @@
+"""Unit tests for the baseline algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.chiu_jain import run_chiu_jain
+from repro.baselines.decbit import run_decbit_windows
+from repro.baselines.jacobson import run_tahoe
+from repro.baselines.reservation import (reservation_delays,
+                                         reservation_rates)
+from repro.core.topology import single_gateway, two_gateway_shared
+from repro.errors import RateVectorError
+
+
+class TestChiuJain:
+    def test_history_shape(self):
+        res = run_chiu_jain([0.1, 0.2], goal=1.0, steps=100)
+        assert res.rates.shape == (101, 2)
+        assert res.feedback.shape == (100,)
+
+    def test_fairness_monotone_nondecreasing(self):
+        res = run_chiu_jain([0.05, 0.6], goal=1.0, steps=600)
+        traj = res.fairness_trajectory
+        assert np.all(np.diff(traj) >= -1e-9)
+
+    def test_fairness_converges_to_one(self):
+        res = run_chiu_jain([0.05, 0.6], goal=1.0, steps=800)
+        assert res.fairness_trajectory[-1] > 0.999
+
+    def test_oscillates_around_goal(self):
+        res = run_chiu_jain([0.4, 0.4], goal=1.0, steps=600)
+        totals = res.rates[-100:].sum(axis=1)
+        assert totals.min() < 1.0 < totals.max()
+        assert res.amplitude(100) > 0.0
+
+    def test_mean_total_near_goal(self):
+        res = run_chiu_jain([0.4, 0.4], goal=1.0, steps=800)
+        assert res.mean_total(200) == pytest.approx(1.0, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(RateVectorError):
+            run_chiu_jain([0.1], goal=-1.0)
+        with pytest.raises(RateVectorError):
+            run_chiu_jain([0.1], goal=1.0, multiplicative=1.5)
+
+
+class TestTahoe:
+    def test_synchronized_sawtooth(self):
+        res = run_tahoe([1.0, 1.0], pipe=30.0, steps=500)
+        assert res.loss_epochs.size >= 2
+        periods = res.sawtooth_periods
+        # After the first cycle the period is constant (synchronized).
+        assert np.all(periods[1:] == periods[1])
+
+    def test_period_grows_with_pipe(self):
+        small = run_tahoe([1.0, 1.0], pipe=20.0, steps=800)
+        large = run_tahoe([1.0, 1.0], pipe=80.0, steps=800)
+        assert np.mean(large.sawtooth_periods[1:]) > \
+            np.mean(small.sawtooth_periods[1:])
+
+    def test_reno_halves_instead_of_reset(self):
+        tahoe = run_tahoe([8.0, 8.0], pipe=17.0, steps=2)
+        reno = run_tahoe([8.0, 8.0], pipe=17.0, steps=2, reno=True)
+        # windows were forced over pipe at step 1? sum=16 < 17, grow,
+        # then lose: tahoe resets to 1, reno halves.
+        assert tahoe.windows[-1][0] <= reno.windows[-1][0]
+
+    def test_validation(self):
+        with pytest.raises(RateVectorError):
+            run_tahoe([0.0], pipe=10.0)
+        with pytest.raises(RateVectorError):
+            run_tahoe([1.0], pipe=0.0)
+
+
+class TestDecbit:
+    def test_equal_latency_fair_on_average(self):
+        net = single_gateway(2, mu=1.0)
+        res = run_decbit_windows(net, [1.0, 1.0], steps=200)
+        means = res.mean_rates(50)
+        assert means[0] == pytest.approx(means[1], rel=1e-6)
+
+    def test_windows_stay_positive(self):
+        net = single_gateway(2, mu=1.0)
+        res = run_decbit_windows(net, [1.0, 1.0], steps=200)
+        assert np.all(res.windows > 0)
+
+    def test_oscillation_present(self):
+        net = single_gateway(2, mu=1.0)
+        res = run_decbit_windows(net, [1.0, 1.0], steps=300)
+        tail = res.rates[-100:, 0]
+        assert tail.max() - tail.min() > 1e-3
+
+    def test_validation(self):
+        net = single_gateway(2, mu=1.0)
+        with pytest.raises(RateVectorError):
+            run_decbit_windows(net, [0.0, 1.0])
+
+    def test_mean_rates_tail_check(self):
+        net = single_gateway(2, mu=1.0)
+        res = run_decbit_windows(net, [1.0, 1.0], steps=50)
+        with pytest.raises(RateVectorError):
+            res.mean_rates(0)
+
+
+class TestReservation:
+    def test_rates_equal_floor(self):
+        net = single_gateway(4, mu=2.0)
+        rates = reservation_rates(net, 0.5)
+        assert np.allclose(rates, 0.25)
+
+    def test_delays_formula(self):
+        net = single_gateway(4, mu=1.0)
+        d = reservation_delays(net, 0.5)
+        # slice = 0.25, rate = 0.125: delay = 1/(0.25 - 0.125) = 8.
+        assert np.allclose(d, 8.0)
+
+    def test_multi_gateway_path_sum(self):
+        net = two_gateway_shared(mu_a=1.0, mu_b=1.0)
+        d = reservation_delays(net, 0.5)
+        # long reserves 0.5 slices at both gateways, rate 0.25:
+        # delay = 2 * 1/(0.5 - 0.25) = 8.
+        long = net.connection_index("long")
+        assert d[long] == pytest.approx(8.0)

@@ -1,0 +1,45 @@
+"""Unit tests for the round-trip delay model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.delays import per_gateway_delays, round_trip_delays
+from repro.core.fifo import Fifo
+from repro.core.topology import (Connection, Gateway, Network,
+                                 single_gateway, two_gateway_shared)
+
+
+class TestRoundTripDelays:
+    def test_single_connection_closed_form(self):
+        # d = l + 1/(mu - r), the form in the proof of Theorem 1.
+        net = single_gateway(1, mu=2.0, latency=0.3)
+        d = round_trip_delays(net, Fifo(), np.array([1.0]))
+        assert d[0] == pytest.approx(0.3 + 1.0 / (2.0 - 1.0))
+
+    def test_latency_adds_along_path(self):
+        net = Network(
+            [Gateway("a", 10.0, 1.0), Gateway("b", 10.0, 2.0)],
+            [Connection("c", ("a", "b"))])
+        d = round_trip_delays(net, Fifo(), np.array([0.0]))
+        # Empty network: only latencies + probe service times 1/mu each.
+        assert d[0] == pytest.approx(3.0 + 0.2, rel=1e-3)
+
+    def test_overload_gives_inf(self):
+        net = single_gateway(2, mu=1.0)
+        d = round_trip_delays(net, Fifo(), np.array([0.7, 0.7]))
+        assert math.isinf(d[0]) and math.isinf(d[1])
+
+    def test_two_gateway_long_sees_both(self):
+        net = two_gateway_shared(mu_a=1.0, mu_b=1.0)
+        rates = np.array([0.2, 0.2, 0.2])
+        per_gw = per_gateway_delays(net, Fifo(), rates)
+        d = round_trip_delays(net, Fifo(), rates)
+        assert d[0] == pytest.approx(per_gw["ga"][0] + per_gw["gb"][0])
+
+    def test_per_gateway_keys(self):
+        net = two_gateway_shared()
+        per_gw = per_gateway_delays(net, Fifo(), np.array([0.1, 0.1, 0.1]))
+        assert set(per_gw) == {"ga", "gb"}
+        assert per_gw["ga"].shape == (2,)

@@ -1,0 +1,127 @@
+"""Unit tests for the synchronous dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamics import FlowControlSystem, Outcome, Trajectory
+from repro.core.fairshare import FairShare
+from repro.core.fifo import Fifo
+from repro.core.ratecontrol import BinaryAimdRule, TargetRule
+from repro.core.signals import FeedbackStyle, LinearSaturating
+from repro.core.topology import single_gateway
+from repro.errors import ConvergenceError, RateVectorError
+
+
+def _system(n=3, eta=0.1, beta=0.5, style=FeedbackStyle.INDIVIDUAL,
+            discipline=None, rules=None):
+    net = single_gateway(n, mu=1.0)
+    return FlowControlSystem(net, discipline or FairShare(),
+                             LinearSaturating(),
+                             rules or TargetRule(eta=eta, beta=beta),
+                             style=style)
+
+
+class TestConstruction:
+    def test_single_rule_broadcast(self):
+        system = _system(n=4)
+        assert len(system.rules) == 4
+        assert system.homogeneous
+
+    def test_rule_list_length_checked(self):
+        net = single_gateway(3)
+        with pytest.raises(RateVectorError):
+            FlowControlSystem(net, Fifo(), LinearSaturating(),
+                              [TargetRule(), TargetRule()])
+
+    def test_heterogeneous_flag(self):
+        net = single_gateway(2)
+        system = FlowControlSystem(
+            net, Fifo(), LinearSaturating(),
+            [TargetRule(beta=0.4), TargetRule(beta=0.6)],
+            style=FeedbackStyle.AGGREGATE)
+        assert not system.homogeneous
+
+
+class TestStep:
+    def test_step_truncates_at_zero(self):
+        system = _system(rules=TargetRule(eta=50.0, beta=0.01))
+        out = system.step(np.array([0.9, 0.9, 0.9]))
+        assert np.all(out >= 0.0)
+
+    def test_step_moves_toward_target(self):
+        system = _system()
+        r = np.array([0.01, 0.01, 0.01])
+        out = system.step(r)
+        assert np.all(out > r)  # far below target: everyone increases
+
+    def test_residual_zero_at_fixed_point(self):
+        system = _system()
+        fixed = system.solve(np.array([0.05, 0.1, 0.2]))
+        assert np.allclose(system.residual(fixed), 0.0, atol=1e-8)
+
+    def test_is_steady_state(self):
+        system = _system()
+        fixed = system.solve(np.array([0.05, 0.1, 0.2]))
+        assert system.is_steady_state(fixed, tol=1e-6)
+        assert not system.is_steady_state(np.array([0.01, 0.01, 0.01]))
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(RateVectorError):
+            _system(n=3).step(np.array([0.1, 0.1]))
+
+
+class TestRun:
+    def test_converges_and_records_history(self):
+        system = _system()
+        traj = system.run(np.array([0.05, 0.1, 0.2]))
+        assert traj.outcome is Outcome.CONVERGED
+        assert traj.history.shape[1] == 3
+        assert traj.history.shape[0] == traj.steps + 1
+        assert np.array_equal(traj.initial, [0.05, 0.1, 0.2])
+
+    def test_period_one_on_convergence(self):
+        traj = _system().run(np.array([0.05, 0.1, 0.2]))
+        assert traj.period == 1
+
+    def test_oscillation_detected(self):
+        # AIMD never has f = 0: a limit cycle must be reported.
+        system = _system(rules=BinaryAimdRule(increase=0.05, decrease=0.5,
+                                              threshold=0.5),
+                         style=FeedbackStyle.AGGREGATE,
+                         discipline=Fifo())
+        traj = system.run(np.array([0.1, 0.1, 0.1]), max_steps=500)
+        assert traj.outcome is Outcome.OSCILLATING
+        assert traj.period is not None and traj.period >= 2
+
+    def test_tail(self):
+        traj = _system().run(np.array([0.05, 0.1, 0.2]))
+        assert traj.tail(4).shape == (4, 3)
+        with pytest.raises(RateVectorError):
+            traj.tail(0)
+
+    def test_solve_raises_on_oscillation(self):
+        system = _system(rules=BinaryAimdRule(),
+                         style=FeedbackStyle.AGGREGATE, discipline=Fifo())
+        with pytest.raises(ConvergenceError):
+            system.solve(np.array([0.1, 0.1, 0.1]), max_steps=400)
+
+    def test_zero_start_grows(self):
+        # TargetRule has f > 0 at b=0, so zero rates take off.
+        system = _system()
+        traj = system.run(np.zeros(3))
+        assert traj.outcome is Outcome.CONVERGED
+        assert np.all(traj.final > 0)
+
+
+class TestObservables:
+    def test_signals_shape(self):
+        system = _system(n=4)
+        assert system.signals(np.full(4, 0.1)).shape == (4,)
+
+    def test_delays_shape(self):
+        system = _system(n=4)
+        assert system.delays(np.full(4, 0.1)).shape == (4,)
+
+    def test_style_property(self):
+        assert _system(style=FeedbackStyle.AGGREGATE).style is \
+            FeedbackStyle.AGGREGATE

@@ -1,0 +1,121 @@
+"""Unit tests for fairness predicates and max-min allocation."""
+
+import numpy as np
+import pytest
+
+from repro.core.fairness import (is_fair, jain_index, max_min_allocation,
+                                 unfairness)
+from repro.core.fifo import Fifo
+from repro.core.signals import FeedbackScheme, FeedbackStyle, \
+    LinearSaturating
+from repro.core.topology import (parking_lot, single_gateway,
+                                 two_gateway_shared)
+from repro.errors import RateVectorError, TopologyError
+
+
+def _scheme(net, style=FeedbackStyle.AGGREGATE):
+    return FeedbackScheme(net, Fifo(), LinearSaturating(), style)
+
+
+class TestIsFair:
+    def test_equal_split_fair(self):
+        scheme = _scheme(single_gateway(3))
+        assert is_fair(scheme, np.array([0.2, 0.2, 0.2]))
+
+    def test_unequal_split_unfair(self):
+        scheme = _scheme(single_gateway(3))
+        assert not is_fair(scheme, np.array([0.1, 0.2, 0.2]))
+
+    def test_unfairness_measures_excess(self):
+        scheme = _scheme(single_gateway(2))
+        assert unfairness(scheme, np.array([0.1, 0.3])) == \
+            pytest.approx(0.2)
+
+    def test_unequal_rates_fair_under_individual_signals(self):
+        # long/a_only bottlenecked at ga (0.25 each), b_only at gb
+        # (0.75).  Under *individual* signals the long connection's
+        # signal at gb is below its ga signal, so gb is not its
+        # bottleneck and the allocation is fair.  Under *aggregate*
+        # signals both saturated gateways emit the same value, gb
+        # counts as a bottleneck of the long connection too, and the
+        # literal definition flags the faster b_only — the definition
+        # is signal-structure dependent, exactly as in the paper.
+        net = two_gateway_shared(mu_a=1.0, mu_b=2.0)
+        rates = np.array([0.25, 0.25, 0.75])
+        individual = _scheme(net, FeedbackStyle.INDIVIDUAL)
+        assert is_fair(individual, rates)
+        aggregate = _scheme(net, FeedbackStyle.AGGREGATE)
+        assert not is_fair(aggregate, rates)
+
+    def test_idle_network_trivially_fair(self):
+        scheme = _scheme(single_gateway(2))
+        assert is_fair(scheme, np.zeros(2))
+
+
+class TestJainIndex:
+    def test_equal_rates_give_one(self):
+        assert jain_index([0.3, 0.3, 0.3]) == pytest.approx(1.0)
+
+    def test_monopoly_gives_1_over_n(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_all_zero_defined_as_one(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_scale_invariant(self):
+        r = np.array([0.1, 0.4, 0.2])
+        assert jain_index(r) == pytest.approx(jain_index(10 * r))
+
+
+class TestMaxMinAllocation:
+    def test_single_gateway(self):
+        rates = max_min_allocation(single_gateway(4), {"g0": 1.0})
+        assert np.allclose(rates, 0.25)
+
+    def test_parking_lot(self):
+        net = parking_lot(2, mu=1.0)
+        rates = max_min_allocation(net, {g: 1.0
+                                         for g in net.gateway_names})
+        assert np.allclose(rates, 0.5)
+
+    def test_bottleneck_ordering(self):
+        net = two_gateway_shared()
+        rates = max_min_allocation(net, {"ga": 0.4, "gb": 1.0})
+        long, a_only, b_only = rates
+        assert long == pytest.approx(0.2)
+        assert a_only == pytest.approx(0.2)
+        assert b_only == pytest.approx(0.8)
+
+    def test_capacity_respected(self):
+        net = two_gateway_shared()
+        caps = {"ga": 0.3, "gb": 0.9}
+        rates = max_min_allocation(net, caps)
+        for g in net.gateway_names:
+            used = sum(rates[i] for i in net.connections_at(g))
+            assert used <= caps[g] + 1e-12
+
+    def test_max_min_property(self):
+        # No connection's rate can be raised without lowering that of a
+        # connection with an equal-or-smaller rate: every connection
+        # crosses a saturated gateway where it has the maximal rate.
+        net = two_gateway_shared(mu_a=1.0, mu_b=3.0)
+        caps = {"ga": 0.5, "gb": 1.5}
+        rates = max_min_allocation(net, caps)
+        for i in range(net.num_connections):
+            has_tight = False
+            for g in net.gamma(i):
+                used = sum(rates[j] for j in net.connections_at(g))
+                if used >= caps[g] - 1e-9 and \
+                        rates[i] >= max(rates[j]
+                                        for j in net.connections_at(g)) \
+                        - 1e-9:
+                    has_tight = True
+            assert has_tight, f"connection {i} could be raised"
+
+    def test_missing_capacity(self):
+        with pytest.raises(TopologyError):
+            max_min_allocation(single_gateway(2), {})
+
+    def test_bad_capacity(self):
+        with pytest.raises(RateVectorError):
+            max_min_allocation(single_gateway(2), {"g0": 0.0})

@@ -1,0 +1,143 @@
+"""Unit tests for the feasibility constraints (Section 2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fairshare import FairShare
+from repro.core.feasibility import (check_feasibility,
+                                    check_order_preservation,
+                                    check_prefix_bounds,
+                                    check_rate_monotonicity,
+                                    check_symmetry,
+                                    check_time_scale_invariance,
+                                    check_total_conservation)
+from repro.core.fifo import Fifo
+from repro.core.math_utils import g
+from repro.core.service import PreemptivePriority, ServiceDiscipline
+
+
+class _Overserving(ServiceDiscipline):
+    """A bogus discipline creating queue out of thin air."""
+
+    name = "bogus-overserving"
+
+    def queue_lengths(self, rates, mu):
+        return Fifo().queue_lengths(rates, mu) * 2.0
+
+
+class _Stalling(ServiceDiscipline):
+    """A bogus discipline that under-queues a prefix (stalls)."""
+
+    name = "bogus-stalling"
+
+    def queue_lengths(self, rates, mu):
+        q = Fifo().queue_lengths(rates, mu)
+        out = q.copy()
+        if len(out) >= 2:
+            # Steal queue from the smallest and give it to the largest:
+            # the smallest's prefix now undercuts its dedicated-server
+            # bound g(rho_small) ... actually give the smallest LESS
+            # than even a dedicated preemptive server would hold.
+            small = int(np.argmin(rates))
+            big = int(np.argmax(rates))
+            if small != big:
+                stolen = 0.9 * out[small]
+                out[small] -= stolen
+                out[big] += stolen
+        return out
+
+
+class TestConservation:
+    def test_fifo_conserves(self, rates4):
+        assert check_total_conservation(Fifo(), rates4, 1.0)
+
+    def test_fair_share_conserves(self, rates4):
+        assert check_total_conservation(FairShare(), rates4, 1.0)
+
+    def test_priority_conserves(self, rates4):
+        disc = PreemptivePriority([0, 1, 2, 3])
+        assert check_total_conservation(disc, rates4, 1.0)
+
+    def test_overload_both_infinite(self):
+        assert check_total_conservation(Fifo(), [0.7, 0.7], 1.0)
+
+    def test_bogus_fails(self, rates4):
+        assert not check_total_conservation(_Overserving(), rates4, 1.0)
+
+
+class TestPrefixBounds:
+    def test_fifo_satisfies(self, rates4):
+        assert check_prefix_bounds(Fifo(), rates4, 1.0)
+
+    def test_fair_share_satisfies(self, rates4):
+        assert check_prefix_bounds(FairShare(), rates4, 1.0)
+
+    def test_fair_share_smallest_prefix_tight(self):
+        # For FS the k smallest connections hold more than a dedicated
+        # server would: the bound must hold but not by miles.
+        r = np.array([0.1, 0.2, 0.3])
+        q = FairShare().queue_lengths(r, 1.0)
+        assert q[0] >= g(0.1) - 1e-12
+
+    def test_bogus_stalling_fails(self):
+        r = np.array([0.3, 0.31, 0.3])
+        assert not check_prefix_bounds(_Stalling(), r, 1.0)
+
+    def test_single_connection_trivially_ok(self):
+        assert check_prefix_bounds(Fifo(), [0.4], 1.0)
+
+    def test_zero_rates_ignored(self):
+        assert check_prefix_bounds(FairShare(), [0.0, 0.3, 0.0], 1.0)
+
+
+class TestStructuralChecks:
+    def test_symmetry_fifo(self, rates4):
+        assert check_symmetry(Fifo(), rates4, 1.0)
+
+    def test_symmetry_fair_share(self, rates4):
+        assert check_symmetry(FairShare(), rates4, 1.0)
+
+    def test_priority_is_not_symmetric(self):
+        # A fixed priority order distinguishes connections: swapping
+        # the rates does not swap the queues.
+        disc = PreemptivePriority([0, 1])
+        q = disc.queue_lengths([0.3, 0.31], 1.0)
+        q_swapped = disc.queue_lengths([0.31, 0.3], 1.0)
+        assert not np.allclose(q[::-1], q_swapped)
+
+    def test_tsi_fifo(self, rates4):
+        assert check_time_scale_invariance(Fifo(), rates4, 1.0)
+
+    def test_tsi_fair_share(self, rates4):
+        assert check_time_scale_invariance(FairShare(), rates4, 1.0)
+
+    def test_monotonicity(self, rates4, any_discipline):
+        assert check_rate_monotonicity(any_discipline, rates4, 1.0)
+
+    def test_order_preservation_fifo(self, rates4):
+        assert check_order_preservation(Fifo(), rates4, 1.0)
+
+    def test_order_preservation_fair_share(self, rates4):
+        assert check_order_preservation(FairShare(), rates4, 1.0)
+
+    def test_order_preservation_fails_for_fixed_priority(self):
+        # Priority can give a *larger* connection a smaller queue.
+        disc = PreemptivePriority([1, 0])  # conn 1 has top priority
+        r = np.array([0.2, 0.5])
+        assert not check_order_preservation(disc, r, 1.0)
+
+
+class TestFullReport:
+    def test_fifo_feasible(self, rates4):
+        report = check_feasibility(Fifo(), rates4, 1.0)
+        assert report.feasible
+        assert report.failures == []
+
+    def test_fair_share_feasible(self, rates4):
+        assert check_feasibility(FairShare(), rates4, 1.0).feasible
+
+    def test_bogus_reports_failures(self, rates4):
+        report = check_feasibility(_Overserving(), rates4, 1.0)
+        assert not report.feasible
+        assert not report.total_conservation
+        assert any("conserved" in f for f in report.failures)

@@ -1,0 +1,70 @@
+"""Unit tests for the FIFO queue law."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.fifo import Fifo
+from repro.core.math_utils import g
+from repro.errors import RateVectorError
+
+
+class TestFifoQueueLengths:
+    def test_single_connection_mm1(self, fifo):
+        q = fifo.queue_lengths([0.5], 1.0)
+        assert q[0] == pytest.approx(1.0)  # rho/(1-rho) = 0.5/0.5
+
+    def test_proportional_to_rate(self, fifo, rates4):
+        q = fifo.queue_lengths(rates4, 1.0)
+        ratios = q / rates4
+        assert np.allclose(ratios, ratios[0])
+
+    def test_total_is_g(self, fifo, rates4):
+        total = fifo.total_queue(rates4, 1.0)
+        assert total == pytest.approx(g(rates4.sum()))
+
+    def test_zero_rate_zero_queue(self, fifo):
+        q = fifo.queue_lengths([0.0, 0.5], 1.0)
+        assert q[0] == 0.0
+
+    def test_overload_all_infinite(self, fifo):
+        q = fifo.queue_lengths([0.6, 0.6], 1.0)
+        assert math.isinf(q[0]) and math.isinf(q[1])
+
+    def test_overload_zero_rate_connection_stays_zero(self, fifo):
+        q = fifo.queue_lengths([0.0, 1.2], 1.0)
+        assert q[0] == 0.0
+        assert math.isinf(q[1])
+
+    def test_exact_capacity_is_overload(self, fifo):
+        q = fifo.queue_lengths([0.5, 0.5], 1.0)
+        assert math.isinf(q[0])
+
+    def test_scales_with_mu(self, fifo, rates4):
+        q1 = fifo.queue_lengths(rates4, 1.0)
+        q2 = fifo.queue_lengths(rates4 * 7, 7.0)
+        assert np.allclose(q1, q2)
+
+    def test_bad_mu(self, fifo):
+        with pytest.raises(RateVectorError):
+            fifo.queue_lengths([0.1], 0.0)
+
+    def test_name(self, fifo):
+        assert fifo.name == "fifo"
+
+
+class TestFifoDelays:
+    def test_single_connection_sojourn(self, fifo):
+        # d = 1/(mu - r) for M/M/1
+        d = fifo.delays([0.5], 1.0)
+        assert d[0] == pytest.approx(2.0)
+
+    def test_all_connections_same_delay(self, fifo, rates4):
+        d = fifo.delays(rates4, 1.0)
+        assert np.allclose(d, d[0])
+
+    def test_zero_rate_probe_delay(self, fifo):
+        d = fifo.delays([0.0, 0.5], 1.0)
+        # The probe sees the same FIFO system: sojourn 1/(mu - load).
+        assert d[0] == pytest.approx(2.0, rel=1e-3)

@@ -1,0 +1,127 @@
+"""Unit tests for the rate-adjustment rules and the TSI predicate."""
+
+import math
+
+import pytest
+
+from repro.core.ratecontrol import (BinaryAimdRule, DecbitRateRule,
+                                    DecbitWindowRule,
+                                    ProportionalTargetRule, TargetRule,
+                                    tsi_target, verify_tsi)
+from repro.errors import NotTimeScaleInvariantError, RateVectorError
+
+
+class TestTargetRule:
+    def test_sign(self):
+        rule = TargetRule(eta=0.1, beta=0.5)
+        assert rule.delta(1.0, 0.4, 1.0) > 0
+        assert rule.delta(1.0, 0.6, 1.0) < 0
+        assert rule.delta(1.0, 0.5, 1.0) == 0.0
+
+    def test_independent_of_rate_and_delay(self):
+        rule = TargetRule(eta=0.1, beta=0.5)
+        assert rule.delta(0.1, 0.3, 1.0) == rule.delta(99.0, 0.3, 77.0)
+
+    def test_apply_truncates(self):
+        rule = TargetRule(eta=10.0, beta=0.1)
+        assert rule.apply(0.0, 1.0, 1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(RateVectorError):
+            TargetRule(eta=-1.0)
+        with pytest.raises(RateVectorError):
+            TargetRule(beta=1.0)
+
+    def test_declared_target(self):
+        assert TargetRule(beta=0.3).declared_target == 0.3
+
+
+class TestProportionalTargetRule:
+    def test_scales_with_rate(self):
+        rule = ProportionalTargetRule(eta=0.5, beta=0.5)
+        assert rule.delta(2.0, 0.4, 1.0) == \
+            pytest.approx(2 * rule.delta(1.0, 0.4, 1.0))
+
+    def test_zero_rate_absorbing(self):
+        rule = ProportionalTargetRule()
+        assert rule.apply(0.0, 0.1, 1.0) == 0.0
+
+
+class TestDecbitRules:
+    def test_window_rule_latency_sensitivity(self):
+        rule = DecbitWindowRule(eta=0.1, beta=0.5)
+        fast = rule.delta(0.1, 0.2, 0.5)
+        slow = rule.delta(0.1, 0.2, 5.0)
+        assert fast > slow  # long RTT grows more slowly
+
+    def test_window_rule_infinite_delay(self):
+        rule = DecbitWindowRule()
+        assert rule.delta(1.0, 0.5, math.inf) < 0
+
+    def test_window_rule_bad_delay(self):
+        with pytest.raises(RateVectorError):
+            DecbitWindowRule().delta(1.0, 0.5, 0.0)
+
+    def test_rate_rule_steady_rate(self):
+        rule = DecbitRateRule(eta=0.05, beta=0.5)
+        b = 0.4
+        r = rule.steady_rate(b)
+        assert rule.delta(r, b, 1.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_rate_rule_steady_rate_at_zero_signal(self):
+        assert math.isinf(DecbitRateRule().steady_rate(0.0))
+
+
+class TestBinaryAimd:
+    def test_increase_below_threshold(self):
+        rule = BinaryAimdRule(increase=0.01, decrease=0.5, threshold=0.5)
+        assert rule.delta(1.0, 0.2, 1.0) == pytest.approx(0.01)
+
+    def test_decrease_above_threshold(self):
+        rule = BinaryAimdRule(increase=0.01, decrease=0.5, threshold=0.5)
+        assert rule.delta(1.0, 0.9, 1.0) == pytest.approx(-0.5)
+
+    def test_never_zero(self):
+        rule = BinaryAimdRule()
+        for b in (0.0, 0.49, 0.51, 1.0):
+            assert rule.delta(1.0, b, 1.0) != 0.0
+
+    def test_validation(self):
+        with pytest.raises(RateVectorError):
+            BinaryAimdRule(decrease=1.5)
+
+
+class TestTsiPredicate:
+    def test_target_rule_is_tsi(self):
+        assert verify_tsi(TargetRule(eta=0.1, beta=0.5)) == \
+            pytest.approx(0.5, abs=1e-6)
+
+    def test_proportional_rule_is_tsi(self):
+        assert verify_tsi(ProportionalTargetRule(beta=0.3)) == \
+            pytest.approx(0.3, abs=1e-6)
+
+    def test_decbit_rate_rule_not_tsi(self):
+        # Its zero depends on r: different (r, d) give different roots.
+        assert verify_tsi(DecbitRateRule()) is None
+
+    def test_decbit_window_rule_not_tsi(self):
+        assert verify_tsi(DecbitWindowRule()) is None
+
+    def test_tsi_target_uses_declaration(self):
+        assert tsi_target(TargetRule(beta=0.7)) == 0.7
+
+    def test_tsi_target_raises_for_non_tsi(self):
+        with pytest.raises(NotTimeScaleInvariantError):
+            tsi_target(DecbitRateRule())
+
+    def test_theorem1_condition2_rule_with_flat_region_rejected(self):
+        # A rule vanishing on an interval of b violates condition (2).
+        class Flat(TargetRule):
+            declared_target = None
+
+            def delta(self, rate, signal, delay):
+                if 0.4 <= signal <= 0.6:
+                    return 0.0
+                return super().delta(rate, signal, delay)
+
+        assert verify_tsi(Flat(eta=0.1, beta=0.5)) is None

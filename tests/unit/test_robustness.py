@@ -1,0 +1,109 @@
+"""Unit tests for the robustness criterion (Theorem 5)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.fairshare import FairShare
+from repro.core.fifo import Fifo
+from repro.core.math_utils import g
+from repro.core.robustness import (is_robust_outcome, reservation_delay,
+                                   reservation_floor,
+                                   reservation_floor_heterogeneous,
+                                   satisfies_theorem5_condition,
+                                   theorem5_bound, worst_floor_ratio)
+from repro.core.topology import single_gateway, two_gateway_shared
+from repro.errors import RateVectorError
+
+
+class TestReservationFloor:
+    def test_single_gateway(self):
+        floor = reservation_floor(single_gateway(4, mu=2.0), 0.5)
+        assert np.allclose(floor, 0.25)  # 0.5 * 2.0 / 4
+
+    def test_path_minimum(self):
+        net = two_gateway_shared(mu_a=1.0, mu_b=4.0)
+        floor = reservation_floor(net, 0.5)
+        # long: min(0.5*1/2, 0.5*4/2) = 0.25
+        assert floor[net.connection_index("long")] == pytest.approx(0.25)
+        assert floor[net.connection_index("b_only")] == pytest.approx(1.0)
+
+    def test_invalid_rho(self):
+        with pytest.raises(RateVectorError):
+            reservation_floor(single_gateway(2), 1.5)
+
+    def test_heterogeneous_uses_own_rho(self):
+        net = single_gateway(2, mu=1.0)
+        floor = reservation_floor_heterogeneous(net, [0.6, 0.4])
+        assert floor[0] == pytest.approx(0.3)
+        assert floor[1] == pytest.approx(0.2)
+
+    def test_heterogeneous_shape_check(self):
+        with pytest.raises(RateVectorError):
+            reservation_floor_heterogeneous(single_gateway(2), [0.5])
+
+
+class TestTheorem5Bound:
+    def test_formula(self):
+        bound = theorem5_bound([0.1, 0.2], 1.0)
+        assert bound[0] == pytest.approx(0.1 / (1.0 - 0.2))
+        assert bound[1] == pytest.approx(0.2 / (1.0 - 0.4))
+
+    def test_vacuous_beyond_equal_share(self):
+        bound = theorem5_bound([0.6, 0.1], 1.0)
+        assert math.isinf(bound[0])  # 2 * 0.6 >= 1
+
+    def test_fair_share_satisfies(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            r = rng.uniform(0, 0.3, 4)
+            assert satisfies_theorem5_condition(FairShare(), r, 1.0)
+
+    def test_fair_share_smallest_meets_with_equality(self):
+        # For the smallest connection FS gives exactly r/(mu - N r).
+        r = np.array([0.05, 0.2, 0.3])
+        q = FairShare().queue_lengths(r, 1.0)
+        assert q[0] == pytest.approx(0.05 / (1.0 - 3 * 0.05))
+
+    def test_fifo_violates_when_others_are_greedy(self):
+        # Small connection among big ones: FIFO queue exceeds the bound.
+        r = np.array([0.05, 0.4, 0.4])
+        assert not satisfies_theorem5_condition(Fifo(), r, 1.0)
+
+    def test_fifo_satisfies_at_symmetric_point(self):
+        r = np.full(4, 0.1)
+        assert satisfies_theorem5_condition(Fifo(), r, 1.0)
+
+
+class TestOutcomes:
+    def test_robust_outcome(self):
+        net = single_gateway(2, mu=1.0)
+        assert is_robust_outcome(net, 0.5, [0.25, 0.25])
+        assert not is_robust_outcome(net, 0.5, [0.1, 0.4])
+
+    def test_worst_floor_ratio(self):
+        net = single_gateway(2, mu=1.0)
+        ratio = worst_floor_ratio(net, 0.5, [0.125, 0.375])
+        assert ratio == pytest.approx(0.5)
+
+
+class TestReservationDelay:
+    def test_formula(self):
+        assert reservation_delay(1.0, 4, 0.125) == \
+            pytest.approx(1.0 / (0.25 - 0.125))
+
+    def test_overload_inf(self):
+        assert math.isinf(reservation_delay(1.0, 4, 0.3))
+
+    def test_delay_factor_n_at_fair_point(self):
+        # Paper Section 3.4: reservation delay / FS delay == N.
+        n, mu, rho = 6, 1.0, 0.5
+        rate = rho * mu / n
+        fs_delay = FairShare().delays(np.full(n, rate), mu)[0]
+        resv = reservation_delay(mu, n, rate)
+        assert resv / fs_delay == pytest.approx(n)
+
+    def test_invalid_n(self):
+        with pytest.raises(RateVectorError):
+            reservation_delay(1.0, 0, 0.1)

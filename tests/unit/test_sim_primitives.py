@@ -1,0 +1,313 @@
+"""Unit tests for the simulator primitives: events, rng, queues,
+monitors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.events import Scheduler
+from repro.simulation.monitors import EndToEndMonitor, GatewayMonitor
+from repro.simulation.packet import Packet
+from repro.simulation.queues import (FairQueueingQueue, FairShareQueue,
+                                     FifoQueue, FixedPriorityQueue,
+                                     make_discipline)
+from repro.simulation.rng import RandomStreams
+
+
+class TestScheduler:
+    def test_runs_in_time_order(self):
+        sched = Scheduler()
+        seen = []
+        sched.schedule(2.0, lambda: seen.append("b"))
+        sched.schedule(1.0, lambda: seen.append("a"))
+        sched.run_until(3.0)
+        assert seen == ["a", "b"]
+        assert sched.now == 3.0
+
+    def test_fifo_tie_break(self):
+        sched = Scheduler()
+        seen = []
+        sched.schedule(1.0, lambda: seen.append(1))
+        sched.schedule(1.0, lambda: seen.append(2))
+        sched.run_until(1.0)
+        assert seen == [1, 2]
+
+    def test_cancellation(self):
+        sched = Scheduler()
+        seen = []
+        handle = sched.schedule(1.0, lambda: seen.append("x"))
+        handle.cancel()
+        sched.run_until(2.0)
+        assert seen == []
+
+    def test_schedule_in_past_rejected(self):
+        sched = Scheduler()
+        sched.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sched.schedule(1.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sched = Scheduler()
+        seen = []
+
+        def first():
+            sched.schedule_after(1.0, lambda: seen.append("second"))
+        sched.schedule(1.0, first)
+        sched.run_until(3.0)
+        assert seen == ["second"]
+
+    def test_events_beyond_horizon_kept(self):
+        sched = Scheduler()
+        seen = []
+        sched.schedule(10.0, lambda: seen.append("late"))
+        sched.run_until(5.0)
+        assert seen == []
+        sched.run_until(11.0)
+        assert seen == ["late"]
+
+    def test_peek_time_skips_cancelled(self):
+        sched = Scheduler()
+        h = sched.schedule(1.0, lambda: None)
+        sched.schedule(2.0, lambda: None)
+        h.cancel()
+        assert sched.peek_time() == 2.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Scheduler().schedule_after(-1.0, lambda: None)
+
+    def test_nonfinite_time_rejected(self):
+        with pytest.raises(SimulationError):
+            Scheduler().schedule(float("inf"), lambda: None)
+
+
+class TestRandomStreams:
+    def test_deterministic(self):
+        a = RandomStreams(7).stream("x").random(5)
+        b = RandomStreams(7).stream("x").random(5)
+        assert np.array_equal(a, b)
+
+    def test_streams_independent_of_creation_order(self):
+        s1 = RandomStreams(7)
+        first = s1.stream("a").random(3)
+        s2 = RandomStreams(7)
+        s2.stream("b")  # create b first
+        second = s2.stream("a").random(3)
+        assert np.array_equal(first, second)
+
+    def test_distinct_names_distinct_streams(self):
+        s = RandomStreams(7)
+        a = s.stream("arrival:c1").random(4)
+        b = s.stream("arrival:c2").random(4)
+        assert not np.array_equal(a, b)
+
+    def test_exponential_positive(self):
+        s = RandomStreams(0)
+        assert s.exponential("e", 2.0) > 0
+
+    def test_uniform_range(self):
+        s = RandomStreams(0)
+        assert 0.0 <= s.uniform("u") <= 1.0
+
+
+def _pkt(conn=0, seq=0, service=1.0):
+    p = Packet(conn=conn, seq=seq, created=0.0)
+    p.service_time = service
+    p.remaining = service
+    return p
+
+
+class TestFifoQueue:
+    def test_fifo_order(self):
+        q = FifoQueue()
+        q.push(_pkt(seq=1), 0.0)
+        q.push(_pkt(seq=2), 0.0)
+        assert q.pop(0.0).seq == 1
+        assert q.pop(0.0).seq == 2
+        assert q.pop(0.0) is None
+
+    def test_requeue_front(self):
+        q = FifoQueue()
+        q.push(_pkt(seq=1), 0.0)
+        p2 = _pkt(seq=2)
+        q.requeue_front(p2)
+        assert q.pop(0.0).seq == 2
+
+    def test_len(self):
+        q = FifoQueue()
+        assert len(q) == 0
+        q.push(_pkt(), 0.0)
+        assert len(q) == 1
+
+    def test_never_preempts(self):
+        q = FifoQueue()
+        assert not q.would_preempt(_pkt(), _pkt())
+
+
+class TestFixedPriorityQueue:
+    def test_higher_class_first(self):
+        q = FixedPriorityQueue({0: 1, 1: 0})
+        q.push(_pkt(conn=0, seq=1), 0.0)
+        q.push(_pkt(conn=1, seq=2), 0.0)
+        assert q.pop(0.0).conn == 1
+
+    def test_preemption_decision(self):
+        q = FixedPriorityQueue({0: 1, 1: 0})
+        low = _pkt(conn=0)
+        q.push(low, 0.0)
+        low = q.pop(0.0)
+        high = _pkt(conn=1)
+        q.push(high, 0.0)
+        high = q.pop(0.0)
+        assert q.would_preempt(low, high)
+        assert not q.would_preempt(high, low)
+
+    def test_unknown_conn_rejected(self):
+        q = FixedPriorityQueue({0: 0})
+        with pytest.raises(SimulationError):
+            q.push(_pkt(conn=5), 0.0)
+
+
+class TestFairShareQueue:
+    def _bound(self, rates):
+        q = FairShareQueue()
+        q.bind(list(range(len(rates))),
+               rate_provider=lambda: np.asarray(rates),
+               rng=np.random.default_rng(0))
+        return q
+
+    def test_smallest_connection_always_top_class(self):
+        q = self._bound([0.1, 0.5, 0.9])
+        for _ in range(20):
+            q.push(_pkt(conn=0), 0.0)
+        # All of connection 0's packets are in class 0.
+        classes = set()
+        while True:
+            pkt = q.pop(0.0)
+            if pkt is None:
+                break
+            classes.add(pkt.priority_class)
+        assert classes == {0}
+
+    def test_largest_connection_spreads_over_classes(self):
+        q = self._bound([0.1, 0.5, 0.9])
+        seen = set()
+        for _ in range(300):
+            pkt = _pkt(conn=2)
+            q.push(pkt, 0.0)
+            seen.add(pkt.priority_class)
+        assert seen == {0, 1, 2}
+
+    def test_thinning_probabilities(self):
+        # widths for conn with rate 0.9 given rates (0.1, 0.5, 0.9):
+        # (0.1, 0.4, 0.4)/0.9.
+        q = self._bound([0.1, 0.5, 0.9])
+        counts = np.zeros(3)
+        trials = 6000
+        for _ in range(trials):
+            pkt = _pkt(conn=2)
+            q.push(pkt, 0.0)
+            counts[pkt.priority_class] += 1
+        freq = counts / trials
+        assert freq[0] == pytest.approx(0.1 / 0.9, abs=0.03)
+        assert freq[1] == pytest.approx(0.4 / 0.9, abs=0.03)
+
+    def test_unbound_raises(self):
+        q = FairShareQueue()
+        with pytest.raises(SimulationError):
+            q.push(_pkt(), 0.0)
+
+    def test_zero_rate_defaults_to_top_class(self):
+        q = self._bound([0.0, 0.5])
+        pkt = _pkt(conn=0)
+        q.push(pkt, 0.0)
+        assert pkt.priority_class == 0
+
+
+class TestFairQueueingQueue:
+    def test_interleaves_flows(self):
+        q = FairQueueingQueue()
+        # Flow 0 dumps a burst; flow 1 sends one packet: flow 1's
+        # packet must not wait behind the whole burst.
+        for k in range(5):
+            q.push(_pkt(conn=0, seq=k, service=1.0), 0.0)
+        q.push(_pkt(conn=1, seq=0, service=1.0), 0.0)
+        order = []
+        while True:
+            pkt = q.pop(0.0)
+            if pkt is None:
+                break
+            order.append((pkt.conn, pkt.seq))
+        pos = order.index((1, 0))
+        assert pos <= 1
+
+    def test_non_preemptive(self):
+        q = FairQueueingQueue()
+        with pytest.raises(SimulationError):
+            q.requeue_front(_pkt())
+
+    def test_len_tracks(self):
+        q = FairQueueingQueue()
+        q.push(_pkt(), 0.0)
+        assert len(q) == 1
+        q.pop(0.0)
+        assert len(q) == 0
+
+
+class TestMakeDiscipline:
+    def test_known_kinds(self):
+        assert isinstance(make_discipline("fifo"), FifoQueue)
+        assert isinstance(make_discipline("fair-share"), FairShareQueue)
+
+    def test_unknown_kind(self):
+        with pytest.raises(SimulationError):
+            make_discipline("lifo")
+
+
+class TestMonitors:
+    def test_time_weighted_average(self):
+        m = GatewayMonitor([0])
+        m.on_arrival(0, 1.0)    # occupancy 1 from t=1
+        m.on_departure(0, 3.0)  # occupancy 0 from t=3
+        assert m.mean_queue_lengths(4.0)[0] == pytest.approx(0.5)
+
+    def test_reset_discards_history(self):
+        m = GatewayMonitor([0])
+        m.on_arrival(0, 0.0)
+        m.on_departure(0, 2.0)
+        m.reset_statistics(2.0)
+        assert m.mean_queue_lengths(4.0)[0] == 0.0
+
+    def test_occupancy_preserved_across_reset(self):
+        m = GatewayMonitor([0])
+        m.on_arrival(0, 0.0)
+        m.reset_statistics(1.0)
+        # still in system: from t=1 to t=2 occupancy is 1.
+        assert m.mean_queue_lengths(2.0)[0] == pytest.approx(1.0)
+
+    def test_underflow_detected(self):
+        m = GatewayMonitor([0])
+        with pytest.raises(SimulationError):
+            m.on_departure(0, 1.0)
+
+    def test_time_reversal_detected(self):
+        m = GatewayMonitor([0])
+        m.on_arrival(0, 5.0)
+        with pytest.raises(SimulationError):
+            m.on_arrival(0, 1.0)
+
+    def test_arrival_rates(self):
+        m = GatewayMonitor([0, 1])
+        for t in (1.0, 2.0, 3.0, 4.0):
+            m.on_arrival(0, t)
+        assert m.arrival_rates(4.0)[0] == pytest.approx(1.0)
+        assert m.arrival_rates(4.0)[1] == 0.0
+
+    def test_end_to_end_monitor(self):
+        m = EndToEndMonitor(2)
+        m.on_delivery(0, created=1.0, now=3.0)
+        m.on_delivery(0, created=2.0, now=3.0)
+        assert m.throughput(4.0)[0] == pytest.approx(0.5)
+        assert m.mean_delays()[0] == pytest.approx(1.5)
+        assert np.isnan(m.mean_delays()[1])
+        assert m.delivered[0] == 2

@@ -1,0 +1,169 @@
+"""Unit tests for the stability analysis toolkit."""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamics import FlowControlSystem
+from repro.core.fairshare import FairShare
+from repro.core.fifo import Fifo
+from repro.core.ratecontrol import TargetRule
+from repro.core.signals import FeedbackStyle, LinearSaturating
+from repro.core.stability import (analyze, eigenvalues,
+                                  is_systemically_stable,
+                                  is_triangular_in_rate_order,
+                                  is_unilaterally_stable, jacobian,
+                                  spectral_radius, transverse_eigenvalues,
+                                  transverse_spectral_radius,
+                                  triangularity_defect, unilateral_margins,
+                                  zero_sum_tangent_basis)
+from repro.core.steadystate import fair_steady_state
+from repro.core.topology import single_gateway
+from repro.errors import RateVectorError
+
+
+def _aggregate_system(n, eta=0.3):
+    net = single_gateway(n, mu=1.0)
+    return FlowControlSystem(net, Fifo(), LinearSaturating(),
+                             TargetRule(eta=eta, beta=0.5),
+                             style=FeedbackStyle.AGGREGATE)
+
+
+class TestJacobian:
+    def test_closed_form_aggregate(self):
+        # b = sum(r) at mu=1 with the linear signal, so
+        # DF = I - eta * ones.
+        eta, n = 0.3, 3
+        system = _aggregate_system(n, eta)
+        fair = fair_steady_state(single_gateway(n), 0.5)
+        df = jacobian(system, fair)
+        expected = np.eye(n) - eta * np.ones((n, n))
+        assert np.allclose(df, expected, atol=1e-5)
+
+    def test_schemes_agree_on_smooth_point(self):
+        system = _aggregate_system(3)
+        fair = fair_steady_state(single_gateway(3), 0.5)
+        df_c = jacobian(system, fair, scheme="central")
+        df_f = jacobian(system, fair, scheme="forward")
+        df_b = jacobian(system, fair, scheme="backward")
+        assert np.allclose(df_c, df_f, atol=1e-4)
+        assert np.allclose(df_c, df_b, atol=1e-4)
+
+    def test_unknown_scheme(self):
+        system = _aggregate_system(2)
+        with pytest.raises(RateVectorError):
+            jacobian(system, [0.2, 0.2], scheme="sideways")
+
+    def test_zero_rate_uses_forward(self):
+        system = _aggregate_system(2)
+        df = jacobian(system, np.array([0.0, 0.4]))
+        assert np.all(np.isfinite(df))
+
+
+class TestSpectra:
+    def test_eigenvalues_sorted_by_modulus(self):
+        m = np.diag([0.1, -0.9, 0.5])
+        eig = eigenvalues(m)
+        assert abs(eig[0]) == pytest.approx(0.9)
+        assert abs(eig[-1]) == pytest.approx(0.1)
+
+    def test_spectral_radius(self):
+        assert spectral_radius(np.diag([0.2, -1.4])) == pytest.approx(1.4)
+
+    def test_unilateral_margins(self):
+        m = np.array([[0.5, 9.0], [9.0, -0.7]])
+        assert np.allclose(unilateral_margins(m), [0.5, 0.7])
+
+    def test_stability_predicates(self):
+        stable = np.diag([0.5, -0.5])
+        unstable = np.diag([0.5, -1.5])
+        assert is_unilaterally_stable(stable)
+        assert is_systemically_stable(stable)
+        assert not is_unilaterally_stable(unstable)
+        assert not is_systemically_stable(unstable)
+
+    def test_unilateral_ok_systemic_not(self):
+        m = np.array([[0.7, 0.0], [5.0, 0.7]])
+        # Triangular: eigenvalues are the diagonal — actually stable.
+        assert is_systemically_stable(m)
+        m2 = np.array([[0.7, 2.0], [2.0, 0.7]])  # eig 2.7, -1.3
+        assert is_unilaterally_stable(m2)
+        assert not is_systemically_stable(m2)
+
+
+class TestTransverse:
+    def test_zero_sum_basis_properties(self):
+        basis = zero_sum_tangent_basis(5)
+        assert basis.shape == (5, 4)
+        assert np.allclose(basis.sum(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(basis.T @ basis, np.eye(4), atol=1e-12)
+
+    def test_basis_needs_two(self):
+        with pytest.raises(RateVectorError):
+            zero_sum_tangent_basis(1)
+
+    def test_aggregate_transverse_is_1_minus_eta_n(self):
+        eta, n = 0.3, 6
+        system = _aggregate_system(n, eta)
+        fair = fair_steady_state(single_gateway(n), 0.5)
+        df = jacobian(system, fair)
+        t = transverse_spectral_radius(df, zero_sum_tangent_basis(n))
+        assert t == pytest.approx(abs(1 - eta * n), abs=1e-4)
+
+    def test_transverse_eigenvalue_count(self):
+        df = np.eye(4)
+        eig = transverse_eigenvalues(df, zero_sum_tangent_basis(4))
+        assert eig.shape == (1,)
+
+    def test_bad_basis_shape(self):
+        with pytest.raises(RateVectorError):
+            transverse_eigenvalues(np.eye(3), np.eye(3))
+
+
+class TestTriangularity:
+    def test_lower_triangular_passes(self):
+        rates = [0.1, 0.2, 0.3]
+        df = np.tril(np.full((3, 3), 0.5))
+        assert triangularity_defect(df, rates) == 0.0
+        assert is_triangular_in_rate_order(df, rates)
+
+    def test_upper_entry_detected(self):
+        rates = [0.1, 0.2, 0.3]
+        df = np.tril(np.full((3, 3), 0.5))
+        df[0, 2] = 0.3
+        assert triangularity_defect(df, rates) == pytest.approx(0.3)
+
+    def test_rate_order_not_index_order(self):
+        # The matrix must be permuted into increasing-rate order first.
+        rates = [0.3, 0.1]  # connection 1 is the smaller
+        df = np.array([[0.5, 0.0],
+                       [0.4, 0.5]])  # DF[1,0] != 0: small depends on big
+        assert triangularity_defect(df, rates) == pytest.approx(0.4)
+
+    def test_ties_skipped(self):
+        rates = [0.2, 0.2]
+        df = np.array([[0.5, 0.9], [0.9, 0.5]])
+        assert triangularity_defect(df, rates) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(RateVectorError):
+            triangularity_defect(np.eye(3), [0.1, 0.2])
+
+
+class TestAnalyze:
+    def test_report_fields(self):
+        system = FlowControlSystem(single_gateway(3), FairShare(),
+                                   LinearSaturating(),
+                                   TargetRule(eta=0.1, beta=0.5))
+        fair = fair_steady_state(single_gateway(3), 0.5)
+        report = analyze(system, fair)
+        assert report.df.shape == (3, 3)
+        assert report.unilaterally_stable
+        assert report.unilateral_implies_systemic
+
+    def test_unilateral_implies_systemic_flags_violation(self):
+        system = _aggregate_system(12, eta=0.3)  # 1 - 3.6 unstable
+        fair = fair_steady_state(single_gateway(12), 0.5)
+        report = analyze(system, fair)
+        assert report.unilaterally_stable
+        assert not report.systemically_stable
+        assert not report.unilateral_implies_systemic

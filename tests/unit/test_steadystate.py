@@ -1,0 +1,125 @@
+"""Unit tests for steady-state prediction and the fair construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamics import FlowControlSystem
+from repro.core.fairshare import FairShare
+from repro.core.fifo import Fifo
+from repro.core.ratecontrol import TargetRule
+from repro.core.signals import FeedbackStyle, LinearSaturating
+from repro.core.steadystate import (fair_steady_state,
+                                    is_aggregate_steady_state,
+                                    predicted_steady_state, refine,
+                                    single_connection_rate,
+                                    steady_utilisation)
+from repro.core.topology import (parking_lot, single_gateway,
+                                 two_gateway_shared)
+from repro.errors import ConvergenceError, NotTimeScaleInvariantError
+
+
+class TestSteadyUtilisation:
+    def test_linear_signal(self):
+        assert steady_utilisation(LinearSaturating(), 0.5) == \
+            pytest.approx(0.5)
+
+    def test_higher_target_higher_load(self):
+        s = LinearSaturating()
+        assert steady_utilisation(s, 0.7) > steady_utilisation(s, 0.3)
+
+
+class TestFairSteadyState:
+    def test_single_gateway_equal_split(self):
+        rates = fair_steady_state(single_gateway(4, mu=2.0), 0.5)
+        assert np.allclose(rates, 0.25)
+
+    def test_two_gateway_waterfill(self):
+        # ga capacity 0.5 shared by {long, a_only}; gb capacity 1.0 by
+        # {long, b_only}: long = a_only = 0.25, b_only = 0.75.
+        net = two_gateway_shared(mu_a=1.0, mu_b=2.0)
+        rates = fair_steady_state(net, 0.5)
+        assert rates[net.connection_index("long")] == pytest.approx(0.25)
+        assert rates[net.connection_index("a_only")] == pytest.approx(0.25)
+        assert rates[net.connection_index("b_only")] == pytest.approx(0.75)
+
+    def test_parking_lot_long_gets_equal_share(self):
+        net = parking_lot(3, mu=1.0)
+        rates = fair_steady_state(net, 0.5)
+        # Every gateway: {long, cross}; equal split of 0.5.
+        assert np.allclose(rates, 0.25)
+
+    def test_capacity_never_exceeded(self):
+        net = two_gateway_shared(mu_a=0.7, mu_b=1.3)
+        rates = fair_steady_state(net, 0.4)
+        for g in net.gateway_names:
+            assert net.utilisation(g, rates) <= 0.4 + 1e-12
+
+    def test_invalid_rho(self):
+        with pytest.raises(ConvergenceError):
+            fair_steady_state(single_gateway(2), 1.0)
+
+    def test_single_connection_rate(self):
+        assert single_connection_rate(4.0, 0.5) == 2.0
+
+
+class TestPrediction:
+    def test_matches_dynamics_individual(self, gateway3):
+        system = FlowControlSystem(gateway3, FairShare(),
+                                   LinearSaturating(),
+                                   TargetRule(eta=0.1, beta=0.5))
+        predicted = predicted_steady_state(system)
+        dynamic = system.solve(np.array([0.01, 0.2, 0.4]))
+        assert np.allclose(predicted, dynamic, atol=1e-7)
+
+    def test_heterogeneous_rejected(self, gateway3):
+        system = FlowControlSystem(
+            gateway3, Fifo(), LinearSaturating(),
+            [TargetRule(beta=0.4), TargetRule(beta=0.5),
+             TargetRule(beta=0.6)], style=FeedbackStyle.AGGREGATE)
+        with pytest.raises(NotTimeScaleInvariantError):
+            predicted_steady_state(system)
+
+
+class TestManifoldMembership:
+    def test_fair_point_is_member(self, gateway3):
+        rates = fair_steady_state(gateway3, 0.5)
+        assert is_aggregate_steady_state(gateway3, 0.5, rates)
+
+    def test_unfair_split_is_member(self, gateway3):
+        assert is_aggregate_steady_state(gateway3, 0.5,
+                                         np.array([0.5, 0.0, 0.0]))
+
+    def test_underloaded_not_member(self, gateway3):
+        assert not is_aggregate_steady_state(gateway3, 0.5,
+                                             np.array([0.1, 0.1, 0.1]))
+
+    def test_overloaded_not_member(self, gateway3):
+        assert not is_aggregate_steady_state(gateway3, 0.5,
+                                             np.array([0.3, 0.3, 0.3]))
+
+    def test_multi_gateway_each_needs_bottleneck(self):
+        net = two_gateway_shared(mu_a=1.0, mu_b=2.0)
+        good = np.array([0.25, 0.25, 0.75])
+        assert is_aggregate_steady_state(net, 0.5, good)
+        # b_only not at its bottleneck:
+        bad = np.array([0.25, 0.25, 0.4])
+        assert not is_aggregate_steady_state(net, 0.5, bad)
+
+
+class TestRefine:
+    def test_polishes_approximation(self, gateway3):
+        system = FlowControlSystem(gateway3, FairShare(),
+                                   LinearSaturating(),
+                                   TargetRule(eta=0.1, beta=0.5))
+        exact = predicted_steady_state(system)
+        rough = exact * 1.01
+        polished = refine(system, rough, tol=1e-12)
+        assert np.max(np.abs(polished - exact)) < 1e-9
+
+    def test_raises_when_not_converging(self, gateway3):
+        system = FlowControlSystem(gateway3, FairShare(),
+                                   LinearSaturating(),
+                                   TargetRule(eta=0.1, beta=0.5))
+        with pytest.raises(ConvergenceError):
+            refine(system, np.array([0.01, 0.01, 0.01]), max_steps=2,
+                   tol=1e-14)

@@ -1,0 +1,176 @@
+"""Unit tests for repro.core.topology."""
+
+import numpy as np
+import pytest
+
+from repro.core.topology import (Connection, Gateway, Network, parking_lot,
+                                 random_network, single_gateway, tandem,
+                                 two_gateway_shared)
+from repro.errors import TopologyError
+
+
+class TestGateway:
+    def test_valid(self):
+        gw = Gateway("g", 2.0, 0.5)
+        assert gw.mu == 2.0 and gw.latency == 0.5
+
+    def test_default_latency_zero(self):
+        assert Gateway("g", 1.0).latency == 0.0
+
+    @pytest.mark.parametrize("mu", [0.0, -1.0, float("inf"), float("nan")])
+    def test_bad_mu(self, mu):
+        with pytest.raises(TopologyError):
+            Gateway("g", mu)
+
+    @pytest.mark.parametrize("lat", [-0.1, float("inf")])
+    def test_bad_latency(self, lat):
+        with pytest.raises(TopologyError):
+            Gateway("g", 1.0, lat)
+
+    def test_empty_name(self):
+        with pytest.raises(TopologyError):
+            Gateway("", 1.0)
+
+
+class TestConnection:
+    def test_path_tuple(self):
+        conn = Connection("c", ["a", "b"])
+        assert conn.path == ("a", "b")
+
+    def test_empty_path(self):
+        with pytest.raises(TopologyError):
+            Connection("c", ())
+
+    def test_duplicate_gateway_on_path(self):
+        with pytest.raises(TopologyError):
+            Connection("c", ("a", "a"))
+
+
+class TestNetwork:
+    def test_gamma_and_members(self):
+        net = two_gateway_shared()
+        assert net.gamma(0) == ("ga", "gb")
+        assert net.connections_at("ga") == (0, 1)
+        assert net.connections_at("gb") == (0, 2)
+        assert net.n_at("ga") == 2
+
+    def test_duplicate_gateway_name(self):
+        with pytest.raises(TopologyError):
+            Network([Gateway("g", 1.0), Gateway("g", 2.0)],
+                    [Connection("c", ("g",))])
+
+    def test_duplicate_connection_name(self):
+        with pytest.raises(TopologyError):
+            Network([Gateway("g", 1.0)],
+                    [Connection("c", ("g",)), Connection("c", ("g",))])
+
+    def test_unknown_gateway_in_path(self):
+        with pytest.raises(TopologyError):
+            Network([Gateway("g", 1.0)], [Connection("c", ("h",))])
+
+    def test_needs_connections(self):
+        with pytest.raises(TopologyError):
+            Network([Gateway("g", 1.0)], [])
+
+    def test_needs_gateways(self):
+        with pytest.raises(TopologyError):
+            Network([], [Connection("c", ("g",))])
+
+    def test_connection_index(self):
+        net = two_gateway_shared()
+        assert net.connection_index("long") == 0
+        with pytest.raises(TopologyError):
+            net.connection_index("nope")
+
+    def test_unknown_gateway_lookup(self):
+        net = single_gateway(2)
+        with pytest.raises(TopologyError):
+            net.gateway("zzz")
+        with pytest.raises(TopologyError):
+            net.connections_at("zzz")
+
+    def test_path_latency_sums(self):
+        net = Network(
+            [Gateway("a", 1.0, 0.5), Gateway("b", 1.0, 1.5)],
+            [Connection("c", ("a", "b"))])
+        assert net.path_latency(0) == pytest.approx(2.0)
+
+    def test_local_rates_order(self):
+        net = two_gateway_shared()
+        rates = np.array([0.1, 0.2, 0.3])
+        assert np.array_equal(net.local_rates("gb", rates), [0.1, 0.3])
+
+    def test_utilisation(self):
+        net = single_gateway(2, mu=2.0)
+        assert net.utilisation("g0", np.array([0.5, 0.5])) == \
+            pytest.approx(0.5)
+
+    def test_scaled(self):
+        net = single_gateway(2, mu=1.0, latency=0.7)
+        scaled = net.scaled(3.0)
+        assert scaled.mu("g0") == pytest.approx(3.0)
+        assert scaled.gateway("g0").latency == pytest.approx(0.7)
+
+    def test_scaled_invalid(self):
+        with pytest.raises(TopologyError):
+            single_gateway(2).scaled(0.0)
+
+    def test_with_latencies(self):
+        net = single_gateway(2)
+        out = net.with_latencies({"g0": 4.0})
+        assert out.gateway("g0").latency == 4.0
+
+    def test_with_latencies_unknown(self):
+        with pytest.raises(TopologyError):
+            single_gateway(2).with_latencies({"zzz": 1.0})
+
+    def test_repr(self):
+        assert "2 connections" in repr(single_gateway(2))
+
+
+class TestBuilders:
+    def test_single_gateway(self):
+        net = single_gateway(5, mu=2.0)
+        assert net.num_connections == 5
+        assert net.num_gateways == 1
+        assert net.n_at("g0") == 5
+
+    def test_single_gateway_invalid(self):
+        with pytest.raises(TopologyError):
+            single_gateway(0)
+
+    def test_tandem_all_cross_everything(self):
+        net = tandem(3, 4)
+        assert net.num_gateways == 3
+        for g in net.gateway_names:
+            assert net.n_at(g) == 4
+
+    def test_parking_lot_long_everywhere(self):
+        net = parking_lot(4, cross_per_hop=2)
+        assert net.num_connections == 1 + 4 * 2
+        for g in net.gateway_names:
+            assert 0 in net.connections_at(g)
+            assert net.n_at(g) == 3
+
+    def test_parking_lot_invalid(self):
+        with pytest.raises(TopologyError):
+            parking_lot(0)
+
+    def test_random_network_deterministic(self):
+        a = random_network(4, 6, seed=42)
+        b = random_network(4, 6, seed=42)
+        assert a.gateway_names == b.gateway_names
+        assert [a.gamma(i) for i in range(6)] == \
+            [b.gamma(i) for i in range(6)]
+
+    def test_random_network_counts(self):
+        net = random_network(5, 8, seed=1)
+        assert net.num_gateways == 5
+        assert net.num_connections == 8
+
+    def test_random_network_paths_valid(self):
+        net = random_network(6, 10, seed=3, max_path_len=3)
+        for i in range(net.num_connections):
+            path = net.gamma(i)
+            assert 1 <= len(path) <= 3
+            assert len(set(path)) == len(path)

@@ -1,0 +1,173 @@
+"""Unit tests for the weighted Fair Share extension."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.fairness import max_min_allocation
+from repro.core.fairshare import FairShare
+from repro.core.math_utils import g
+from repro.core.signals import (individual_congestion,
+                                weighted_individual_congestion)
+from repro.core.topology import single_gateway, two_gateway_shared
+from repro.core.weighted import (WeightedFairShare,
+                                 weighted_max_min_allocation,
+                                 weighted_reservation_floor)
+from repro.errors import RateVectorError, TopologyError
+
+
+class TestWeightedQueueLaw:
+    def test_equal_weights_reduce_to_fair_share(self, rates4):
+        wfs = WeightedFairShare(np.ones(4))
+        fs = FairShare()
+        assert np.allclose(wfs.queue_lengths(rates4, 1.0),
+                           fs.queue_lengths(rates4, 1.0))
+
+    def test_total_conserved(self, rates4):
+        wfs = WeightedFairShare([1.0, 2.0, 0.5, 3.0])
+        total = wfs.total_queue(rates4, 1.0)
+        assert total == pytest.approx(g(rates4.sum()))
+
+    def test_weight_proportional_split_at_proportional_rates(self):
+        # Rates proportional to weights -> one priority class -> queues
+        # split in proportion to weights.
+        phi = np.array([1.0, 2.0, 3.0])
+        r = 0.1 * phi
+        q = WeightedFairShare(phi).queue_lengths(r, 1.0)
+        assert np.allclose(q / phi, q[0] / phi[0])
+        assert q.sum() == pytest.approx(g(r.sum()))
+
+    def test_triangular_in_normalised_rates(self):
+        phi = np.array([1.0, 2.0, 1.0])
+        r = np.array([0.1, 0.1, 0.3])     # v = (0.1, 0.05, 0.3)
+        q1 = WeightedFairShare(phi).queue_lengths(r, 1.0)
+        bumped = r.copy()
+        bumped[2] += 0.1                   # largest v grows
+        q2 = WeightedFairShare(phi).queue_lengths(bumped, 1.0)
+        assert np.allclose(q1[:2], q2[:2])
+
+    def test_weighted_theorem5_bound(self):
+        rng = np.random.default_rng(3)
+        phi = np.array([1.0, 2.0, 4.0])
+        big_phi = phi.sum()
+        for _ in range(50):
+            r = rng.uniform(0.0, 0.25, 3)
+            q = WeightedFairShare(phi).queue_lengths(r, 1.0)
+            denom = 1.0 - (big_phi / phi) * r
+            for i in range(3):
+                if denom[i] <= 0:
+                    continue
+                bound = r[i] / denom[i]
+                assert q[i] <= bound + 1e-9
+
+    def test_small_heavy_weight_isolated_from_overload(self):
+        phi = np.array([4.0, 1.0])
+        # conn 0: v = 0.025; conn 1 hogs: v = 1.2.
+        q = WeightedFairShare(phi).queue_lengths([0.1, 1.2], 1.0)
+        assert np.isfinite(q[0])
+        assert math.isinf(q[1])
+
+    def test_zero_rate_zero_queue(self):
+        q = WeightedFairShare([1.0, 2.0]).queue_lengths([0.0, 0.3], 1.0)
+        assert q[0] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(RateVectorError):
+            WeightedFairShare([1.0, -1.0])
+        with pytest.raises(RateVectorError):
+            WeightedFairShare([1.0, 2.0]).queue_lengths([0.1], 1.0)
+
+    def test_weights_copy(self):
+        wfs = WeightedFairShare([1.0, 2.0])
+        w = wfs.weights
+        w[0] = 99.0
+        assert wfs.weights[0] == 1.0
+
+
+class TestWeightedCongestion:
+    def test_reduces_to_unweighted(self):
+        q = np.array([0.5, 1.5, 3.0])
+        assert np.allclose(
+            weighted_individual_congestion(q, np.ones(3)),
+            individual_congestion(q))
+
+    def test_largest_equals_aggregate(self):
+        q = np.array([0.5, 1.5, 3.0])
+        phi = np.array([1.0, 1.0, 1.0])
+        c = weighted_individual_congestion(q, phi)
+        assert c[2] == pytest.approx(q.sum())
+
+    def test_smallest_is_weight_scaled(self):
+        # C_min = Phi * Q_min / phi_min when all others are larger
+        # per-weight.
+        q = np.array([0.2, 5.0, 5.0])
+        phi = np.array([2.0, 1.0, 1.0])
+        c = weighted_individual_congestion(q, phi)
+        assert c[0] == pytest.approx(phi.sum() * q[0] / phi[0])
+
+    def test_validation(self):
+        with pytest.raises(RateVectorError):
+            weighted_individual_congestion([1.0, 2.0], [1.0])
+        with pytest.raises(RateVectorError):
+            weighted_individual_congestion([1.0], [0.0])
+
+
+class TestWeightedAllocation:
+    def test_single_gateway_proportional(self):
+        net = single_gateway(3, mu=1.0)
+        rates = weighted_max_min_allocation(net, {"g0": 0.6},
+                                            [1.0, 2.0, 3.0])
+        assert np.allclose(rates, [0.1, 0.2, 0.3])
+
+    def test_equal_weights_match_unweighted(self):
+        net = two_gateway_shared(mu_a=1.0, mu_b=2.0)
+        caps = {"ga": 0.5, "gb": 1.0}
+        weighted = weighted_max_min_allocation(net, caps, np.ones(3))
+        plain = max_min_allocation(net, caps)
+        assert np.allclose(weighted, plain)
+
+    def test_multi_gateway_weighted_bottleneck(self):
+        net = two_gateway_shared(mu_a=1.0, mu_b=2.0)
+        # long has weight 3 at ga against a_only's 1: gets 3/4 of ga.
+        rates = weighted_max_min_allocation(
+            net, {"ga": 0.4, "gb": 1.0}, [3.0, 1.0, 1.0])
+        assert rates[0] == pytest.approx(0.3)
+        assert rates[1] == pytest.approx(0.1)
+        assert rates[2] == pytest.approx(0.7)
+
+    def test_capacity_respected(self):
+        net = two_gateway_shared()
+        caps = {"ga": 0.5, "gb": 0.8}
+        rates = weighted_max_min_allocation(net, caps, [1.0, 5.0, 2.0])
+        for gname in net.gateway_names:
+            used = sum(rates[i] for i in net.connections_at(gname))
+            assert used <= caps[gname] + 1e-9
+
+    def test_missing_capacity(self):
+        with pytest.raises(TopologyError):
+            weighted_max_min_allocation(single_gateway(2), {}, [1.0, 1.0])
+
+    def test_bad_weights(self):
+        with pytest.raises(RateVectorError):
+            weighted_max_min_allocation(single_gateway(2), {"g0": 1.0},
+                                        [1.0])
+
+
+class TestWeightedFloor:
+    def test_single_gateway(self):
+        net = single_gateway(2, mu=1.0)
+        floor = weighted_reservation_floor(net, 0.5, [1.0, 3.0])
+        assert floor[0] == pytest.approx(0.5 * 0.25)
+        assert floor[1] == pytest.approx(0.5 * 0.75)
+
+    def test_equal_weights_match_unweighted(self):
+        from repro.core.robustness import reservation_floor
+        net = two_gateway_shared(mu_a=1.0, mu_b=2.0)
+        assert np.allclose(
+            weighted_reservation_floor(net, 0.5, np.ones(3)),
+            reservation_floor(net, 0.5))
+
+    def test_invalid_rho(self):
+        with pytest.raises(RateVectorError):
+            weighted_reservation_floor(single_gateway(2), 1.2, [1.0, 1.0])

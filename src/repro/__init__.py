@@ -30,6 +30,17 @@ Quickstart::
                                style=FeedbackStyle.INDIVIDUAL)
     traj = system.run(np.array([0.1, 0.2, 0.3, 0.4]))
     print(traj.outcome, traj.final)
+
+Whole ensembles of initial conditions iterate together through the
+batched engine (one vectorised update per step, finished members
+masked out)::
+
+    starts = np.random.default_rng(0).uniform(0.0, 0.6, size=(256, 4))
+    result = system.run_ensemble(starts, max_steps=20000)
+    print(result.outcome_counts(), result.finals.shape)
+
+and grids of *independent* work (one system per point) fan out over
+processes with :func:`repro.parallel.sweep`.
 """
 
 from .core import *  # noqa: F401,F403 — the curated public API
@@ -37,11 +48,12 @@ from .core import __all__ as _core_all
 from .errors import (ConvergenceError, ExperimentError, InfeasibleLoadError,
                      NotTimeScaleInvariantError, RateVectorError, ReproError,
                      SimulationError, TopologyError)
+from .parallel import sweep
 
 __version__ = "1.0.0"
 
 __all__ = list(_core_all) + [
     "ReproError", "TopologyError", "RateVectorError", "InfeasibleLoadError",
     "ConvergenceError", "NotTimeScaleInvariantError", "SimulationError",
-    "ExperimentError", "__version__",
+    "ExperimentError", "sweep", "__version__",
 ]

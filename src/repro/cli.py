@@ -8,7 +8,9 @@ Commands:
 * ``all [--csv-dir DIR]`` — run everything, print a summary line per
   artifact, exit nonzero if any shape check fails;
 * ``table1 [--rates r1,r2,...] [--mu MU]`` — regenerate Table 1 for
-  custom rates.
+  custom rates;
+* ``selftest`` — fast smoke check of the batch trajectory engine
+  (equivalence against the scalar paths plus a tiny ensemble).
 """
 
 from __future__ import annotations
@@ -48,6 +50,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated sending rates")
     t1_p.add_argument("--mu", type=float, default=1.5,
                       help="gateway service rate")
+
+    sub.add_parser("selftest",
+                   help="fast batch-engine smoke check (< 30 s)")
     return parser
 
 
@@ -96,6 +101,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_all(args.csv_dir)
     if args.command == "table1":
         return _cmd_table1(args.rates, args.mu)
+    if args.command == "selftest":
+        from .selftest import main as selftest_main
+        return selftest_main()
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

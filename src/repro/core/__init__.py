@@ -12,20 +12,22 @@ signalling, :mod:`repro.core.ratecontrol` for source update rules,
 performance goals.
 """
 
-from .delays import per_gateway_delays, round_trip_delays
-from .dynamics import FlowControlSystem, Outcome, Trajectory
+from .delays import (per_gateway_delays, round_trip_delays,
+                     round_trip_delays_batch)
+from .dynamics import EnsembleResult, FlowControlSystem, Outcome, Trajectory
 from .fairness import is_fair, jain_index, max_min_allocation, unfairness
-from .fairshare import (FairShare, cumulative_loads,
+from .fairshare import (FairShare, cumulative_loads, cumulative_loads_batch,
                         fair_share_queues_recursive, priority_decomposition)
 from .feasibility import FeasibilityReport, check_feasibility
 from .fifo import Fifo
-from .math_utils import g, g_inverse
+from .math_utils import as_rate_matrix, g, g_inverse
 from .ratecontrol import (BinaryAimdRule, DecbitRateRule, DecbitWindowRule,
                           ProportionalTargetRule, RateAdjustment, TargetRule,
                           tsi_target, verify_tsi)
 from .robustness import (is_robust_outcome, reservation_delay,
                          reservation_floor, satisfies_theorem5_condition,
-                         theorem5_bound, worst_floor_ratio)
+                         theorem5_bound, theorem5_condition_batch,
+                         worst_floor_ratio)
 from .service import PreemptivePriority, ServiceDiscipline
 from .signals import (ExponentialSignal, FeedbackScheme, FeedbackStyle,
                       LinearSaturating, PowerSaturating, SignalFunction,
@@ -55,7 +57,7 @@ __all__ = [
     "two_gateway_shared", "tandem", "parking_lot", "random_network",
     # disciplines
     "ServiceDiscipline", "Fifo", "FairShare", "PreemptivePriority",
-    "priority_decomposition", "cumulative_loads",
+    "priority_decomposition", "cumulative_loads", "cumulative_loads_batch",
     "fair_share_queues_recursive",
     # feasibility
     "FeasibilityReport", "check_feasibility",
@@ -69,9 +71,9 @@ __all__ = [
     "DecbitWindowRule", "DecbitRateRule", "BinaryAimdRule",
     "verify_tsi", "tsi_target",
     # dynamics
-    "FlowControlSystem", "Outcome", "Trajectory",
+    "FlowControlSystem", "Outcome", "Trajectory", "EnsembleResult",
     # delays
-    "round_trip_delays", "per_gateway_delays",
+    "round_trip_delays", "per_gateway_delays", "round_trip_delays_batch",
     # steady state
     "steady_utilisation", "fair_steady_state", "predicted_steady_state",
     "is_aggregate_steady_state", "single_connection_rate", "refine",
@@ -85,8 +87,8 @@ __all__ = [
     # fairness / robustness
     "is_fair", "unfairness", "jain_index", "max_min_allocation",
     "reservation_floor", "theorem5_bound",
-    "satisfies_theorem5_condition", "is_robust_outcome",
-    "worst_floor_ratio", "reservation_delay",
+    "satisfies_theorem5_condition", "theorem5_condition_batch",
+    "is_robust_outcome", "worst_floor_ratio", "reservation_delay",
     # weighted extension
     "WeightedFairShare", "weighted_max_min_allocation",
     "weighted_reservation_floor",
@@ -94,5 +96,5 @@ __all__ = [
     "UpdateSchedule", "SynchronousSchedule", "RoundRobinSchedule",
     "BernoulliSchedule", "AsynchronousRunner",
     # math
-    "g", "g_inverse",
+    "g", "g_inverse", "as_rate_matrix",
 ]

@@ -15,11 +15,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import RateVectorError
 from .math_utils import as_rate_vector
 from .service import ServiceDiscipline
 from .topology import Network
 
-__all__ = ["round_trip_delays", "per_gateway_delays"]
+__all__ = ["round_trip_delays", "round_trip_delays_batch",
+           "per_gateway_delays"]
 
 
 def per_gateway_delays(network: Network, discipline: ServiceDiscipline,
@@ -52,4 +54,29 @@ def round_trip_delays(network: Network, discipline: ServiceDiscipline,
             pos = network.connections_at(gname).index(i)
             total += float(sojourns[gname][pos])
         d[i] = total
+    return d
+
+
+def round_trip_delays_batch(network: Network,
+                            discipline: ServiceDiscipline,
+                            rates: np.ndarray) -> np.ndarray:
+    """Batched :func:`round_trip_delays`: row ``m`` of the ``(M, N)``
+    result equals ``round_trip_delays(network, discipline, rates[m])``.
+
+    Gateway sojourns are computed once per gateway for the whole batch
+    and scattered back onto connection columns.
+    """
+    r = np.asarray(rates, dtype=float)
+    n = network.num_connections
+    if r.ndim != 2 or r.shape[1] != n:
+        raise RateVectorError(
+            f"need an (M, {n}) rate batch, got shape {r.shape}")
+    d = np.empty_like(r)
+    d[:] = [network.path_latency(i) for i in range(n)]
+    for gname in network.gateway_names:
+        cols = np.asarray(network.connections_at(gname), dtype=np.intp)
+        if cols.size == 0:
+            continue
+        sojourn = discipline.delays_batch(r[:, cols], network.mu(gname))
+        d[:, cols] += sojourn
     return d

@@ -11,6 +11,14 @@ with queue lengths assumed instantly equilibrated to the current rates,
 as in the model.  :meth:`FlowControlSystem.run` iterates the map,
 records the trajectory, and classifies the outcome as converged,
 oscillating (a small-period limit cycle), diverged, or undecided.
+
+The batch engine — :meth:`FlowControlSystem.step_batch` and
+:meth:`FlowControlSystem.run_ensemble` — iterates an ``(M, N)`` array
+of M rate vectors through the *same* map simultaneously: every stage
+(queue laws, congestion measures, signal function, rate rules) is
+vectorised across the ensemble axis, and members that converge or
+diverge are masked out so finished trajectories stop costing work.
+Row ``m`` of the batched run reproduces ``run(initials[m])`` exactly.
 """
 
 from __future__ import annotations
@@ -23,14 +31,15 @@ from typing import List, Optional, Sequence, Union
 import numpy as np
 
 from ..errors import ConvergenceError, RateVectorError
-from .delays import round_trip_delays
-from .math_utils import as_rate_vector, clip_nonnegative, sup_norm
+from .delays import round_trip_delays, round_trip_delays_batch
+from .math_utils import (as_rate_matrix, as_rate_vector, clip_nonnegative,
+                         sup_norm)
 from .ratecontrol import RateAdjustment
 from .service import ServiceDiscipline
 from .signals import FeedbackScheme, FeedbackStyle, SignalFunction
 from .topology import Network
 
-__all__ = ["Outcome", "Trajectory", "FlowControlSystem"]
+__all__ = ["Outcome", "Trajectory", "EnsembleResult", "FlowControlSystem"]
 
 
 class Outcome(enum.Enum):
@@ -75,6 +84,57 @@ class Trajectory:
         return self.history[-k:]
 
 
+@dataclass
+class EnsembleResult:
+    """The outcome of a batched :meth:`FlowControlSystem.run_ensemble`.
+
+    Attributes:
+        finals: array of shape ``(M, N)`` — the last state of each
+            ensemble member (row ``m`` equals ``run(initials[m]).final``).
+        outcomes: per-member :class:`Outcome`, length M.
+        periods: per-member detected period (1 when converged, the cycle
+            length when oscillating, ``None`` otherwise).
+        steps: per-member number of map applications performed.
+        initials: the ``(M, N)`` initial conditions.
+        histories: when the ensemble was run with ``record=True``, the
+            per-member trajectories (each ``(steps_m + 1, N)``);
+            otherwise ``None``.
+    """
+
+    finals: np.ndarray
+    outcomes: List[Outcome]
+    periods: List[Optional[int]]
+    steps: np.ndarray
+    initials: np.ndarray
+    histories: Optional[List[np.ndarray]] = None
+
+    def __len__(self) -> int:
+        return self.finals.shape[0]
+
+    def outcome_mask(self, outcome: Outcome) -> np.ndarray:
+        """Boolean member mask for one outcome class."""
+        return np.array([o is outcome for o in self.outcomes])
+
+    def outcome_counts(self) -> dict:
+        """``{outcome: member count}`` over the ensemble."""
+        counts = {o: 0 for o in Outcome}
+        for o in self.outcomes:
+            counts[o] += 1
+        return counts
+
+    def trajectory(self, m: int) -> Trajectory:
+        """Member ``m`` as a scalar-path :class:`Trajectory`.
+
+        Requires the ensemble to have been run with ``record=True``.
+        """
+        if self.histories is None:
+            raise RateVectorError(
+                "run_ensemble(..., record=True) is required to extract "
+                "per-member trajectories")
+        return Trajectory(self.histories[m], self.outcomes[m],
+                          self.periods[m], int(self.steps[m]))
+
+
 class FlowControlSystem:
     """A complete feedback flow control configuration and its dynamics."""
 
@@ -100,6 +160,20 @@ class FlowControlSystem:
                     f"need one rule per connection: got {len(self.rules)} "
                     f"rules for {n} connections")
         self._mu_max = max(network.mu(g) for g in network.gateway_names)
+        # Batch path: group connection columns by rule object so each
+        # distinct rule is applied once per step over all its columns
+        # (heterogeneous configurations stay fully vectorised).
+        groups: List[tuple] = []
+        seen: dict = {}
+        for i, rule in enumerate(self.rules):
+            key = id(rule)
+            if key not in seen:
+                seen[key] = len(groups)
+                groups.append((rule, [i]))
+            else:
+                groups[seen[key]][1].append(i)
+        self._rule_groups = [(rule, np.asarray(cols, dtype=np.intp))
+                             for rule, cols in groups]
 
     @property
     def style(self) -> FeedbackStyle:
@@ -139,6 +213,23 @@ class FlowControlSystem:
         ])
         return clip_nonnegative(new)
 
+    def step_batch(self, rates: np.ndarray) -> np.ndarray:
+        """One synchronous application of ``F`` to a batch of states.
+
+        ``rates`` is an ``(M, N)`` array of M independent rate vectors
+        (a single vector is promoted to a one-row batch); the result has
+        the same shape and satisfies
+        ``step_batch(R)[m] == step(R[m])`` for every row.
+        """
+        r = as_rate_matrix(rates, n=self.network.num_connections)
+        b = self.scheme.signals_batch(r)
+        d = round_trip_delays_batch(self.network, self.discipline, r)
+        new = np.empty_like(r)
+        for rule, cols in self._rule_groups:
+            new[:, cols] = rule.apply_batch(r[:, cols], b[:, cols],
+                                            d[:, cols])
+        return clip_nonnegative(new)
+
     def residual(self, rates: np.ndarray) -> np.ndarray:
         """``F(r) - r``: zero exactly at (truncated) steady states."""
         r = as_rate_vector(rates, n=self.network.num_connections)
@@ -165,30 +256,137 @@ class FlowControlSystem:
         DIVERGED immediately.
         """
         r = as_rate_vector(initial, n=self.network.num_connections)
-        history = [r.copy()]
+        # Preallocate the whole history buffer; trim (with a copy, so
+        # early convergence does not pin max_steps worth of memory) on
+        # return.
+        history = np.empty((max_steps + 1, r.shape[0]), dtype=float)
+        history[0] = r
         quiet = 0
         limit = self.DIVERGENCE_FACTOR * self._mu_max
+
+        def trimmed(steps: int) -> np.ndarray:
+            if steps == max_steps:
+                return history
+            return history[:steps + 1].copy()
+
         for step_count in range(1, max_steps + 1):
             r_next = self.step(r)
-            history.append(r_next.copy())
+            history[step_count] = r_next
             if not np.all(np.isfinite(r_next)) or np.any(r_next > limit):
-                return Trajectory(np.array(history), Outcome.DIVERGED,
+                return Trajectory(trimmed(step_count), Outcome.DIVERGED,
                                   None, step_count)
             change = sup_norm(r_next, r)
             scale = max(1.0, float(np.max(r_next)))
             if change <= tol * scale:
                 quiet += 1
                 if quiet >= settle:
-                    return Trajectory(np.array(history), Outcome.CONVERGED,
-                                      1, step_count)
+                    return Trajectory(trimmed(step_count),
+                                      Outcome.CONVERGED, 1, step_count)
             else:
                 quiet = 0
             r = r_next
-        arr = np.array(history)
-        period = _detect_period(arr, max_period, tol)
+        period = _detect_period(history, max_period, tol)
         if period is not None:
-            return Trajectory(arr, Outcome.OSCILLATING, period, max_steps)
-        return Trajectory(arr, Outcome.UNDECIDED, None, max_steps)
+            return Trajectory(history, Outcome.OSCILLATING, period,
+                              max_steps)
+        return Trajectory(history, Outcome.UNDECIDED, None, max_steps)
+
+    def run_ensemble(self, initials, max_steps: int = 20000,
+                     tol: float = 1e-10, settle: int = 5,
+                     max_period: int = 64,
+                     record: bool = False) -> EnsembleResult:
+        """Iterate the map from a whole batch of initial conditions.
+
+        ``initials`` is an ``(M, N)`` array — M starting rate vectors —
+        and every member is evolved under the *same* per-step semantics
+        as :meth:`run`: member ``m`` of the result matches
+        ``run(initials[m], ...)`` in final state, outcome, step count,
+        and period.  All M trajectories advance through one vectorised
+        :meth:`step_batch` per step, and members that converge or
+        diverge are masked out of the batch so finished trajectories
+        stop costing work.
+
+        Pass ``record=True`` to also keep the full per-member histories
+        (memory: ``M * (max_steps + 1) * N`` floats); by default only a
+        rolling tail needed for limit-cycle detection is retained.
+        """
+        r0 = as_rate_matrix(initials, n=self.network.num_connections)
+        m_total, n = r0.shape
+        limit = self.DIVERGENCE_FACTOR * self._mu_max
+
+        outcomes: List[Outcome] = [Outcome.UNDECIDED] * m_total
+        periods: List[Optional[int]] = [None] * m_total
+        steps = np.full(m_total, 0, dtype=int)
+        finals = r0.copy()
+        quiet = np.zeros(m_total, dtype=int)
+
+        # Rolling tail for period detection: _detect_period probes lags
+        # up to max_period over a window of 3 * max_period, so the last
+        # 4 * max_period states suffice.
+        tcap = min(4 * max_period, max_steps + 1)
+        tail = np.zeros((m_total, tcap, n), dtype=float)
+        tail[:, 0] = r0
+        full = np.empty((m_total, max_steps + 1, n)) if record else None
+        if record:
+            full[:, 0] = r0
+
+        idx = np.arange(m_total)      # members still iterating
+        r = r0.copy()                 # their current states, compressed
+        for step_count in range(1, max_steps + 1):
+            r_next = self.step_batch(r)
+            tail[idx, step_count % tcap] = r_next
+            if record:
+                full[idx, step_count] = r_next
+
+            finite = np.all(np.isfinite(r_next), axis=1)
+            with np.errstate(invalid="ignore"):
+                diverged = ~finite | np.any(r_next > limit, axis=1)
+                change = np.max(np.abs(r_next - r), axis=1)
+                scale = np.maximum(1.0, np.max(r_next, axis=1))
+                within = change <= tol * scale
+            quiet_next = np.where(within, quiet[idx] + 1, 0)
+            quiet[idx] = quiet_next
+            converged = (quiet_next >= settle) & ~diverged
+            done = diverged | converged
+
+            if np.any(done):
+                done_members = idx[done]
+                finals[done_members] = r_next[done]
+                steps[done_members] = step_count
+                for m, is_div in zip(done_members, diverged[done]):
+                    if is_div:
+                        outcomes[m] = Outcome.DIVERGED
+                    else:
+                        outcomes[m] = Outcome.CONVERGED
+                        periods[m] = 1
+                keep = ~done
+                idx = idx[keep]
+                r = r_next[keep]
+                if idx.size == 0:
+                    break
+            else:
+                r = r_next
+        else:
+            # Members that exhausted the step budget: reconstruct the
+            # ordered tail from the ring buffer and look for a cycle.
+            finals[idx] = r
+            steps[idx] = max_steps
+            start = (max_steps + 1) % tcap if max_steps + 1 > tcap else 0
+            for m in idx:
+                ordered = np.roll(tail[m], -start, axis=0)
+                period = _detect_period(ordered, max_period, tol,
+                                        total_len=max_steps + 1)
+                if period is not None:
+                    outcomes[m] = Outcome.OSCILLATING
+                    periods[m] = period
+
+        histories = None
+        if record:
+            histories = [full[m, :steps[m] + 1].copy()
+                         for m in range(m_total)]
+        return EnsembleResult(finals=finals, outcomes=outcomes,
+                              periods=periods, steps=steps,
+                              initials=r0, histories=histories)
 
     def solve(self, initial: Sequence[float], **kwargs) -> np.ndarray:
         """Run to convergence and return the steady state; raise otherwise."""
@@ -199,10 +397,16 @@ class FlowControlSystem:
         return traj.final
 
 
-def _detect_period(history: np.ndarray, max_period: int,
-                   tol: float) -> Optional[int]:
-    """Smallest period ``p >= 2`` such that the tail repeats with lag p."""
-    steps = history.shape[0]
+def _detect_period(history: np.ndarray, max_period: int, tol: float,
+                   total_len: int = None) -> Optional[int]:
+    """Smallest period ``p >= 2`` such that the tail repeats with lag p.
+
+    ``history`` may be just the trajectory tail (at least the last
+    ``4 * max_period`` states); pass ``total_len`` as the true number of
+    recorded states so the window-length guard matches the full-history
+    behaviour.
+    """
+    steps = history.shape[0] if total_len is None else total_len
     for p in range(2, max_period + 1):
         window = 3 * p
         if steps < window + p:

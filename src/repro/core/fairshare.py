@@ -42,11 +42,12 @@ from typing import Sequence
 
 import numpy as np
 
+from ..errors import RateVectorError
 from .math_utils import as_rate_vector, g, inverse_permutation, sorted_order
 from .service import ServiceDiscipline, _check_mu
 
 __all__ = ["FairShare", "priority_decomposition", "cumulative_loads",
-           "fair_share_queues_recursive"]
+           "cumulative_loads_batch", "fair_share_queues_recursive"]
 
 
 def priority_decomposition(rates: Sequence[float]) -> np.ndarray:
@@ -67,18 +68,43 @@ def priority_decomposition(rates: Sequence[float]) -> np.ndarray:
     return decomp
 
 
-def cumulative_loads(rates: Sequence[float], mu: float) -> np.ndarray:
+def cumulative_loads(rates: Sequence[float], mu: float,
+                     sorted_rates: np.ndarray = None) -> np.ndarray:
     """``sigma_k = (1/mu) sum_m min(r_m, r_(k))`` for sorted rank ``k``.
 
     ``sigma_k`` is the cumulative utilisation of priority classes
     ``1..k``; it is the only load the ``k``-th smallest connection ever
     experiences under Fair Share.
+
+    Pass ``sorted_rates`` (the rates in increasing order) when the
+    caller has already sorted them — :meth:`FairShare.queue_lengths`
+    does — to avoid sorting the same vector twice.
     """
     r = as_rate_vector(rates)
     _check_mu(mu)
-    sorted_rates = r[sorted_order(r)]
+    if sorted_rates is None:
+        sorted_rates = r[sorted_order(r)]
     capped = np.minimum(r[None, :], sorted_rates[:, None])
     return capped.sum(axis=1) / mu
+
+
+def cumulative_loads_batch(rates: np.ndarray, mu: float,
+                           sorted_rates: np.ndarray = None) -> np.ndarray:
+    """Batched :func:`cumulative_loads`: row ``m`` of the ``(M, n)``
+    result is ``cumulative_loads(rates[m], mu)``.
+
+    ``sorted_rates`` (each row sorted increasingly) can be supplied when
+    the caller has already sorted the batch.
+    """
+    r = np.asarray(rates, dtype=float)
+    _check_mu(mu)
+    if r.ndim != 2:
+        raise RateVectorError(
+            f"rate batch must be 2-D, got shape {r.shape}")
+    if sorted_rates is None:
+        sorted_rates = np.sort(r, axis=1, kind="stable")
+    capped = np.minimum(r[:, None, :], sorted_rates[:, :, None])
+    return capped.sum(axis=2) / mu
 
 
 class FairShare(ServiceDiscipline):
@@ -92,7 +118,7 @@ class FairShare(ServiceDiscipline):
         n = r.shape[0]
         order = sorted_order(r)
         inv = inverse_permutation(order)
-        sigma = cumulative_loads(r, mu)
+        sigma = cumulative_loads(r, mu, sorted_rates=r[order])
 
         # Class occupancies L_k = g(sigma_k) - g(sigma_{k-1}); classes at
         # or beyond utilisation 1 have no steady state.
@@ -122,6 +148,44 @@ class FairShare(ServiceDiscipline):
         q_sorted[sorted_rates == 0.0] = 0.0
         return q_sorted[inv]
 
+    def queue_lengths_batch(self, rates, mu):
+        """Vectorised FS queue law over an ``(M, n)`` batch of rate rows.
+
+        Sorts each row once, forms the cumulative loads by broadcasting,
+        and turns the per-class occupancy increments into per-connection
+        shares with a single ``cumsum`` along the class axis — no Python
+        loop over either the batch or the classes.
+        """
+        r = np.asarray(rates, dtype=float)
+        _check_mu(mu)
+        if r.ndim != 2:
+            raise RateVectorError(
+                f"rate batch must be 2-D, got shape {r.shape}")
+        m_batch, n = r.shape
+        order = np.argsort(r, axis=1, kind="stable")
+        sorted_rates = np.take_along_axis(r, order, axis=1)
+        sigma = cumulative_loads_batch(r, mu, sorted_rates=sorted_rates)
+
+        # L_k = g(sigma_k) - g(sigma_{k-1}), shared by the N - k
+        # connections in class k; a connection's queue is the cumsum of
+        # its class shares.  sigma is nondecreasing along each row, so
+        # once g hits inf (overload) every later class is inf too.
+        g_sigma = np.asarray(g(sigma))
+        finite = np.isfinite(g_sigma)
+        g_prev = np.concatenate(
+            [np.zeros((m_batch, 1)), g_sigma[:, :-1]], axis=1)
+        class_size = (n - np.arange(n)).astype(float)
+        with np.errstate(invalid="ignore"):
+            shares = (g_sigma - g_prev) / class_size
+        acc = np.cumsum(np.where(finite, shares, 0.0), axis=1)
+        q_sorted = np.where(finite, acc, math.inf)
+        q_sorted[sorted_rates == 0.0] = 0.0
+
+        inv = np.empty_like(order)
+        np.put_along_axis(
+            inv, order, np.broadcast_to(np.arange(n), order.shape), axis=1)
+        return np.take_along_axis(q_sorted, inv, axis=1)
+
 
 def fair_share_queues_recursive(rates: Sequence[float],
                                 mu: float) -> np.ndarray:
@@ -138,7 +202,8 @@ def fair_share_queues_recursive(rates: Sequence[float],
     n = r.shape[0]
     order = sorted_order(r)
     inv = inverse_permutation(order)
-    sigma = cumulative_loads(r, mu)
+    sorted_rates = r[order]
+    sigma = cumulative_loads(r, mu, sorted_rates=sorted_rates)
     g_sigma = np.atleast_1d(g(sigma))
     q_sorted = np.zeros(n, dtype=float)
     running = 0.0
@@ -149,6 +214,5 @@ def fair_share_queues_recursive(rates: Sequence[float],
             break
         q_sorted[i] = (gi - running) / (n - i)
         running += q_sorted[i]
-    sorted_rates = r[order]
     q_sorted[sorted_rates == 0.0] = 0.0
     return q_sorted[inv]

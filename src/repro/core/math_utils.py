@@ -24,6 +24,7 @@ __all__ = [
     "g",
     "g_inverse",
     "as_rate_vector",
+    "as_rate_matrix",
     "validate_rates",
     "sorted_order",
     "inverse_permutation",
@@ -83,6 +84,27 @@ def as_rate_vector(rates: Iterable[float], n: int = None) -> np.ndarray:
             f"rate vector has length {vec.shape[0]}, expected {n}")
     validate_rates(vec)
     return vec.copy()
+
+
+def as_rate_matrix(rates: Iterable[float], n: int = None) -> np.ndarray:
+    """Coerce ``rates`` to an ``(M, n)`` float batch of rate vectors.
+
+    Accepts a single 1-D rate vector (promoted to a one-row batch) or a
+    2-D array whose rows are rate vectors.  Rates must be finite and
+    nonnegative; if ``n`` is given the row length must match.  Returns a
+    fresh C-contiguous array (never a view of the input).
+    """
+    mat = np.array(rates, dtype=float, copy=True, order="C")
+    if mat.ndim == 1:
+        mat = mat[None, :]
+    if mat.ndim != 2:
+        raise RateVectorError(
+            f"rate batch must be 1-D or 2-D, got shape {mat.shape}")
+    if n is not None and mat.shape[1] != n:
+        raise RateVectorError(
+            f"rate batch has row length {mat.shape[1]}, expected {n}")
+    validate_rates(mat)
+    return mat
 
 
 def validate_rates(vec: np.ndarray) -> None:

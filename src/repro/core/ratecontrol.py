@@ -75,6 +75,31 @@ class RateAdjustment(abc.ABC):
         """One truncated update ``max(0, r + f(r, b, d))``."""
         return max(0.0, rate + self.delta(rate, signal, delay))
 
+    def delta_batch(self, rates: np.ndarray, signals: np.ndarray,
+                    delays: np.ndarray) -> np.ndarray:
+        """Elementwise ``f`` over same-shaped arrays of ``(r, b, d)``.
+
+        The base implementation loops over :meth:`delta`, so any custom
+        rule is batch-capable out of the box; the built-in rules
+        override it with vectorised arithmetic.
+        """
+        r = np.asarray(rates, dtype=float)
+        b = np.asarray(signals, dtype=float)
+        d = np.asarray(delays, dtype=float)
+        out = np.empty(r.shape, dtype=float)
+        flat_r, flat_b, flat_d = r.ravel(), b.ravel(), d.ravel()
+        flat_out = out.ravel()
+        for k in range(flat_r.size):
+            flat_out[k] = self.delta(float(flat_r[k]), float(flat_b[k]),
+                                     float(flat_d[k]))
+        return out
+
+    def apply_batch(self, rates: np.ndarray, signals: np.ndarray,
+                    delays: np.ndarray) -> np.ndarray:
+        """Elementwise truncated update ``max(0, r + f(r, b, d))``."""
+        r = np.asarray(rates, dtype=float)
+        return np.maximum(0.0, r + self.delta_batch(r, signals, delays))
+
     def __repr__(self):
         return f"{type(self).__name__}()"
 
@@ -108,6 +133,10 @@ class TargetRule(RateAdjustment):
     def delta(self, rate, signal, delay):
         return self.eta * (self.beta - signal)
 
+    def delta_batch(self, rates, signals, delays):
+        b = np.asarray(signals, dtype=float)
+        return self.eta * (self.beta - b)
+
     def __repr__(self):
         return f"TargetRule(eta={self.eta}, beta={self.beta})"
 
@@ -130,6 +159,11 @@ class ProportionalTargetRule(RateAdjustment):
 
     def delta(self, rate, signal, delay):
         return self.eta * rate * (self.beta - signal)
+
+    def delta_batch(self, rates, signals, delays):
+        r = np.asarray(rates, dtype=float)
+        b = np.asarray(signals, dtype=float)
+        return self.eta * r * (self.beta - b)
 
     def __repr__(self):
         return f"ProportionalTargetRule(eta={self.eta}, beta={self.beta})"
@@ -157,6 +191,17 @@ class DecbitWindowRule(RateAdjustment):
             return -self.beta * signal * rate
         return (1.0 - signal) * self.eta / delay - self.beta * signal * rate
 
+    def delta_batch(self, rates, signals, delays):
+        r = np.asarray(rates, dtype=float)
+        b = np.asarray(signals, dtype=float)
+        d = np.asarray(delays, dtype=float)
+        if np.any(d <= 0):
+            raise RateVectorError("delays must be positive")
+        decrease = self.beta * b * r
+        with np.errstate(invalid="ignore"):
+            increase = (1.0 - b) * self.eta / d
+        return np.where(np.isinf(d), -decrease, increase - decrease)
+
     def __repr__(self):
         return f"DecbitWindowRule(eta={self.eta}, beta={self.beta})"
 
@@ -178,6 +223,11 @@ class DecbitRateRule(RateAdjustment):
 
     def delta(self, rate, signal, delay):
         return (1.0 - signal) * self.eta - self.beta * signal * rate
+
+    def delta_batch(self, rates, signals, delays):
+        r = np.asarray(rates, dtype=float)
+        b = np.asarray(signals, dtype=float)
+        return (1.0 - b) * self.eta - self.beta * b * r
 
     def steady_rate(self, signal: float) -> float:
         """The rate at which ``f = 0`` for a fixed signal ``b > 0``."""
@@ -215,6 +265,12 @@ class BinaryAimdRule(RateAdjustment):
         if signal < self.threshold:
             return self.increase
         return -self.decrease * rate
+
+    def delta_batch(self, rates, signals, delays):
+        r = np.asarray(rates, dtype=float)
+        b = np.asarray(signals, dtype=float)
+        return np.where(b < self.threshold, self.increase,
+                        -self.decrease * r)
 
     def __repr__(self):
         return (f"BinaryAimdRule(increase={self.increase}, "

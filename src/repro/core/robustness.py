@@ -31,7 +31,7 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import RateVectorError
-from .math_utils import as_rate_vector, g
+from .math_utils import as_rate_matrix, as_rate_vector, g
 from .service import ServiceDiscipline
 from .topology import Network
 
@@ -40,6 +40,7 @@ __all__ = [
     "reservation_floor_heterogeneous",
     "theorem5_bound",
     "satisfies_theorem5_condition",
+    "theorem5_condition_batch",
     "is_robust_outcome",
     "worst_floor_ratio",
     "reservation_delay",
@@ -116,6 +117,30 @@ def satisfies_theorem5_condition(discipline: ServiceDiscipline,
         if math.isinf(qi) or qi > bi + tol * max(1.0, bi):
             return False
     return True
+
+
+def theorem5_condition_batch(discipline: ServiceDiscipline,
+                             rates, mu: float,
+                             tol: float = 1e-9) -> np.ndarray:
+    """Row-wise :func:`satisfies_theorem5_condition` for a batch.
+
+    ``rates`` is an ``(M, N)`` matrix of rate vectors; the result is a
+    boolean array of length ``M`` whose entry ``m`` equals
+    ``satisfies_theorem5_condition(discipline, rates[m], mu, tol)``.
+    Queue lengths come from the discipline's batched law, so a whole
+    Monte-Carlo condition check costs a few array operations.
+    """
+    r = as_rate_matrix(rates)
+    q = discipline.queue_lengths_batch(r, mu)
+    n = r.shape[1]
+    denom = mu - n * r
+    constrained = denom > 0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        bound = np.where(constrained, r / np.where(constrained, denom, 1.0),
+                         math.inf)
+    violated = constrained & (~np.isfinite(q)
+                              | (q > bound + tol * np.maximum(1.0, bound)))
+    return ~np.any(violated, axis=1)
 
 
 def is_robust_outcome(network: Network, rho_ss: float,

@@ -57,6 +57,26 @@ class ServiceDiscipline(abc.ABC):
             is ``0``.
         """
 
+    def queue_lengths_batch(self, rates: np.ndarray,
+                            mu: float) -> np.ndarray:
+        """Queue lengths for a batch of rate vectors at once.
+
+        ``rates`` has shape ``(M, n)`` — M independent rate vectors over
+        the same ``n`` connections — and the result matches it row for
+        row: ``queue_lengths_batch(R, mu)[m] == queue_lengths(R[m], mu)``.
+        The base implementation loops over the batch; disciplines with a
+        vectorisable queue law override it (see :class:`~repro.core.fifo.
+        Fifo` and :class:`~repro.core.fairshare.FairShare`).
+        """
+        mat = np.asarray(rates, dtype=float)
+        if mat.ndim != 2:
+            raise RateVectorError(
+                f"rate batch must be 2-D, got shape {mat.shape}")
+        out = np.empty_like(mat)
+        for m in range(mat.shape[0]):
+            out[m] = self.queue_lengths(mat[m], mu)
+        return out
+
     def total_queue(self, rates: Sequence[float], mu: float) -> float:
         """Total mean queue ``sum_i Q_i``.
 
@@ -85,6 +105,31 @@ class ServiceDiscipline(abc.ABC):
             eps = mu * 1e-9
             probe[~positive] = eps
             q_probe = self.queue_lengths(probe, mu)
+            out[~positive] = q_probe[~positive] / eps
+        return out
+
+    def delays_batch(self, rates: np.ndarray, mu: float) -> np.ndarray:
+        """Batched per-packet sojourn times: row ``m`` equals
+        ``delays(rates[m], mu)``.
+
+        Mirrors :meth:`delays` exactly, including the tiny-probe-rate
+        treatment of zero-rate connections.
+        """
+        r = np.asarray(rates, dtype=float)
+        if r.ndim != 2:
+            raise RateVectorError(
+                f"rate batch must be 2-D, got shape {r.shape}")
+        _check_mu(mu)
+        q = self.queue_lengths_batch(r, mu)
+        out = np.empty_like(q)
+        positive = r > 0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out[positive] = q[positive] / r[positive]
+        if np.any(~positive):
+            probe = r.copy()
+            eps = mu * 1e-9
+            probe[~positive] = eps
+            q_probe = self.queue_lengths_batch(probe, mu)
             out[~positive] = q_probe[~positive] / eps
         return out
 

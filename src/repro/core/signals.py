@@ -44,7 +44,9 @@ __all__ = [
     "FeedbackStyle",
     "aggregate_congestion",
     "individual_congestion",
+    "individual_congestion_batch",
     "weighted_individual_congestion",
+    "weighted_individual_congestion_batch",
     "FeedbackScheme",
 ]
 
@@ -64,6 +66,17 @@ class SignalFunction(abc.ABC):
 
         Defined for ``signal in [0, 1)``; ``signal -> 1`` gives ``inf``.
         """
+
+    def apply_batch(self, congestion: np.ndarray) -> np.ndarray:
+        """Elementwise signals for an array of congestion measures.
+
+        Equals ``B`` applied entry by entry; the base implementation
+        loops, and the concrete families override it with vectorised
+        arithmetic.  Custom subclasses only need the scalar ``__call__``.
+        """
+        arr = np.asarray(congestion, dtype=float)
+        out = np.array([self(c) for c in arr.ravel()], dtype=float)
+        return out.reshape(arr.shape)
 
     def steady_state_utilisation(self, b_ss: float) -> float:
         """Utilisation ``rho_ss`` a bottleneck settles at under aggregate
@@ -90,6 +103,14 @@ def _check_congestion(congestion: float) -> float:
     return value
 
 
+def _check_congestion_batch(congestion) -> np.ndarray:
+    arr = np.asarray(congestion, dtype=float)
+    if np.any(np.isnan(arr)) or np.any(arr < 0):
+        raise RateVectorError(
+            "congestion measures must be >= 0 (and not NaN)")
+    return arr
+
+
 def _check_signal(signal: float) -> float:
     value = float(signal)
     if not (0.0 <= value <= 1.0):
@@ -107,6 +128,11 @@ class LinearSaturating(SignalFunction):
         if math.isinf(c):
             return 1.0
         return c / (c + 1.0)
+
+    def apply_batch(self, congestion):
+        c = _check_congestion_batch(congestion)
+        with np.errstate(invalid="ignore"):
+            return np.where(np.isinf(c), 1.0, c / (c + 1.0))
 
     def congestion_for(self, signal):
         b = _check_signal(signal)
@@ -137,6 +163,11 @@ class PowerSaturating(SignalFunction):
             return 1.0
         return (c / (c + 1.0)) ** self.p
 
+    def apply_batch(self, congestion):
+        c = _check_congestion_batch(congestion)
+        with np.errstate(invalid="ignore"):
+            return np.where(np.isinf(c), 1.0, (c / (c + 1.0)) ** self.p)
+
     def congestion_for(self, signal):
         b = _check_signal(signal)
         if b >= 1.0:
@@ -163,6 +194,10 @@ class ExponentialSignal(SignalFunction):
         if math.isinf(c):
             return 1.0
         return 1.0 - math.exp(-self.k * c)
+
+    def apply_batch(self, congestion):
+        c = _check_congestion_batch(congestion)
+        return 1.0 - np.exp(-self.k * c)
 
     def congestion_for(self, signal):
         b = _check_signal(signal)
@@ -197,6 +232,35 @@ def individual_congestion(queues: Sequence[float]) -> np.ndarray:
         raise RateVectorError(f"queue vector must be 1-D, got {q.shape}")
     capped = np.minimum(q[None, :], q[:, None])
     return capped.sum(axis=1)
+
+
+def individual_congestion_batch(queues: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`individual_congestion` for an ``(M, n)`` batch.
+
+    Uses the same ``min`` broadcast as the scalar path (row for row
+    identical results), vectorised over the batch axis.
+    """
+    q = np.asarray(queues, dtype=float)
+    if q.ndim != 2:
+        raise RateVectorError(f"queue batch must be 2-D, got {q.shape}")
+    capped = np.minimum(q[:, None, :], q[:, :, None])
+    return capped.sum(axis=2)
+
+
+def weighted_individual_congestion_batch(
+        queues: np.ndarray, weights: Sequence[float]) -> np.ndarray:
+    """Row-wise :func:`weighted_individual_congestion` for a batch."""
+    q = np.asarray(queues, dtype=float)
+    phi = np.asarray(weights, dtype=float)
+    if q.ndim != 2 or phi.ndim != 1 or q.shape[1] != phi.shape[0]:
+        raise RateVectorError(
+            f"queue batch {q.shape} and weights {phi.shape} do not match")
+    if np.any(phi <= 0) or not np.all(np.isfinite(phi)):
+        raise RateVectorError("weights must be finite and positive")
+    scaled_own = (phi[None, None, :] / phi[None, :, None]) * q[:, :, None]
+    with np.errstate(invalid="ignore"):
+        capped = np.minimum(q[:, None, :], scaled_own)
+    return capped.sum(axis=2)
 
 
 def weighted_individual_congestion(queues: Sequence[float],
@@ -260,6 +324,11 @@ class FeedbackScheme:
                     f"{self.weights.shape}")
             if np.any(self.weights <= 0):
                 raise RateVectorError("weights must be positive")
+        # Gather indices for the batch path: per gateway, the connection
+        # columns in Gamma(a) order.  Static because routing is static.
+        self._gateway_cols = {
+            gname: np.asarray(network.connections_at(gname), dtype=np.intp)
+            for gname in network.gateway_names}
 
     # -- per-gateway quantities ---------------------------------------
     def local_queues(self, rates: np.ndarray) -> Dict[str, np.ndarray]:
@@ -305,6 +374,37 @@ class FeedbackScheme:
                 pos = net.connections_at(gname).index(i)
                 best = max(best, float(local[gname][pos]))
             b[i] = best
+        return b
+
+    def signals_batch(self, rates: np.ndarray) -> np.ndarray:
+        """Bottleneck signals for an ``(M, N)`` batch of rate vectors.
+
+        Row ``m`` of the result equals ``signals(rates[m])``; every
+        stage — queue laws, congestion measures, signal function, the
+        MAX over gateways — is evaluated once per gateway for the whole
+        batch instead of once per ensemble member.
+        """
+        r = np.asarray(rates, dtype=float)
+        if r.ndim != 2 or r.shape[1] != self.network.num_connections:
+            raise RateVectorError(
+                f"need an (M, {self.network.num_connections}) rate "
+                f"batch, got shape {r.shape}")
+        b = np.zeros_like(r)
+        for gname, cols in self._gateway_cols.items():
+            local = r[:, cols]
+            q = self.discipline.queue_lengths_batch(
+                local, self.network.mu(gname))
+            if self.style is FeedbackStyle.AGGREGATE:
+                c = np.broadcast_to(
+                    q.sum(axis=1, keepdims=True), q.shape)
+            elif self.weights is not None:
+                c = weighted_individual_congestion_batch(
+                    q, self.weights[cols])
+            else:
+                c = individual_congestion_batch(q)
+            local_b = self.signal_fn.apply_batch(c)
+            np.maximum(b[:, cols], local_b, out=local_b)
+            b[:, cols] = local_b
         return b
 
     def bottlenecks(self, rates: np.ndarray,

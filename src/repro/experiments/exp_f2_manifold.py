@@ -38,17 +38,21 @@ def run_f2_manifold(n_connections: int = 5, n_starts: int = 24,
                                style=FeedbackStyle.AGGREGATE)
     rng = np.random.default_rng(seed)
 
+    # One batched run covers every random start plus the symmetric
+    # probe (last row); the engine iterates them all simultaneously.
+    starts = np.empty((n_starts + 1, n_connections))
+    starts[:n_starts] = rng.uniform(0.0, 0.6,
+                                    size=(n_starts, n_connections))
+    starts[n_starts] = 0.01
+    ensemble = system.run_ensemble(starts, max_steps=40000, tol=1e-11)
+
     rows = []
-    endpoints = []
     all_on_manifold = True
     all_converged = True
     any_unfair = False
     for k in range(n_starts):
-        start = rng.uniform(0.0, 0.6, size=n_connections)
-        traj = system.run(start, max_steps=40000, tol=1e-11)
-        final = traj.final
-        endpoints.append(final)
-        converged = traj.outcome is Outcome.CONVERGED
+        final = ensemble.finals[k]
+        converged = ensemble.outcomes[k] is Outcome.CONVERGED
         on_manifold = is_aggregate_steady_state(network, rho_ss, final,
                                                 tol=1e-6)
         fair = is_fair(system.scheme, final, tol=1e-6)
@@ -58,12 +62,10 @@ def run_f2_manifold(n_connections: int = 5, n_starts: int = 24,
         rows.append((k, float(np.sum(final)), jain_index(final),
                      on_manifold, fair))
 
-    endpoints = np.asarray(endpoints)
+    endpoints = ensemble.finals[:n_starts]
     spread = float(np.max(endpoints.std(axis=0)))
     fair_point = fair_steady_state(network, rho_ss)
-    symmetric_start = np.full(n_connections, 0.01)
-    symmetric_final = system.run(symmetric_start, max_steps=40000,
-                                 tol=1e-11).final
+    symmetric_final = ensemble.finals[n_starts]
     fair_reached = bool(np.allclose(symmetric_final, fair_point,
                                     atol=1e-6))
 

@@ -25,52 +25,70 @@ from ..core.stability import (jacobian, transverse_spectral_radius,
                               unilateral_margins, zero_sum_tangent_basis)
 from ..core.steadystate import fair_steady_state
 from ..core.topology import single_gateway
+from ..parallel import sweep
 from .base import ExperimentResult
 
 __all__ = ["run_f5_aggregate_instability"]
 
 
+def _f5_point(args):
+    """One sweep point: stability analysis + perturbed run at one N.
+
+    Module-level (not a closure) so :func:`repro.parallel.sweep` can
+    ship it to a process pool; the perturbation noise is drawn by the
+    caller so results do not depend on worker scheduling.
+    """
+    n, eta, beta, rho_ss, noise, perturbation, threshold = args
+    signal = LinearSaturating()
+    rule = TargetRule(eta=eta, beta=beta)
+    network = single_gateway(n, mu=1.0)
+    system = FlowControlSystem(network, Fifo(), signal, rule,
+                               style=FeedbackStyle.AGGREGATE)
+    fair = fair_steady_state(network, rho_ss)
+    df = jacobian(system, fair)
+    margins = unilateral_margins(df)
+    transverse = transverse_spectral_radius(df, zero_sum_tangent_basis(n))
+    predicted = abs(1.0 - eta * n)
+
+    start = np.clip(fair * (1.0 + perturbation * noise), 0.0, None)
+    traj = system.run(start, max_steps=8000, tol=1e-10)
+    # Instability manifests as leaving the manifold: either a
+    # non-converged outcome or a final total rate away from
+    # rho_ss * mu.  Motion *along* the manifold is neutral and fine.
+    total_ok = abs(float(np.sum(traj.final)) - rho_ss) < 1e-4
+    stayed = traj.outcome is Outcome.CONVERGED and total_ok
+    theory_stable = n < threshold
+    return {
+        "row": (n, float(margins[0]), transverse, predicted,
+                theory_stable, traj.outcome.value, stayed),
+        "radius_ok": abs(transverse - predicted) < 1e-3,
+        "unilateral_ok": bool(np.all(margins < 1.0)),
+        "verdict_ok": stayed == theory_stable,
+    }
+
+
 def run_f5_aggregate_instability(eta: float = 0.3, beta: float = 0.5,
                                  n_values=(2, 4, 6, 8, 12, 20),
                                  perturbation: float = 1e-3,
-                                 seed: int = 3) -> ExperimentResult:
-    """Sweep the number of connections at a shared gateway."""
+                                 seed: int = 3,
+                                 workers: int = None) -> ExperimentResult:
+    """Sweep the number of connections at a shared gateway.
+
+    The per-N points are independent, so the sweep runs through
+    :func:`repro.parallel.sweep` (``workers=1`` forces serial).
+    """
     signal = LinearSaturating()
     rho_ss = signal.steady_state_utilisation(beta)
-    rule = TargetRule(eta=eta, beta=beta)
     threshold = 2.0 / eta
     rng = np.random.default_rng(seed)
+    grid = [(n, eta, beta, rho_ss, rng.standard_normal(n),
+             perturbation, threshold) for n in n_values]
+    points = sweep(_f5_point, grid, workers=workers)
 
-    rows = []
-    radius_matches = True
-    unilateral_all_stable = True
-    verdict_matches_theory = True
-    for n in n_values:
-        network = single_gateway(n, mu=1.0)
-        system = FlowControlSystem(network, Fifo(), signal, rule,
-                                   style=FeedbackStyle.AGGREGATE)
-        fair = fair_steady_state(network, rho_ss)
-        df = jacobian(system, fair)
-        margins = unilateral_margins(df)
-        transverse = transverse_spectral_radius(
-            df, zero_sum_tangent_basis(n))
-        predicted = abs(1.0 - eta * n)
-        radius_matches &= abs(transverse - predicted) < 1e-3
-        unilateral_all_stable &= bool(np.all(margins < 1.0))
-
-        start = np.clip(
-            fair * (1.0 + perturbation * rng.standard_normal(n)),
-            0.0, None)
-        traj = system.run(start, max_steps=8000, tol=1e-10)
-        # Instability manifests as leaving the manifold: either a
-        # non-converged outcome or a final total rate away from
-        # rho_ss * mu.  Motion *along* the manifold is neutral and fine.
-        total_ok = abs(float(np.sum(traj.final)) - rho_ss) < 1e-4
-        stayed = traj.outcome is Outcome.CONVERGED and total_ok
-        theory_stable = n < threshold
-        verdict_matches_theory &= (stayed == theory_stable)
-        rows.append((n, float(margins[0]), transverse, predicted,
-                     theory_stable, traj.outcome.value, stayed))
+    rows = [p["row"] for p in points]
+    radius_matches = all(p["radius_ok"] for p in points)
+    unilateral_all_stable = all(p["unilateral_ok"] for p in points)
+    verdict_matches_theory = all(p["verdict_ok"] for p in points)
 
     return ExperimentResult(
         experiment_id="F5",

@@ -30,23 +30,35 @@ from .base import ExperimentResult
 __all__ = ["run_f6_bifurcation"]
 
 
-def _system_tracks_map(n: int, eta: float, beta: float,
-                       steps: int = 60) -> bool:
-    """Does the full system's symmetric orbit equal the scalar map's?"""
+def _system_tracks_map(n: int, eta: float, beta: float, steps: int = 60,
+                       start_levels=(0.01, 0.02, 0.04)) -> bool:
+    """Does the full system's symmetric orbit equal the scalar map's?
+
+    Checks a whole batch of symmetric starts at once: the full system
+    advances through :meth:`~repro.core.dynamics.FlowControlSystem.step_batch`
+    and the scalar map through
+    :meth:`~repro.analysis.maps.QuadraticRateMap.apply_batch`, and the
+    per-row total rates must agree while the orbit stays below
+    capacity (beyond it the B(inf)=1 saturation differs from the map).
+    """
     network = single_gateway(n, mu=1.0)
     system = FlowControlSystem(network, Fifo(), PowerSaturating(p=2.0),
                                TargetRule(eta=eta, beta=beta),
                                style=FeedbackStyle.AGGREGATE)
     the_map = QuadraticRateMap.from_system(n, eta, beta)
-    r = np.full(n, 0.02)
-    x = float(n * r[0])
+    levels = np.asarray(start_levels, dtype=float)
+    r = np.repeat(levels[:, None], n, axis=1)
+    x = n * levels
+    active = np.ones(levels.size, dtype=bool)
     for _ in range(steps):
-        r = system.step(r)
-        x = the_map(x)
-        if x >= 1.0:
-            break  # beyond capacity the B(inf)=1 saturation differs
-        if abs(float(np.sum(r)) - x) > 1e-9 * max(1.0, x):
+        r = system.step_batch(r)
+        x = the_map.apply_batch(x)
+        active &= x < 1.0
+        mismatch = np.abs(r.sum(axis=1) - x) > 1e-9 * np.maximum(1.0, x)
+        if np.any(active & mismatch):
             return False
+        if not np.any(active):
+            break
     return True
 
 

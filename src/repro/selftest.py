@@ -1,0 +1,126 @@
+"""Fast self-test: ``python -m repro.selftest``.
+
+A smoke check of the batch trajectory engine that finishes well under
+30 seconds: every batched path (queue laws, signals, rules, one-step
+map, ensemble runner, vectorised quadratic sweep, parallel sweep
+runner) is compared against its scalar counterpart on small
+configurations, to 1e-12.  Exit code 0 means everything agreed.
+
+This is deliberately a subset of the full test suite — the quick
+confidence check to run after touching the engine, not a replacement
+for ``pytest``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from .analysis.bifurcation import bifurcation_diagram, quadratic_map_sweep
+from .analysis.maps import QuadraticRateMap
+from .core.dynamics import FlowControlSystem
+from .core.fairshare import FairShare
+from .core.fifo import Fifo
+from .core.ratecontrol import (DecbitRateRule, ProportionalTargetRule,
+                               TargetRule)
+from .core.signals import (FeedbackStyle, LinearSaturating,
+                           PowerSaturating)
+from .core.topology import parking_lot, single_gateway
+from .parallel import sweep
+
+__all__ = ["main", "run_selftest"]
+
+_TOL = 1e-12
+
+
+def _check(name: str, ok: bool, failures: list) -> None:
+    print(f"  {'ok' if ok else 'FAIL'}  {name}")
+    if not ok:
+        failures.append(name)
+
+
+def _square(x):
+    return x * x
+
+
+def run_selftest() -> bool:
+    """Run every smoke check; return True when all pass."""
+    failures: list = []
+    rng = np.random.default_rng(42)
+
+    print("batch step vs scalar step:")
+    hetero = [TargetRule(eta=0.1, beta=0.5),
+              ProportionalTargetRule(eta=0.2, beta=0.4),
+              DecbitRateRule(eta=0.05, beta=0.3)]
+    for network, label in ((single_gateway(3, mu=1.0), "single-gateway"),
+                           (parking_lot(2, mu=1.2), "parking-lot")):
+        n = network.num_connections
+        for discipline in (Fifo(), FairShare()):
+            for style in (FeedbackStyle.AGGREGATE,
+                          FeedbackStyle.INDIVIDUAL):
+                system = FlowControlSystem(network, discipline,
+                                           PowerSaturating(p=2.0),
+                                           (hetero * n)[:n], style=style)
+                batch = rng.uniform(0.0, 0.3, size=(6, n))
+                batch[0] = 0.0            # idle
+                batch[1] = 2.0 / n        # overloaded
+                out = system.step_batch(batch)
+                ok = all(np.allclose(out[m], system.step(batch[m]),
+                                     atol=_TOL)
+                         for m in range(batch.shape[0]))
+                _check(f"{label} {type(discipline).__name__} "
+                       f"{style.name.lower()}", ok, failures)
+
+    print("ensemble vs member-by-member run:")
+    system = FlowControlSystem(single_gateway(4, mu=1.0), FairShare(),
+                               LinearSaturating(),
+                               TargetRule(eta=0.1, beta=0.5),
+                               style=FeedbackStyle.INDIVIDUAL)
+    starts = rng.uniform(0.0, 0.6, size=(16, 4))
+    result = system.run_ensemble(starts, max_steps=3000)
+    ok = True
+    for m in range(len(result)):
+        traj = system.run(starts[m], max_steps=3000)
+        ok &= (result.outcomes[m] is traj.outcome
+               and result.steps[m] == traj.steps
+               and bool(np.allclose(result.finals[m], traj.final,
+                                    atol=_TOL)))
+    _check("16-member ensemble matches run()", ok, failures)
+
+    print("vectorised quadratic sweep vs generic path:")
+    gains = [0.8, 1.5, 2.3, 2.62]
+    pts = quadratic_map_sweep(gains, beta=0.25, x0=0.1, transient=1000,
+                              keep=256)
+    generic = bifurcation_diagram(
+        lambda a: QuadraticRateMap(a=a, beta=0.25),
+        gains, x0=0.1, transient=1000, keep=256,
+        derivative_family=lambda a: QuadraticRateMap(a=a,
+                                                     beta=0.25).derivative)
+    ok = all(np.array_equal(pt.attractor, gpt.attractor)
+             and abs(pt.lyapunov - gpt.lyapunov) <= _TOL
+             for pt, gpt in zip(pts, generic))
+    _check("4-gain sweep (attractors and lyapunov)", ok, failures)
+
+    print("parallel sweep runner:")
+    grid = list(range(17))
+    ok = (sweep(_square, grid, workers=1) ==
+          sweep(_square, grid, workers=4, executor="thread") ==
+          [x * x for x in grid])
+    _check("grid order preserved across executors", ok, failures)
+
+    return not failures
+
+
+def main(argv=None) -> int:
+    t0 = time.perf_counter()
+    passed = run_selftest()
+    elapsed = time.perf_counter() - t0
+    print(f"\nselftest {'PASSED' if passed else 'FAILED'} "
+          f"in {elapsed:.1f}s")
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,9 @@ from repro.analysis.bifurcation import (bifurcation_diagram,
                                         quadratic_map_sweep)
 from repro.analysis.classify import Regime, classify_tail
 from repro.analysis.lyapunov import lyapunov_exponent
-from repro.analysis.maps import QuadraticRateMap, orbit, orbit_tail
+from repro.analysis.maps import (QuadraticRateMap, orbit, orbit_tail,
+                                 quadratic_lyapunov_exponents,
+                                 quadratic_orbit_tails)
 from repro.errors import RateVectorError
 
 
@@ -166,3 +168,56 @@ class TestBifurcation:
             lambda a: QuadraticRateMap(a=a, beta=0.25),
             [1.0], x0=0.1, transient=500, keep=200, max_period=32)
         assert math.isnan(pts[0].lyapunov)
+
+
+class TestVectorizedQuadraticGrid:
+    GAINS = [0.5, 1.0, 1.5, 2.3, 2.62]
+
+    def test_orbit_tails_match_scalar(self):
+        for truncate in (True, False):
+            tails = quadratic_orbit_tails(self.GAINS, beta=0.25, x0=0.4,
+                                          transient=1500, keep=64,
+                                          truncate=truncate)
+            for i, a in enumerate(self.GAINS):
+                m = QuadraticRateMap(a=a, beta=0.25, truncate=truncate)
+                expect = orbit_tail(m, 0.4, transient=1500, keep=64)
+                assert np.array_equal(tails[i], expect)
+
+    def test_zero_transient_includes_x0(self):
+        tails = quadratic_orbit_tails([1.0], beta=0.25, x0=0.4,
+                                      transient=0, keep=5)
+        assert tails.shape == (1, 6)
+        assert tails[0, 0] == 0.4
+
+    def test_lyapunov_match_scalar(self):
+        lams = quadratic_lyapunov_exponents(self.GAINS, beta=0.25, x0=0.4,
+                                            steps=2000, discard=500,
+                                            truncate=False)
+        for i, a in enumerate(self.GAINS):
+            m = QuadraticRateMap(a=a, beta=0.25, truncate=False)
+            expect = lyapunov_exponent(m, m.derivative, 0.4, steps=2000,
+                                       discard=500)
+            assert lams[i] == pytest.approx(expect, abs=1e-12)
+
+    def test_sweep_matches_generic_diagram(self):
+        pts = quadratic_map_sweep(self.GAINS, beta=0.25, x0=0.4,
+                                  transient=1200, keep=256)
+        generic = bifurcation_diagram(
+            lambda a: QuadraticRateMap(a=a, beta=0.25),
+            self.GAINS, x0=0.4, transient=1200, keep=256,
+            derivative_family=lambda a: QuadraticRateMap(
+                a=a, beta=0.25).derivative)
+        for pt, gpt in zip(pts, generic):
+            assert np.array_equal(pt.attractor, gpt.attractor)
+            assert pt.classification.regime is gpt.classification.regime
+            assert pt.lyapunov == pytest.approx(gpt.lyapunov, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(RateVectorError):
+            quadratic_orbit_tails([], beta=0.25, x0=0.1)
+        with pytest.raises(RateVectorError):
+            quadratic_orbit_tails([1.0, -1.0], beta=0.25, x0=0.1)
+        with pytest.raises(RateVectorError):
+            quadratic_orbit_tails([1.0], beta=-1.0, x0=0.1)
+        with pytest.raises(RateVectorError):
+            quadratic_lyapunov_exponents([1.0], beta=0.25, x0=0.1, steps=0)

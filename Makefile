@@ -1,0 +1,22 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test selftest gate verify bench
+
+test:
+	$(PYTHON) -m pytest -q
+
+selftest:
+	$(PYTHON) -m repro selftest --quick
+
+gate:
+	$(PYTHON) benchmarks/regression_gate.py --quick
+
+# The tier-1 flow: full test suite, the engine smoke check, and the
+# benchmark regression gate (quick CI workload).
+verify: test selftest gate
+
+# Full-scale benchmark + gate; refreshes BENCH_core.json.
+bench:
+	$(PYTHON) benchmarks/bench_core_engine.py
+	$(PYTHON) benchmarks/regression_gate.py

@@ -1,0 +1,127 @@
+"""Performance regression gate for the batched trajectory engine.
+
+Re-runs the two core microbenchmarks (see ``bench_core_engine.py``),
+compares the fresh speedups against the committed baseline in
+``BENCH_core.json``, and exits nonzero when performance regressed by
+more than the threshold (default 25%).
+
+Two modes:
+
+* **full** (default) — identical workload to the committed baseline
+  (256-member ensemble, 400-point sweep).  Each fresh speedup must stay
+  above ``max(target_min, baseline_speedup * (1 - threshold))`` — i.e.
+  within 25% of the recorded machine's number, but never judged more
+  strictly than the repo's stated minimum targets.
+* ``--quick`` — a much smaller workload for CI (64-member ensemble,
+  100-point sweep).  Speedups shrink with the workload, so quick mode
+  only enforces the minimum targets (5x ensemble, 3x sweep), not the
+  baseline-relative floor.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/regression_gate.py [--quick]
+
+The comparison logic is pure (:func:`compare`) so the unit tests can
+exercise the gate without timing anything.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from bench_core_engine import bench_ensemble, bench_quadratic_sweep
+
+#: The benchmarks the gate tracks: (baseline key, targets key).
+GATED = [("ensemble", "ensemble_speedup_min"),
+         ("quadratic_sweep", "quadratic_sweep_speedup_min")]
+
+
+def compare(baseline, fresh, threshold=0.25, floor_only=False):
+    """Judge fresh benchmark speedups against a committed baseline.
+
+    Args:
+        baseline: the parsed committed ``BENCH_core.json``.
+        fresh: mapping with the same benchmark keys, each holding a
+            ``"speedup"`` entry (other keys are ignored).
+        threshold: allowed fractional regression relative to the
+            baseline speedup (0.25 = fresh may be up to 25% slower).
+        floor_only: enforce only the minimum targets, ignoring the
+            baseline-relative floor (quick mode — small workloads have
+            smaller speedups for reasons unrelated to regressions).
+
+    Returns:
+        ``(ok, report)`` — ``ok`` is True when nothing regressed;
+        ``report`` is a list of per-benchmark result dicts with keys
+        ``name``, ``baseline``, ``fresh``, ``floor``, ``ok``.
+    """
+    if not (0.0 <= threshold < 1.0):
+        raise ValueError(f"threshold must be in [0, 1), got {threshold!r}")
+    report = []
+    for name, target_key in GATED:
+        base_speedup = float(baseline[name]["speedup"])
+        target_min = float(baseline["targets"][target_key])
+        if floor_only:
+            floor = target_min
+        else:
+            floor = max(target_min, base_speedup * (1.0 - threshold))
+        fresh_speedup = float(fresh[name]["speedup"])
+        report.append({"name": name,
+                       "baseline": base_speedup,
+                       "fresh": fresh_speedup,
+                       "floor": round(floor, 2),
+                       "ok": fresh_speedup >= floor})
+    return all(entry["ok"] for entry in report), report
+
+
+def format_report(report) -> str:
+    lines = []
+    for entry in report:
+        status = "OK " if entry["ok"] else "FAIL"
+        lines.append(
+            f"[{status}] {entry['name']:>15}: fresh {entry['fresh']}x "
+            f"(baseline {entry['baseline']}x, floor {entry['floor']}x)")
+    return "\n".join(lines)
+
+
+def run_fresh(quick=False):
+    """Time the gated benchmarks at full or quick scale."""
+    if quick:
+        ensemble = bench_ensemble(members=64, n=8, steps=500)
+        sweep_res = bench_quadratic_sweep(points=100, transient=1000,
+                                          keep=256)
+    else:
+        ensemble = bench_ensemble()
+        sweep_res = bench_quadratic_sweep()
+    return {"ensemble": ensemble, "quadratic_sweep": sweep_res}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        default=str(Path(__file__).resolve().parent.parent /
+                    "BENCH_core.json"),
+        help="committed baseline JSON (default: repo BENCH_core.json)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional regression vs the "
+                             "baseline speedup (default 0.25)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small CI workload; enforce only the "
+                             "minimum speedup targets")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    fresh = run_fresh(quick=args.quick)
+    ok, report = compare(baseline, fresh, threshold=args.threshold,
+                         floor_only=args.quick)
+    print(format_report(report))
+    print(f"\nregression gate {'PASSED' if ok else 'FAILED'} "
+          f"({'quick' if args.quick else 'full'} mode, "
+          f"threshold {args.threshold:.0%})")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

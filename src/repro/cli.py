@@ -3,14 +3,17 @@
 Commands:
 
 * ``list`` — enumerate the registered paper artifacts (T1, F1..F12);
-* ``run <id> [--csv PATH]`` — run one experiment with default
-  parameters, print its table, optionally dump the rows as CSV;
-* ``all [--csv-dir DIR]`` — run everything, print a summary line per
-  artifact, exit nonzero if any shape check fails;
+* ``run <id> [--csv PATH] [--json-dir DIR]`` — run one experiment with
+  default parameters, print its table, optionally dump the rows as CSV
+  and/or a schema-valid JSON run-record artifact (provenance +
+  per-iteration engine observables);
+* ``all [--csv-dir DIR] [--json-dir DIR]`` — run everything, print a
+  summary line per artifact, exit nonzero if any shape check fails;
 * ``table1 [--rates r1,r2,...] [--mu MU]`` — regenerate Table 1 for
   custom rates;
 * ``selftest`` — fast smoke check of the batch trajectory engine
-  (equivalence against the scalar paths plus a tiny ensemble).
+  (equivalence against the scalar paths plus a tiny ensemble); exits
+  nonzero when any check fails.
 """
 
 from __future__ import annotations
@@ -21,7 +24,8 @@ from pathlib import Path
 from typing import List, Optional
 
 from .experiments import (REGISTRY, format_summary, format_table, run,
-                          run_all, run_table1, to_csv)
+                          run_all, run_table1, to_csv, to_json)
+from .observability import collect
 
 __all__ = ["main", "build_parser"]
 
@@ -40,10 +44,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="artifact id, e.g. T1 or F5")
     run_p.add_argument("--csv", type=Path, default=None,
                        help="also write the rows to this CSV file")
+    run_p.add_argument("--json-dir", type=Path, default=None,
+                       help="write a JSON run-record artifact "
+                            "(provenance + engine observables) here")
 
     all_p = sub.add_parser("all", help="run every experiment")
     all_p.add_argument("--csv-dir", type=Path, default=None,
                        help="write one CSV per experiment here")
+    all_p.add_argument("--json-dir", type=Path, default=None,
+                       help="write one JSON run-record artifact per "
+                            "experiment here")
 
     t1_p = sub.add_parser("table1", help="regenerate Table 1")
     t1_p.add_argument("--rates", default="0.1,0.2,0.3,0.4",
@@ -51,8 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
     t1_p.add_argument("--mu", type=float, default=1.5,
                       help="gateway service rate")
 
-    sub.add_parser("selftest",
-                   help="fast batch-engine smoke check (< 30 s)")
+    selftest_p = sub.add_parser(
+        "selftest", help="fast batch-engine smoke check (< 30 s)")
+    selftest_p.add_argument("--quick", action="store_true",
+                            help="smaller ensembles (CI-friendly)")
+    selftest_p.add_argument("--force-fail", action="store_true",
+                            help=argparse.SUPPRESS)
     return parser
 
 
@@ -63,18 +77,40 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(experiment_id: str, csv: Optional[Path]) -> int:
-    result = run(experiment_id)
-    print(format_table(result))
+def _cmd_run(experiment_id: str, csv: Optional[Path],
+             json_dir: Optional[Path]) -> int:
+    if json_dir is not None:
+        with collect() as session:
+            result = run(experiment_id)
+        path = to_json(result, json_dir, session=session,
+                       config={"experiment_id": experiment_id,
+                               "parameters": "defaults"})
+        print(format_table(result))
+        print(f"\nrun record written to {path}")
+    else:
+        result = run(experiment_id)
+        print(format_table(result))
     if csv is not None:
         to_csv(result, csv)
         print(f"\nrows written to {csv}")
     return 0 if result.all_checks_pass else 1
 
 
-def _cmd_all(csv_dir: Optional[Path]) -> int:
-    results = run_all()
-    print(format_summary(results))
+def _cmd_all(csv_dir: Optional[Path], json_dir: Optional[Path]) -> int:
+    if json_dir is not None:
+        results = []
+        for eid in sorted(REGISTRY):
+            with collect() as session:
+                result = run(eid)
+            to_json(result, json_dir, session=session,
+                    config={"experiment_id": eid,
+                            "parameters": "defaults"})
+            results.append(result)
+        print(format_summary(results))
+        print(f"\nrun records written to {json_dir}")
+    else:
+        results = run_all()
+        print(format_summary(results))
     if csv_dir is not None:
         csv_dir.mkdir(parents=True, exist_ok=True)
         for result in results:
@@ -96,14 +132,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment_id, args.csv)
+        return _cmd_run(args.experiment_id, args.csv, args.json_dir)
     if args.command == "all":
-        return _cmd_all(args.csv_dir)
+        return _cmd_all(args.csv_dir, args.json_dir)
     if args.command == "table1":
         return _cmd_table1(args.rates, args.mu)
     if args.command == "selftest":
         from .selftest import main as selftest_main
-        return selftest_main()
+        return selftest_main(quick=args.quick,
+                             force_fail=args.force_fail)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -25,12 +25,14 @@ from __future__ import annotations
 
 import enum
 import math
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..errors import ConvergenceError, RateVectorError
+from ..observability import RunRecord, emit_run_record, is_collecting
 from .delays import round_trip_delays, round_trip_delays_batch
 from .math_utils import (as_rate_matrix, as_rate_vector, clip_nonnegative,
                          sup_norm)
@@ -62,12 +64,15 @@ class Trajectory:
         period: detected cycle length when ``outcome`` is OSCILLATING,
             1 when CONVERGED, otherwise ``None``.
         steps: number of map applications performed.
+        telemetry: the :class:`~repro.observability.RunRecord` of the
+            run when telemetry was collected, otherwise ``None``.
     """
 
     history: np.ndarray
     outcome: Outcome
     period: Optional[int]
     steps: int
+    telemetry: Optional[RunRecord] = None
 
     @property
     def initial(self) -> np.ndarray:
@@ -99,6 +104,8 @@ class EnsembleResult:
         histories: when the ensemble was run with ``record=True``, the
             per-member trajectories (each ``(steps_m + 1, N)``);
             otherwise ``None``.
+        telemetry: the :class:`~repro.observability.RunRecord` of the
+            ensemble when telemetry was collected, otherwise ``None``.
     """
 
     finals: np.ndarray
@@ -107,6 +114,7 @@ class EnsembleResult:
     steps: np.ndarray
     initials: np.ndarray
     histories: Optional[List[np.ndarray]] = None
+    telemetry: Optional[RunRecord] = None
 
     def __len__(self) -> int:
         return self.finals.shape[0]
@@ -245,7 +253,8 @@ class FlowControlSystem:
     # ------------------------------------------------------------------
     def run(self, initial: Sequence[float], max_steps: int = 20000,
             tol: float = 1e-10, settle: int = 5,
-            max_period: int = 64) -> Trajectory:
+            max_period: int = 64,
+            telemetry: Optional[bool] = None) -> Trajectory:
         """Iterate the map from ``initial`` and classify the outcome.
 
         Convergence requires ``settle`` consecutive steps with sup-norm
@@ -254,8 +263,21 @@ class FlowControlSystem:
         trajectory tail; finding one yields OSCILLATING, otherwise
         UNDECIDED.  Any non-finite or absurdly large rate yields
         DIVERGED immediately.
+
+        ``telemetry=None`` (the default) records a
+        :class:`~repro.observability.RunRecord` — per-iteration
+        residuals, mask events, wall time per phase — exactly when an
+        :func:`~repro.observability.collect` session is active; pass
+        ``True``/``False`` to force it on or off.  The record is
+        attached to the returned trajectory and emitted to any active
+        sessions.
         """
         r = as_rate_vector(initial, n=self.network.num_connections)
+        if telemetry is None:
+            telemetry = is_collecting()
+        rec = RunRecord.begin("run", 1, r.shape[0], max_steps, tol,
+                              settle) if telemetry else None
+        step_seconds = 0.0
         # Preallocate the whole history buffer; trim (with a copy, so
         # early convergence does not pin max_steps worth of memory) on
         # return.
@@ -269,32 +291,66 @@ class FlowControlSystem:
                 return history
             return history[:steps + 1].copy()
 
+        def finish(outcome: Outcome, steps: int) -> Optional[RunRecord]:
+            if rec is None:
+                return None
+            rec.add_phase("step", step_seconds)
+            rec.finish(steps, {outcome.value: 1})
+            emit_run_record(rec)
+            return rec
+
         for step_count in range(1, max_steps + 1):
+            if rec is not None:
+                t0 = time.perf_counter()
             r_next = self.step(r)
+            if rec is not None:
+                step_seconds += time.perf_counter() - t0
             history[step_count] = r_next
             if not np.all(np.isfinite(r_next)) or np.any(r_next > limit):
+                if rec is not None:
+                    rec.observe_iteration(math.inf, 0, 0, 1)
+                    rec.observe_mask_event(step_count, 0, "diverged")
                 return Trajectory(trimmed(step_count), Outcome.DIVERGED,
-                                  None, step_count)
+                                  None, step_count,
+                                  telemetry=finish(Outcome.DIVERGED,
+                                                   step_count))
             change = sup_norm(r_next, r)
             scale = max(1.0, float(np.max(r_next)))
+            settled = False
             if change <= tol * scale:
                 quiet += 1
-                if quiet >= settle:
-                    return Trajectory(trimmed(step_count),
-                                      Outcome.CONVERGED, 1, step_count)
+                settled = quiet >= settle
             else:
                 quiet = 0
+            if rec is not None:
+                rec.observe_iteration(change, 0 if settled else 1,
+                                      1 if settled else 0, 0)
+            if settled:
+                if rec is not None:
+                    rec.observe_mask_event(step_count, 0, "converged")
+                return Trajectory(trimmed(step_count),
+                                  Outcome.CONVERGED, 1, step_count,
+                                  telemetry=finish(Outcome.CONVERGED,
+                                                   step_count))
             r = r_next
+        if rec is not None:
+            t0 = time.perf_counter()
         period = _detect_period(history, max_period, tol)
+        if rec is not None:
+            rec.add_phase("period_detection", time.perf_counter() - t0)
         if period is not None:
             return Trajectory(history, Outcome.OSCILLATING, period,
-                              max_steps)
-        return Trajectory(history, Outcome.UNDECIDED, None, max_steps)
+                              max_steps,
+                              telemetry=finish(Outcome.OSCILLATING,
+                                               max_steps))
+        return Trajectory(history, Outcome.UNDECIDED, None, max_steps,
+                          telemetry=finish(Outcome.UNDECIDED, max_steps))
 
     def run_ensemble(self, initials, max_steps: int = 20000,
                      tol: float = 1e-10, settle: int = 5,
                      max_period: int = 64,
-                     record: bool = False) -> EnsembleResult:
+                     record: bool = False,
+                     telemetry: Optional[bool] = None) -> EnsembleResult:
         """Iterate the map from a whole batch of initial conditions.
 
         ``initials`` is an ``(M, N)`` array — M starting rate vectors —
@@ -304,21 +360,46 @@ class FlowControlSystem:
         and period.  All M trajectories advance through one vectorised
         :meth:`step_batch` per step, and members that converge or
         diverge are masked out of the batch so finished trajectories
-        stop costing work.
+        stop costing work.  An empty batch (``M = 0``) returns
+        immediately with well-shaped empty results.
 
         Pass ``record=True`` to also keep the full per-member histories
         (memory: ``M * (max_steps + 1) * N`` floats); by default only a
         rolling tail needed for limit-cycle detection is retained.
+
+        ``telemetry`` works as in :meth:`run`: ``None`` records a
+        :class:`~repro.observability.RunRecord` exactly when a
+        :func:`~repro.observability.collect` session is active.
         """
         r0 = as_rate_matrix(initials, n=self.network.num_connections)
         m_total, n = r0.shape
         limit = self.DIVERGENCE_FACTOR * self._mu_max
+        if telemetry is None:
+            telemetry = is_collecting()
+        rec = RunRecord.begin("ensemble", m_total, n, max_steps, tol,
+                              settle) if telemetry else None
+        step_seconds = 0.0
+        classify_seconds = 0.0
+        conv_total = 0
+        div_total = 0
 
         outcomes: List[Outcome] = [Outcome.UNDECIDED] * m_total
         periods: List[Optional[int]] = [None] * m_total
         steps = np.full(m_total, 0, dtype=int)
         finals = r0.copy()
         quiet = np.zeros(m_total, dtype=int)
+
+        if m_total == 0:
+            # An empty ensemble is already finished; do not spin the
+            # step loop over empty arrays for max_steps iterations.
+            if rec is not None:
+                rec.finish(0, {})
+                emit_run_record(rec)
+            return EnsembleResult(finals=finals, outcomes=outcomes,
+                                  periods=periods, steps=steps,
+                                  initials=r0,
+                                  histories=[] if record else None,
+                                  telemetry=rec)
 
         # Rolling tail for period detection: _detect_period probes lags
         # up to max_period over a window of 3 * max_period, so the last
@@ -333,7 +414,12 @@ class FlowControlSystem:
         idx = np.arange(m_total)      # members still iterating
         r = r0.copy()                 # their current states, compressed
         for step_count in range(1, max_steps + 1):
+            if rec is not None:
+                t0 = time.perf_counter()
             r_next = self.step_batch(r)
+            if rec is not None:
+                step_seconds += time.perf_counter() - t0
+                t0 = time.perf_counter()
             tail[idx, step_count % tcap] = r_next
             if record:
                 full[idx, step_count] = r_next
@@ -356,21 +442,41 @@ class FlowControlSystem:
                 for m, is_div in zip(done_members, diverged[done]):
                     if is_div:
                         outcomes[m] = Outcome.DIVERGED
+                        div_total += 1
                     else:
                         outcomes[m] = Outcome.CONVERGED
                         periods[m] = 1
+                        conv_total += 1
+                    if rec is not None:
+                        rec.observe_mask_event(
+                            step_count, int(m),
+                            "diverged" if is_div else "converged")
                 keep = ~done
                 idx = idx[keep]
                 r = r_next[keep]
+                if rec is not None:
+                    finite_changes = change[keep][np.isfinite(change[keep])]
+                    rec.observe_iteration(
+                        float(np.max(finite_changes))
+                        if finite_changes.size else math.inf,
+                        int(idx.size), conv_total, div_total)
+                    classify_seconds += time.perf_counter() - t0
                 if idx.size == 0:
                     break
             else:
                 r = r_next
+                if rec is not None:
+                    rec.observe_iteration(float(np.max(change)),
+                                          int(idx.size), conv_total,
+                                          div_total)
+                    classify_seconds += time.perf_counter() - t0
         else:
             # Members that exhausted the step budget: reconstruct the
             # ordered tail from the ring buffer and look for a cycle.
             finals[idx] = r
             steps[idx] = max_steps
+            if rec is not None:
+                t0 = time.perf_counter()
             start = (max_steps + 1) % tcap if max_steps + 1 > tcap else 0
             for m in idx:
                 ordered = np.roll(tail[m], -start, axis=0)
@@ -379,14 +485,26 @@ class FlowControlSystem:
                 if period is not None:
                     outcomes[m] = Outcome.OSCILLATING
                     periods[m] = period
+            if rec is not None:
+                rec.add_phase("period_detection",
+                              time.perf_counter() - t0)
 
         histories = None
         if record:
             histories = [full[m, :steps[m] + 1].copy()
                          for m in range(m_total)]
+        if rec is not None:
+            rec.add_phase("step_batch", step_seconds)
+            rec.add_phase("classify", classify_seconds)
+            counts = {}
+            for o in outcomes:
+                counts[o.value] = counts.get(o.value, 0) + 1
+            rec.finish(int(np.max(steps)) if m_total else 0, counts)
+            emit_run_record(rec)
         return EnsembleResult(finals=finals, outcomes=outcomes,
                               periods=periods, steps=steps,
-                              initials=r0, histories=histories)
+                              initials=r0, histories=histories,
+                              telemetry=rec)
 
     def solve(self, initial: Sequence[float], **kwargs) -> np.ndarray:
         """Run to convergence and return the steady state; raise otherwise."""

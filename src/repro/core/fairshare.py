@@ -79,12 +79,20 @@ def cumulative_loads(rates: Sequence[float], mu: float,
     Pass ``sorted_rates`` (the rates in increasing order) when the
     caller has already sorted them — :meth:`FairShare.queue_lengths`
     does — to avoid sorting the same vector twice.
+
+    The inner sum runs over the *sorted* rates, not the caller's order:
+    ``sum_m min(r_m, r_(k))`` is permutation-invariant mathematically,
+    but floating-point addition is not associative, so summing in the
+    caller's order made tied-rate vectors yield queues that differed in
+    the last ulp across permutations.  Summing in canonical (sorted)
+    order makes the result bit-identical under any permutation of the
+    input.
     """
     r = as_rate_vector(rates)
     _check_mu(mu)
     if sorted_rates is None:
         sorted_rates = r[sorted_order(r)]
-    capped = np.minimum(r[None, :], sorted_rates[:, None])
+    capped = np.minimum(sorted_rates[None, :], sorted_rates[:, None])
     return capped.sum(axis=1) / mu
 
 
@@ -95,6 +103,10 @@ def cumulative_loads_batch(rates: np.ndarray, mu: float,
 
     ``sorted_rates`` (each row sorted increasingly) can be supplied when
     the caller has already sorted the batch.
+
+    As in :func:`cumulative_loads`, the sum runs over the sorted rates
+    so each row's loads are bit-identical under permutation of that row
+    (and bit-identical to the scalar path).
     """
     r = np.asarray(rates, dtype=float)
     _check_mu(mu)
@@ -103,7 +115,8 @@ def cumulative_loads_batch(rates: np.ndarray, mu: float,
             f"rate batch must be 2-D, got shape {r.shape}")
     if sorted_rates is None:
         sorted_rates = np.sort(r, axis=1, kind="stable")
-    capped = np.minimum(r[:, None, :], sorted_rates[:, :, None])
+    capped = np.minimum(sorted_rates[:, None, :],
+                        sorted_rates[:, :, None])
     return capped.sum(axis=2) / mu
 
 

@@ -72,10 +72,18 @@ class SignalFunction(abc.ABC):
 
         Equals ``B`` applied entry by entry; the base implementation
         loops, and the concrete families override it with vectorised
-        arithmetic.  Custom subclasses only need the scalar ``__call__``.
+        arithmetic.  Custom subclasses only need the scalar ``__call__``
+        — infinite measures are mapped straight to 1 here (the
+        ``B(inf) = 1`` contract), so a subclass whose scalar map divides
+        by the measure never sees ``inf`` and cannot leak ``inf - inf``
+        NaNs into the overloaded-gateway signals.
         """
         arr = np.asarray(congestion, dtype=float)
-        out = np.array([self(c) for c in arr.ravel()], dtype=float)
+        out = np.empty(arr.size, dtype=float)
+        flat = arr.ravel()
+        for k in range(flat.size):
+            c = flat[k]
+            out[k] = 1.0 if math.isinf(c) else self(c)
         return out.reshape(arr.shape)
 
     def steady_state_utilisation(self, b_ss: float) -> float:
@@ -356,10 +364,17 @@ class FeedbackScheme:
         return out
 
     def local_signals(self, rates: np.ndarray) -> Dict[str, np.ndarray]:
-        """Signals ``b^a_i`` per gateway (in ``Gamma(a)`` order)."""
+        """Signals ``b^a_i`` per gateway (in ``Gamma(a)`` order).
+
+        Overloaded gateways have infinite congestion measures; those map
+        to 1 here (``B(inf) = 1``) before the signal function sees them,
+        matching :meth:`SignalFunction.apply_batch`.
+        """
         out = {}
         for gname, c in self.local_congestion(rates).items():
-            out[gname] = np.array([self.signal_fn(ci) for ci in c])
+            out[gname] = np.array(
+                [1.0 if math.isinf(ci) else self.signal_fn(ci)
+                 for ci in c], dtype=float)
         return out
 
     # -- per-connection quantities ------------------------------------

@@ -12,7 +12,7 @@ from .extensions import (run_x1_asynchrony, run_x2_feedback_delay,
                          run_x4_thinning_ablation,
                          run_x5_implicit_feedback)
 from .registry import EXTENSIONS, REGISTRY, Experiment, get, run, run_all
-from .report import format_summary, format_table, to_csv
+from .report import format_summary, format_table, to_csv, to_json
 from .table1 import run_table1
 from .exp_f1_tsi import run_f1_tsi
 from .exp_f2_manifold import run_f2_manifold
@@ -33,7 +33,7 @@ __all__ = [
     "run_x1_asynchrony", "run_x2_feedback_delay",
     "run_x3_weighted_fairness", "run_x4_thinning_ablation",
     "run_x5_implicit_feedback",
-    "format_table", "format_summary", "to_csv",
+    "format_table", "format_summary", "to_csv", "to_json",
     "run_table1", "run_f1_tsi", "run_f2_manifold",
     "run_f3_fair_construction", "run_f4_individual_fair",
     "run_f5_aggregate_instability", "run_f6_bifurcation",

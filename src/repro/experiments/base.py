@@ -54,3 +54,15 @@ class ExperimentResult:
             raise ExperimentError(
                 f"{self.experiment_id}: checks failed: {failed}")
         return self
+
+    def to_dict(self) -> dict:
+        """Plain-data view used by the JSON artifact writer."""
+        return {
+            "id": self.experiment_id,
+            "title": self.title,
+            "columns": [str(c) for c in self.columns],
+            "rows": [list(row) for row in self.rows],
+            "checks": {str(name): bool(ok)
+                       for name, ok in self.checks.items()},
+            "notes": [str(note) for note in self.notes],
+        }

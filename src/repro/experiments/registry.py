@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List
 
 from ..errors import ExperimentError
+from ..observability import active_session
 from .base import ExperimentResult
 from .exp_f1_tsi import run_f1_tsi
 from .exp_f2_manifold import run_f2_manifold
@@ -95,8 +97,19 @@ def get(experiment_id: str) -> Experiment:
 
 
 def run(experiment_id: str, **kwargs) -> ExperimentResult:
-    """Run one experiment with optional parameter overrides."""
-    return get(experiment_id).runner(**kwargs)
+    """Run one experiment with optional parameter overrides.
+
+    When an :func:`repro.observability.collect` session is active, the
+    harness's wall time is recorded in the session's metrics under
+    ``experiment.<id>.seconds``.
+    """
+    experiment = get(experiment_id)
+    session = active_session()
+    if session is None:
+        return experiment.runner(**kwargs)
+    with session.metrics.timer(
+            f"experiment.{experiment.experiment_id}.seconds").time():
+        return experiment.runner(**kwargs)
 
 
 def run_all(ids: Iterable[str] = None) -> List[ExperimentResult]:

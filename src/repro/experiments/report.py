@@ -5,11 +5,12 @@ from __future__ import annotations
 import csv
 import math
 from pathlib import Path
-from typing import Iterable, Union
+from typing import Iterable, Optional, Union
 
+from ..observability import CollectorSession, write_experiment_artifact
 from .base import ExperimentResult
 
-__all__ = ["format_table", "to_csv", "format_summary"]
+__all__ = ["format_table", "to_csv", "to_json", "format_summary"]
 
 
 def _cell(value) -> str:
@@ -55,6 +56,18 @@ def to_csv(result: ExperimentResult, path: Union[str, Path]) -> Path:
         for row in result.rows:
             writer.writerow([_cell(v) for v in row])
     return path
+
+
+def to_json(result: ExperimentResult, directory: Union[str, Path],
+            session: Optional[CollectorSession] = None,
+            seed=None, config=None) -> Path:
+    """Write ``<directory>/<id>.json``: a schema-valid run-record
+    artifact with provenance (git revision, seed, config hash), the
+    result's rows/checks, and everything the given collector session
+    observed (per-iteration engine records, sweep chunk timings).
+    """
+    return write_experiment_artifact(result, directory, session=session,
+                                     seed=seed, config=config)
 
 
 def format_summary(results: Iterable[ExperimentResult]) -> str:

@@ -1,0 +1,156 @@
+"""Schema-checked JSON artifacts for experiment runs.
+
+One artifact = one experiment run: provenance, the experiment's
+rows/checks, and every :class:`~repro.observability.record.RunRecord` /
+:class:`~repro.observability.record.SweepRecord` the engine emitted
+while it ran.  The CLI's ``--json-dir`` flag writes one per experiment;
+:func:`validate_artifact` is the hand-rolled schema check (no external
+schema library) used by tests and by the writer itself.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import List, Optional, Union
+
+from .provenance import provenance
+from .record import validate_run_record
+from .session import CollectorSession
+
+__all__ = ["ARTIFACT_SCHEMA", "experiment_artifact", "write_artifact",
+           "write_experiment_artifact", "validate_artifact"]
+
+#: Schema identifier embedded in every artifact file.
+ARTIFACT_SCHEMA = "repro.experiment-artifact/v1"
+
+
+def _json_safe(value):
+    """Recursively make a value strict-JSON representable."""
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalars
+        return _json_safe(value.item())
+    return repr(value)
+
+
+def experiment_artifact(result, session: Optional[CollectorSession] = None,
+                        seed=None, config=None) -> dict:
+    """Build the artifact dictionary for one experiment result.
+
+    ``result`` is an :class:`~repro.experiments.base.ExperimentResult`
+    (anything exposing ``to_dict()`` or the same attributes works — the
+    package stays import-independent of :mod:`repro.experiments`).
+    """
+    if hasattr(result, "to_dict"):
+        experiment = result.to_dict()
+    else:
+        experiment = {
+            "id": result.experiment_id,
+            "title": result.title,
+            "columns": list(result.columns),
+            "rows": [list(row) for row in result.rows],
+            "checks": dict(result.checks),
+            "notes": list(result.notes),
+        }
+    observability = (session.to_dict() if session is not None
+                     else {"run_records": [], "sweep_records": [],
+                           "metrics": {"counters": {}, "timers": {}}})
+    return {
+        "schema": ARTIFACT_SCHEMA,
+        "provenance": provenance(seed=seed, config=config),
+        "experiment": _json_safe(experiment),
+        "observability": _json_safe(observability),
+    }
+
+
+def write_artifact(artifact: dict, path: Union[str, Path]) -> Path:
+    """Validate and write one artifact as strict JSON."""
+    errors = validate_artifact(artifact)
+    if errors:
+        raise ValueError(
+            f"refusing to write schema-invalid artifact: {errors}")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(artifact, handle, indent=2, allow_nan=False)
+        handle.write("\n")
+    return path
+
+
+def write_experiment_artifact(result, directory: Union[str, Path],
+                              session: Optional[CollectorSession] = None,
+                              seed=None, config=None) -> Path:
+    """Write ``<directory>/<experiment_id>.json``; returns the path."""
+    artifact = experiment_artifact(result, session=session, seed=seed,
+                                   config=config)
+    experiment_id = artifact["experiment"]["id"]
+    return write_artifact(artifact, Path(directory) /
+                          f"{experiment_id}.json")
+
+
+def validate_artifact(data) -> List[str]:
+    """Schema check of one artifact; returns violations (empty = valid)."""
+    errors: List[str] = []
+    if not isinstance(data, dict):
+        return [f"artifact: expected dict, got {type(data).__name__}"]
+    if data.get("schema") != ARTIFACT_SCHEMA:
+        errors.append(f"schema: expected {ARTIFACT_SCHEMA!r}, "
+                      f"got {data.get('schema')!r}")
+
+    prov = data.get("provenance")
+    if not isinstance(prov, dict):
+        errors.append("provenance: missing or not a dict")
+    else:
+        for key in ("python", "numpy", "timestamp", "config_hash"):
+            if key not in prov:
+                errors.append(f"provenance.{key}: missing")
+        rev = prov.get("git_revision")
+        if rev is not None and not isinstance(rev, str):
+            errors.append("provenance.git_revision: expected str or null")
+
+    experiment = data.get("experiment")
+    if not isinstance(experiment, dict):
+        errors.append("experiment: missing or not a dict")
+    else:
+        for key, typ in (("id", str), ("title", str), ("columns", list),
+                         ("rows", list), ("checks", dict),
+                         ("notes", list)):
+            if not isinstance(experiment.get(key), typ):
+                errors.append(f"experiment.{key}: expected "
+                              f"{typ.__name__}")
+        columns = experiment.get("columns")
+        rows = experiment.get("rows")
+        if isinstance(columns, list) and isinstance(rows, list):
+            for k, row in enumerate(rows):
+                if not isinstance(row, list) or len(row) != len(columns):
+                    errors.append(f"experiment.rows[{k}]: does not match "
+                                  f"columns (length {len(columns)})")
+                    break
+
+    obs = data.get("observability")
+    if not isinstance(obs, dict):
+        errors.append("observability: missing or not a dict")
+    else:
+        for key in ("run_records", "sweep_records"):
+            records = obs.get(key)
+            if not isinstance(records, list):
+                errors.append(f"observability.{key}: expected list")
+                continue
+            for k, record in enumerate(records):
+                errors.extend(validate_run_record(
+                    record, where=f"observability.{key}[{k}]"))
+        metrics = obs.get("metrics")
+        if not isinstance(metrics, dict) or \
+                not isinstance(metrics.get("counters"), dict) or \
+                not isinstance(metrics.get("timers"), dict):
+            errors.append("observability.metrics: expected dict with "
+                          "'counters' and 'timers'")
+    return errors

@@ -1,0 +1,70 @@
+"""Provenance stamps for reproducible artifacts.
+
+Every JSON artifact records where it came from: the git revision of the
+working tree, interpreter and numpy versions, the seed, and a stable
+hash of the configuration that produced it — enough to regenerate any
+figure from its record.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["git_revision", "config_hash", "provenance"]
+
+
+def git_revision(cwd: Optional[str] = None) -> Optional[str]:
+    """The commit hash of the checkout the code runs from, or ``None``
+    outside a repository (or when git is unavailable) — provenance must
+    never break a run.
+
+    ``cwd`` defaults to this package's directory, not the process's
+    working directory: the artifact should record the revision of the
+    *code* that produced it, wherever the caller happens to be.
+    """
+    if cwd is None:
+        cwd = str(Path(__file__).resolve().parent)
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    rev = out.stdout.strip()
+    return rev or None
+
+
+def config_hash(config) -> str:
+    """Stable sha256 fingerprint of a JSON-serialisable configuration.
+
+    Keys are sorted and non-JSON values fall back to ``repr``, so the
+    hash depends only on content, not dict ordering or object identity.
+    """
+    canonical = json.dumps(config, sort_keys=True, default=repr,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def provenance(seed=None, config=None) -> dict:
+    """The provenance block embedded in every artifact."""
+    return {
+        "git_revision": git_revision(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "timestamp": time.time(),
+        "seed": seed,
+        "config": config,
+        "config_hash": config_hash(config),
+    }

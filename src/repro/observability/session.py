@@ -1,0 +1,97 @@
+"""Ambient collector sessions.
+
+The engine and the sweep runner do not know who wants their telemetry;
+they emit to whatever :class:`CollectorSession` is active.  Sessions
+nest (an outer session sees everything inner ones see) and collection
+is strictly opt-in: with no session active, :func:`is_collecting` is a
+single list check and the hot loops skip all bookkeeping.
+
+    from repro import observability as obs
+
+    with obs.collect() as session:
+        system.run_ensemble(starts)
+    print(session.run_records[0].phase_seconds)
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import List, Optional
+
+from .metrics import MetricsRegistry
+from .record import RunRecord, SweepRecord
+
+__all__ = ["CollectorSession", "collect", "active_session",
+           "is_collecting", "emit_run_record", "emit_sweep_record"]
+
+
+class CollectorSession:
+    """Everything emitted while the session was active."""
+
+    def __init__(self):
+        self.run_records: List[RunRecord] = []
+        self.sweep_records: List[SweepRecord] = []
+        self.metrics = MetricsRegistry()
+        self._lock = threading.Lock()
+
+    def add_run_record(self, record: RunRecord) -> None:
+        with self._lock:
+            self.run_records.append(record)
+
+    def add_sweep_record(self, record: SweepRecord) -> None:
+        with self._lock:
+            self.sweep_records.append(record)
+
+    def to_dict(self) -> dict:
+        """JSON-safe view of the whole session."""
+        with self._lock:
+            return {
+                "run_records": [r.to_dict() for r in self.run_records],
+                "sweep_records": [r.to_dict()
+                                  for r in self.sweep_records],
+                "metrics": self.metrics.snapshot(),
+            }
+
+
+_STACK: List[CollectorSession] = []
+_STACK_LOCK = threading.Lock()
+
+
+@contextmanager
+def collect():
+    """Activate a new :class:`CollectorSession` for the ``with`` body."""
+    session = CollectorSession()
+    with _STACK_LOCK:
+        _STACK.append(session)
+    try:
+        yield session
+    finally:
+        with _STACK_LOCK:
+            _STACK.remove(session)
+
+
+def active_session() -> Optional[CollectorSession]:
+    """The innermost active session, or ``None``."""
+    return _STACK[-1] if _STACK else None
+
+
+def is_collecting() -> bool:
+    """True when at least one session is active."""
+    return bool(_STACK)
+
+
+def emit_run_record(record: RunRecord) -> None:
+    """Deliver a finished run record to every active session."""
+    with _STACK_LOCK:
+        sessions = list(_STACK)
+    for session in sessions:
+        session.add_run_record(record)
+
+
+def emit_sweep_record(record: SweepRecord) -> None:
+    """Deliver a finished sweep record to every active session."""
+    with _STACK_LOCK:
+        sessions = list(_STACK)
+    for session in sessions:
+        session.add_sweep_record(record)

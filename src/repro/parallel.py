@@ -33,10 +33,12 @@ from __future__ import annotations
 import concurrent.futures
 import math
 import os
+import time
 import warnings
 from typing import Callable, List, Optional, Sequence
 
 from .errors import RateVectorError
+from .observability import SweepRecord, emit_sweep_record, is_collecting
 
 __all__ = ["sweep", "chunk_indices"]
 
@@ -71,6 +73,15 @@ def _run_chunk(fn: Callable, items: list) -> list:
     return [fn(item) for item in items]
 
 
+def _run_chunk_timed(fn: Callable, items: list) -> tuple:
+    """Like :func:`_run_chunk`, but also reports the in-worker wall
+    time so :class:`~repro.observability.SweepRecord` can derive
+    per-chunk cost and worker utilisation."""
+    start = time.perf_counter()
+    out = [fn(item) for item in items]
+    return out, time.perf_counter() - start
+
+
 def sweep(fn: Callable, grid: Sequence, workers: Optional[int] = None,
           executor: str = "process",
           chunk_size: Optional[int] = None) -> list:
@@ -89,6 +100,11 @@ def sweep(fn: Callable, grid: Sequence, workers: Optional[int] = None,
 
     Returns:
         ``[fn(p) for p in grid]`` — exactly, whatever the parallelism.
+
+    When an :func:`repro.observability.collect` session is active, a
+    :class:`~repro.observability.SweepRecord` with per-chunk in-worker
+    timing, worker utilisation, and any serial-fallback reason is
+    emitted to it; the result list is unaffected.
     """
     items = list(grid)
     if executor not in ("process", "thread", "serial"):
@@ -99,8 +115,25 @@ def sweep(fn: Callable, grid: Sequence, workers: Optional[int] = None,
         workers = os.cpu_count() or 1
     if workers < 0:
         raise RateVectorError(f"workers must be >= 0, got {workers!r}")
+    rec = (SweepRecord(n_items=len(items), executor=executor,
+                       workers=workers) if is_collecting() else None)
+    wall_start = time.perf_counter()
+
+    def run_serial(fallback_reason: Optional[str] = None) -> list:
+        if rec is None:
+            return _run_chunk(fn, items)
+        out, elapsed = _run_chunk_timed(fn, items)
+        rec.serial = True
+        rec.fallback_reason = fallback_reason
+        rec.n_chunks = 1 if items else 0
+        rec.chunk_sizes = [len(items)] if items else []
+        rec.chunk_seconds = [elapsed] if items else []
+        rec.finalise(time.perf_counter() - wall_start, 1)
+        emit_sweep_record(rec)
+        return out
+
     if executor == "serial" or workers <= 1 or len(items) <= 1:
-        return _run_chunk(fn, items)
+        return run_serial()
 
     if chunk_size is not None:
         if chunk_size < 1:
@@ -116,15 +149,23 @@ def sweep(fn: Callable, grid: Sequence, workers: Optional[int] = None,
                 else concurrent.futures.ThreadPoolExecutor)
     try:
         with pool_cls(max_workers=min(workers, len(chunks))) as pool:
-            futures = [pool.submit(_run_chunk, fn, [items[i] for i in r])
+            futures = [pool.submit(_run_chunk_timed, fn,
+                                   [items[i] for i in r])
                        for r in chunks]
             pieces = [f.result() for f in futures]
     except Exception as exc:  # pool creation / pickling / sandbox limits
         warnings.warn(
             f"parallel sweep fell back to serial execution: {exc!r}",
             RuntimeWarning, stacklevel=2)
-        return _run_chunk(fn, items)
+        return run_serial(fallback_reason=repr(exc))
     out: list = []
-    for piece in pieces:
+    for piece, _ in pieces:
         out.extend(piece)
+    if rec is not None:
+        rec.n_chunks = len(chunks)
+        rec.chunk_sizes = [len(r) for r in chunks]
+        rec.chunk_seconds = [elapsed for _, elapsed in pieces]
+        rec.finalise(time.perf_counter() - wall_start,
+                     min(workers, len(chunks)))
+        emit_sweep_record(rec)
     return out

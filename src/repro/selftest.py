@@ -4,7 +4,12 @@ A smoke check of the batch trajectory engine that finishes well under
 30 seconds: every batched path (queue laws, signals, rules, one-step
 map, ensemble runner, vectorised quadratic sweep, parallel sweep
 runner) is compared against its scalar counterpart on small
-configurations, to 1e-12.  Exit code 0 means everything agreed.
+configurations, to 1e-12.  Exit code 0 means everything agreed, and
+the nonzero exit propagates through ``python -m repro selftest``.
+
+``--quick`` shrinks the ensembles for CI; ``--force-fail`` injects one
+deliberately failing check so the exit-code plumbing itself can be
+exercised end to end.
 
 This is deliberately a subset of the full test suite — the quick
 confidence check to run after touching the engine, not a replacement
@@ -13,6 +18,7 @@ for ``pytest``.
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
@@ -28,6 +34,7 @@ from .core.ratecontrol import (DecbitRateRule, ProportionalTargetRule,
 from .core.signals import (FeedbackStyle, LinearSaturating,
                            PowerSaturating)
 from .core.topology import parking_lot, single_gateway
+from .observability import collect, validate_run_record
 from .parallel import sweep
 
 __all__ = ["main", "run_selftest"]
@@ -45,10 +52,18 @@ def _square(x):
     return x * x
 
 
-def run_selftest() -> bool:
-    """Run every smoke check; return True when all pass."""
+def run_selftest(quick: bool = False, force_fail: bool = False) -> bool:
+    """Run every smoke check; return True when all pass.
+
+    ``quick`` shrinks ensemble sizes and step budgets so the whole run
+    finishes in a couple of seconds; ``force_fail`` appends one check
+    that always fails (for testing exit-code propagation).
+    """
     failures: list = []
     rng = np.random.default_rng(42)
+    members = 6 if quick else 16
+    max_steps = 1000 if quick else 3000
+    keep = 192 if quick else 256  # sweep requires keep >= 3 * max_period
 
     print("batch step vs scalar step:")
     hetero = [TargetRule(eta=0.1, beta=0.5),
@@ -78,24 +93,55 @@ def run_selftest() -> bool:
                                LinearSaturating(),
                                TargetRule(eta=0.1, beta=0.5),
                                style=FeedbackStyle.INDIVIDUAL)
-    starts = rng.uniform(0.0, 0.6, size=(16, 4))
-    result = system.run_ensemble(starts, max_steps=3000)
+    starts = rng.uniform(0.0, 0.6, size=(members, 4))
+    result = system.run_ensemble(starts, max_steps=max_steps)
     ok = True
     for m in range(len(result)):
-        traj = system.run(starts[m], max_steps=3000)
+        traj = system.run(starts[m], max_steps=max_steps)
         ok &= (result.outcomes[m] is traj.outcome
                and result.steps[m] == traj.steps
                and bool(np.allclose(result.finals[m], traj.final,
                                     atol=_TOL)))
-    _check("16-member ensemble matches run()", ok, failures)
+    _check(f"{members}-member ensemble matches run()", ok, failures)
+
+    print("engine edge cases:")
+    empty = system.run_ensemble(np.empty((0, 4)), max_steps=max_steps)
+    _check("M=0 ensemble returns well-shaped empties",
+           len(empty) == 0 and empty.finals.shape == (0, 4)
+           and empty.steps.shape == (0,), failures)
+    tied = np.array([0.3, 0.1, 0.1, 0.3])
+    perm = np.array([3, 1, 0, 2])
+    q_direct = FairShare().queue_lengths(tied, mu=1.0)
+    q_perm = FairShare().queue_lengths(tied[perm], mu=1.0)
+    _check("Fair Share tie-break is permutation invariant",
+           bool(np.array_equal(q_direct[perm], q_perm)), failures)
+    over = np.full(4, 0.5)
+    _check("overload step stays finite (scalar vs batch)",
+           bool(np.allclose(system.step(over),
+                            system.step_batch(over[None, :])[0],
+                            atol=_TOL))
+           and bool(np.all(np.isfinite(system.step(over)))), failures)
+
+    print("observability collector:")
+    with collect() as session:
+        system.run_ensemble(starts[:4], max_steps=max_steps)
+        system.run(starts[0], max_steps=max_steps)
+    records = session.run_records
+    violations = [v for r in records
+                  for v in validate_run_record(r.to_dict(), "selftest")]
+    _check("2 schema-valid run records collected",
+           len(records) == 2 and not violations, failures)
+    _check("telemetry off outside collect()",
+           system.run(starts[0], max_steps=max_steps).telemetry is None,
+           failures)
 
     print("vectorised quadratic sweep vs generic path:")
     gains = [0.8, 1.5, 2.3, 2.62]
     pts = quadratic_map_sweep(gains, beta=0.25, x0=0.1, transient=1000,
-                              keep=256)
+                              keep=keep)
     generic = bifurcation_diagram(
         lambda a: QuadraticRateMap(a=a, beta=0.25),
-        gains, x0=0.1, transient=1000, keep=256,
+        gains, x0=0.1, transient=1000, keep=keep,
         derivative_family=lambda a: QuadraticRateMap(a=a,
                                                      beta=0.25).derivative)
     ok = all(np.array_equal(pt.attractor, gpt.attractor)
@@ -110,12 +156,22 @@ def run_selftest() -> bool:
           [x * x for x in grid])
     _check("grid order preserved across executors", ok, failures)
 
+    if force_fail:
+        _check("forced failure (--force-fail)", False, failures)
+
     return not failures
 
 
-def main(argv=None) -> int:
+def main(argv=None, quick: bool = False, force_fail: bool = False) -> int:
+    if argv is not None or __name__ == "__main__":
+        parser = argparse.ArgumentParser(prog="repro.selftest")
+        parser.add_argument("--quick", action="store_true")
+        parser.add_argument("--force-fail", action="store_true")
+        args = parser.parse_args(argv)
+        quick = quick or args.quick
+        force_fail = force_fail or args.force_fail
     t0 = time.perf_counter()
-    passed = run_selftest()
+    passed = run_selftest(quick=quick, force_fail=force_fail)
     elapsed = time.perf_counter() - t0
     print(f"\nselftest {'PASSED' if passed else 'FAILED'} "
           f"in {elapsed:.1f}s")

@@ -134,6 +134,24 @@ class GatewayMonitor:
         """Current number-in-system per local connection (copy)."""
         return self._in_system.copy()
 
+    def snapshot(self, now: float) -> Dict[str, object]:
+        """Plain-data view of everything measured since the reset.
+
+        JSON-serialisable (lists and floats only), suitable for the
+        observability artifact writer.
+        """
+        return {
+            "local_conns": list(self._conns),
+            "mean_queue_lengths": [float(q) for q in
+                                   self.mean_queue_lengths(now)],
+            "arrival_rates": [float(a) for a in self.arrival_rates(now)],
+            "drop_fractions": [float(d) for d in self.drop_fractions()],
+            "drops": [int(d) for d in self._drops],
+            "occupancy": [int(c) for c in self._in_system],
+            "aggregate_drop_fraction": self.aggregate_drop_fraction(),
+            "horizon": float(now - self._start_time),
+        }
+
 
 class EndToEndMonitor:
     """Delivered-packet counts and source-to-sink delays per connection."""
@@ -170,3 +188,14 @@ class EndToEndMonitor:
     @property
     def delivered(self) -> np.ndarray:
         return self._delivered.copy()
+
+    def snapshot(self, now: float) -> Dict[str, object]:
+        """Plain-data view (JSON-serialisable; ``nan`` delays → None)."""
+        delays = self.mean_delays(now)
+        return {
+            "delivered": [int(d) for d in self._delivered],
+            "throughput": [float(t) for t in self.throughput(now)],
+            "mean_delays": [None if np.isnan(d) else float(d)
+                            for d in delays],
+            "horizon": float(now - self._start_time),
+        }

@@ -260,6 +260,66 @@ class TestRunEnsemble:
         with pytest.raises(RateVectorError):
             system.run_ensemble(np.array([[0.1, -0.1, 0.2]]))
 
+    def test_empty_ensemble_well_shaped(self):
+        system = self._system()
+        result = system.run_ensemble(np.empty((0, 3)), max_steps=500,
+                                     record=True)
+        assert len(result) == 0
+        assert result.finals.shape == (0, 3)
+        assert result.initials.shape == (0, 3)
+        assert result.steps.shape == (0,)
+        assert result.outcomes == []
+        assert result.periods == []
+        assert result.histories == []
+        assert result.outcome_counts()[Outcome.CONVERGED] == 0
+
+    def test_empty_ensemble_is_fast(self):
+        # The M=0 early-out must not spin through max_steps iterations
+        # over empty arrays.
+        import time
+        system = self._system()
+        t0 = time.perf_counter()
+        system.run_ensemble(np.empty((0, 3)), max_steps=200000)
+        assert time.perf_counter() - t0 < 1.0
+
+    def test_single_member_matches_run(self):
+        system = self._system()
+        r0 = np.array([[0.2, 0.1, 0.05]])
+        result = system.run_ensemble(r0, max_steps=3000)
+        traj = system.run(r0[0], max_steps=3000)
+        assert len(result) == 1
+        assert result.outcomes[0] is traj.outcome
+        assert result.steps[0] == traj.steps
+        assert np.allclose(result.finals[0], traj.final, atol=TOL)
+
+    def test_single_connection_matches_run(self):
+        system = self._system(n=1)
+        starts = np.array([[0.05], [0.3], [0.9]])
+        result = system.run_ensemble(starts, max_steps=3000)
+        for m in range(3):
+            traj = system.run(starts[m], max_steps=3000)
+            assert result.outcomes[m] is traj.outcome
+            assert result.steps[m] == traj.steps
+            assert np.allclose(result.finals[m], traj.final, atol=TOL)
+
+    def test_overloaded_members_agree_with_scalar(self):
+        # rho_total >= 1 members have infinite queues; the batch path
+        # must keep signals finite and track the scalar path to TOL.
+        system = self._system()
+        starts = np.array([[0.4, 0.4, 0.4],    # overloaded exactly
+                           [1.0, 1.0, 1.0],    # far past saturation
+                           [0.334, 0.333, 0.333],
+                           [0.1, 0.1, 0.1]])
+        out = system.step_batch(starts)
+        assert np.all(np.isfinite(out))
+        for m in range(starts.shape[0]):
+            assert np.allclose(out[m], system.step(starts[m]), atol=TOL)
+        result = system.run_ensemble(starts, max_steps=2000)
+        for m in range(starts.shape[0]):
+            traj = system.run(starts[m], max_steps=2000)
+            assert result.outcomes[m] is traj.outcome
+            assert np.allclose(result.finals[m], traj.final, atol=TOL)
+
 
 class TestTheorem5Batch:
     def test_matches_scalar(self):

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.fairshare import (FairShare, cumulative_loads,
+                                  cumulative_loads_batch,
                                   fair_share_queues_recursive,
                                   priority_decomposition)
 from repro.core.math_utils import g
@@ -68,6 +69,25 @@ class TestCumulativeLoads:
         sigma = cumulative_loads(r, 2.0)
         assert sigma[-1] == pytest.approx(r.sum() / 2.0)
 
+    def test_permutation_invariant_bitwise(self):
+        # Both paths sum over the sorted rates, so permuting the input
+        # changes nothing — not even the last ulp.
+        rng = np.random.default_rng(13)
+        vals = rng.uniform(0.01, 0.3, 3)
+        r = rng.choice(vals, size=7)
+        perm = rng.permutation(7)
+        assert np.array_equal(cumulative_loads(r, 1.0),
+                              cumulative_loads(r[perm], 1.0))
+
+    def test_batch_matches_scalar_bitwise(self):
+        rng = np.random.default_rng(14)
+        batch = rng.uniform(0.0, 0.3, size=(6, 5))
+        batch[2, 1] = batch[2, 3]  # inject a tie
+        sigma_b = cumulative_loads_batch(batch, 1.3)
+        for m in range(6):
+            assert np.array_equal(sigma_b[m],
+                                  cumulative_loads(batch[m], 1.3))
+
 
 class TestFairShareQueues:
     def test_matches_recursion(self, fair_share):
@@ -116,6 +136,29 @@ class TestFairShareQueues:
         perm = np.array([1, 2, 0])
         q_perm = fair_share.queue_lengths(r[perm], 1.0)
         assert np.allclose(q[perm], q_perm)
+
+    def test_tied_rates_permutation_invariant_bitwise(self, fair_share):
+        # FP addition is not associative, so the cumulative loads must
+        # be summed in canonical (sorted) order: connections with EQUAL
+        # rates then get bit-identical queues under any permutation of
+        # the input vector — not merely allclose.
+        rng = np.random.default_rng(11)
+        for _ in range(25):
+            vals = rng.uniform(0.01, 0.24, 3)
+            r = rng.choice(vals, size=6)  # guaranteed ties
+            perm = rng.permutation(6)
+            q = fair_share.queue_lengths(r, 1.0)
+            q_perm = fair_share.queue_lengths(r[perm], 1.0)
+            assert np.array_equal(q[perm], q_perm)
+
+    def test_tied_rates_batch_matches_scalar_bitwise(self, fair_share):
+        rng = np.random.default_rng(12)
+        vals = rng.uniform(0.01, 0.24, 2)
+        batch = rng.choice(vals, size=(8, 5))
+        q_batch = fair_share.queue_lengths_batch(batch, 1.0)
+        for m in range(8):
+            assert np.array_equal(
+                q_batch[m], fair_share.queue_lengths(batch[m], 1.0))
 
     def test_triangularity_queue_independent_of_larger_rates(
             self, fair_share):

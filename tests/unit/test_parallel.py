@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.observability import collect
 from repro.parallel import chunk_indices, sweep
 from repro.errors import RateVectorError
 
@@ -70,6 +71,27 @@ class TestSweep:
             out = sweep(lambda x: x + 1, self.GRID, workers=2,
                         executor="process")
         assert out == [x + 1 for x in self.GRID]
+
+    def test_fallback_warns_exactly_once_and_results_identical(self):
+        fn = lambda x: x * 3  # noqa: E731 — unpicklable on purpose
+        with pytest.warns(RuntimeWarning) as caught:
+            out = sweep(fn, self.GRID, workers=2, executor="process")
+        fallback_warnings = [w for w in caught
+                             if issubclass(w.category, RuntimeWarning)]
+        assert len(fallback_warnings) == 1
+        assert "fell back to serial" in str(fallback_warnings[0].message)
+        assert out == sweep(fn, self.GRID, workers=1)
+
+    def test_fallback_reason_recorded(self):
+        with collect() as session:
+            with pytest.warns(RuntimeWarning):
+                sweep(lambda x: x, self.GRID, workers=2,
+                      executor="process")
+        rec = session.sweep_records[0]
+        assert rec.serial
+        assert rec.fallback_reason is not None
+        assert rec.executor == "process"
+        assert rec.chunk_sizes == [len(self.GRID)]
 
     def test_validation(self):
         with pytest.raises(RateVectorError):

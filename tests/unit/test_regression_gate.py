@@ -1,0 +1,101 @@
+"""Unit tests for the benchmark regression gate's comparison logic.
+
+The gate itself times real workloads; these tests exercise only the
+pure :func:`compare` / :func:`format_report` functions and check the
+committed baseline file stays well-formed.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_BENCHMARKS = Path(__file__).resolve().parents[2] / "benchmarks"
+sys.path.insert(0, str(_BENCHMARKS))
+
+from regression_gate import GATED, compare, format_report  # noqa: E402
+
+
+def _baseline(ensemble=50.0, sweep=20.0, ens_min=5.0, sweep_min=3.0):
+    return {
+        "ensemble": {"speedup": ensemble},
+        "quadratic_sweep": {"speedup": sweep},
+        "targets": {"ensemble_speedup_min": ens_min,
+                    "quadratic_sweep_speedup_min": sweep_min},
+    }
+
+
+def _fresh(ensemble, sweep):
+    return {"ensemble": {"speedup": ensemble},
+            "quadratic_sweep": {"speedup": sweep}}
+
+
+class TestCompare:
+    def test_pass_when_fresh_matches_baseline(self):
+        ok, report = compare(_baseline(), _fresh(50.0, 20.0))
+        assert ok
+        assert all(entry["ok"] for entry in report)
+
+    def test_pass_within_threshold(self):
+        # 25% slower is the boundary: 50 * 0.75 = 37.5.
+        ok, _ = compare(_baseline(), _fresh(37.5, 15.0))
+        assert ok
+
+    def test_fail_beyond_threshold(self):
+        ok, report = compare(_baseline(), _fresh(37.0, 20.0))
+        assert not ok
+        failed = [e for e in report if not e["ok"]]
+        assert [e["name"] for e in failed] == ["ensemble"]
+
+    def test_floor_never_below_minimum_target(self):
+        # Baseline barely above target: the floor is the target, not
+        # baseline * (1 - threshold).
+        ok, report = compare(_baseline(ensemble=6.0), _fresh(5.5, 20.0))
+        assert ok
+        ensemble = next(e for e in report if e["name"] == "ensemble")
+        assert ensemble["floor"] == 5.0
+
+    def test_floor_only_ignores_baseline(self):
+        # Quick mode: a big drop from the baseline passes as long as
+        # the minimum targets are met.
+        ok, _ = compare(_baseline(), _fresh(6.0, 3.5), floor_only=True)
+        assert ok
+        ok, _ = compare(_baseline(), _fresh(4.0, 3.5), floor_only=True)
+        assert not ok
+
+    def test_custom_threshold(self):
+        ok, _ = compare(_baseline(), _fresh(46.0, 19.0), threshold=0.05)
+        assert not ok
+        ok, _ = compare(_baseline(), _fresh(48.0, 19.5), threshold=0.05)
+        assert ok
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            compare(_baseline(), _fresh(50.0, 20.0), threshold=1.0)
+        with pytest.raises(ValueError):
+            compare(_baseline(), _fresh(50.0, 20.0), threshold=-0.1)
+
+    def test_report_formatting(self):
+        ok, report = compare(_baseline(), _fresh(10.0, 20.0))
+        text = format_report(report)
+        assert "FAIL" in text and "ensemble" in text
+        assert "OK" in text and "quadratic_sweep" in text
+
+
+class TestCommittedBaseline:
+    def test_baseline_file_has_gated_keys(self):
+        data = json.loads(
+            (_BENCHMARKS.parent / "BENCH_core.json").read_text())
+        for name, target_key in GATED:
+            assert "speedup" in data[name]
+            assert target_key in data["targets"]
+        assert data["targets_met"] is True
+
+    def test_gate_passes_against_itself(self):
+        # The committed baseline compared against its own numbers must
+        # always pass — the gate's invariant after a baseline refresh.
+        data = json.loads(
+            (_BENCHMARKS.parent / "BENCH_core.json").read_text())
+        ok, _ = compare(data, data)
+        assert ok

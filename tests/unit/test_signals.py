@@ -9,7 +9,8 @@ from repro.core.fairshare import FairShare
 from repro.core.fifo import Fifo
 from repro.core.signals import (ExponentialSignal, FeedbackScheme,
                                 FeedbackStyle, LinearSaturating,
-                                PowerSaturating, aggregate_congestion,
+                                PowerSaturating, SignalFunction,
+                                aggregate_congestion,
                                 individual_congestion)
 from repro.core.topology import single_gateway, two_gateway_shared
 from repro.errors import RateVectorError
@@ -51,6 +52,63 @@ class TestSignalFunctions:
     def test_bad_signal_rejected(self, signal):
         with pytest.raises(RateVectorError):
             signal.congestion_for(1.5)
+
+    def test_apply_batch_matches_scalar_incl_inf(self, signal):
+        c = np.array([0.0, 0.5, 3.0, math.inf])
+        out = signal.apply_batch(c)
+        assert out.shape == c.shape
+        assert np.allclose(out[:3], [signal(x) for x in c[:3]],
+                           atol=1e-12)
+        assert out[3] == 1.0
+
+    def test_apply_batch_empty(self, signal):
+        out = signal.apply_batch(np.empty((0,)))
+        assert out.shape == (0,)
+        out2 = signal.apply_batch(np.empty((0, 3)))
+        assert out2.shape == (0, 3)
+
+
+class _NaiveSignal(SignalFunction):
+    """A user subclass whose scalar map would emit inf/inf NaN at
+    overload — the base apply_batch must shield it."""
+
+    name = "naive"
+
+    def __call__(self, congestion):
+        return congestion / (congestion + 1.0)  # NaN at congestion=inf
+
+    def congestion_for(self, signal):
+        return signal / (1.0 - signal)
+
+
+class TestBaseApplyBatch:
+    def test_shields_subclass_from_inf(self):
+        out = _NaiveSignal().apply_batch(
+            np.array([0.0, 1.0, math.inf]))
+        assert np.array_equal(out, [0.0, 0.5, 1.0])
+        assert not np.any(np.isnan(out))
+
+    def test_empty_input(self):
+        assert _NaiveSignal().apply_batch(np.empty((0,))).shape == (0,)
+        assert _NaiveSignal().apply_batch(
+            np.empty((2, 0))).shape == (2, 0)
+
+    def test_preserves_shape(self):
+        out = _NaiveSignal().apply_batch(np.full((3, 4), 2.0))
+        assert out.shape == (3, 4)
+        assert np.allclose(out, 2.0 / 3.0)
+
+    def test_overloaded_scheme_signals_stay_finite(self):
+        # At rho_total >= 1 every queue is inf; the scheme must emit 1.0
+        # (B(inf) = 1), never NaN, for both scalar and batch paths —
+        # even with a signal function that cannot handle inf itself.
+        scheme = FeedbackScheme(single_gateway(3, mu=1.0), Fifo(),
+                                _NaiveSignal(), FeedbackStyle.AGGREGATE)
+        rates = np.array([0.5, 0.5, 0.5])
+        b = scheme.signals(rates)
+        b_batch = scheme.signals_batch(rates[None, :])[0]
+        assert np.array_equal(b, np.ones(3))
+        assert np.array_equal(b_batch, b)
 
 
 class TestSpecificForms:

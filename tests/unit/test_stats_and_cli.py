@@ -102,3 +102,52 @@ class TestCli:
         # — just check the registry lookup).
         from repro.experiments import get
         assert get("X3").experiment_id == "X3"
+
+    def test_run_with_json_dir(self, tmp_path, capsys):
+        import json
+        from repro.observability import validate_artifact
+        assert main(["run", "T1", "--json-dir", str(tmp_path)]) == 0
+        path = tmp_path / "T1.json"
+        assert path.exists()
+        data = json.loads(path.read_text())
+        assert validate_artifact(data) == []
+        assert data["experiment"]["id"] == "T1"
+        assert "config_hash" in data["provenance"]
+        timers = data["observability"]["metrics"]["timers"]
+        assert "experiment.T1.seconds" in timers
+
+    def test_json_artifact_captures_engine_records(self, tmp_path):
+        import json
+        # F5 runs ensembles through the engine, so its artifact must
+        # carry per-iteration run records.
+        assert main(["run", "F5", "--json-dir", str(tmp_path)]) in (0, 1)
+        data = json.loads((tmp_path / "F5.json").read_text())
+        records = data["observability"]["run_records"]
+        assert records
+        assert all(len(r["residuals"]) == len(r["active_members"])
+                   for r in records)
+
+
+class TestSelftestExitCode:
+    def _run(self, *extra):
+        import os
+        import subprocess
+        import sys
+        env = dict(os.environ)
+        src = str((__import__("pathlib").Path(__file__)
+                   .resolve().parents[2] / "src"))
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "selftest", "--quick",
+             *extra],
+            capture_output=True, text=True, env=env, timeout=300)
+
+    def test_selftest_passes_with_exit_zero(self):
+        proc = self._run()
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "PASSED" in proc.stdout
+
+    def test_selftest_failure_propagates_nonzero_exit(self):
+        proc = self._run("--force-fail")
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "FAILED" in proc.stdout

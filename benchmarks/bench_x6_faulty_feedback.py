@@ -1,0 +1,10 @@
+"""X6 (extension) — robustness floors under lossy/stale feedback."""
+
+from conftest import run_once
+from repro.experiments import run_x6_faulty_feedback
+
+
+def test_x6_faulty_feedback(benchmark):
+    result = run_once(benchmark, run_x6_faulty_feedback, steps=6000,
+                      loss_rates=(0.0, 0.5))
+    result.require()

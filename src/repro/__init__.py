@@ -45,15 +45,24 @@ processes with :func:`repro.parallel.sweep`.
 
 from .core import *  # noqa: F401,F403 — the curated public API
 from .core import __all__ as _core_all
-from .errors import (ConvergenceError, ExperimentError, InfeasibleLoadError,
+from .errors import (ArtifactError, CLIError, ConvergenceError,
+                     ExperimentError, FaultError, InfeasibleLoadError,
                      NotTimeScaleInvariantError, RateVectorError, ReproError,
-                     SimulationError, TopologyError)
+                     SimulationError, SweepError, TopologyError,
+                     WorkerFunctionError)
+from .faults import (ExtraDelay, FaultEvent, FaultPlan, FaultState,
+                     GatewayOutage, SignalLoss, SignalNoise,
+                     SignalQuantisation, parse_fault_spec)
 from .parallel import sweep
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = list(_core_all) + [
     "ReproError", "TopologyError", "RateVectorError", "InfeasibleLoadError",
     "ConvergenceError", "NotTimeScaleInvariantError", "SimulationError",
-    "ExperimentError", "sweep", "__version__",
+    "ExperimentError", "FaultError", "SweepError", "WorkerFunctionError",
+    "ArtifactError", "CLIError",
+    "FaultPlan", "FaultState", "FaultEvent", "SignalLoss", "SignalNoise",
+    "SignalQuantisation", "ExtraDelay", "GatewayOutage", "parse_fault_spec",
+    "sweep", "__version__",
 ]

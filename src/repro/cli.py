@@ -11,9 +11,21 @@ Commands:
   summary line per artifact, exit nonzero if any shape check fails;
 * ``table1 [--rates r1,r2,...] [--mu MU]`` — regenerate Table 1 for
   custom rates;
-* ``selftest`` — fast smoke check of the batch trajectory engine
-  (equivalence against the scalar paths plus a tiny ensemble); exits
+* ``selftest`` — fast smoke check of the batch trajectory engine and
+  the fault/resilience layer (equivalence against the scalar paths, a
+  tiny ensemble, a faulty run, a checkpoint/resume round-trip); exits
   nonzero when any check fails.
+
+``run`` also takes ``--faults SPEC`` (inject a seeded fault plan, e.g.
+``loss=0.3,delay=2,seed=7`` — see :func:`repro.faults.parse_fault_spec`)
+and ``--resume DIR`` (checkpoint the experiment's parameter sweep in
+``DIR`` and resume it from there after an interruption); both only work
+with experiments whose harness accepts the corresponding keyword
+(currently X6).
+
+:func:`main` raises :class:`~repro.errors.ReproError` subclasses on
+user mistakes — the process entry point :func:`console_main` turns
+those into a one-line message on stderr and exit code 2.
 """
 
 from __future__ import annotations
@@ -23,11 +35,13 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from .errors import CLIError, ReproError
 from .experiments import (REGISTRY, format_summary, format_table, run,
                           run_all, run_table1, to_csv, to_json)
+from .faults import parse_fault_spec
 from .observability import collect
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "console_main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,6 +61,15 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--json-dir", type=Path, default=None,
                        help="write a JSON run-record artifact "
                             "(provenance + engine observables) here")
+    run_p.add_argument("--faults", default=None, metavar="SPEC",
+                       help="inject a seeded fault plan, e.g. "
+                            "'loss=0.3,delay=2,seed=7' (experiments "
+                            "that accept a fault plan only)")
+    run_p.add_argument("--resume", type=Path, default=None,
+                       metavar="DIR",
+                       help="checkpoint the experiment's sweep in DIR "
+                            "and resume from it if interrupted "
+                            "(experiments that sweep only)")
 
     all_p = sub.add_parser("all", help="run every experiment")
     all_p.add_argument("--csv-dir", type=Path, default=None,
@@ -78,17 +101,39 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(experiment_id: str, csv: Optional[Path],
-             json_dir: Optional[Path]) -> int:
+             json_dir: Optional[Path],
+             faults_spec: Optional[str] = None,
+             resume: Optional[Path] = None) -> int:
+    kwargs = {}
+    described = "defaults"
+    if faults_spec is not None:
+        kwargs["faults"] = parse_fault_spec(faults_spec)
+        described = f"faults={faults_spec}"
+    if resume is not None:
+        kwargs["checkpoint_dir"] = resume
+
+    def run_it():
+        try:
+            return run(experiment_id, **kwargs)
+        except TypeError as exc:
+            if "unexpected keyword argument" in str(exc) and kwargs:
+                raise CLIError(
+                    f"experiment {experiment_id} does not accept "
+                    f"{sorted(kwargs)} — --faults/--resume only work "
+                    f"with harnesses that take a fault plan or a "
+                    f"checkpointed sweep (e.g. X6)") from exc
+            raise
+
     if json_dir is not None:
         with collect() as session:
-            result = run(experiment_id)
+            result = run_it()
         path = to_json(result, json_dir, session=session,
                        config={"experiment_id": experiment_id,
-                               "parameters": "defaults"})
+                               "parameters": described})
         print(format_table(result))
         print(f"\nrun record written to {path}")
     else:
-        result = run(experiment_id)
+        result = run_it()
         print(format_table(result))
     if csv is not None:
         to_csv(result, csv)
@@ -132,7 +177,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment_id, args.csv, args.json_dir)
+        return _cmd_run(args.experiment_id, args.csv, args.json_dir,
+                        args.faults, args.resume)
     if args.command == "all":
         return _cmd_all(args.csv_dir, args.json_dir)
     if args.command == "table1":
@@ -141,8 +187,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .selftest import main as selftest_main
         return selftest_main(quick=args.quick,
                              force_fail=args.force_fail)
-    raise AssertionError(f"unhandled command {args.command!r}")
+    raise CLIError(f"unhandled command {args.command!r}")
+
+
+def console_main(argv: Optional[List[str]] = None) -> int:
+    """Process entry point: :func:`main` with clean error reporting.
+
+    Library callers and tests use :func:`main` (and get the raised
+    :class:`~repro.errors.ReproError` to inspect); the ``python -m
+    repro`` process boundary turns any ReproError into a single line on
+    stderr and exit code 2 — no traceback for user mistakes.
+    """
+    try:
+        return main(argv)
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(console_main())

@@ -32,6 +32,7 @@ from typing import List, Optional, Sequence, Union
 import numpy as np
 
 from ..errors import ConvergenceError, RateVectorError
+from ..faults import FaultEvent, FaultPlan
 from ..observability import RunRecord, emit_run_record, is_collecting
 from .delays import round_trip_delays, round_trip_delays_batch
 from .math_utils import (as_rate_matrix, as_rate_vector, clip_nonnegative,
@@ -66,6 +67,9 @@ class Trajectory:
         steps: number of map applications performed.
         telemetry: the :class:`~repro.observability.RunRecord` of the
             run when telemetry was collected, otherwise ``None``.
+        fault_events: the :class:`~repro.faults.FaultEvent` s a
+            non-empty :class:`~repro.faults.FaultPlan` injected, in
+            step order; ``None`` for fault-free runs.
     """
 
     history: np.ndarray
@@ -73,6 +77,7 @@ class Trajectory:
     period: Optional[int]
     steps: int
     telemetry: Optional[RunRecord] = None
+    fault_events: Optional[List[FaultEvent]] = None
 
     @property
     def initial(self) -> np.ndarray:
@@ -106,6 +111,10 @@ class EnsembleResult:
             otherwise ``None``.
         telemetry: the :class:`~repro.observability.RunRecord` of the
             ensemble when telemetry was collected, otherwise ``None``.
+        fault_events: the :class:`~repro.faults.FaultEvent` s a
+            non-empty :class:`~repro.faults.FaultPlan` injected across
+            all members, ordered by (step, member); ``None`` for
+            fault-free runs.
     """
 
     finals: np.ndarray
@@ -115,6 +124,7 @@ class EnsembleResult:
     initials: np.ndarray
     histories: Optional[List[np.ndarray]] = None
     telemetry: Optional[RunRecord] = None
+    fault_events: Optional[List[FaultEvent]] = None
 
     def __len__(self) -> int:
         return self.finals.shape[0]
@@ -210,10 +220,21 @@ class FlowControlSystem:
     # ------------------------------------------------------------------
     # the map
     # ------------------------------------------------------------------
-    def step(self, rates: np.ndarray) -> np.ndarray:
-        """One synchronous application of ``F``."""
+    def step(self, rates: np.ndarray, faults=None,
+             step_index: int = 1) -> np.ndarray:
+        """One synchronous application of ``F``.
+
+        ``faults`` (a :class:`~repro.faults.FaultState`, obtained from
+        :meth:`FaultPlan.start <repro.faults.FaultPlan.start>`)
+        perturbs the signal vector the rules observe at this step;
+        ``step_index`` is the 1-based step number the injectors see.
+        With ``faults=None`` the computation is exactly the fault-free
+        map — no extra work, bit-identical results.
+        """
         r = as_rate_vector(rates, n=self.network.num_connections)
         b = self.signals(r)
+        if faults is not None:
+            b = faults.apply(step_index, b)
         d = self.delays(r)
         new = np.array([
             rule.apply(float(r[i]), float(b[i]), float(d[i]))
@@ -221,16 +242,29 @@ class FlowControlSystem:
         ])
         return clip_nonnegative(new)
 
-    def step_batch(self, rates: np.ndarray) -> np.ndarray:
+    def step_batch(self, rates: np.ndarray, faults=None, members=None,
+                   step_index: int = 1) -> np.ndarray:
         """One synchronous application of ``F`` to a batch of states.
 
         ``rates`` is an ``(M, N)`` array of M independent rate vectors
         (a single vector is promoted to a one-row batch); the result has
         the same shape and satisfies
         ``step_batch(R)[m] == step(R[m])`` for every row.
+
+        ``faults`` is a sequence of per-member
+        :class:`~repro.faults.FaultState` s indexed by *absolute*
+        member number; ``members`` maps each row of ``rates`` to its
+        member number (defaults to row order).  Each row's signal
+        vector is perturbed by its own member state, so fault streams
+        stay aligned with the scalar path even when finished members
+        have been masked out of the batch.
         """
         r = as_rate_matrix(rates, n=self.network.num_connections)
         b = self.scheme.signals_batch(r)
+        if faults is not None:
+            rows = members if members is not None else range(r.shape[0])
+            for row, m in enumerate(rows):
+                b[row] = faults[m].apply(step_index, b[row])
         d = round_trip_delays_batch(self.network, self.discipline, r)
         new = np.empty_like(r)
         for rule, cols in self._rule_groups:
@@ -254,7 +288,9 @@ class FlowControlSystem:
     def run(self, initial: Sequence[float], max_steps: int = 20000,
             tol: float = 1e-10, settle: int = 5,
             max_period: int = 64,
-            telemetry: Optional[bool] = None) -> Trajectory:
+            telemetry: Optional[bool] = None,
+            faults: Optional[FaultPlan] = None,
+            fault_member: int = 0) -> Trajectory:
         """Iterate the map from ``initial`` and classify the outcome.
 
         Convergence requires ``settle`` consecutive steps with sup-norm
@@ -271,8 +307,20 @@ class FlowControlSystem:
         ``True``/``False`` to force it on or off.  The record is
         attached to the returned trajectory and emitted to any active
         sessions.
+
+        ``faults`` injects a :class:`~repro.faults.FaultPlan` into the
+        feedback path: each step's signal vector is perturbed before
+        the rules see it, and every injected event is recorded on the
+        trajectory (and in the run record when telemetry is on).  The
+        empty plan (and ``None``) leaves the run bit-identical to the
+        fault-free path.  ``fault_member`` selects the plan's RNG
+        stream — member ``m`` of a faulted :meth:`run_ensemble`
+        reproduces ``run(initials[m], faults=plan, fault_member=m)``.
         """
         r = as_rate_vector(initial, n=self.network.num_connections)
+        fault_state = (faults.start(network=self.network,
+                                    member=fault_member)
+                       if faults is not None else None)
         if telemetry is None:
             telemetry = is_collecting()
         rec = RunRecord.begin("run", 1, r.shape[0], max_steps, tol,
@@ -294,15 +342,23 @@ class FlowControlSystem:
         def finish(outcome: Outcome, steps: int) -> Optional[RunRecord]:
             if rec is None:
                 return None
+            if fault_state is not None:
+                for event in fault_state.events:
+                    rec.observe_fault_event(*event)
             rec.add_phase("step", step_seconds)
             rec.finish(steps, {outcome.value: 1})
             emit_run_record(rec)
             return rec
 
+        def fault_events() -> Optional[List[FaultEvent]]:
+            return fault_state.events if fault_state is not None else None
+
         for step_count in range(1, max_steps + 1):
             if rec is not None:
                 t0 = time.perf_counter()
-            r_next = self.step(r)
+            r_next = (self.step(r) if fault_state is None else
+                      self.step(r, faults=fault_state,
+                                step_index=step_count))
             if rec is not None:
                 step_seconds += time.perf_counter() - t0
             history[step_count] = r_next
@@ -313,7 +369,8 @@ class FlowControlSystem:
                 return Trajectory(trimmed(step_count), Outcome.DIVERGED,
                                   None, step_count,
                                   telemetry=finish(Outcome.DIVERGED,
-                                                   step_count))
+                                                   step_count),
+                                  fault_events=fault_events())
             change = sup_norm(r_next, r)
             scale = max(1.0, float(np.max(r_next)))
             settled = False
@@ -331,7 +388,8 @@ class FlowControlSystem:
                 return Trajectory(trimmed(step_count),
                                   Outcome.CONVERGED, 1, step_count,
                                   telemetry=finish(Outcome.CONVERGED,
-                                                   step_count))
+                                                   step_count),
+                                  fault_events=fault_events())
             r = r_next
         if rec is not None:
             t0 = time.perf_counter()
@@ -342,15 +400,18 @@ class FlowControlSystem:
             return Trajectory(history, Outcome.OSCILLATING, period,
                               max_steps,
                               telemetry=finish(Outcome.OSCILLATING,
-                                               max_steps))
+                                               max_steps),
+                              fault_events=fault_events())
         return Trajectory(history, Outcome.UNDECIDED, None, max_steps,
-                          telemetry=finish(Outcome.UNDECIDED, max_steps))
+                          telemetry=finish(Outcome.UNDECIDED, max_steps),
+                          fault_events=fault_events())
 
     def run_ensemble(self, initials, max_steps: int = 20000,
                      tol: float = 1e-10, settle: int = 5,
                      max_period: int = 64,
                      record: bool = False,
-                     telemetry: Optional[bool] = None) -> EnsembleResult:
+                     telemetry: Optional[bool] = None,
+                     faults: Optional[FaultPlan] = None) -> EnsembleResult:
         """Iterate the map from a whole batch of initial conditions.
 
         ``initials`` is an ``(M, N)`` array — M starting rate vectors —
@@ -370,9 +431,19 @@ class FlowControlSystem:
         ``telemetry`` works as in :meth:`run`: ``None`` records a
         :class:`~repro.observability.RunRecord` exactly when a
         :func:`~repro.observability.collect` session is active.
+
+        ``faults`` works as in :meth:`run`; each member gets its own
+        independent fault stream (seeded by the member index), so
+        member ``m`` reproduces ``run(initials[m], faults=plan,
+        fault_member=m)``.  The empty plan keeps the fault-free path
+        bit-identical.
         """
         r0 = as_rate_matrix(initials, n=self.network.num_connections)
         m_total, n = r0.shape
+        fault_states = None
+        if faults is not None and not faults.empty:
+            fault_states = [faults.start(network=self.network, member=m)
+                            for m in range(m_total)]
         limit = self.DIVERGENCE_FACTOR * self._mu_max
         if telemetry is None:
             telemetry = is_collecting()
@@ -399,7 +470,10 @@ class FlowControlSystem:
                                   periods=periods, steps=steps,
                                   initials=r0,
                                   histories=[] if record else None,
-                                  telemetry=rec)
+                                  telemetry=rec,
+                                  fault_events=(
+                                      [] if fault_states is not None
+                                      else None))
 
         # Rolling tail for period detection: _detect_period probes lags
         # up to max_period over a window of 3 * max_period, so the last
@@ -416,7 +490,10 @@ class FlowControlSystem:
         for step_count in range(1, max_steps + 1):
             if rec is not None:
                 t0 = time.perf_counter()
-            r_next = self.step_batch(r)
+            r_next = (self.step_batch(r) if fault_states is None else
+                      self.step_batch(r, faults=fault_states,
+                                      members=idx,
+                                      step_index=step_count))
             if rec is not None:
                 step_seconds += time.perf_counter() - t0
                 t0 = time.perf_counter()
@@ -493,7 +570,15 @@ class FlowControlSystem:
         if record:
             histories = [full[m, :steps[m] + 1].copy()
                          for m in range(m_total)]
+        all_fault_events = None
+        if fault_states is not None:
+            all_fault_events = [event for state in fault_states
+                                for event in state.events]
+            all_fault_events.sort(key=lambda e: (e.step, e.member))
         if rec is not None:
+            if all_fault_events is not None:
+                for event in all_fault_events:
+                    rec.observe_fault_event(*event)
             rec.add_phase("step_batch", step_seconds)
             rec.add_phase("classify", classify_seconds)
             counts = {}
@@ -504,7 +589,8 @@ class FlowControlSystem:
         return EnsembleResult(finals=finals, outcomes=outcomes,
                               periods=periods, steps=steps,
                               initials=r0, histories=histories,
-                              telemetry=rec)
+                              telemetry=rec,
+                              fault_events=all_fault_events)
 
     def solve(self, initial: Sequence[float], **kwargs) -> np.ndarray:
         """Run to convergence and return the steady state; raise otherwise."""

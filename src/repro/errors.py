@@ -48,3 +48,58 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was misconfigured or produced no data."""
+
+
+class FaultError(ReproError):
+    """A fault-injection plan or injector is malformed.
+
+    Examples: a loss probability outside [0, 1], a negative delay
+    bound, an outage window referencing an unknown gateway, or an
+    unparsable ``--faults`` spec string.
+    """
+
+
+class SweepError(ReproError):
+    """The resilient sweep executor could not complete the grid.
+
+    Raised for orchestration-level failures: an incompatible checkpoint
+    directory, or bad resilience parameters (negative retries/timeout).
+    Worker-side failures of the swept function raise the more specific
+    :class:`WorkerFunctionError`.
+    """
+
+
+class WorkerFunctionError(SweepError):
+    """The swept function itself raised inside a worker.
+
+    Deterministic function bugs are not retried — the error propagates
+    immediately, annotated with the failing grid index.  The original
+    exception is chained as ``__cause__`` when it survived transport
+    from the worker.
+
+    Attributes:
+        grid_index: position in the grid of the item whose evaluation
+            failed.
+    """
+
+    def __init__(self, message: str, grid_index: int = -1):
+        super().__init__(message)
+        self.grid_index = int(grid_index)
+
+
+class ArtifactError(ReproError, ValueError):
+    """An observability artifact or record failed schema validation.
+
+    Also a :class:`ValueError` for backwards compatibility — the
+    artifact writer raised bare ``ValueError`` before this class
+    existed.
+    """
+
+
+class CLIError(ReproError):
+    """The command-line front end was invoked inconsistently.
+
+    ``python -m repro`` converts this (like every :class:`ReproError`)
+    into a one-line message on stderr and a nonzero exit instead of a
+    traceback.
+    """

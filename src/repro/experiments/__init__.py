@@ -7,6 +7,7 @@ Use the registry::
 """
 
 from .base import ExperimentResult
+from .exp_x6_faulty_feedback import run_x6_faulty_feedback
 from .extensions import (run_x1_asynchrony, run_x2_feedback_delay,
                          run_x3_weighted_fairness,
                          run_x4_thinning_ablation,
@@ -32,7 +33,7 @@ __all__ = [
     "get", "run", "run_all",
     "run_x1_asynchrony", "run_x2_feedback_delay",
     "run_x3_weighted_fairness", "run_x4_thinning_ablation",
-    "run_x5_implicit_feedback",
+    "run_x5_implicit_feedback", "run_x6_faulty_feedback",
     "format_table", "format_summary", "to_csv", "to_json",
     "run_table1", "run_f1_tsi", "run_f2_manifold",
     "run_f3_fair_construction", "run_f4_individual_fair",

@@ -21,6 +21,7 @@ from .exp_f9_robustness import run_f9_robustness
 from .exp_f10_delay_advantage import run_f10_delay_advantage
 from .exp_f11_real_algorithms import run_f11_real_algorithms
 from .exp_f12_sim_validation import run_f12_sim_validation
+from .exp_x6_faulty_feedback import run_x6_faulty_feedback
 from .extensions import (run_x1_asynchrony, run_x2_feedback_delay,
                          run_x3_weighted_fairness,
                          run_x4_thinning_ablation,
@@ -80,6 +81,8 @@ EXTENSIONS: Dict[str, Experiment] = {
                    run_x4_thinning_ablation),
         Experiment("X5", "Extension: implicit drop-based feedback",
                    run_x5_implicit_feedback),
+        Experiment("X6", "Extension: robustness under faulty feedback",
+                   run_x6_faulty_feedback),
     ]
 }
 

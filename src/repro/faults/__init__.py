@@ -1,0 +1,49 @@
+"""Deterministic fault injection for the feedback path.
+
+The paper's robustness claim (Theorem 5) is about *behavioural*
+misbehaviour — greedy sources — under perfect signalling.  This package
+perturbs the signalling itself: every injector models one way the
+feedback loop of a real deployment degrades, and all of them are
+seeded and deterministic, so a faulty run is exactly as reproducible
+as a clean one.
+
+Injectors (see :mod:`repro.faults.injectors`):
+
+* :class:`SignalLoss` — a source's congestion signal is lost with some
+  probability and it keeps acting on the last value it received;
+* :class:`SignalNoise` — the delivered signal is corrupted by bounded
+  additive noise (clipped back into ``[0, 1]``);
+* :class:`SignalQuantisation` — the delivered signal is rounded to a
+  coarse grid (finite-precision feedback fields);
+* :class:`ExtraDelay` — the arriving signal is the true signal from a
+  bounded number of steps ago (staleness beyond the model's built-in
+  synchrony);
+* :class:`GatewayOutage` — a gateway stops signalling for a window of
+  steps (one-shot or periodic) and its connections coast on stale
+  values until it recovers.
+
+A :class:`FaultPlan` bundles injectors with one seed and threads
+through :meth:`FlowControlSystem.run
+<repro.core.dynamics.FlowControlSystem.run>`, :meth:`run_ensemble
+<repro.core.dynamics.FlowControlSystem.run_ensemble>`, and the
+packet-level :func:`~repro.simulation.closed_loop.run_closed_loop`.
+An empty plan is guaranteed to leave every path bit-identical to the
+fault-free code; a non-empty plan records every injected event (a
+:class:`FaultEvent`) both on the returned trajectory and in the
+observability layer's :class:`~repro.observability.RunRecord`.
+
+CLI specs (``--faults``) parse through :func:`parse_fault_spec`, e.g.
+``"loss=0.3,seed=7"`` or ``"delay=2:1,outage=50:20:100"``.
+"""
+
+from .injectors import (ExtraDelay, FaultInjector, GatewayOutage,
+                        SignalLoss, SignalNoise, SignalQuantisation)
+from .plan import FaultEvent, FaultPlan, FaultState
+from .spec import parse_fault_spec
+
+__all__ = [
+    "FaultInjector", "SignalLoss", "SignalNoise", "SignalQuantisation",
+    "ExtraDelay", "GatewayOutage",
+    "FaultPlan", "FaultState", "FaultEvent",
+    "parse_fault_spec",
+]

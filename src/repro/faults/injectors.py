@@ -1,0 +1,206 @@
+"""The individual fault injectors.
+
+Each injector is a small frozen dataclass describing one perturbation
+of the per-connection signal vector ``b``.  Injectors hold *no* mutable
+state — all randomness and memory (stale values, signal history) lives
+in the per-run :class:`~repro.faults.plan.FaultState`, so one plan can
+drive any number of independent, identically-distributed runs.
+
+Injectors are applied in a fixed stage order regardless of how they are
+listed in the plan (stable within a stage):
+
+1. :class:`ExtraDelay` — decides *which* true signal arrives;
+2. :class:`GatewayOutage` — suppresses arrival entirely (stale value);
+3. :class:`SignalLoss` — drops individual deliveries (stale value);
+4. :class:`SignalNoise` — corrupts what arrived;
+5. :class:`SignalQuantisation` — rounds what arrived.
+
+This matches the physical pipeline: a signal is first delayed in
+flight, may then fail to arrive at all, and only a signal that does
+arrive can be corrupted or coarsely encoded.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import FaultError
+
+__all__ = ["FaultInjector", "ExtraDelay", "GatewayOutage", "SignalLoss",
+           "SignalNoise", "SignalQuantisation"]
+
+
+def _check_probability(name: str, value: float) -> float:
+    value = float(value)
+    if not (math.isfinite(value) and 0.0 <= value <= 1.0):
+        raise FaultError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+class FaultInjector:
+    """Base class; subclasses set ``stage`` (application order) and
+    ``kind`` (the label used in recorded :class:`FaultEvent` s)."""
+
+    stage: int = 99
+    kind: str = "abstract"
+
+    def to_dict(self) -> dict:
+        out = {"kind": self.kind}
+        for key, value in self.__dict__.items():
+            out[key] = value
+        return out
+
+
+@dataclass(frozen=True)
+class ExtraDelay(FaultInjector):
+    """Bounded extra feedback delay.
+
+    The signal arriving at step ``t`` is the *true* signal from step
+    ``t - d`` with ``d = delay + U{0..jitter}`` drawn per connection
+    and per step (clamped to the oldest recorded step).  ``delay=0,
+    jitter=k`` models pure jitter; ``jitter=0`` a constant staleness.
+
+    One event per (step, connection) with effective lag ``> 0`` is
+    recorded, carrying the lag as its detail.
+    """
+
+    delay: int = 1
+    jitter: int = 0
+
+    stage = 1
+    kind = "delay"
+
+    def __post_init__(self):
+        if not (isinstance(self.delay, int) and self.delay >= 0):
+            raise FaultError(
+                f"delay must be an int >= 0, got {self.delay!r}")
+        if not (isinstance(self.jitter, int) and self.jitter >= 0):
+            raise FaultError(
+                f"jitter must be an int >= 0, got {self.jitter!r}")
+        if self.delay == 0 and self.jitter == 0:
+            raise FaultError("ExtraDelay with delay=0 and jitter=0 "
+                             "injects nothing; drop it from the plan")
+
+    @property
+    def max_lag(self) -> int:
+        return self.delay + self.jitter
+
+
+@dataclass(frozen=True)
+class GatewayOutage(FaultInjector):
+    """A gateway stops signalling for a window of steps.
+
+    While the outage is active, every connection routed through
+    ``gateway`` (all connections when ``gateway`` is ``None``) receives
+    no new signal and keeps acting on the last value it received.  With
+    ``period=None`` the window ``[start, start + duration)`` happens
+    once; otherwise it repeats every ``period`` steps.
+    """
+
+    start: int = 0
+    duration: int = 1
+    period: Optional[int] = None
+    gateway: Optional[str] = None
+
+    stage = 2
+    kind = "outage"
+
+    def __post_init__(self):
+        if not (isinstance(self.start, int) and self.start >= 0):
+            raise FaultError(
+                f"outage start must be an int >= 0, got {self.start!r}")
+        if not (isinstance(self.duration, int) and self.duration >= 1):
+            raise FaultError(
+                f"outage duration must be an int >= 1, "
+                f"got {self.duration!r}")
+        if self.period is not None and not (
+                isinstance(self.period, int)
+                and self.period >= self.duration):
+            raise FaultError(
+                f"outage period must be an int >= duration "
+                f"({self.duration}), got {self.period!r}")
+
+    def active(self, step: int) -> bool:
+        """True when the outage suppresses signalling at ``step``."""
+        offset = step - self.start
+        if offset < 0:
+            return False
+        if self.period is None:
+            return offset < self.duration
+        return (offset % self.period) < self.duration
+
+
+@dataclass(frozen=True)
+class SignalLoss(FaultInjector):
+    """Per-delivery Bernoulli signal loss.
+
+    Each step, each (selected) connection independently loses its
+    signal with probability ``rate`` and keeps acting on the last value
+    it received — stale ``b_i``, exactly the perturbation that flips
+    aggregate-feedback conclusions.  ``connections`` restricts the loss
+    to a subset (``None`` = everyone).
+    """
+
+    rate: float = 0.1
+    connections: Optional[Tuple[int, ...]] = None
+
+    stage = 3
+    kind = "loss"
+
+    def __post_init__(self):
+        _check_probability("loss rate", self.rate)
+        if self.connections is not None:
+            conns = tuple(int(i) for i in self.connections)
+            if any(i < 0 for i in conns):
+                raise FaultError(
+                    f"loss connections must be >= 0, got {conns!r}")
+            object.__setattr__(self, "connections", conns)
+
+
+@dataclass(frozen=True)
+class SignalNoise(FaultInjector):
+    """Bounded additive corruption of delivered signals.
+
+    Each step, each connection's delivered signal is independently
+    corrupted with probability ``rate`` by ``U(-amplitude, +amplitude)``
+    additive noise, clipped back into ``[0, 1]``.  The recorded event
+    detail is the realised (post-clip) perturbation.
+    """
+
+    rate: float = 0.1
+    amplitude: float = 0.1
+
+    stage = 4
+    kind = "corrupt"
+
+    def __post_init__(self):
+        _check_probability("corruption rate", self.rate)
+        amp = float(self.amplitude)
+        if not (math.isfinite(amp) and 0.0 < amp <= 1.0):
+            raise FaultError(
+                f"corruption amplitude must lie in (0, 1], got "
+                f"{self.amplitude!r}")
+
+
+@dataclass(frozen=True)
+class SignalQuantisation(FaultInjector):
+    """Deterministic rounding of delivered signals to a coarse grid.
+
+    The delivered signal is rounded to the nearest of ``levels``
+    uniformly spaced values in ``[0, 1]`` — a ``levels``-ary feedback
+    field.  Events are recorded only where rounding actually moved the
+    value; the detail is the signed rounding error.
+    """
+
+    levels: int = 8
+
+    stage = 5
+    kind = "quantise"
+
+    def __post_init__(self):
+        if not (isinstance(self.levels, int) and self.levels >= 2):
+            raise FaultError(
+                f"quantisation levels must be an int >= 2, "
+                f"got {self.levels!r}")

@@ -1,0 +1,116 @@
+"""Parsing of ``--faults`` spec strings into :class:`FaultPlan` s.
+
+Grammar (comma-separated ``key=value`` tokens, whitespace ignored)::
+
+    loss=RATE                      Bernoulli signal loss
+    noise=RATE[:AMPLITUDE]         additive corruption (amplitude 0.1)
+    quantise=LEVELS                round signals to LEVELS grid points
+    delay=STEPS[:JITTER]           bounded extra feedback delay
+    outage=START:DURATION[:PERIOD][@GATEWAY]
+                                   gateway outage window (repeating
+                                   every PERIOD steps when given)
+    seed=INT                       the plan seed (default 0)
+
+Examples::
+
+    loss=0.3,seed=7
+    delay=2:1,noise=0.2:0.05
+    outage=100:25:400@g0,quantise=16
+
+Malformed specs raise :class:`~repro.errors.FaultError` with the
+offending token named, which the CLI turns into a clean one-line
+failure.
+"""
+
+from __future__ import annotations
+
+from ..errors import FaultError
+from .injectors import (ExtraDelay, GatewayOutage, SignalLoss,
+                        SignalNoise, SignalQuantisation)
+from .plan import FaultPlan
+
+__all__ = ["parse_fault_spec"]
+
+
+def _int_field(token: str, text: str) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        raise FaultError(
+            f"fault spec token {token!r}: expected an integer, "
+            f"got {text!r}") from None
+
+
+def _float_field(token: str, text: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise FaultError(
+            f"fault spec token {token!r}: expected a number, "
+            f"got {text!r}") from None
+
+
+def parse_fault_spec(spec: str) -> FaultPlan:
+    """Parse one spec string (see module docstring) into a plan."""
+    injectors = []
+    seed = 0
+    for raw in str(spec).split(","):
+        token = raw.strip()
+        if not token:
+            continue
+        if "=" not in token:
+            raise FaultError(
+                f"fault spec token {token!r}: expected key=value")
+        key, _, value = token.partition("=")
+        key = key.strip().lower()
+        value = value.strip()
+        if key == "seed":
+            seed = _int_field(token, value)
+            if seed < 0:
+                raise FaultError(
+                    f"fault spec token {token!r}: seed must be >= 0")
+        elif key == "loss":
+            injectors.append(SignalLoss(rate=_float_field(token, value)))
+        elif key == "noise":
+            parts = value.split(":")
+            if len(parts) > 2:
+                raise FaultError(
+                    f"fault spec token {token!r}: expected "
+                    f"noise=RATE[:AMPLITUDE]")
+            rate = _float_field(token, parts[0])
+            amplitude = (_float_field(token, parts[1])
+                         if len(parts) == 2 else 0.1)
+            injectors.append(SignalNoise(rate=rate, amplitude=amplitude))
+        elif key == "quantise":
+            injectors.append(
+                SignalQuantisation(levels=_int_field(token, value)))
+        elif key == "delay":
+            parts = value.split(":")
+            if len(parts) > 2:
+                raise FaultError(
+                    f"fault spec token {token!r}: expected "
+                    f"delay=STEPS[:JITTER]")
+            delay = _int_field(token, parts[0])
+            jitter = _int_field(token, parts[1]) if len(parts) == 2 else 0
+            injectors.append(ExtraDelay(delay=delay, jitter=jitter))
+        elif key == "outage":
+            gateway = None
+            if "@" in value:
+                value, _, gateway = value.partition("@")
+                gateway = gateway.strip() or None
+            parts = value.split(":")
+            if len(parts) not in (2, 3):
+                raise FaultError(
+                    f"fault spec token {token!r}: expected "
+                    f"outage=START:DURATION[:PERIOD][@GATEWAY]")
+            start = _int_field(token, parts[0])
+            duration = _int_field(token, parts[1])
+            period = (_int_field(token, parts[2])
+                      if len(parts) == 3 else None)
+            injectors.append(GatewayOutage(start=start, duration=duration,
+                                           period=period, gateway=gateway))
+        else:
+            raise FaultError(
+                f"fault spec token {token!r}: unknown injector {key!r} "
+                f"(known: loss, noise, quantise, delay, outage, seed)")
+    return FaultPlan(injectors=tuple(injectors), seed=seed)

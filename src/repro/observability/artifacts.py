@@ -15,6 +15,7 @@ import math
 from pathlib import Path
 from typing import List, Optional, Union
 
+from ..errors import ArtifactError
 from .provenance import provenance
 from .record import validate_run_record
 from .session import CollectorSession
@@ -75,7 +76,7 @@ def write_artifact(artifact: dict, path: Union[str, Path]) -> Path:
     """Validate and write one artifact as strict JSON."""
     errors = validate_artifact(artifact)
     if errors:
-        raise ValueError(
+        raise ArtifactError(
             f"refusing to write schema-invalid artifact: {errors}")
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)

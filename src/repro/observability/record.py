@@ -54,6 +54,10 @@ class RunRecord:
             full convergence/divergence mask history.
         mask_events: ``(step, member, outcome)`` triples recording the
             exact step each member left the active set.
+        fault_events: ``(step, member, connection, kind, detail)``
+            tuples — one per perturbation a
+            :class:`~repro.faults.FaultPlan` injected into the run
+            (empty for fault-free runs).
         outcome_counts: final tally per outcome name.
         steps: total number of map applications performed.
         phase_seconds: wall time per engine phase (``"step"``,
@@ -72,6 +76,8 @@ class RunRecord:
     converged_counts: List[int] = field(default_factory=list)
     diverged_counts: List[int] = field(default_factory=list)
     mask_events: List[Tuple[int, int, str]] = field(default_factory=list)
+    fault_events: List[Tuple[int, int, int, str, float]] = \
+        field(default_factory=list)
     outcome_counts: Dict[str, int] = field(default_factory=dict)
     steps: int = 0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
@@ -101,6 +107,12 @@ class RunRecord:
     def observe_mask_event(self, step: int, member: int,
                            outcome: str) -> None:
         self.mask_events.append((int(step), int(member), str(outcome)))
+
+    def observe_fault_event(self, step: int, member: int, connection: int,
+                            kind: str, detail: float) -> None:
+        self.fault_events.append((int(step), int(member),
+                                  int(connection), str(kind),
+                                  float(detail)))
 
     def finish(self, steps: int, outcome_counts: Dict[str, int]) -> None:
         self.steps = int(steps)
@@ -148,6 +160,8 @@ class RunRecord:
             "converged_counts": list(self.converged_counts),
             "diverged_counts": list(self.diverged_counts),
             "mask_events": [[s, m, o] for s, m, o in self.mask_events],
+            "fault_events": [[s, m, c, k, json_safe_float(v)]
+                             for s, m, c, k, v in self.fault_events],
             "outcome_counts": dict(self.outcome_counts),
             "phase_seconds": {k: json_safe_float(v)
                               for k, v in self.phase_seconds.items()},
@@ -173,6 +187,11 @@ class SweepRecord:
         serial: True when the work ran on the calling thread.
         fallback_reason: ``repr`` of the exception that forced the
             serial fallback, or ``None`` when no fallback happened.
+        retry_rounds: infrastructure-failure retry rounds taken.
+        salvaged_chunks: chunk indices recomputed serially after the
+            pool kept failing on them.
+        resumed_chunks: chunk indices loaded from a checkpoint
+            directory instead of being recomputed.
     """
 
     n_items: int
@@ -185,6 +204,9 @@ class SweepRecord:
     worker_utilisation: float = 0.0
     serial: bool = False
     fallback_reason: Optional[str] = None
+    retry_rounds: int = 0
+    salvaged_chunks: List[int] = field(default_factory=list)
+    resumed_chunks: List[int] = field(default_factory=list)
 
     def finalise(self, wall_seconds: float, effective_workers: int) -> None:
         self.wall_seconds = float(wall_seconds)
@@ -207,6 +229,9 @@ class SweepRecord:
             "worker_utilisation": json_safe_float(self.worker_utilisation),
             "serial": bool(self.serial),
             "fallback_reason": self.fallback_reason,
+            "retry_rounds": int(self.retry_rounds),
+            "salvaged_chunks": [int(k) for k in self.salvaged_chunks],
+            "resumed_chunks": [int(k) for k in self.resumed_chunks],
         }
 
 
@@ -253,4 +278,17 @@ def validate_run_record(data: dict, where: str = "record") -> List[str]:
         if len(set(lengths.values())) > 1:
             errors.append(f"{where}: per-iteration series have mismatched "
                           f"lengths {lengths}")
+        # Optional fault-event channel (absent in pre-fault records).
+        fault_events = data.get("fault_events")
+        if fault_events is not None:
+            if not isinstance(fault_events, list):
+                _type_error(errors, f"{where}.fault_events", fault_events,
+                            "list")
+            else:
+                for k, event in enumerate(fault_events):
+                    if not (isinstance(event, list) and len(event) == 5):
+                        errors.append(
+                            f"{where}.fault_events[{k}]: expected "
+                            f"[step, member, connection, kind, detail]")
+                        break
     return errors

@@ -4,8 +4,10 @@ A smoke check of the batch trajectory engine that finishes well under
 30 seconds: every batched path (queue laws, signals, rules, one-step
 map, ensemble runner, vectorised quadratic sweep, parallel sweep
 runner) is compared against its scalar counterpart on small
-configurations, to 1e-12.  Exit code 0 means everything agreed, and
-the nonzero exit propagates through ``python -m repro selftest``.
+configurations, to 1e-12, plus a fault-injection smoke (empty plan is
+a no-op, seeded plan replays identically, checkpoint/resume
+round-trips).  Exit code 0 means everything agreed, and the nonzero
+exit propagates through ``python -m repro selftest``.
 
 ``--quick`` shrinks the ensembles for CI; ``--force-fail`` injects one
 deliberately failing check so the exit-code plumbing itself can be
@@ -155,6 +157,34 @@ def run_selftest(quick: bool = False, force_fail: bool = False) -> bool:
           sweep(_square, grid, workers=4, executor="thread") ==
           [x * x for x in grid])
     _check("grid order preserved across executors", ok, failures)
+
+    print("fault injection and resilient execution:")
+    from .faults import FaultPlan, parse_fault_spec
+    plain = system.run(starts[0], max_steps=max_steps)
+    empty = system.run(starts[0], max_steps=max_steps,
+                       faults=FaultPlan())
+    _check("empty fault plan is bit-identical",
+           bool(np.array_equal(plain.history, empty.history))
+           and empty.fault_events is None, failures)
+    plan = parse_fault_spec("loss=0.4,quantise=8,seed=7")
+    faulty_a = system.run(starts[0], max_steps=max_steps, faults=plan)
+    faulty_b = system.run(starts[0], max_steps=max_steps, faults=plan)
+    _check("seeded faulty run is reproducible (trajectory + events)",
+           bool(np.array_equal(faulty_a.history, faulty_b.history))
+           and faulty_a.fault_events == faulty_b.fault_events
+           and len(faulty_a.fault_events) > 0, failures)
+    import shutil
+    import tempfile
+    ckpt = tempfile.mkdtemp(prefix="repro-selftest-ckpt-")
+    try:
+        first = sweep(_square, grid, executor="serial", chunk_size=4,
+                      checkpoint_dir=ckpt)
+        resumed = sweep(_square, grid, executor="serial", chunk_size=4,
+                        checkpoint_dir=ckpt)
+        _check("checkpoint/resume round-trip matches the grid",
+               first == resumed == [x * x for x in grid], failures)
+    finally:
+        shutil.rmtree(ckpt, ignore_errors=True)
 
     if force_fail:
         _check("forced failure (--force-fail)", False, failures)

@@ -45,10 +45,11 @@ class ClosedLoopResult:
 
     times: np.ndarray                #: control-step boundary times
     rate_history: np.ndarray         #: (steps + 1, N) commanded rates
-    signal_history: np.ndarray       #: (steps, N) measured signals
+    signal_history: np.ndarray       #: (steps, N) observed signals
     final_rates: np.ndarray          #: commanded rates after the last step
     final_throughput: np.ndarray     #: measured deliveries/time, last step
     final_delays: np.ndarray         #: measured mean delays, last step
+    fault_events: list = None        #: injected FaultEvents, or None
 
     @property
     def steps(self) -> int:
@@ -74,7 +75,8 @@ def run_closed_loop(network: Network,
                     rate_mode: str = "oracle",
                     signal_source: str = "queue",
                     buffer_sizes=None,
-                    drop_policy: str = "tail") -> ClosedLoopResult:
+                    drop_policy: str = "tail",
+                    faults=None) -> ClosedLoopResult:
     """Drive feedback flow control with measured signals; see module doc.
 
     ``signal_source`` selects the congestion observable:
@@ -86,6 +88,13 @@ def run_closed_loop(network: Network,
       must then bound the buffers), bypassing ``signal_fn``.  Aggregate
       style uses the gateway-wide drop fraction, individual style the
       per-connection one.
+
+    ``faults`` injects a :class:`~repro.faults.FaultPlan` into the
+    measured feedback: the per-connection signal vector of each control
+    step is perturbed before the rules see it (step index = control
+    step, 1-based), and the injected events come back on
+    ``ClosedLoopResult.fault_events``.  ``None`` and the empty plan
+    leave the run bit-identical to the fault-free path.
     """
     if signal_source not in ("queue", "drops"):
         raise SimulationError(
@@ -114,6 +123,8 @@ def run_closed_loop(network: Network,
                             buffer_sizes=buffer_sizes,
                             drop_policy=drop_policy)
     style = FeedbackStyle(style)
+    fault_state = (faults.start(network=network, member=0)
+                   if faults is not None else None)
 
     times = [0.0]
     rate_history = [rates.copy()]
@@ -121,7 +132,7 @@ def run_closed_loop(network: Network,
     throughput = np.zeros(n)
     delays = np.full(n, np.nan)
 
-    for _ in range(n_steps):
+    for step_index in range(1, n_steps + 1):
         sim.reset_statistics()
         sim.run_for(control_interval)
         queues = sim.mean_queue_lengths()
@@ -149,6 +160,9 @@ def run_closed_loop(network: Network,
                 for pos, conn in enumerate(local):
                     b[conn] = max(b[conn],
                                   signal_fn(float(congestion[pos])))
+
+        if fault_state is not None:
+            b = fault_state.apply(step_index, b)
 
         delays_measured = sim.mean_delays()
         throughput = sim.throughput()
@@ -180,4 +194,6 @@ def run_closed_loop(network: Network,
         final_rates=rates.copy(),
         final_throughput=np.asarray(throughput, dtype=float),
         final_delays=np.asarray(delays, dtype=float),
+        fault_events=(fault_state.events if fault_state is not None
+                      else None),
     )

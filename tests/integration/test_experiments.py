@@ -136,8 +136,11 @@ class TestExtensionShapes:
 
     def test_extensions_not_in_default_sweep(self):
         from repro.experiments import EXTENSIONS, REGISTRY
-        assert set(EXTENSIONS) == {"X1", "X2", "X3", "X4", "X5"}
+        assert set(EXTENSIONS) == {"X1", "X2", "X3", "X4", "X5", "X6"}
         assert not (set(EXTENSIONS) & set(REGISTRY))
 
     def test_x5(self):
         run("X5", n_steps=80).require()
+
+    def test_x6(self):
+        run("X6", steps=2000, loss_rates=(0.0, 0.5)).require()

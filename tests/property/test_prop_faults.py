@@ -1,0 +1,124 @@
+"""Property-based tests for the fault-injection contract.
+
+Two guarantees are load-bearing for every other result in the repo:
+
+* the *empty* plan is a perfect no-op — scalar runs, ensembles, and the
+  packet-level closed loop are byte-identical with and without it;
+* a *seeded* plan is deterministic — the same plan replayed over the
+  same inputs produces identical perturbations and identical recorded
+  events.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dynamics import FlowControlSystem
+from repro.core.fairshare import FairShare
+from repro.core.fifo import Fifo
+from repro.core.ratecontrol import TargetRule
+from repro.core.signals import FeedbackStyle, LinearSaturating
+from repro.core.topology import single_gateway
+from repro.faults import (ExtraDelay, FaultPlan, SignalLoss, SignalNoise,
+                          SignalQuantisation)
+from repro.simulation.closed_loop import run_closed_loop
+
+EMPTY = FaultPlan()
+
+
+def _system(n, eta, beta, discipline="fair-share"):
+    disc = FairShare() if discipline == "fair-share" else Fifo()
+    return FlowControlSystem(single_gateway(n, mu=1.0), disc,
+                             LinearSaturating(),
+                             TargetRule(eta=eta, beta=beta),
+                             style=FeedbackStyle.INDIVIDUAL)
+
+
+class TestEmptyPlanIsNoOp:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.floats(0.0, 0.5), min_size=2, max_size=5),
+           st.floats(0.05, 0.4), st.floats(0.3, 0.7))
+    def test_run_bit_identical(self, start, eta, beta):
+        system = _system(len(start), eta, beta)
+        r0 = np.array(start)
+        plain = system.run(r0, max_steps=300)
+        empty = system.run(r0, max_steps=300, faults=EMPTY)
+        assert np.array_equal(plain.history, empty.history)
+        assert plain.outcome is empty.outcome
+        assert plain.steps == empty.steps
+        assert empty.fault_events is None
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 5), st.integers(1, 6), st.integers(0, 100),
+           st.floats(0.05, 0.4), st.floats(0.3, 0.7))
+    def test_run_ensemble_bit_identical(self, n, members, seed, eta,
+                                        beta):
+        system = _system(n, eta, beta)
+        rng = np.random.default_rng(seed)
+        starts = rng.uniform(0.0, 0.5, size=(members, n))
+        plain = system.run_ensemble(starts, max_steps=300)
+        empty = system.run_ensemble(starts, max_steps=300, faults=EMPTY)
+        assert np.array_equal(plain.finals, empty.finals)
+        assert plain.outcomes == empty.outcomes
+        assert empty.fault_events is None
+
+    def test_closed_loop_bit_identical(self):
+        network = single_gateway(3, mu=1.0)
+        common = dict(rules=TargetRule(eta=0.1, beta=0.5),
+                      signal_fn=LinearSaturating(),
+                      control_interval=50.0, n_steps=5, seed=4)
+        plain = run_closed_loop(network, **common)
+        empty = run_closed_loop(network, faults=EMPTY, **common)
+        assert np.array_equal(plain.rate_history, empty.rate_history)
+        assert np.array_equal(plain.signal_history, empty.signal_history)
+        assert np.array_equal(plain.final_throughput,
+                              empty.final_throughput)
+        assert empty.fault_events is None
+
+
+def _plan_strategy():
+    loss = st.floats(0.05, 0.9).map(lambda p: SignalLoss(rate=p))
+    noise = st.tuples(st.floats(0.05, 0.9), st.floats(0.01, 0.5)).map(
+        lambda t: SignalNoise(rate=t[0], amplitude=t[1]))
+    quant = st.integers(2, 16).map(lambda k: SignalQuantisation(levels=k))
+    delay = st.tuples(st.integers(0, 3), st.integers(0, 3)).filter(
+        lambda t: t != (0, 0)).map(
+        lambda t: ExtraDelay(delay=t[0], jitter=t[1]))
+    return st.tuples(
+        st.lists(st.one_of(loss, noise, quant, delay), min_size=1,
+                 max_size=3),
+        st.integers(0, 2 ** 16)).map(
+        lambda t: FaultPlan(injectors=tuple(t[0]), seed=t[1]))
+
+
+class TestSeededPlanIsDeterministic:
+    @settings(max_examples=20, deadline=None)
+    @given(_plan_strategy(), st.integers(2, 4), st.integers(0, 100))
+    def test_replay_is_identical(self, plan, n, seed):
+        rng = np.random.default_rng(seed)
+        signals = [rng.uniform(0.0, 1.0, n) for _ in range(30)]
+        runs = []
+        for _ in range(2):
+            state = plan.start(n_connections=n)
+            observed = [state.apply(t + 1, b)
+                        for t, b in enumerate(signals)]
+            runs.append((observed, state.events))
+        (obs_a, ev_a), (obs_b, ev_b) = runs
+        for a, b in zip(obs_a, obs_b):
+            assert np.array_equal(a, b)
+        assert ev_a == ev_b
+        # observations stay finite and within the signal codomain
+        for a in obs_a:
+            assert np.all(np.isfinite(a))
+            assert np.all(a >= 0.0) and np.all(a <= 1.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(_plan_strategy(), st.integers(0, 50))
+    def test_whole_trajectory_reproducible(self, plan, seed):
+        system = _system(3, 0.1, 0.5)
+        rng = np.random.default_rng(seed)
+        start = rng.uniform(0.0, 0.4, 3)
+        t1 = system.run(start, max_steps=150, faults=plan)
+        t2 = system.run(start, max_steps=150, faults=plan)
+        assert np.array_equal(t1.history, t2.history)
+        assert t1.fault_events == t2.fault_events

@@ -1,0 +1,337 @@
+"""Unit tests for the fault-injection subsystem (repro.faults)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamics import FlowControlSystem
+from repro.core.fairshare import FairShare
+from repro.core.ratecontrol import TargetRule
+from repro.core.signals import FeedbackStyle, LinearSaturating
+from repro.core.topology import single_gateway, two_gateway_shared
+from repro.errors import FaultError
+from repro.faults import (ExtraDelay, FaultPlan, GatewayOutage,
+                          SignalLoss, SignalNoise, SignalQuantisation,
+                          parse_fault_spec)
+from repro.observability import collect
+
+
+def _signals(steps, n=3, seed=0):
+    """A deterministic stream of 'true' signal vectors in [0, 1]."""
+    rng = np.random.default_rng(seed)
+    return [rng.uniform(0.0, 1.0, n) for _ in range(steps)]
+
+
+def _replay(plan, signals, member=0):
+    state = plan.start(n_connections=signals[0].shape[0], member=member)
+    observed = [state.apply(t + 1, b) for t, b in enumerate(signals)]
+    return observed, state.events
+
+
+class TestFaultPlan:
+    def test_empty_plan_starts_to_none(self):
+        assert FaultPlan().empty
+        assert FaultPlan().start(n_connections=4) is None
+
+    def test_validation(self):
+        with pytest.raises(FaultError):
+            FaultPlan(injectors=("not an injector",))
+        with pytest.raises(FaultError):
+            FaultPlan(seed=-1)
+        with pytest.raises(FaultError):
+            FaultPlan(injectors=(SignalLoss(0.5),)).start()
+        with pytest.raises(FaultError):
+            FaultPlan(injectors=(SignalLoss(0.5),)).start(n_connections=0)
+
+    def test_describe_and_to_dict(self):
+        plan = FaultPlan(injectors=(SignalLoss(0.25),), seed=3)
+        assert "seed=3" in plan.describe()
+        assert FaultPlan().describe() == "no faults"
+        d = plan.to_dict()
+        assert d["seed"] == 3
+        assert d["injectors"][0]["kind"] == "loss"
+
+    def test_plan_is_picklable(self):
+        import pickle
+        plan = parse_fault_spec("loss=0.2,delay=2:1,outage=5:3,seed=9")
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+
+    def test_unknown_gateway_rejected(self):
+        net = single_gateway(3)
+        plan = FaultPlan(injectors=(GatewayOutage(gateway="nope"),))
+        with pytest.raises(FaultError):
+            plan.start(network=net)
+
+    def test_named_gateway_needs_network(self):
+        plan = FaultPlan(injectors=(GatewayOutage(gateway="g0"),))
+        with pytest.raises(FaultError):
+            plan.start(n_connections=3)
+
+    def test_shape_mismatch_rejected(self):
+        state = FaultPlan(injectors=(SignalLoss(0.5),)).start(
+            n_connections=3)
+        with pytest.raises(FaultError):
+            state.apply(1, np.zeros(4))
+
+
+class TestInjectorValidation:
+    def test_bad_parameters_raise(self):
+        for bad in (lambda: SignalLoss(rate=1.5),
+                    lambda: SignalLoss(rate=-0.1),
+                    lambda: SignalLoss(rate=0.5, connections=(-1,)),
+                    lambda: SignalNoise(rate=2.0),
+                    lambda: SignalNoise(rate=0.5, amplitude=0.0),
+                    lambda: SignalNoise(rate=0.5, amplitude=2.0),
+                    lambda: SignalQuantisation(levels=1),
+                    lambda: ExtraDelay(delay=-1),
+                    lambda: ExtraDelay(delay=0, jitter=0),
+                    lambda: GatewayOutage(start=-1),
+                    lambda: GatewayOutage(duration=0),
+                    lambda: GatewayOutage(duration=5, period=3)):
+            with pytest.raises(FaultError):
+                bad()
+
+
+class TestInjectorDeterminism:
+    """Same plan + same member + same inputs => identical everything."""
+
+    PLANS = [
+        FaultPlan(injectors=(SignalLoss(rate=0.4),), seed=11),
+        FaultPlan(injectors=(SignalNoise(rate=0.5, amplitude=0.2),),
+                  seed=11),
+        FaultPlan(injectors=(SignalQuantisation(levels=4),), seed=11),
+        FaultPlan(injectors=(ExtraDelay(delay=2, jitter=2),), seed=11),
+        FaultPlan(injectors=(GatewayOutage(start=3, duration=4,
+                                           period=10),), seed=11),
+        parse_fault_spec("loss=0.3,noise=0.4:0.1,quantise=5,"
+                         "delay=1:1,outage=2:2:8,seed=11"),
+    ]
+
+    @pytest.mark.parametrize("plan", PLANS,
+                             ids=lambda p: p.describe()[:40])
+    def test_bitwise_reproducible(self, plan):
+        signals = _signals(40)
+        obs_a, ev_a = _replay(plan, signals)
+        obs_b, ev_b = _replay(plan, signals)
+        for a, b in zip(obs_a, obs_b):
+            assert np.array_equal(a, b)
+        assert ev_a == ev_b
+        assert ev_a  # every plan here actually injects something
+
+    def test_members_get_independent_streams(self):
+        plan = FaultPlan(injectors=(SignalLoss(rate=0.5),), seed=11)
+        signals = _signals(40)
+        _, ev0 = _replay(plan, signals, member=0)
+        _, ev1 = _replay(plan, signals, member=1)
+        assert [e.step for e in ev0] != [e.step for e in ev1]
+
+    def test_input_never_mutated(self):
+        plan = FaultPlan(injectors=(SignalNoise(rate=1.0),), seed=1)
+        state = plan.start(n_connections=3)
+        b = np.array([0.2, 0.5, 0.8])
+        keep = b.copy()
+        state.apply(1, b)
+        assert np.array_equal(b, keep)
+
+
+class TestInjectorSemantics:
+    def test_loss_delivers_stale_value(self):
+        plan = FaultPlan(injectors=(SignalLoss(rate=1.0),), seed=0)
+        state = plan.start(n_connections=2)
+        first = state.apply(1, np.array([0.3, 0.6]))
+        # Before anything was delivered, the stale value is 0.
+        assert np.array_equal(first, np.zeros(2))
+        second = state.apply(2, np.array([0.9, 0.1]))
+        assert np.array_equal(second, first)
+        assert all(e.kind == "loss" for e in state.events)
+
+    def test_loss_respects_connection_subset(self):
+        plan = FaultPlan(injectors=(
+            SignalLoss(rate=1.0, connections=(1,)),), seed=0)
+        state = plan.start(n_connections=3)
+        state.apply(1, np.array([0.2, 0.5, 0.8]))
+        assert {e.connection for e in state.events} == {1}
+
+    def test_loss_out_of_range_connection(self):
+        plan = FaultPlan(injectors=(
+            SignalLoss(rate=1.0, connections=(5,)),), seed=0)
+        state = plan.start(n_connections=2)
+        with pytest.raises(FaultError):
+            state.apply(1, np.zeros(2))
+
+    def test_delay_shifts_the_stream(self):
+        plan = FaultPlan(injectors=(ExtraDelay(delay=2),), seed=0)
+        signals = _signals(10)
+        observed, events = _replay(plan, signals)
+        # From step 3 on, the observation is the signal two steps back.
+        for t in range(2, 10):
+            assert np.array_equal(observed[t], signals[t - 2])
+        assert all(e.detail == 2.0 for e in events
+                   if e.step >= 3)
+
+    def test_delay_clamps_to_available_history(self):
+        plan = FaultPlan(injectors=(ExtraDelay(delay=5),), seed=0)
+        signals = _signals(3)
+        observed, _ = _replay(plan, signals)
+        # Step 1 has no history: lag clamps to 0, signal passes through.
+        assert np.array_equal(observed[0], signals[0])
+        assert np.array_equal(observed[2], signals[0])
+
+    def test_outage_freezes_last_delivery(self):
+        plan = FaultPlan(injectors=(GatewayOutage(start=3, duration=2),),
+                         seed=0)
+        signals = _signals(6)
+        observed, events = _replay(plan, signals)
+        # steps 3 and 4 stay frozen at step 2's delivery; step 5 clears
+        assert np.array_equal(observed[2], signals[1])
+        assert np.array_equal(observed[3], signals[1])
+        assert np.array_equal(observed[4], signals[4])
+        assert {e.step for e in events} == {3, 4}
+
+    def test_periodic_outage_recurs(self):
+        inj = GatewayOutage(start=2, duration=1, period=4)
+        active = [step for step in range(1, 12) if inj.active(step)]
+        assert active == [2, 6, 10]
+
+    def test_named_gateway_outage_only_hits_local_connections(self):
+        net = two_gateway_shared()  # per-gateway connection subsets
+        gname = "ga"
+        local = set(net.connections_at(gname))
+        assert local != set(range(net.num_connections))
+        plan = FaultPlan(injectors=(
+            GatewayOutage(start=1, duration=3, gateway=gname),), seed=0)
+        state = plan.start(network=net)
+        for t in range(1, 4):
+            state.apply(t, np.full(net.num_connections, 0.5))
+        assert {e.connection for e in state.events} == local
+
+    def test_noise_stays_in_unit_interval(self):
+        plan = FaultPlan(injectors=(SignalNoise(rate=1.0,
+                                                amplitude=1.0),), seed=2)
+        state = plan.start(n_connections=4)
+        for t in range(1, 30):
+            out = state.apply(t, np.array([0.0, 0.01, 0.99, 1.0]))
+            assert np.all(out >= 0.0) and np.all(out <= 1.0)
+        # detail is the realised (post-clip) perturbation
+        for e in state.events:
+            assert abs(e.detail) <= 1.0
+
+    def test_quantisation_rounds_to_grid(self):
+        plan = FaultPlan(injectors=(SignalQuantisation(levels=3),),
+                         seed=0)
+        state = plan.start(n_connections=4)
+        out = state.apply(1, np.array([0.0, 0.26, 0.5, 1.0]))
+        assert np.array_equal(out, np.array([0.0, 0.5, 0.5, 1.0]))
+        # events only where rounding moved the value
+        assert {e.connection for e in state.events} == {1}
+
+    def test_stage_order_is_fixed_regardless_of_listing(self):
+        signals = _signals(20)
+        a = FaultPlan(injectors=(SignalQuantisation(levels=4),
+                                 SignalLoss(rate=0.5)), seed=7)
+        b = FaultPlan(injectors=(SignalLoss(rate=0.5),
+                                 SignalQuantisation(levels=4)), seed=7)
+        obs_a, ev_a = _replay(a, signals)
+        obs_b, ev_b = _replay(b, signals)
+        for x, y in zip(obs_a, obs_b):
+            assert np.array_equal(x, y)
+        assert ev_a == ev_b
+
+
+class TestSpecParsing:
+    def test_round_trip_of_every_injector(self):
+        plan = parse_fault_spec(
+            " loss=0.3 , noise=0.2:0.05, quantise=16, delay=2:1, "
+            "outage=10:5:40@g0, seed=21 ")
+        kinds = [inj.kind for inj in plan.injectors]
+        assert kinds == ["loss", "corrupt", "quantise", "delay",
+                         "outage"]
+        assert plan.seed == 21
+        outage = plan.injectors[-1]
+        assert (outage.start, outage.duration, outage.period,
+                outage.gateway) == (10, 5, 40, "g0")
+
+    def test_defaults(self):
+        plan = parse_fault_spec("noise=0.2,delay=3")
+        assert plan.injectors[0].amplitude == 0.1
+        assert plan.injectors[1].jitter == 0
+        assert plan.seed == 0
+
+    @pytest.mark.parametrize("bad", [
+        "loss", "loss=abc", "loss=1.5", "noise=0.1:0.2:0.3",
+        "delay=1:2:3", "outage=5", "outage=a:b", "seed=-2",
+        "wormhole=1", "loss=0.1 noise=0.2",
+    ])
+    def test_malformed_specs_name_the_token(self, bad):
+        with pytest.raises(FaultError) as err:
+            parse_fault_spec(bad)
+        first = bad.split(",")[0].strip()
+        assert first.split("=")[0] in str(err.value)
+
+
+class TestFaultsInRuns:
+    def _system(self, n=3):
+        return FlowControlSystem(single_gateway(n, mu=1.0), FairShare(),
+                                 LinearSaturating(),
+                                 TargetRule(eta=0.1, beta=0.5),
+                                 style=FeedbackStyle.INDIVIDUAL)
+
+    def test_run_records_events_and_is_deterministic(self):
+        system = self._system()
+        plan = parse_fault_spec("loss=0.5,seed=3")
+        start = np.array([0.1, 0.2, 0.3])
+        t1 = system.run(start, max_steps=400, faults=plan)
+        t2 = system.run(start, max_steps=400, faults=plan)
+        assert t1.fault_events
+        assert t1.fault_events == t2.fault_events
+        assert np.array_equal(t1.final, t2.final)
+
+    def test_faultless_run_has_no_event_channel(self):
+        system = self._system()
+        traj = system.run(np.array([0.1, 0.2, 0.3]), max_steps=100)
+        assert traj.fault_events is None
+
+    def test_run_events_reach_observability(self):
+        system = self._system()
+        plan = parse_fault_spec("loss=0.5,seed=3")
+        with collect() as session:
+            traj = system.run(np.array([0.1, 0.2, 0.3]), max_steps=200,
+                              faults=plan)
+        rec = session.run_records[0]
+        assert len(rec.fault_events) == len(traj.fault_events)
+        data = rec.to_dict()
+        assert data["fault_events"][0][3] == "loss"
+
+    def test_x6_artifact_is_schema_valid(self, tmp_path):
+        import json
+
+        from repro.experiments import run_x6_faulty_feedback, to_json
+        from repro.observability import validate_artifact
+
+        with collect() as session:
+            result = run_x6_faulty_feedback(steps=2000,
+                                            loss_rates=(0.0, 0.5))
+        assert result.all_checks_pass, result.failed_checks()
+        path = to_json(result, tmp_path, session=session,
+                       config={"experiment_id": "X6"})
+        data = json.loads(path.read_text())
+        assert validate_artifact(data) == []
+        assert data["experiment"]["id"] == "X6"
+        # the sweep that produced the grid is on the record
+        assert data["observability"]["sweep_records"]
+
+    def test_ensemble_member_matches_scalar_run(self):
+        system = self._system()
+        plan = parse_fault_spec("loss=0.3,noise=0.3:0.05,seed=5")
+        starts = np.array([[0.1, 0.2, 0.3],
+                           [0.3, 0.1, 0.2],
+                           [0.05, 0.4, 0.15]])
+        ens = system.run_ensemble(starts, max_steps=500, faults=plan)
+        for m in range(starts.shape[0]):
+            tm = system.run(starts[m], max_steps=500, faults=plan,
+                            fault_member=m)
+            assert np.array_equal(ens.finals[m], tm.final)
+            scalar_events = [
+                e._replace(member=m) for e in tm.fault_events]
+            ens_events = [e for e in ens.fault_events if e.member == m]
+            assert ens_events == scalar_events

@@ -128,6 +128,36 @@ class TestCli:
                    for r in records)
 
 
+class TestCliFaultsAndResume:
+    def test_bad_faults_spec_raises_fault_error(self):
+        from repro.errors import FaultError
+        with pytest.raises(FaultError):
+            main(["run", "X6", "--faults", "wormhole=1"])
+
+    def test_faults_on_unsupporting_experiment_raises_cli_error(self):
+        from repro.errors import CLIError
+        with pytest.raises(CLIError) as err:
+            main(["run", "F1", "--faults", "loss=0.5"])
+        assert "faults" in str(err.value)
+
+    def test_resume_on_unsupporting_experiment_raises_cli_error(
+            self, tmp_path):
+        from repro.errors import CLIError
+        with pytest.raises(CLIError):
+            main(["run", "T1", "--resume", str(tmp_path)])
+
+    def test_console_main_converts_repro_errors(self, capsys):
+        from repro.cli import console_main
+        assert console_main(["run", "F99"]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err
+        assert "F99" in err
+
+    def test_console_main_passes_through_success(self, capsys):
+        from repro.cli import console_main
+        assert console_main(["list"]) == 0
+
+
 class TestSelftestExitCode:
     def _run(self, *extra):
         import os

@@ -16,7 +16,9 @@ gate:
 # benchmark regression gate (quick CI workload).
 verify: test selftest gate
 
-# Full-scale benchmark + gate; refreshes BENCH_core.json.
+# Full-scale benchmarks + gate; refreshes BENCH_core.json and
+# BENCH_sim.json.
 bench:
 	$(PYTHON) benchmarks/bench_core_engine.py
+	$(PYTHON) benchmarks/bench_sim_kernel.py
 	$(PYTHON) benchmarks/regression_gate.py

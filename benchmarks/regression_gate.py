@@ -1,21 +1,23 @@
-"""Performance regression gate for the batched trajectory engine.
+"""Performance regression gate for the batched trajectory engine and
+the fast simulation kernel.
 
-Re-runs the two core microbenchmarks (see ``bench_core_engine.py``),
-compares the fresh speedups against the committed baseline in
-``BENCH_core.json``, and exits nonzero when performance regressed by
+Re-runs the core microbenchmarks (``bench_core_engine.py``) and the
+simulation-kernel benchmarks (``bench_sim_kernel.py``), compares the
+fresh speedups against the committed baselines in ``BENCH_core.json``
+and ``BENCH_sim.json``, and exits nonzero when performance regressed by
 more than the threshold (default 25%).
 
 Two modes:
 
-* **full** (default) — identical workload to the committed baseline
-  (256-member ensemble, 400-point sweep).  Each fresh speedup must stay
-  above ``max(target_min, baseline_speedup * (1 - threshold))`` — i.e.
-  within 25% of the recorded machine's number, but never judged more
-  strictly than the repo's stated minimum targets.
-* ``--quick`` — a much smaller workload for CI (64-member ensemble,
-  100-point sweep).  Speedups shrink with the workload, so quick mode
-  only enforces the minimum targets (5x ensemble, 3x sweep), not the
-  baseline-relative floor.
+* **full** (default) — identical workloads to the committed baselines.
+  Each fresh speedup must stay above ``max(target_min,
+  baseline_speedup * (1 - threshold))`` — i.e. within 25% of the
+  recorded machine's number, but never judged more strictly than the
+  repo's stated minimum targets.
+* ``--quick`` — much smaller workloads for CI.  Speedups shrink with
+  the workload, so quick mode only enforces the minimum targets (for
+  the kernel benchmarks, the lower ``quick_targets`` recorded in
+  ``BENCH_sim.json``), not the baseline-relative floor.
 
 Run from the repository root::
 
@@ -31,13 +33,21 @@ import sys
 from pathlib import Path
 
 from bench_core_engine import bench_ensemble, bench_quadratic_sweep
+from bench_sim_kernel import QUICK_TARGETS as SIM_QUICK_TARGETS
+from bench_sim_kernel import run_benchmarks as run_sim_benchmarks
 
-#: The benchmarks the gate tracks: (baseline key, targets key).
+#: The core-engine benchmarks the gate tracks: (baseline key, targets key).
 GATED = [("ensemble", "ensemble_speedup_min"),
          ("quadratic_sweep", "quadratic_sweep_speedup_min")]
 
+#: The simulation-kernel benchmarks (baseline BENCH_sim.json).
+GATED_SIM = [("fifo_closed_loop", "fifo_events_speedup_min"),
+             ("f12_end_to_end", "f12_speedup_min"),
+             ("warm_start", "warm_start_savings_min")]
 
-def compare(baseline, fresh, threshold=0.25, floor_only=False):
+
+def compare(baseline, fresh, threshold=0.25, floor_only=False,
+            gated=GATED):
     """Judge fresh benchmark speedups against a committed baseline.
 
     Args:
@@ -49,6 +59,9 @@ def compare(baseline, fresh, threshold=0.25, floor_only=False):
         floor_only: enforce only the minimum targets, ignoring the
             baseline-relative floor (quick mode — small workloads have
             smaller speedups for reasons unrelated to regressions).
+        gated: the (baseline key, targets key) pairs to judge —
+            :data:`GATED` for the core engine, :data:`GATED_SIM` for
+            the simulation kernel.
 
     Returns:
         ``(ok, report)`` — ``ok`` is True when nothing regressed;
@@ -58,7 +71,7 @@ def compare(baseline, fresh, threshold=0.25, floor_only=False):
     if not (0.0 <= threshold < 1.0):
         raise ValueError(f"threshold must be in [0, 1), got {threshold!r}")
     report = []
-    for name, target_key in GATED:
+    for name, target_key in gated:
         base_speedup = float(baseline[name]["speedup"])
         target_min = float(baseline["targets"][target_key])
         if floor_only:
@@ -85,7 +98,7 @@ def format_report(report) -> str:
 
 
 def run_fresh(quick=False):
-    """Time the gated benchmarks at full or quick scale."""
+    """Time the gated core-engine benchmarks at full or quick scale."""
     if quick:
         ensemble = bench_ensemble(members=64, n=8, steps=500)
         sweep_res = bench_quadratic_sweep(points=100, transient=1000,
@@ -96,6 +109,17 @@ def run_fresh(quick=False):
     return {"ensemble": ensemble, "quadratic_sweep": sweep_res}
 
 
+def _sim_baseline_for_mode(baseline, quick):
+    """In quick mode, judge the kernel benchmarks against the lower
+    quick floors recorded in the baseline (fallback: the benchmark
+    module's constants)."""
+    if not quick:
+        return baseline
+    swapped = dict(baseline)
+    swapped["targets"] = baseline.get("quick_targets", SIM_QUICK_TARGETS)
+    return swapped
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -103,6 +127,12 @@ def main(argv=None):
         default=str(Path(__file__).resolve().parent.parent /
                     "BENCH_core.json"),
         help="committed baseline JSON (default: repo BENCH_core.json)")
+    parser.add_argument(
+        "--sim-baseline",
+        default=str(Path(__file__).resolve().parent.parent /
+                    "BENCH_sim.json"),
+        help="committed kernel baseline JSON (default: repo "
+             "BENCH_sim.json)")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed fractional regression vs the "
                              "baseline speedup (default 0.25)")
@@ -113,10 +143,18 @@ def main(argv=None):
 
     with open(args.baseline) as fh:
         baseline = json.load(fh)
+    with open(args.sim_baseline) as fh:
+        sim_baseline = json.load(fh)
     fresh = run_fresh(quick=args.quick)
     ok, report = compare(baseline, fresh, threshold=args.threshold,
                          floor_only=args.quick)
-    print(format_report(report))
+    sim_fresh = run_sim_benchmarks(quick=args.quick)
+    sim_ok, sim_report = compare(
+        _sim_baseline_for_mode(sim_baseline, args.quick), sim_fresh,
+        threshold=args.threshold, floor_only=args.quick,
+        gated=GATED_SIM)
+    ok = ok and sim_ok
+    print(format_report(report + sim_report))
     print(f"\nregression gate {'PASSED' if ok else 'FAILED'} "
           f"({'quick' if args.quick else 'full'} mode, "
           f"threshold {args.threshold:.0%})")

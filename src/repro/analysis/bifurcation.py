@@ -44,28 +44,45 @@ def bifurcation_diagram(map_family: Callable[[float], Callable],
                         parameters: Sequence[float], x0: float,
                         transient: int = 2000, keep: int = 256,
                         derivative_family: Callable[[float], Callable] = None,
-                        max_period: int = 64) -> List[BifurcationPoint]:
+                        max_period: int = 64,
+                        continuation: bool = False
+                        ) -> List[BifurcationPoint]:
     """Sweep ``parameters``; classify the attractor at each value.
 
     ``map_family(p)`` must return the map at parameter ``p``;
     ``derivative_family(p)`` its derivative (required for the Lyapunov
     column; pass ``None`` to skip, yielding ``nan``).
+
+    ``continuation=True`` warm-starts each grid point from the last
+    attractor sample of the *previous* point instead of ``x0`` —
+    neighbouring parameters have neighbouring attractors, so a much
+    smaller ``transient`` suffices to shed the start-up transient.  The
+    default (``False``) keeps every point independent and bit-identical
+    to earlier releases.  Continuation caveat: crossing a supercritical
+    bifurcation, the warm start can land *exactly on* the now-unstable
+    branch (e.g. the fixed point past a period-doubling) and stay there
+    — the classic continuation failure.  Use it in regimes where the
+    attractor deforms continuously, or keep a transient long enough for
+    rounding noise to escape the unstable branch.
     """
     if keep < 3 * max_period:
         raise RateVectorError(
             f"keep={keep} too small for max_period={max_period}")
     points = []
+    start = x0
     for p in parameters:
         fn = map_family(p)
-        tail = orbit_tail(fn, x0, transient=transient, keep=keep)
+        tail = orbit_tail(fn, start, transient=transient, keep=keep)
         cls = classify_tail(tail, max_period=max_period)
         if derivative_family is not None:
-            lam = lyapunov_exponent(fn, derivative_family(p), x0,
+            lam = lyapunov_exponent(fn, derivative_family(p), start,
                                     steps=transient, discard=transient // 4)
         else:
             lam = float("nan")
         points.append(BifurcationPoint(parameter=float(p), attractor=tail,
                                        classification=cls, lyapunov=lam))
+        if continuation:
+            start = float(tail[-1])
     return points
 
 

@@ -31,19 +31,26 @@ def run_f12_sim_validation(rates=(0.1, 0.2, 0.25, 0.15), mu: float = 1.0,
                            loop_interval: float = 400.0,
                            seed: int = 29,
                            tolerance: float = 0.12,
-                           loop_tolerance: float = 0.15) -> ExperimentResult:
+                           loop_tolerance: float = 0.15,
+                           engine: str = "auto") -> ExperimentResult:
     """Open-loop queue-law validation + closed-loop convergence.
 
     ``tolerance`` bounds the worst per-connection relative error of the
     open-loop queue-law comparison and should be widened when running
     with a reduced ``horizon`` (the estimator error shrinks like
     ``1/sqrt(horizon)``).
+
+    ``engine`` selects the simulation engine for both the open-loop
+    validations and the closed loop (``"auto"``/``"fast"``/``"legacy"``
+    — trajectories are bit-identical either way, only the wall time
+    differs; the kernel benchmark times this experiment end to end).
     """
     rows = []
     worst = {}
     for kind in ("fifo", "fair-share", "fixed-priority"):
         result = validate_single_gateway(rates, mu, kind, horizon=horizon,
-                                         warmup=warmup, seed=seed)
+                                         warmup=warmup, seed=seed,
+                                         engine=engine)
         worst[kind] = result.worst_relative_error
         for i in range(len(rates)):
             rows.append((kind, i, float(result.rates[i]),
@@ -61,7 +68,7 @@ def run_f12_sim_validation(rates=(0.1, 0.2, 0.25, 0.15), mu: float = 1.0,
                            discipline_kind="fair-share",
                            initial_rates=[0.05, 0.2, 0.4],
                            control_interval=loop_interval,
-                           n_steps=loop_steps, seed=seed)
+                           n_steps=loop_steps, seed=seed, engine=engine)
     settled = loop.tail_mean_rates(max(5, loop_steps // 5))
     loop_gap = float(np.max(np.abs(settled - fair))) / float(np.max(fair))
     rows.append(("closed-loop", -1, float("nan"), float(fair[0]),

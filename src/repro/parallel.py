@@ -55,6 +55,7 @@ pools there.  :func:`sweep` is for grids where each point builds a
 from __future__ import annotations
 
 import concurrent.futures
+import hashlib
 import json
 import math
 import os
@@ -67,7 +68,7 @@ from typing import Callable, List, Optional, Sequence, Union
 from .errors import RateVectorError, SweepError, WorkerFunctionError
 from .observability import SweepRecord, emit_sweep_record, is_collecting
 
-__all__ = ["sweep", "chunk_indices", "CHECKPOINT_SCHEMA"]
+__all__ = ["sweep", "chunk_indices", "memoised", "CHECKPOINT_SCHEMA"]
 
 #: Schema identifier embedded in every checkpoint manifest.
 CHECKPOINT_SCHEMA = "repro.sweep-checkpoint/v1"
@@ -89,9 +90,9 @@ def chunk_indices(n_items: int, n_chunks: int) -> List[range]:
     (which is also what makes checkpoints resumable).
     """
     if n_items < 0:
-        raise RateVectorError(f"item count must be >= 0, got {n_items!r}")
+        raise SweepError(f"item count must be >= 0, got {n_items!r}")
     if n_chunks < 1:
-        raise RateVectorError(f"chunk count must be >= 1, got {n_chunks!r}")
+        raise SweepError(f"chunk count must be >= 1, got {n_chunks!r}")
     n_chunks = min(n_chunks, max(1, n_items))
     base, extra = divmod(n_items, n_chunks)
     out = []
@@ -103,6 +104,49 @@ def chunk_indices(n_items: int, n_chunks: int) -> List[range]:
         out.append(range(start, start + size))
         start += size
     return out
+
+
+class memoised:
+    """Deterministic memoising wrapper for sweep functions.
+
+    ``memoised(fn)`` caches ``fn``'s results keyed by a stable digest
+    of the pickled argument, so grids with repeated points (warm-start
+    scans, queue-law solves re-evaluated per figure) compute each
+    distinct point once.  Only sound for *deterministic* ``fn`` — which
+    :func:`sweep` requires anyway.
+
+    The cache lives on the wrapper instance (per process); with the
+    process executor each worker keeps its own cache, so memoisation
+    pays off within a chunk and for serial/thread sweeps.  ``hits`` /
+    ``misses`` expose the effectiveness.  Unpicklable arguments fall
+    through to ``fn`` uncached rather than failing.
+    """
+
+    def __init__(self, fn: Callable):
+        self.fn = fn
+        self._cache: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, item) -> Optional[str]:
+        try:
+            return hashlib.sha256(
+                pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL)
+            ).hexdigest()
+        except Exception:
+            return None
+
+    def __call__(self, item):
+        key = self._key(item)
+        if key is None:
+            return self.fn(item)
+        if key in self._cache:
+            self.hits += 1
+            return self._cache[key]
+        self.misses += 1
+        result = self.fn(item)
+        self._cache[key] = result
+        return result
 
 
 def _run_chunk(fn: Callable, items: list) -> list:

@@ -24,6 +24,7 @@ delivery regardless).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Sequence, Union
 
@@ -34,6 +35,7 @@ from ..core.signals import (FeedbackStyle, SignalFunction,
                             aggregate_congestion, individual_congestion)
 from ..core.topology import Network
 from ..errors import SimulationError
+from ..observability import RunRecord, emit_run_record, is_collecting
 from .network_sim import NetworkSimulation
 
 __all__ = ["ClosedLoopResult", "run_closed_loop"]
@@ -76,7 +78,8 @@ def run_closed_loop(network: Network,
                     signal_source: str = "queue",
                     buffer_sizes=None,
                     drop_policy: str = "tail",
-                    faults=None) -> ClosedLoopResult:
+                    faults=None,
+                    engine: str = "auto") -> ClosedLoopResult:
     """Drive feedback flow control with measured signals; see module doc.
 
     ``signal_source`` selects the congestion observable:
@@ -95,6 +98,18 @@ def run_closed_loop(network: Network,
     step, 1-based), and the injected events come back on
     ``ClosedLoopResult.fault_events``.  ``None`` and the empty plan
     leave the run bit-identical to the fault-free path.
+
+    ``engine`` selects the simulation engine (see
+    :class:`~repro.simulation.network_sim.NetworkSimulation`):
+    ``"auto"`` uses the fast kernel whenever the configuration allows,
+    with bit-identical trajectories to ``"legacy"``.
+
+    When an :func:`repro.observability.collect` session is active, a
+    :class:`~repro.observability.RunRecord` is emitted whose
+    ``phase_seconds`` splits the wall time into ``"simulate"`` (the
+    packet engine), ``"signals"`` (congestion-measure extraction), and
+    ``"rules"`` (rate updates) — the breakdown the kernel benchmarks
+    watch.
     """
     if signal_source not in ("queue", "drops"):
         raise SimulationError(
@@ -121,10 +136,13 @@ def run_closed_loop(network: Network,
                             seed=seed, initial_rates=rates,
                             rate_mode=rate_mode,
                             buffer_sizes=buffer_sizes,
-                            drop_policy=drop_policy)
+                            drop_policy=drop_policy,
+                            engine=engine)
     style = FeedbackStyle(style)
     fault_state = (faults.start(network=network, member=0)
                    if faults is not None else None)
+    rec = (RunRecord.begin("run", 1, n, n_steps, 0.0, 0)
+           if is_collecting() else None)
 
     times = [0.0]
     rate_history = [rates.copy()]
@@ -133,9 +151,13 @@ def run_closed_loop(network: Network,
     delays = np.full(n, np.nan)
 
     for step_index in range(1, n_steps + 1):
+        t0 = time.perf_counter() if rec is not None else 0.0
         sim.reset_statistics()
         sim.run_for(control_interval)
         queues = sim.mean_queue_lengths()
+        if rec is not None:
+            t1 = time.perf_counter()
+            rec.add_phase("simulate", t1 - t0)
 
         b = np.zeros(n, dtype=float)
         if signal_source == "drops":
@@ -172,6 +194,9 @@ def run_closed_loop(network: Network,
                                for i in range(n)]),
                      delays_measured)
         delays = delays_measured
+        if rec is not None:
+            t2 = time.perf_counter()
+            rec.add_phase("signals", t2 - t1)
 
         new_rates = np.array([
             max(rate_floor,
@@ -186,6 +211,12 @@ def run_closed_loop(network: Network,
         times.append(sim.now)
         rate_history.append(rates.copy())
         signal_history.append(b.copy())
+        if rec is not None:
+            rec.add_phase("rules", time.perf_counter() - t2)
+
+    if rec is not None:
+        rec.finish(n_steps, {"completed": 1})
+        emit_run_record(rec)
 
     return ClosedLoopResult(
         times=np.asarray(times),

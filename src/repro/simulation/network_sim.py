@@ -18,6 +18,19 @@ classes.  Two modes:
 * ``rate_mode="measured"`` — gateways use arrival-rate estimates
   gathered by their own monitors over the previous measurement window
   (what a real router could do).
+
+Two interchangeable engines run the system (``engine=`` selects):
+
+* ``"legacy"`` — the original object engine: callback
+  :class:`~repro.simulation.events.Scheduler`, :class:`Packet`
+  dataclasses, per-draw numpy crossings;
+* ``"fast"`` — the :class:`~repro.simulation.kernel.FastEngine` on the
+  struct-of-arrays calendar, pooled packet ids and buffered random
+  streams.  Same seed ⇒ bit-identical trajectories (same draws, same
+  event order, same float arithmetic).
+* ``"auto"`` (default) — the fast engine whenever it supports the
+  configuration (FIFO / Fair Share / fixed-priority with drop-tail
+  buffers); Fair Queueing and drop-from-longest fall back to legacy.
 """
 
 from __future__ import annotations
@@ -29,6 +42,7 @@ import numpy as np
 from ..core.topology import Network
 from ..errors import SimulationError
 from .events import EventHandle, Scheduler
+from .kernel import FastEngine, KernelServerView, supports_fast_engine
 from .monitors import EndToEndMonitor, GatewayMonitor
 from .packet import Packet
 from .queues import make_discipline
@@ -46,10 +60,18 @@ class NetworkSimulation:
                  initial_rates: Optional[Sequence[float]] = None,
                  rate_mode: str = "oracle",
                  buffer_sizes=None,
-                 drop_policy: str = "tail"):
+                 drop_policy: str = "tail",
+                 engine: str = "auto"):
         if rate_mode not in ("oracle", "measured"):
             raise SimulationError(
                 f"rate_mode must be 'oracle' or 'measured', got {rate_mode!r}")
+        if drop_policy not in ("tail", "longest"):
+            raise SimulationError(
+                f"drop_policy must be 'tail' or 'longest', "
+                f"got {drop_policy!r}")
+        if engine not in ("auto", "fast", "legacy"):
+            raise SimulationError(
+                f"engine must be 'auto', 'fast' or 'legacy', got {engine!r}")
         if buffer_sizes is None or isinstance(buffer_sizes, dict):
             buffer_map = dict(buffer_sizes or {})
         else:
@@ -58,7 +80,6 @@ class NetworkSimulation:
         self.network = network
         self.discipline_kind = discipline_kind
         self.rate_mode = rate_mode
-        self.scheduler = Scheduler()
         self.streams = RandomStreams(seed)
         n = network.num_connections
 
@@ -73,17 +94,44 @@ class NetworkSimulation:
                     np.isfinite(self._rates)):
                 raise SimulationError("initial rates must be finite and >= 0")
 
+        fast_ok = supports_fast_engine(discipline_kind, buffer_map,
+                                       drop_policy)
+        if engine == "fast" and not fast_ok:
+            raise SimulationError(
+                f"the fast engine does not support "
+                f"discipline {discipline_kind!r} with "
+                f"drop_policy {drop_policy!r} here; use engine='legacy'")
+        self.engine = "fast" if (engine != "legacy" and fast_ok) \
+            else "legacy"
+
+        # Rates the Fair Share classifier sees, per gateway (local order).
+        self._fs_rates: Dict[str, np.ndarray] = {}
+        for gname in network.gateway_names:
+            local = network.connections_at(gname)
+            self._fs_rates[gname] = self._rates[list(local)].copy()
+
+        if self.engine == "fast":
+            self._engine: Optional[FastEngine] = FastEngine(
+                network, discipline_kind, self.streams, self._rates,
+                buffer_map, drop_policy)
+            self.scheduler = None
+            self.e2e = self._engine.e2e_stats
+            self.monitors = {g: self._engine.gw_stats[k]
+                             for k, g in enumerate(network.gateway_names)}
+            self.servers = {g: KernelServerView(self._engine, k)
+                            for k, g in enumerate(network.gateway_names)}
+            return
+
+        self._engine = None
+        self.scheduler = Scheduler()
         self.e2e = EndToEndMonitor(n)
         self.monitors: Dict[str, GatewayMonitor] = {}
         self.servers: Dict[str, GatewayServer] = {}
-        # Rates the Fair Share classifier sees, per gateway (local order).
-        self._fs_rates: Dict[str, np.ndarray] = {}
 
         for gname in network.gateway_names:
             local = network.connections_at(gname)
             monitor = GatewayMonitor(local)
             self.monitors[gname] = monitor
-            self._fs_rates[gname] = self._rates[list(local)].copy()
             if discipline_kind == "fixed-priority":
                 # Priority by local position: the analytic counterpart is
                 # PreemptivePriority(range(N)) at a single gateway.
@@ -185,11 +233,14 @@ class NetworkSimulation:
         if np.any(vec < 0) or not np.all(np.isfinite(vec)):
             raise SimulationError("rates must be finite and >= 0")
         self._rates[:] = vec
-        for conn in range(vec.shape[0]):
-            pending: Optional[EventHandle] = self._pending[conn]
-            if pending is not None:
-                pending.cancel()
-            self._schedule_next_arrival(conn)
+        if self._engine is not None:
+            self._engine.resample_arrivals(self._rates)
+        else:
+            for conn in range(vec.shape[0]):
+                pending: Optional[EventHandle] = self._pending[conn]
+                if pending is not None:
+                    pending.cancel()
+                self._schedule_next_arrival(conn)
         if self.rate_mode == "oracle":
             self._push_oracle_rates()
 
@@ -197,43 +248,61 @@ class NetworkSimulation:
         for gname in self.network.gateway_names:
             local = list(self.network.connections_at(gname))
             self._fs_rates[gname] = self._rates[local].copy()
+        if self._engine is not None:
+            self._engine.rebuild_fs_tables(
+                [self._fs_rates[g] for g in self.network.gateway_names])
 
     def refresh_measured_rates(self) -> None:
         """In ``measured`` mode: update the Fair Share classifier rates
         from each gateway monitor's arrival-rate estimate."""
-        now = self.scheduler.now
+        now = self.now
         for gname, monitor in self.monitors.items():
             estimate = monitor.arrival_rates(now)
             self._fs_rates[gname] = estimate
+        if self._engine is not None:
+            self._engine.rebuild_fs_tables(
+                [self._fs_rates[g] for g in self.network.gateway_names])
 
     # ------------------------------------------------------------------
     # running & measuring
     # ------------------------------------------------------------------
     @property
     def now(self) -> float:
+        if self._engine is not None:
+            return self._engine.now
         return self.scheduler.now
+
+    @property
+    def events_processed(self) -> int:
+        """Events executed since construction (either engine)."""
+        if self._engine is not None:
+            return self._engine.events_processed
+        return self.scheduler.events_processed
 
     def run_for(self, duration: float) -> None:
         """Advance the simulation by ``duration`` time units."""
         if duration < 0:
             raise SimulationError("duration must be nonnegative")
-        self.scheduler.run_until(self.scheduler.now + duration)
+        if self._engine is not None:
+            self._engine.run_until(self._engine.now + duration)
+        else:
+            self.scheduler.run_until(self.scheduler.now + duration)
 
     def reset_statistics(self) -> None:
         """Discard all accumulated statistics (e.g. after warm-up)."""
-        now = self.scheduler.now
+        now = self.now
         for monitor in self.monitors.values():
             monitor.reset_statistics(now)
         self.e2e.reset_statistics(now)
 
     def mean_queue_lengths(self) -> Dict[str, np.ndarray]:
         """Time-average per-connection queues per gateway since reset."""
-        now = self.scheduler.now
+        now = self.now
         return {g: m.mean_queue_lengths(now)
                 for g, m in self.monitors.items()}
 
     def measured_arrival_rates(self) -> Dict[str, np.ndarray]:
-        now = self.scheduler.now
+        now = self.now
         return {g: m.arrival_rates(now) for g, m in self.monitors.items()}
 
     def drop_fractions(self) -> Dict[str, np.ndarray]:
@@ -243,7 +312,7 @@ class NetworkSimulation:
 
     def throughput(self) -> np.ndarray:
         """Delivered end-to-end packets per unit time since reset."""
-        return self.e2e.throughput(self.scheduler.now)
+        return self.e2e.throughput(self.now)
 
     def mean_delays(self) -> np.ndarray:
         """Mean end-to-end delays since reset (``nan`` when silent)."""

@@ -5,45 +5,181 @@ gateway's service process, each gateway's Fair Share thinning) draws
 from its own named substream spawned from a single root seed, so results
 are reproducible and adding a component never perturbs the draws of the
 others.
+
+Two draw surfaces share each substream:
+
+* the scalar calls (:meth:`RandomStreams.exponential`,
+  :meth:`RandomStreams.uniform`) used by the legacy object engine; and
+* the batched calls (:meth:`RandomStreams.exponentials`,
+  :meth:`RandomStreams.uniforms`) plus the refillable
+  :class:`VariateBuffer` used by the fast kernel, which cross into
+  numpy once per *block* instead of once per variate.
+
+**Buffering contract** (what makes the two surfaces bit-identical): a
+numpy ``Generator`` fills an array with the same bitstream consumption
+as the equivalent sequence of scalar draws, and
+``Generator.exponential(scale)`` equals
+``scale * Generator.standard_exponential()`` exactly.  So the k-th
+variate popped from a buffer equals the k-th scalar draw from the same
+stream — provided each named stream is used for **one draw kind only**
+(exponential *or* uniform, never both).  The simulator's stream naming
+(``arrival:c{i}``, ``service:{g}``, ``thinning:{g}``) guarantees this.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Dict
+from typing import Dict, Tuple
 
 import numpy as np
 
-__all__ = ["RandomStreams"]
+from ..errors import SimulationError
+
+__all__ = ["RandomStreams", "VariateBuffer"]
+
+#: Default number of variates drawn per buffer refill.
+_BLOCK = 512
+
+
+class VariateBuffer:
+    """A refillable block of variates from one ``Generator``.
+
+    The hot loop calls :meth:`next_exponential` /
+    :meth:`next_uniform` — plain attribute arithmetic on a prefetched
+    Python list — and only crosses into
+    ``Generator.standard_exponential(size=block)`` (or
+    ``Generator.random(size=block)``) once per ``block`` draws.
+
+    One buffer must serve one draw kind only; mixing exponential and
+    uniform pops on the same buffer would interleave two block caches
+    over one bitstream and break reproducibility, so it raises.
+    """
+
+    __slots__ = ("_gen", "_block", "_values", "_index", "_kind")
+
+    def __init__(self, generator: np.random.Generator, block: int = _BLOCK):
+        if block < 1:
+            raise SimulationError(
+                f"buffer block size must be >= 1, got {block!r}")
+        self._gen = generator
+        self._block = int(block)
+        self._values: list = []
+        self._index = 0
+        self._kind: str = ""
+
+    def _refill(self, kind: str) -> None:
+        if self._kind and self._kind != kind:
+            raise SimulationError(
+                f"variate buffer already serves {self._kind!r} draws; "
+                f"a stream must be used for one draw kind only")
+        self._kind = kind
+        if kind == "exponential":
+            block = self._gen.standard_exponential(self._block)
+        else:
+            block = self._gen.random(self._block)
+        self._values = block.tolist()
+        self._index = 0
+
+    def next_exponential(self, scale: float) -> float:
+        """The next ``Exp(1/scale)`` variate: ``scale * Exp(1)``."""
+        i = self._index
+        if i >= len(self._values) or self._kind != "exponential":
+            self._refill("exponential")
+            i = 0
+        self._index = i + 1
+        return scale * self._values[i]
+
+    def next_uniform(self) -> float:
+        """The next U(0,1) variate."""
+        i = self._index
+        if i >= len(self._values) or self._kind != "uniform":
+            self._refill("uniform")
+            i = 0
+        self._index = i + 1
+        return self._values[i]
+
+
+def _validate_rate(rate: float) -> float:
+    rate = float(rate)
+    if not rate > 0.0 or rate != rate or rate == float("inf"):
+        raise SimulationError(
+            f"exponential rate must be a finite positive number, "
+            f"got {rate!r}")
+    return rate
 
 
 class RandomStreams:
     """A registry of independent named :class:`numpy.random.Generator` s."""
 
+    __slots__ = ("_root", "_streams", "_buffers")
+
     def __init__(self, seed: int):
         self._root = np.random.SeedSequence(seed)
         self._streams: Dict[str, np.random.Generator] = {}
+        self._buffers: Dict[Tuple[str, int], VariateBuffer] = {}
 
     def stream(self, name: str) -> np.random.Generator:
-        """The generator for ``name``, created on first use.
+        """The generator for ``name``, created and cached on first use.
 
         The substream seed is derived from the root seed and the name,
         so the mapping is stable across runs and independent of the
-        order in which streams are first requested.
+        order in which streams are first requested.  Repeat lookups are
+        a single dict hit — the ``SeedSequence`` spawn happens once per
+        name.
         """
-        if name not in self._streams:
-            digest = hashlib.md5(name.encode("utf-8")).digest()
-            key = (int.from_bytes(digest[:8], "little"),
-                   int.from_bytes(digest[8:], "little"))
-            child = np.random.SeedSequence(entropy=self._root.entropy,
-                                           spawn_key=key)
-            self._streams[name] = np.random.default_rng(child)
-        return self._streams[name]
+        try:
+            return self._streams[name]
+        except KeyError:
+            pass
+        digest = hashlib.md5(name.encode("utf-8")).digest()
+        key = (int.from_bytes(digest[:8], "little"),
+               int.from_bytes(digest[8:], "little"))
+        child = np.random.SeedSequence(entropy=self._root.entropy,
+                                       spawn_key=key)
+        gen = np.random.default_rng(child)
+        self._streams[name] = gen
+        return gen
+
+    def buffer(self, name: str, block: int = _BLOCK) -> VariateBuffer:
+        """The (cached) :class:`VariateBuffer` over stream ``name``.
+
+        The buffer wraps the *same* generator :meth:`stream` returns,
+        so buffered and scalar draws from one stream consume one
+        bitstream; per the buffering contract, do not mix the two
+        surfaces on the same stream within one simulation.
+        """
+        key = (name, int(block))
+        try:
+            return self._buffers[key]
+        except KeyError:
+            buf = VariateBuffer(self.stream(name), block=block)
+            self._buffers[key] = buf
+            return buf
 
     def exponential(self, name: str, rate: float) -> float:
-        """One exponential variate with the given rate from stream ``name``."""
+        """One exponential variate with the given rate from stream
+        ``name``.  Raises :class:`~repro.errors.SimulationError` for a
+        non-positive (or non-finite) rate."""
+        rate = _validate_rate(rate)
         return float(self.stream(name).exponential(1.0 / rate))
+
+    def exponentials(self, name: str, rate: float, n: int) -> np.ndarray:
+        """``n`` exponential variates with the given rate, one numpy
+        call.  Bit-identical to ``n`` successive scalar
+        :meth:`exponential` draws from the same stream."""
+        rate = _validate_rate(rate)
+        if not (isinstance(n, (int, np.integer)) and n >= 0):
+            raise SimulationError(
+                f"draw count must be a nonnegative int, got {n!r}")
+        return self.stream(name).exponential(1.0 / rate, size=int(n))
 
     def uniform(self, name: str) -> float:
         """One U(0,1) variate from stream ``name``."""
         return float(self.stream(name).random())
+
+    def uniforms(self, name: str, n: int) -> np.ndarray:
+        """``n`` U(0,1) variates from stream ``name``, one numpy call."""
+        if not (isinstance(n, (int, np.integer)) and n >= 0):
+            raise SimulationError(
+                f"draw count must be a nonnegative int, got {n!r}")
+        return self.stream(name).random(size=int(n))

@@ -112,7 +112,8 @@ class FiniteBufferValidation:
 def validate_finite_buffer(rate: float, mu: float, buffer_size: int,
                            horizon: float = 20000.0,
                            warmup: float = 2000.0,
-                           seed: int = 0) -> FiniteBufferValidation:
+                           seed: int = 0,
+                           engine: str = "auto") -> FiniteBufferValidation:
     """Single connection at a drop-tail gateway vs the M/M/1/K formulas.
 
     Unlike the infinite-buffer validation, overload is allowed: a full
@@ -122,7 +123,7 @@ def validate_finite_buffer(rate: float, mu: float, buffer_size: int,
     network = single_gateway(1, mu=mu)
     sim = NetworkSimulation(network, discipline_kind="fifo", seed=seed,
                             initial_rates=np.array([rate]),
-                            buffer_sizes=buffer_size)
+                            buffer_sizes=buffer_size, engine=engine)
     sim.run_for(warmup)
     sim.reset_statistics()
     sim.run_for(horizon)
@@ -157,7 +158,8 @@ def validate_single_gateway(rates: Sequence[float], mu: float,
                             discipline_kind: str = "fifo",
                             horizon: float = 20000.0,
                             warmup: float = 2000.0,
-                            seed: int = 0) -> QueueValidation:
+                            seed: int = 0,
+                            engine: str = "auto") -> QueueValidation:
     """Simulate one gateway at fixed rates; compare mean queues.
 
     Raises :class:`~repro.errors.InfeasibleLoadError` when the offered
@@ -170,7 +172,7 @@ def validate_single_gateway(rates: Sequence[float], mu: float,
             f"needs a stable queue")
     network = single_gateway(r.shape[0], mu=mu)
     sim = NetworkSimulation(network, discipline_kind=discipline_kind,
-                            seed=seed, initial_rates=r)
+                            seed=seed, initial_rates=r, engine=engine)
     sim.run_for(warmup)
     sim.reset_statistics()
     sim.run_for(horizon)

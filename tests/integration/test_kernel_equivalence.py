@@ -1,0 +1,188 @@
+"""Integration tests: the fast struct-of-arrays kernel is bit-identical
+to the legacy object engine.
+
+Every supported configuration is run on both engines with the same seed
+and compared field by field — mean queue lengths, measured arrival
+rates, drop fractions, throughput, delays, *and* the processed event
+count (so the engines agree on the event schedule itself, not just on
+aggregate statistics).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ratecontrol import TargetRule
+from repro.core.signals import FeedbackStyle, LinearSaturating
+from repro.core.topology import Connection, Gateway, Network, single_gateway
+from repro.errors import SimulationError
+from repro.observability import collect, validate_run_record
+from repro.simulation.closed_loop import run_closed_loop
+from repro.simulation.network_sim import NetworkSimulation
+
+RATES4 = [0.2, 0.2, 0.25, 0.15]
+RATE_SEQ = [np.array([0.3, 0.1, 0.2, 0.2]), np.array([0.15, 0.25, 0.2, 0.1])]
+
+
+def _net4():
+    return single_gateway(4, mu=1.0)
+
+
+def _net4_latency():
+    return single_gateway(4, mu=1.0).with_latencies({"g0": 0.5})
+
+
+def _tandem(latency=0.5):
+    return Network(gateways=[Gateway("g0", mu=1.0, latency=latency),
+                             Gateway("g1", mu=1.2, latency=latency)],
+                   connections=[Connection("c0", ("g0", "g1")),
+                                Connection("c1", ("g0", "g1")),
+                                Connection("c2", ("g1",)),
+                                Connection("c3", ("g0",))])
+
+
+def _run(engine, disc, net, rates, horizon=400.0, seed=7, steps=0,
+         buffer_sizes=None, rate_mode="oracle", refresh=False,
+         rate_seq=None):
+    """One warmup + measurement run; returns every public statistic."""
+    sim = NetworkSimulation(net, discipline_kind=disc, seed=seed,
+                            initial_rates=rates, rate_mode=rate_mode,
+                            buffer_sizes=buffer_sizes, engine=engine)
+    sim.run_for(horizon / 4)
+    sim.reset_statistics()
+    for k in range(max(1, steps)):
+        sim.run_for(horizon / max(1, steps))
+        if refresh:
+            sim.refresh_measured_rates()
+        if rate_seq is not None and k < len(rate_seq):
+            sim.set_rates(rate_seq[k])
+    return {"mql": sim.mean_queue_lengths(),
+            "arr": sim.measured_arrival_rates(),
+            "drop": sim.drop_fractions(),
+            "thr": sim.throughput(),
+            "delay": sim.mean_delays(),
+            "events": sim.events_processed,
+            "engine": sim.engine}
+
+
+def _assert_engines_agree(**kw):
+    a = _run("legacy", **kw)
+    b = _run("fast", **kw)
+    assert a["engine"] == "legacy" and b["engine"] == "fast"
+    for key in ("mql", "arr", "drop"):
+        for g in a[key]:
+            assert np.array_equal(a[key][g], b[key][g]), \
+                f"{key}[{g}]: {a[key][g]} vs {b[key][g]}"
+    assert np.array_equal(a["thr"], b["thr"])
+    assert np.array_equal(a["delay"], b["delay"], equal_nan=True)
+    assert a["events"] == b["events"]
+
+
+class TestBitIdentity:
+    def test_fifo_zero_latency(self):
+        _assert_engines_agree(disc="fifo", net=_net4(), rates=RATES4)
+
+    def test_fifo_with_latency_uses_burst_path(self):
+        _assert_engines_agree(disc="fifo", net=_net4_latency(),
+                              rates=RATES4)
+
+    def test_fair_share_with_rate_updates(self):
+        _assert_engines_agree(disc="fair-share", net=_net4_latency(),
+                              rates=RATES4, steps=2, rate_seq=RATE_SEQ)
+
+    def test_fixed_priority(self):
+        _assert_engines_agree(disc="fixed-priority", net=_net4_latency(),
+                              rates=RATES4)
+
+    def test_fifo_finite_buffer_tail_drop(self):
+        _assert_engines_agree(disc="fifo", net=_net4_latency(),
+                              rates=[0.5, 0.5, 0.4, 0.3], buffer_sizes=4)
+
+    def test_tandem_fifo(self):
+        _assert_engines_agree(disc="fifo", net=_tandem(), rates=RATES4,
+                              steps=2, rate_seq=RATE_SEQ)
+
+    def test_tandem_fair_share(self):
+        _assert_engines_agree(disc="fair-share", net=_tandem(),
+                              rates=RATES4, steps=2, rate_seq=RATE_SEQ)
+
+    def test_measured_rate_mode_with_refresh(self):
+        # Satellite: the windowed arrival-rate estimator feeds Fair
+        # Share thinning identically under either engine.
+        _assert_engines_agree(disc="fair-share", net=_net4_latency(),
+                              rates=RATES4, rate_mode="measured",
+                              steps=3, refresh=True)
+
+    def test_measured_estimates_are_sane(self):
+        out = _run("fast", disc="fair-share", net=_net4_latency(),
+                   rates=RATES4, rate_mode="measured", steps=3,
+                   refresh=True, horizon=2000.0)
+        for g, est in out["arr"].items():
+            assert np.all(np.isfinite(est))
+            assert np.all(est >= 0.0)
+
+
+class TestEngineSelection:
+    def test_auto_picks_fast_for_supported_disciplines(self):
+        for disc in ("fifo", "fair-share", "fixed-priority"):
+            sim = NetworkSimulation(_net4(), discipline_kind=disc,
+                                    initial_rates=RATES4)
+            assert sim.engine == "fast"
+
+    def test_auto_falls_back_for_fair_queueing(self):
+        sim = NetworkSimulation(_net4(), discipline_kind="fair-queueing",
+                                initial_rates=RATES4)
+        assert sim.engine == "legacy"
+
+    def test_auto_falls_back_for_longest_drop(self):
+        sim = NetworkSimulation(_net4(), discipline_kind="fifo",
+                                initial_rates=RATES4, buffer_sizes=4,
+                                drop_policy="longest")
+        assert sim.engine == "legacy"
+
+    def test_longest_drop_with_infinite_buffers_stays_fast(self):
+        # The eviction policy only matters when some buffer is finite.
+        sim = NetworkSimulation(_net4(), discipline_kind="fifo",
+                                initial_rates=RATES4,
+                                drop_policy="longest")
+        assert sim.engine == "fast"
+
+    def test_forced_fast_on_unsupported_raises(self):
+        with pytest.raises(SimulationError):
+            NetworkSimulation(_net4(), discipline_kind="fair-queueing",
+                              initial_rates=RATES4, engine="fast")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SimulationError):
+            NetworkSimulation(_net4(), initial_rates=RATES4,
+                              engine="turbo")
+
+
+class TestClosedLoopEngines:
+    KW = dict(style=FeedbackStyle.INDIVIDUAL, discipline_kind="fair-share",
+              control_interval=150.0, n_steps=6, seed=3)
+
+    def _loop(self, engine):
+        net = _net4_latency()
+        return run_closed_loop(net, TargetRule(eta=0.1, beta=0.4),
+                               LinearSaturating(), engine=engine,
+                               **self.KW)
+
+    def test_trajectories_identical_across_engines(self):
+        legacy = self._loop("legacy")
+        fast = self._loop("fast")
+        assert np.array_equal(legacy.rate_history, fast.rate_history)
+        assert np.array_equal(legacy.signal_history, fast.signal_history)
+        assert np.array_equal(legacy.final_throughput,
+                              fast.final_throughput)
+        assert np.array_equal(legacy.final_delays, fast.final_delays,
+                              equal_nan=True)
+
+    def test_run_record_phases_emitted(self):
+        with collect() as session:
+            self._loop("auto")
+        (rec,) = session.run_records
+        assert validate_run_record(rec.to_dict()) == []
+        assert rec.kind == "run"
+        for phase in ("simulate", "signals", "rules"):
+            assert rec.phase_seconds[phase] > 0.0
+        assert rec.outcome_counts == {"completed": 1}

@@ -81,10 +81,14 @@ class TestMapInvariants:
     @settings(max_examples=50, deadline=None)
     @given(st.floats(0.1, 1.9), st.floats(0.05, 0.9))
     def test_stable_gain_converges_to_sqrt_beta(self, alpha, beta):
-        # alpha = a sqrt(beta) < 1 guarantees linear stability.
+        # alpha = a sqrt(beta) < 1 guarantees linear stability, but
+        # the convergence time diverges like 1/(1 - a sqrt(beta)), so
+        # only test gains with a real stability margin — marginally
+        # stable maps need far more than `transient` steps to settle
+        # within rtol.
         a = alpha / math.sqrt(beta) * 0.99
         m = QuadraticRateMap(a=a, beta=beta)
-        if not m.is_linearly_stable:
+        if not m.is_linearly_stable or a * math.sqrt(beta) > 0.95:
             return
         tail = orbit_tail(m, x0=m.fixed_point * 1.01, transient=5000,
                           keep=8)

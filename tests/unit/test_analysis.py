@@ -169,6 +169,33 @@ class TestBifurcation:
             [1.0], x0=0.1, transient=500, keep=200, max_period=32)
         assert math.isnan(pts[0].lyapunov)
 
+    def test_continuation_default_off_is_bit_identical(self):
+        gains = [1.0, 1.5, 2.3]
+        kwargs = dict(x0=0.1, transient=800, keep=200, max_period=32)
+        cold = bifurcation_diagram(
+            lambda a: QuadraticRateMap(a=a, beta=0.25), gains, **kwargs)
+        default = bifurcation_diagram(
+            lambda a: QuadraticRateMap(a=a, beta=0.25), gains,
+            continuation=False, **kwargs)
+        for pt, dpt in zip(cold, default):
+            assert np.array_equal(pt.attractor, dpt.attractor)
+
+    def test_continuation_agrees_in_stable_regime(self):
+        # Below the period-doubling gain the fixed point is the unique
+        # attractor, so warm starts must land on the same answer with
+        # a much shorter transient.
+        gains = np.linspace(0.6, 1.8, 13)
+        cold = bifurcation_diagram(
+            lambda a: QuadraticRateMap(a=a, beta=0.25), gains,
+            x0=0.1, transient=3000, keep=200, max_period=32)
+        warm = bifurcation_diagram(
+            lambda a: QuadraticRateMap(a=a, beta=0.25), gains,
+            x0=0.1, transient=300, keep=200, max_period=32,
+            continuation=True)
+        for cpt, wpt in zip(cold, warm):
+            assert cpt.classification.regime is wpt.classification.regime
+            assert np.max(np.abs(cpt.attractor - wpt.attractor)) < 1e-6
+
 
 class TestVectorizedQuadraticGrid:
     GAINS = [0.5, 1.0, 1.5, 2.3, 2.62]

@@ -14,7 +14,8 @@ import pytest
 _BENCHMARKS = Path(__file__).resolve().parents[2] / "benchmarks"
 sys.path.insert(0, str(_BENCHMARKS))
 
-from regression_gate import GATED, compare, format_report  # noqa: E402
+from regression_gate import (GATED, GATED_SIM, _sim_baseline_for_mode,
+                             compare, format_report)  # noqa: E402
 
 
 def _baseline(ensemble=50.0, sweep=20.0, ens_min=5.0, sweep_min=3.0):
@@ -99,3 +100,51 @@ class TestCommittedBaseline:
             (_BENCHMARKS.parent / "BENCH_core.json").read_text())
         ok, _ = compare(data, data)
         assert ok
+
+
+class TestSimBaseline:
+    def _sim_baseline(self):
+        return json.loads(
+            (_BENCHMARKS.parent / "BENCH_sim.json").read_text())
+
+    def test_baseline_file_has_gated_keys(self):
+        data = self._sim_baseline()
+        for name, target_key in GATED_SIM:
+            assert "speedup" in data[name]
+            assert target_key in data["targets"]
+            assert target_key in data["quick_targets"]
+            # Quick floors must not be stricter than the full targets.
+            assert data["quick_targets"][target_key] <= \
+                data["targets"][target_key]
+        assert data["targets_met"] is True
+
+    def test_gate_passes_against_itself(self):
+        data = self._sim_baseline()
+        ok, _ = compare(data, data, gated=GATED_SIM)
+        assert ok
+
+    def test_quick_mode_swaps_in_quick_targets(self):
+        data = self._sim_baseline()
+        swapped = _sim_baseline_for_mode(data, quick=True)
+        assert swapped["targets"] == data["quick_targets"]
+        assert _sim_baseline_for_mode(data, quick=False) is data
+
+    def test_compare_judges_sim_keys(self):
+        baseline = {
+            "fifo_closed_loop": {"speedup": 6.0},
+            "f12_end_to_end": {"speedup": 2.5},
+            "warm_start": {"speedup": 2.0},
+            "targets": {"fifo_events_speedup_min": 5.0,
+                        "f12_speedup_min": 2.0,
+                        "warm_start_savings_min": 1.5},
+        }
+        fresh = {"fifo_closed_loop": {"speedup": 5.5},
+                 "f12_end_to_end": {"speedup": 2.2},
+                 "warm_start": {"speedup": 1.9}}
+        ok, report = compare(baseline, fresh, gated=GATED_SIM)
+        assert ok
+        assert [e["name"] for e in report] == \
+            [name for name, _ in GATED_SIM]
+        fresh["fifo_closed_loop"]["speedup"] = 4.0
+        ok, report = compare(baseline, fresh, gated=GATED_SIM)
+        assert not ok

@@ -5,13 +5,13 @@ import numpy as np
 import pytest
 
 from repro.errors import SimulationError
-from repro.simulation.events import Scheduler
+from repro.simulation.events import EventCalendar, Scheduler
 from repro.simulation.monitors import EndToEndMonitor, GatewayMonitor
-from repro.simulation.packet import Packet
+from repro.simulation.packet import Packet, PacketPool
 from repro.simulation.queues import (FairQueueingQueue, FairShareQueue,
                                      FifoQueue, FixedPriorityQueue,
                                      make_discipline)
-from repro.simulation.rng import RandomStreams
+from repro.simulation.rng import RandomStreams, VariateBuffer
 
 
 class TestScheduler:
@@ -81,6 +81,130 @@ class TestScheduler:
             Scheduler().schedule(float("inf"), lambda: None)
 
 
+class TestEventCalendar:
+    def test_pops_in_time_order(self):
+        cal = EventCalendar()
+        cal.schedule(2.0, 1, a=20)
+        cal.schedule(1.0, 0, a=10)
+        cal.schedule(3.0, 2, a=30)
+        popped = [cal.pop() for _ in range(3)]
+        assert [p[0] for p in popped] == [1.0, 2.0, 3.0]
+        assert [p[1] for p in popped] == [0, 1, 2]
+        assert [p[2] for p in popped] == [10, 20, 30]
+        assert cal.pop() is None
+
+    def test_ties_break_by_insertion_order(self):
+        cal = EventCalendar()
+        for k in range(5):
+            cal.schedule(1.0, 0, a=k)
+        assert [cal.pop()[2] for k in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_cancellation_and_slot_recycling(self):
+        cal = EventCalendar()
+        slot = cal.schedule(1.0, 0, a=1)
+        cal.schedule(2.0, 0, a=2)
+        cal.cancel(slot)
+        assert len(cal) == 1
+        assert cal.peek_time() == 2.0  # recycles the dead slot
+        # The freed slot is reused instead of growing the columns.
+        assert cal.schedule(3.0, 0, a=3) == slot
+        assert cal.capacity == 2
+        assert cal.pop()[2] == 2
+        assert cal.pop()[2] == 3
+
+    def test_long_run_recycles_bounded_slots(self):
+        cal = EventCalendar()
+        for k in range(100):
+            cal.schedule(float(k), 0, a=k)
+            assert cal.pop() == (float(k), 0, k, 0)
+        assert cal.capacity == 1
+
+    def test_payload_entries_interleave_with_slots(self):
+        import heapq
+        cal = EventCalendar()
+        cal.schedule(2.0, 1, a=7, b=8)
+        # The fast kernel pushes never-cancelled events directly as
+        # (time, seq, -1, kind, a[, b]) payload tuples.
+        heapq.heappush(cal._heap, (1.0, 10 ** 9, -1, 3, 42))
+        heapq.heappush(cal._heap, (3.0, 10 ** 9 + 1, -1, 4, 5, 6))
+        assert cal.peek_time() == 1.0
+        assert cal.pop() == (1.0, 3, 42, 0)
+        assert cal.pop() == (2.0, 1, 7, 8)
+        assert cal.pop() == (3.0, 4, 5, 6)
+
+    def test_nonfinite_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventCalendar().schedule(float("nan"), 0)
+
+    def test_operands_roundtrip(self):
+        cal = EventCalendar()
+        cal.schedule(1.0, 5, a=-3, b=2 ** 40)
+        assert cal.pop() == (1.0, 5, -3, 2 ** 40)
+
+
+class TestPacketPool:
+    def test_alloc_initialises_fields(self):
+        pool = PacketPool()
+        pid = pool.alloc(3, 17, 2.5)
+        assert pool.conn[pid] == 3
+        assert pool.seq[pid] == 17
+        assert pool.created[pid] == 2.5
+        assert pool.hop[pid] == 0
+        assert pool.remaining[pid] == 0.0
+        assert pool.klass[pid] == 0
+
+    def test_free_recycles_slot(self):
+        pool = PacketPool()
+        pid = pool.alloc(0, 0, 0.0)
+        pool.hop[pid] = 2
+        pool.remaining[pid] = 1.5
+        pool.free(pid)
+        again = pool.alloc(1, 1, 1.0)
+        assert again == pid
+        # Recycled slots come back fully reset.
+        assert pool.hop[again] == 0
+        assert pool.remaining[again] == 0.0
+        assert pool.capacity == 1
+
+    def test_capacity_and_in_flight(self):
+        pool = PacketPool()
+        pids = [pool.alloc(0, k, 0.0) for k in range(4)]
+        assert pool.capacity == 4
+        assert pool.in_flight == 4
+        pool.free(pids[1])
+        pool.free(pids[2])
+        assert pool.capacity == 4
+        assert pool.in_flight == 2
+
+
+class TestVariateBuffer:
+    def test_buffered_exponentials_match_scalar_draws(self):
+        buffered = RandomStreams(7)
+        scalar = RandomStreams(7)
+        buf = buffered.buffer("service:g0", block=8)
+        got = [buf.next_exponential(2.0) for _ in range(20)]
+        want = [scalar.exponential("service:g0", 0.5) for _ in range(20)]
+        assert got == want  # bit-identical across the block refills
+
+    def test_buffered_uniforms_match_scalar_draws(self):
+        buf = RandomStreams(3).buffer("thinning:g0", block=4)
+        scalar = RandomStreams(3)
+        got = [buf.next_uniform() for _ in range(10)]
+        want = [scalar.uniform("thinning:g0") for _ in range(10)]
+        assert got == want
+
+    def test_mixing_draw_kinds_raises(self):
+        buf = RandomStreams(0).buffer("s")
+        buf.next_exponential(1.0)
+        with pytest.raises(SimulationError):
+            buf.next_uniform()
+
+    def test_block_size_validated(self):
+        gen = np.random.default_rng(0)
+        with pytest.raises(SimulationError):
+            VariateBuffer(gen, block=0)
+
+
 class TestRandomStreams:
     def test_deterministic(self):
         a = RandomStreams(7).stream("x").random(5)
@@ -108,6 +232,43 @@ class TestRandomStreams:
     def test_uniform_range(self):
         s = RandomStreams(0)
         assert 0.0 <= s.uniform("u") <= 1.0
+
+    def test_nonpositive_rate_rejected(self):
+        s = RandomStreams(0)
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(SimulationError):
+                s.exponential("e", bad)
+            with pytest.raises(SimulationError):
+                s.exponentials("e", bad, 4)
+
+    def test_bad_draw_count_rejected(self):
+        s = RandomStreams(0)
+        with pytest.raises(SimulationError):
+            s.exponentials("e", 1.0, -1)
+        with pytest.raises(SimulationError):
+            s.uniforms("u", 2.5)
+
+    def test_batched_draws_match_scalar_draws(self):
+        batched = RandomStreams(11).exponentials("e", 4.0, 16)
+        scalar = RandomStreams(11)
+        want = [scalar.exponential("e", 4.0) for _ in range(16)]
+        assert batched.tolist() == want
+        scalar_u = RandomStreams(5)
+        assert RandomStreams(5).uniforms("u", 8).tolist() == \
+            [scalar_u.uniform("u") for _ in range(8)]
+
+    def test_stream_lookup_is_cached(self):
+        s = RandomStreams(0)
+        assert s.stream("a") is s.stream("a")
+        assert s.buffer("a", 64) is s.buffer("a", 64)
+
+    def test_caching_does_not_change_the_draws(self):
+        # Drawing through a cached handle continues the one bitstream.
+        s = RandomStreams(9)
+        first = s.stream("x").random(3)
+        second = s.stream("x").random(3)
+        fresh = RandomStreams(9).stream("x").random(6)
+        assert np.array_equal(np.concatenate([first, second]), fresh)
 
 
 def _pkt(conn=0, seq=0, service=1.0):

@@ -8,11 +8,12 @@ from repro.core.fairshare import FairShare
 from repro.core.fifo import Fifo
 from repro.core.ratecontrol import TargetRule
 from repro.core.signals import FeedbackStyle, LinearSaturating
-from repro.core.steadystate import (fair_steady_state,
+from repro.core.steadystate import (FixedPointCache, continuation_scan,
+                                    fair_steady_state,
                                     is_aggregate_steady_state,
                                     predicted_steady_state, refine,
                                     single_connection_rate,
-                                    steady_utilisation)
+                                    steady_utilisation, system_key)
 from repro.core.topology import (parking_lot, single_gateway,
                                  two_gateway_shared)
 from repro.errors import ConvergenceError, NotTimeScaleInvariantError
@@ -123,3 +124,89 @@ class TestRefine:
         with pytest.raises(ConvergenceError):
             refine(system, np.array([0.01, 0.01, 0.01]), max_steps=2,
                    tol=1e-14)
+
+
+def _beta_system(network, beta, eta=0.1):
+    return FlowControlSystem(network, FairShare(), LinearSaturating(),
+                             TargetRule(eta=eta, beta=beta),
+                             style=FeedbackStyle.INDIVIDUAL)
+
+
+class TestSystemKey:
+    def test_equal_configurations_share_a_key(self, gateway3):
+        assert system_key(_beta_system(gateway3, 0.5)) == \
+            system_key(_beta_system(gateway3, 0.5))
+
+    def test_different_rule_different_key(self, gateway3):
+        assert system_key(_beta_system(gateway3, 0.5)) != \
+            system_key(_beta_system(gateway3, 0.6))
+
+    def test_different_topology_different_key(self, gateway3):
+        other = single_gateway(3, mu=2.0)
+        assert system_key(_beta_system(gateway3, 0.5)) != \
+            system_key(_beta_system(other, 0.5))
+
+    def test_extra_folds_into_the_key(self, gateway3):
+        system = _beta_system(gateway3, 0.5)
+        assert system_key(system, extra=(1000, 1e-12)) != \
+            system_key(system, extra=(2000, 1e-12))
+
+
+class TestFixedPointCache:
+    X0 = np.array([0.01, 0.2, 0.4])
+
+    def test_matches_refine(self, gateway3):
+        system = _beta_system(gateway3, 0.5)
+        cache = FixedPointCache()
+        result = cache.solve(system, approx=self.X0)
+        assert not result.cached
+        assert result.iterations > 0
+        assert np.array_equal(result.rates, refine(system, self.X0))
+
+    def test_repeat_solve_is_a_memo_hit(self, gateway3):
+        cache = FixedPointCache()
+        first = cache.solve(_beta_system(gateway3, 0.5), approx=self.X0)
+        again = cache.solve(_beta_system(gateway3, 0.5), approx=self.X0)
+        assert again.cached
+        assert again.iterations == 0
+        assert np.array_equal(again.rates, first.rates)
+        assert cache.hits == 1 and cache.misses == 1
+        assert len(cache) == 1
+
+    def test_continuation_beats_cold_start(self, gateway3):
+        betas = np.linspace(0.4, 0.6, 9)
+        cold = 0
+        for b in betas:
+            cold += FixedPointCache().solve(
+                _beta_system(gateway3, float(b)), approx=self.X0).iterations
+        warm_cache = FixedPointCache()
+        warm = continuation_scan(
+            [_beta_system(gateway3, float(b)) for b in betas], self.X0,
+            cache=warm_cache)
+        assert warm_cache.iterations < cold
+        # Warm starts change iteration counts, not answers.
+        for b, res in zip(betas, warm):
+            assert np.allclose(
+                res.rates, refine(_beta_system(gateway3, float(b)),
+                                  self.X0), atol=1e-8)
+
+    def test_solver_params_are_part_of_the_key(self, gateway3):
+        cache = FixedPointCache()
+        cache.solve(_beta_system(gateway3, 0.5), approx=self.X0, tol=1e-8)
+        second = cache.solve(_beta_system(gateway3, 0.5), approx=self.X0,
+                             tol=1e-12)
+        assert not second.cached
+        assert cache.misses == 2
+
+    def test_no_starting_point_raises(self, gateway3):
+        with pytest.raises(ConvergenceError):
+            FixedPointCache().solve(_beta_system(gateway3, 0.5))
+
+    def test_second_pass_is_all_hits(self, gateway3):
+        systems = [_beta_system(gateway3, float(b))
+                   for b in np.linspace(0.4, 0.6, 5)]
+        cache = FixedPointCache()
+        continuation_scan(systems, self.X0, cache=cache)
+        second = continuation_scan(systems, self.X0, cache=cache)
+        assert all(res.cached for res in second)
+        assert cache.hits == len(systems)

@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test selftest gate verify bench
+.PHONY: test selftest gate fuzz-quick verify bench
 
 test:
 	$(PYTHON) -m pytest -q
@@ -12,9 +12,17 @@ selftest:
 gate:
 	$(PYTHON) benchmarks/regression_gate.py --quick
 
-# The tier-1 flow: full test suite, the engine smoke check, and the
-# benchmark regression gate (quick CI workload).
-verify: test selftest gate
+# Seeded, bounded fuzzing sweep (~15 s): 12 deterministic scenarios
+# through the full differential/theorem oracle catalogue.  Runs
+# alongside `gate` in the tier-1 flow; a failing scenario prints its
+# ScenarioSpec JSON for reproduction.
+fuzz-quick:
+	$(PYTHON) -m repro fuzz --seed 7 --count 12 --shrink
+
+# The tier-1 flow: full test suite, the engine smoke check, the
+# benchmark regression gate (quick CI workload), and the bounded
+# fuzzing sweep.
+verify: test selftest gate fuzz-quick
 
 # Full-scale benchmarks + gate; refreshes BENCH_core.json and
 # BENCH_sim.json.

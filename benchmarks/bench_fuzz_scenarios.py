@@ -1,0 +1,72 @@
+"""Throughput benchmark for the scenario-fuzzing harness.
+
+Standalone (not collected by pytest, not part of the regression gate):
+measures how fast the generator emits specs and how fast the full
+oracle catalogue chews through generated scenarios, and reports the
+per-oracle applicability mix — the number to watch when adding oracles
+or widening the generator's families.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_fuzz_scenarios.py [--count K]
+"""
+
+import argparse
+import json
+import time
+from collections import Counter
+
+from repro.scenarios import generate, run_scenario
+
+
+def bench_generation(seed=7, count=200):
+    t0 = time.perf_counter()
+    specs = generate(seed, count)
+    elapsed = time.perf_counter() - t0
+    return specs, {
+        "count": count,
+        "seconds": round(elapsed, 4),
+        "specs_per_s": round(count / elapsed, 1),
+    }
+
+
+def bench_oracles(specs):
+    applicable = Counter()
+    violations = 0
+    t0 = time.perf_counter()
+    for spec in specs:
+        outcome = run_scenario(spec)
+        for res in outcome.results:
+            if res.applicable:
+                applicable[res.name] += 1
+        violations += len(outcome.violations)
+    elapsed = time.perf_counter() - t0
+    return {
+        "scenarios": len(specs),
+        "seconds": round(elapsed, 2),
+        "scenarios_per_s": round(len(specs) / elapsed, 2),
+        "applicable_checks": dict(sorted(applicable.items())),
+        "violations": violations,
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--count", type=int, default=25,
+                        help="scenarios for the oracle-throughput leg")
+    args = parser.parse_args()
+
+    specs, gen_stats = bench_generation(args.seed, max(200, args.count))
+    oracle_stats = bench_oracles(specs[:args.count])
+    report = {"generation": gen_stats, "oracles": oracle_stats}
+    print(json.dumps(report, indent=2))
+    if oracle_stats["violations"]:
+        raise SystemExit(
+            f"{oracle_stats['violations']} oracle violation(s) on the "
+            f"benchmark sweep — run `python -m repro fuzz --seed "
+            f"{args.seed} --count {args.count} --shrink` to reproduce")
+
+
+if __name__ == "__main__":
+    main()

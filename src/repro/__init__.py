@@ -17,6 +17,8 @@ The package has five layers:
   comparison algorithms and the reservation-based allocation.
 * :mod:`repro.experiments` — one harness per paper table/figure
   (T1, F1..F12) plus a registry; see DESIGN.md and EXPERIMENTS.md.
+* :mod:`repro.scenarios` — seeded random-scenario fuzzing with
+  differential and theorem oracles (``python -m repro fuzz``).
 
 Quickstart::
 
@@ -50,10 +52,12 @@ from .errors import (ArtifactError, CLIError, ConvergenceError,
                      NotTimeScaleInvariantError, RateVectorError, ReproError,
                      SimulationError, SweepError, TopologyError,
                      WorkerFunctionError)
+from .errors import OracleError, ScenarioError
 from .faults import (ExtraDelay, FaultEvent, FaultPlan, FaultState,
                      GatewayOutage, SignalLoss, SignalNoise,
                      SignalQuantisation, parse_fault_spec)
 from .parallel import sweep
+from .scenarios import ScenarioSpec, fuzz, generate_spec, run_scenario
 
 __version__ = "1.1.0"
 
@@ -61,8 +65,9 @@ __all__ = list(_core_all) + [
     "ReproError", "TopologyError", "RateVectorError", "InfeasibleLoadError",
     "ConvergenceError", "NotTimeScaleInvariantError", "SimulationError",
     "ExperimentError", "FaultError", "SweepError", "WorkerFunctionError",
-    "ArtifactError", "CLIError",
+    "ArtifactError", "CLIError", "ScenarioError", "OracleError",
     "FaultPlan", "FaultState", "FaultEvent", "SignalLoss", "SignalNoise",
     "SignalQuantisation", "ExtraDelay", "GatewayOutage", "parse_fault_spec",
-    "sweep", "__version__",
+    "sweep", "ScenarioSpec", "generate_spec", "run_scenario", "fuzz",
+    "__version__",
 ]

@@ -14,7 +14,12 @@ Commands:
 * ``selftest`` — fast smoke check of the batch trajectory engine and
   the fault/resilience layer (equivalence against the scalar paths, a
   tiny ensemble, a faulty run, a checkpoint/resume round-trip); exits
-  nonzero when any check fails.
+  nonzero when any check fails;
+* ``fuzz [--seed S] [--count K] [--shrink] [--json-dir D]`` — generate
+  K deterministic random scenarios and cross-check every engine and
+  theorem oracle on each (see :mod:`repro.scenarios`); exits nonzero
+  on any oracle violation and prints a minimal repro spec when
+  ``--shrink`` is given.
 
 ``run`` also takes ``--faults SPEC`` (inject a seeded fault plan, e.g.
 ``loss=0.3,delay=2,seed=7`` — see :func:`repro.faults.parse_fault_spec`)
@@ -90,6 +95,29 @@ def build_parser() -> argparse.ArgumentParser:
                             help="smaller ensembles (CI-friendly)")
     selftest_p.add_argument("--force-fail", action="store_true",
                             help=argparse.SUPPRESS)
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="fuzz random scenarios against the differential and "
+             "theorem oracles")
+    fuzz_p.add_argument("--seed", type=int, default=0,
+                        help="stream seed; the same (seed, count) "
+                             "always fuzzes the same scenarios")
+    fuzz_p.add_argument("--count", type=int, default=25,
+                        help="number of scenarios to generate")
+    fuzz_p.add_argument("--shrink", action="store_true",
+                        help="minimise every failing scenario to a "
+                             "small reproducer before reporting")
+    fuzz_p.add_argument("--json-dir", type=Path, default=None,
+                        help="write one artifact per scenario here, "
+                             "plus a *.repro.json spec per failure")
+    fuzz_p.add_argument("--oracle", action="append", default=None,
+                        metavar="NAME", dest="oracles",
+                        help="restrict to one oracle (repeatable); "
+                             "default: the full catalogue")
+    fuzz_p.add_argument("--max-shrink-iters", type=int, default=None,
+                        help="cap on shrink-search oracle evaluations "
+                             "(clamped to a safe range)")
     return parser
 
 
@@ -171,6 +199,32 @@ def _cmd_table1(rates: str, mu: float) -> int:
     return 0 if result.all_checks_pass else 1
 
 
+def _cmd_fuzz(seed: int, count: int, shrink: bool,
+              json_dir: Optional[Path],
+              oracles: Optional[List[str]],
+              max_shrink_iters: Optional[int]) -> int:
+    from .scenarios import fuzz as run_fuzz
+    from .scenarios import oracle_names
+    if oracles:
+        unknown = sorted(set(oracles) - set(oracle_names()))
+        if unknown:
+            raise CLIError(
+                f"unknown oracle(s) {unknown} — known: "
+                f"{oracle_names()}")
+    report = run_fuzz(seed, count, shrink_failures=shrink,
+                      json_dir=json_dir, oracles=oracles,
+                      max_shrink_iters=max_shrink_iters, progress=print)
+    print()
+    print("\n".join(report.summary_lines()))
+    if json_dir is not None:
+        print(f"\n{len(report.artifacts)} artifact(s) written to "
+              f"{json_dir}")
+    for outcome in report.failures:
+        print(f"\nreproduce {outcome.spec.name} with:")
+        print(outcome.repro_spec.to_json())
+    return 0 if report.passed else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -187,6 +241,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .selftest import main as selftest_main
         return selftest_main(quick=args.quick,
                              force_fail=args.force_fail)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args.seed, args.count, args.shrink,
+                         args.json_dir, args.oracles,
+                         args.max_shrink_iters)
     raise CLIError(f"unhandled command {args.command!r}")
 
 

@@ -169,7 +169,10 @@ class PowerSaturating(SignalFunction):
         c = _check_congestion(congestion)
         if math.isinf(c):
             return 1.0
-        return (c / (c + 1.0)) ** self.p
+        # np.power, not the builtin ** (libm pow): the two differ in the
+        # last ulp for fractional p, and the scalar path must stay
+        # bit-identical to apply_batch for the step/step_batch contract.
+        return float(np.power(c / (c + 1.0), self.p))
 
     def apply_batch(self, congestion):
         c = _check_congestion_batch(congestion)
@@ -201,7 +204,9 @@ class ExponentialSignal(SignalFunction):
         c = _check_congestion(congestion)
         if math.isinf(c):
             return 1.0
-        return 1.0 - math.exp(-self.k * c)
+        # np.exp, not math.exp: keeps the scalar path bit-identical to
+        # apply_batch (libm and the numpy ufunc differ in the last ulp).
+        return 1.0 - float(np.exp(-self.k * c))
 
     def apply_batch(self, congestion):
         c = _check_congestion_batch(congestion)

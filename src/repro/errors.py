@@ -96,6 +96,24 @@ class ArtifactError(ReproError, ValueError):
     """
 
 
+class ScenarioError(ReproError):
+    """A fuzzing scenario specification is malformed.
+
+    Examples: mismatched rule/connection counts, an unknown rule or
+    signal kind, a weighted discipline without weights, or an
+    unparsable serialised :class:`~repro.scenarios.ScenarioSpec`.
+    """
+
+
+class OracleError(ReproError):
+    """A differential oracle could not be evaluated.
+
+    Raised for harness-level misuse (an unknown oracle name, an oracle
+    invoked on a scenario it does not apply to) — *not* for oracle
+    violations, which are data, not exceptions.
+    """
+
+
 class CLIError(ReproError):
     """The command-line front end was invoked inconsistently.
 

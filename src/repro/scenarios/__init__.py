@@ -1,0 +1,36 @@
+"""Scenario fuzzing with differential and theorem oracles.
+
+The subsystem has four layers:
+
+* :mod:`~repro.scenarios.spec` — :class:`ScenarioSpec`, the
+  serialisable, exactly-JSON-round-tripping description of one
+  configuration (topology, rules, signal, discipline, initial state,
+  optional fault plan);
+* :mod:`~repro.scenarios.generator` — seeded deterministic generation
+  of specs from the paper's configuration families;
+* :mod:`~repro.scenarios.oracles` — the catalogue of cross-checks:
+  engine-equivalence contracts and the paper's theorems as predicates;
+* :mod:`~repro.scenarios.shrink` / :mod:`~repro.scenarios.harness` —
+  greedy minimisation of failures and the ``python -m repro fuzz``
+  driver.
+"""
+
+from .generator import generate, generate_spec, validate_budget
+from .harness import FuzzReport, ScenarioOutcome, fuzz, run_scenario
+from .oracles import (ORACLES, OracleResult, ScenarioContext, oracle_names,
+                      run_all_oracles, run_oracle)
+from .shrink import ShrinkResult, failing_oracles, shrink
+from .spec import (SCENARIO_SCHEMA, ConnectionSpec, FaultPlanSpec,
+                   GatewaySpec, InjectorSpec, RuleSpec, ScenarioSpec,
+                   SignalSpec)
+
+__all__ = [
+    "SCENARIO_SCHEMA",
+    "GatewaySpec", "ConnectionSpec", "SignalSpec", "RuleSpec",
+    "InjectorSpec", "FaultPlanSpec", "ScenarioSpec",
+    "generate", "generate_spec", "validate_budget",
+    "ORACLES", "OracleResult", "ScenarioContext", "oracle_names",
+    "run_oracle", "run_all_oracles",
+    "ShrinkResult", "failing_oracles", "shrink",
+    "ScenarioOutcome", "FuzzReport", "run_scenario", "fuzz",
+]

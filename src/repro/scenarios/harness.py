@@ -1,0 +1,175 @@
+"""The fuzzing harness: generate, cross-check, shrink, record.
+
+:func:`fuzz` is the entry point behind ``python -m repro fuzz``: it
+generates ``count`` deterministic scenarios for ``seed``, evaluates
+the full oracle catalogue on each, optionally shrinks every failure to
+a minimal reproducer, and (with ``json_dir``) writes one schema-valid
+experiment artifact per scenario plus a ``*.repro.json`` spec for each
+failure — the file a bug report should contain.
+
+Budget validation is strict (:func:`~repro.scenarios.generator.
+validate_budget`): bad seeds/counts raise
+:class:`~repro.errors.SweepError` before any work happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from ..observability import collect
+from ..observability.artifacts import experiment_artifact, write_artifact
+from .generator import generate_spec, validate_budget
+from .oracles import OracleResult, run_all_oracles
+from .shrink import ShrinkResult, shrink
+from .spec import ScenarioSpec
+
+__all__ = ["ScenarioOutcome", "FuzzReport", "run_scenario", "fuzz"]
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """One scenario's pass through the oracle catalogue."""
+
+    spec: ScenarioSpec
+    results: Tuple[OracleResult, ...]
+    shrunk: Optional[ShrinkResult] = None
+
+    @property
+    def violations(self) -> Tuple[OracleResult, ...]:
+        return tuple(res for res in self.results if res.violated)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    @property
+    def repro_spec(self) -> ScenarioSpec:
+        """The spec to reproduce with: the shrunk one when available."""
+        return self.shrunk.spec if self.shrunk is not None else self.spec
+
+
+@dataclass
+class FuzzReport:
+    """The outcome of one :func:`fuzz` sweep."""
+
+    seed: int
+    count: int
+    outcomes: List[ScenarioOutcome] = field(default_factory=list)
+    artifacts: List[Path] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[ScenarioOutcome]:
+        return [o for o in self.outcomes if not o.passed]
+
+    @property
+    def num_violations(self) -> int:
+        return sum(len(o.violations) for o in self.outcomes)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def checked(self) -> int:
+        """Applicable oracle evaluations across the sweep."""
+        return sum(1 for o in self.outcomes for res in o.results
+                   if res.applicable)
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"fuzz seed={self.seed} count={self.count}: "
+            f"{len(self.outcomes)} scenarios, {self.checked()} "
+            f"applicable oracle checks, {self.num_violations} "
+            f"violations"]
+        for outcome in self.failures:
+            names = ", ".join(res.name for res in outcome.violations)
+            lines.append(f"  FAIL {outcome.spec.name}: {names}")
+            for res in outcome.violations:
+                lines.append(f"       {res.name}: {res.detail}")
+            if outcome.shrunk is not None:
+                lines.append(
+                    f"       shrunk to {outcome.repro_spec.num_connections}"
+                    f" connection(s) / "
+                    f"{len(outcome.repro_spec.gateways)} gateway(s) in "
+                    f"{outcome.shrunk.evaluations} evaluations")
+        return lines
+
+
+def run_scenario(spec: ScenarioSpec,
+                 oracles: Optional[Sequence[str]] = None
+                 ) -> ScenarioOutcome:
+    """Evaluate one scenario against (a subset of) the catalogue."""
+    return ScenarioOutcome(
+        spec=spec, results=tuple(run_all_oracles(spec, oracles)))
+
+
+class _FuzzScenarioResult:
+    """Adapter presenting one scenario's oracle verdicts in the shape
+    :func:`~repro.observability.artifacts.experiment_artifact` expects."""
+
+    def __init__(self, spec: ScenarioSpec,
+                 outcome: ScenarioOutcome) -> None:
+        self.experiment_id = spec.name
+        self.title = (f"Fuzz scenario {spec.name}: "
+                      f"{spec.discipline}/{spec.style}, "
+                      f"{spec.num_connections} connections")
+        self.columns = ("oracle", "applicable", "passed", "detail")
+        self.rows = [res.to_row() for res in outcome.results]
+        self.checks = {res.name: (res.passed or not res.applicable)
+                       for res in outcome.results}
+        self.notes = [spec.to_json(indent=None)]
+
+
+def fuzz(seed: int, count: int, shrink_failures: bool = False,
+         json_dir: Optional[Union[str, Path]] = None,
+         oracles: Optional[Sequence[str]] = None,
+         max_shrink_iters: Optional[int] = None,
+         progress: Optional[Callable[[str], None]] = None) -> FuzzReport:
+    """Run the fuzzing sweep.
+
+    Raises :class:`~repro.errors.SweepError` for an invalid budget.
+    Oracle violations do *not* raise — they are collected in the
+    returned :class:`FuzzReport` (the CLI turns them into a nonzero
+    exit code).
+    """
+    seed, count, max_shrink_iters = validate_budget(seed, count,
+                                                    max_shrink_iters)
+    say = progress if progress is not None else (lambda _msg: None)
+    directory = None
+    if json_dir is not None:
+        directory = Path(json_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+
+    report = FuzzReport(seed=seed, count=count)
+    for index in range(count):
+        spec = generate_spec(seed, index)
+        with collect() as session:
+            outcome = run_scenario(spec, oracles)
+        if not outcome.passed and shrink_failures:
+            say(f"{spec.name}: shrinking "
+                f"{len(outcome.violations)} violation(s)...")
+            result = shrink(
+                spec,
+                oracles=[res.name for res in outcome.violations],
+                max_iters=max_shrink_iters)
+            outcome = ScenarioOutcome(spec=spec, results=outcome.results,
+                                      shrunk=result)
+        report.outcomes.append(outcome)
+        if directory is not None:
+            artifact = experiment_artifact(
+                _FuzzScenarioResult(spec, outcome), session=session,
+                seed=seed,
+                config={"seed": seed, "index": index, "count": count})
+            report.artifacts.append(write_artifact(
+                artifact, directory / f"{spec.name}.json"))
+            if not outcome.passed:
+                repro_path = directory / f"{spec.name}.repro.json"
+                repro_path.write_text(
+                    outcome.repro_spec.to_json() + "\n")
+                report.artifacts.append(repro_path)
+        status = ("ok" if outcome.passed else
+                  "FAIL " + ",".join(res.name
+                                     for res in outcome.violations))
+        say(f"{spec.name}: {status}")
+    return report

@@ -1,0 +1,562 @@
+"""Differential and theorem oracles for fuzzing scenarios.
+
+Each oracle cross-checks two *redundant* ways of computing the same
+physics, or checks a theorem of the paper that predicts the outcome for
+a whole scenario family:
+
+================== ====================================================
+``batch-equivalence``    scalar ``step`` vs ``step_batch`` rows
+                         (contract: equal to <= 1e-12)
+``ensemble-equivalence`` ``run_ensemble`` member vs scalar ``run``
+``kernel-equivalence``   legacy vs fast packet kernels (bit-identical)
+``fixed-point``          converged trajectory is a fixed point of the
+                         map, and agrees with the damped refiner
+``tsi``                  Theorem 1: scaling every ``mu`` by ``c``
+                         scales the steady state by ``c``
+``fairness-manifold``    Theorem 2: aggregate-feedback steady states
+                         lie on the steady-state manifold
+``fs-floor``             Theorem 5: Fair Share guarantees each TSI
+                         connection its reservation floor
+``stability``            Section 3.3: an *observed* attractor has
+                         Jacobian spectral radius <= 1 (+ slack)
+``steady-signal``        Theorems 1/3: at a steady state every active
+                         TSI connection sees exactly its target signal
+``fault-determinism``    seeded fault plans replay bit-identically;
+                         the empty plan is a bit-identical no-op
+================== ====================================================
+
+Oracles *never* raise on a violation — a violation is data (an
+:class:`OracleResult` with ``passed=False``).  :class:`~repro.errors.
+OracleError` is reserved for harness misuse (an unknown oracle name).
+
+Applicability is explicit: an oracle that does not apply to a scenario
+(e.g. the TSI oracle on a heterogeneous rule mix) reports
+``applicable=False`` and never counts as a violation.  The tolerances
+encode the engine contracts (1e-12 for vectorisation, bit-identity for
+the kernels) and the numerical realities of the theorem checks
+(finite-tolerance convergence, finite-difference Jacobians).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.dynamics import FlowControlSystem, Outcome, Trajectory
+from ..core.math_utils import sup_norm
+from ..core.robustness import reservation_floor_heterogeneous
+from ..core.stability import jacobian, spectral_radius
+from ..core.steadystate import is_aggregate_steady_state, refine
+from ..errors import ConvergenceError, OracleError
+from ..faults import FaultPlan
+from .spec import ScenarioSpec
+
+__all__ = [
+    "OracleResult",
+    "ScenarioContext",
+    "ORACLES",
+    "oracle_names",
+    "run_oracle",
+    "run_all_oracles",
+]
+
+#: Vectorisation contract: batch rows match the scalar path to 1e-12.
+BATCH_TOL = 1e-12
+#: Fixed-point residual / refiner agreement, relative to the rate scale.
+FIXED_POINT_TOL = 1e-6
+#: Relative steady-state deviation allowed by the TSI oracle.
+TSI_TOL = 1e-4
+#: Manifold membership tolerance (Theorem 2).
+MANIFOLD_TOL = 1e-5
+#: Relative slack on the robustness floor (Theorem 5).
+FLOOR_TOL = 1e-5
+#: Slack on the spectral radius of an observed attractor: covers the
+#: manifold's neutral eigenvalue (exactly 1) and differencing noise.
+STABILITY_SLACK = 1e-2
+#: Signal-vs-target tolerance for active TSI connections.
+SIGNAL_TOL = 1e-4
+#: Rates below this fraction of the scale count as pinned at zero.
+ACTIVE_FRACTION = 1e-3
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """One oracle's verdict on one scenario.
+
+    ``passed`` is meaningful only when ``applicable``; inapplicable
+    results always carry ``passed=True`` so violation counting is
+    simply ``not passed``.
+    """
+
+    name: str
+    applicable: bool
+    passed: bool
+    detail: str = ""
+
+    @property
+    def violated(self) -> bool:
+        return self.applicable and not self.passed
+
+    def to_row(self):
+        return (self.name, self.applicable, self.passed, self.detail)
+
+
+class ScenarioContext:
+    """Lazily built shared state for one scenario's oracle evaluations.
+
+    Building the system, the probe states, and especially the
+    fault-free reference trajectory is the expensive part; the context
+    computes each once and shares it across the oracle catalogue (and
+    across shrinker re-evaluations of the same candidate).
+    """
+
+    def __init__(self, spec: ScenarioSpec,
+                 system: Optional[FlowControlSystem] = None):
+        self.spec = spec
+        self._system = system
+        self._trajectory: Optional[Trajectory] = None
+        self._probes: Optional[np.ndarray] = None
+
+    @property
+    def system(self) -> FlowControlSystem:
+        if self._system is None:
+            self._system = self.spec.build()
+        return self._system
+
+    @property
+    def trajectory(self) -> Trajectory:
+        """The fault-free reference run at the spec's budget."""
+        if self._trajectory is None:
+            self._trajectory = self.system.run(
+                self.spec.initial(), max_steps=self.spec.max_steps,
+                tol=self.spec.tol)
+        return self._trajectory
+
+    @property
+    def converged(self) -> bool:
+        return self.trajectory.outcome is Outcome.CONVERGED
+
+    @property
+    def probes(self) -> np.ndarray:
+        """``(4, N)`` probe states: the initial condition, a scaled
+        copy, a seeded random perturbation, and an overload point."""
+        if self._probes is None:
+            initial = self.spec.initial()
+            rng = np.random.default_rng(self.spec.seed)
+            perturbed = initial * rng.uniform(0.5, 1.5, size=initial.shape)
+            mu_max = max(g.mu for g in self.spec.gateways)
+            overload = np.full_like(
+                initial, 2.0 * mu_max / len(initial))
+            self._probes = np.stack(
+                [initial, 0.5 * initial, perturbed, overload])
+        return self._probes
+
+    def scale(self) -> float:
+        return max(1.0, float(np.max(self.trajectory.final)))
+
+
+# ----------------------------------------------------------------------
+# differential oracles
+# ----------------------------------------------------------------------
+def check_batch_equivalence(ctx: ScenarioContext) -> OracleResult:
+    """``step_batch(R)[m] == step(R[m])`` to :data:`BATCH_TOL`."""
+    batch = ctx.system.step_batch(ctx.probes)
+    worst = 0.0
+    for m in range(ctx.probes.shape[0]):
+        scalar = ctx.system.step(ctx.probes[m])
+        worst = max(worst, float(np.max(np.abs(batch[m] - scalar))))
+    return OracleResult(
+        "batch-equivalence", True, worst <= BATCH_TOL,
+        f"max |step_batch - step| = {worst:.3e} over "
+        f"{ctx.probes.shape[0]} probes (tol {BATCH_TOL:.0e})")
+
+
+def check_ensemble_equivalence(ctx: ScenarioContext) -> OracleResult:
+    """``run_ensemble`` members reproduce scalar ``run`` exactly."""
+    budget = min(ctx.spec.max_steps, 600)
+    initials = ctx.probes[:2]
+    ens = ctx.system.run_ensemble(initials, max_steps=budget,
+                                  tol=ctx.spec.tol)
+    for m in range(len(ens)):
+        traj = ctx.system.run(initials[m], max_steps=budget,
+                              tol=ctx.spec.tol)
+        if ens.outcomes[m] is not traj.outcome:
+            return OracleResult(
+                "ensemble-equivalence", True, False,
+                f"member {m}: ensemble outcome "
+                f"{ens.outcomes[m].value} != scalar {traj.outcome.value}")
+        if int(ens.steps[m]) != traj.steps:
+            return OracleResult(
+                "ensemble-equivalence", True, False,
+                f"member {m}: ensemble steps {int(ens.steps[m])} != "
+                f"scalar {traj.steps}")
+        diff = float(np.max(np.abs(ens.finals[m] - traj.final)))
+        if diff > BATCH_TOL:
+            return OracleResult(
+                "ensemble-equivalence", True, False,
+                f"member {m}: final states differ by {diff:.3e} "
+                f"(tol {BATCH_TOL:.0e})")
+    return OracleResult(
+        "ensemble-equivalence", True, True,
+        f"{len(ens)} members match scalar runs ({budget}-step budget)")
+
+
+def check_kernel_equivalence(ctx: ScenarioContext) -> OracleResult:
+    """Legacy vs fast packet kernel: bit-identical statistics.
+
+    Applies to the disciplines both engines implement (unweighted fifo
+    and fair-share).  The run is short — equivalence is exact, so a
+    modest event count already has full discriminating power.
+    """
+    spec = ctx.spec
+    if spec.discipline not in ("fifo", "fair-share"):
+        return OracleResult(
+            "kernel-equivalence", False, True,
+            f"discipline {spec.discipline!r} has no fast kernel")
+    # Local import: keeps the scenarios package usable without pulling
+    # the simulation stack until this oracle actually runs.
+    from ..simulation.network_sim import NetworkSimulation
+
+    def run(engine: str) -> dict:
+        sim = NetworkSimulation(
+            spec.network(), discipline_kind=spec.discipline,
+            seed=spec.seed, initial_rates=spec.initial(), engine=engine)
+        sim.run_for(30.0)
+        sim.reset_statistics()
+        sim.run_for(120.0)
+        return {"mql": sim.mean_queue_lengths(),
+                "arr": sim.measured_arrival_rates(),
+                "drop": sim.drop_fractions(),
+                "thr": sim.throughput(),
+                "delay": sim.mean_delays(),
+                "events": sim.events_processed}
+
+    legacy, fast = run("legacy"), run("fast")
+    for key in ("mql", "arr", "drop"):
+        for g in legacy[key]:
+            if not np.array_equal(legacy[key][g], fast[key][g]):
+                return OracleResult(
+                    "kernel-equivalence", True, False,
+                    f"{key}[{g}] differs between engines")
+    if not np.array_equal(legacy["thr"], fast["thr"]):
+        return OracleResult("kernel-equivalence", True, False,
+                            "throughput differs between engines")
+    if not np.array_equal(legacy["delay"], fast["delay"], equal_nan=True):
+        return OracleResult("kernel-equivalence", True, False,
+                            "mean delays differ between engines")
+    if legacy["events"] != fast["events"]:
+        return OracleResult(
+            "kernel-equivalence", True, False,
+            f"event counts differ: legacy {legacy['events']} vs fast "
+            f"{fast['events']}")
+    return OracleResult(
+        "kernel-equivalence", True, True,
+        f"bit-identical over {legacy['events']} events")
+
+
+def check_fixed_point(ctx: ScenarioContext) -> OracleResult:
+    """A converged trajectory really sits on a fixed point of ``F``,
+    and the damped refiner lands on the same point."""
+    if not ctx.converged:
+        return OracleResult(
+            "fixed-point", False, True,
+            f"trajectory outcome {ctx.trajectory.outcome.value}")
+    final = ctx.trajectory.final
+    scale = ctx.scale()
+    residual = sup_norm(ctx.system.step(final), final)
+    if residual > FIXED_POINT_TOL * scale:
+        return OracleResult(
+            "fixed-point", True, False,
+            f"residual |F(r*) - r*| = {residual:.3e} exceeds "
+            f"{FIXED_POINT_TOL:.0e} * scale {scale:.3g}")
+    try:
+        refined = refine(ctx.system, final, tol=1e-12)
+    except ConvergenceError as exc:
+        # A marginally contracting map can defeat the refiner without
+        # the trajectory being wrong; the residual check above is the
+        # binding assertion.
+        return OracleResult(
+            "fixed-point", True, True,
+            f"residual {residual:.3e}; refiner did not converge "
+            f"({exc}) — residual check only")
+    agreement = sup_norm(refined, final)
+    return OracleResult(
+        "fixed-point", True, agreement <= FIXED_POINT_TOL * scale,
+        f"residual {residual:.3e}, refiner agreement {agreement:.3e} "
+        f"(tol {FIXED_POINT_TOL:.0e} * scale {scale:.3g})")
+
+
+# ----------------------------------------------------------------------
+# theorem oracles
+# ----------------------------------------------------------------------
+def _rho_vec(ctx: ScenarioContext) -> np.ndarray:
+    """Per-connection steady utilisations implied by each TSI target."""
+    signal_fn = ctx.system.signal_fn
+    return np.array([
+        signal_fn.steady_state_utilisation(rule.target_signal())
+        for rule in ctx.spec.rules])
+
+
+def check_tsi(ctx: ScenarioContext) -> OracleResult:
+    """Theorem 1: scaling all service rates by ``c`` scales the unique
+    steady state by ``c``.
+
+    Restricted to homogeneous TSI rules under *individual* feedback,
+    where the steady state is unique (Theorem 3) — under aggregate
+    feedback the scaled run may legitimately converge to a different
+    point of the scaled manifold.
+    """
+    spec = ctx.spec
+    if not (spec.homogeneous and spec.all_tsi):
+        return OracleResult("tsi", False, True,
+                            "needs a homogeneous TSI rule")
+    if spec.style != "individual":
+        return OracleResult(
+            "tsi", False, True,
+            "aggregate steady states form a manifold; scaling is only "
+            "point-to-point under individual feedback")
+    if not ctx.converged:
+        return OracleResult(
+            "tsi", False, True,
+            f"reference outcome {ctx.trajectory.outcome.value}")
+    c = 2.0
+    scaled_spec = ScenarioSpec.from_dict({
+        **spec.to_dict(),
+        "gateways": [{**g.to_dict(), "mu": g.mu * c}
+                     for g in spec.gateways],
+        "initial_rates": [c * r for r in spec.initial_rates],
+    })
+    # Convergence *speed* is not scale-invariant (only the steady state
+    # is), so the scaled run gets a larger step budget.
+    scaled = scaled_spec.build().run(
+        scaled_spec.initial(),
+        max_steps=min(4 * spec.max_steps, 20000), tol=spec.tol)
+    if scaled.outcome is not Outcome.CONVERGED:
+        return OracleResult(
+            "tsi", False, True,
+            f"scaled run outcome {scaled.outcome.value} within 4x "
+            f"budget")
+    reference = ctx.trajectory.final
+    deviation = sup_norm(scaled.final / c, reference) \
+        / max(1e-12, float(np.max(reference)))
+    return OracleResult(
+        "tsi", True, deviation <= TSI_TOL,
+        f"relative deviation of r*(c mu)/c from r*(mu): "
+        f"{deviation:.3e} (tol {TSI_TOL:.0e}, c={c})")
+
+
+def check_fairness_manifold(ctx: ScenarioContext) -> OracleResult:
+    """Theorem 2: an aggregate-feedback steady state lies on the
+    manifold — no gateway above ``rho_ss``, every connection
+    bottlenecked at ``rho_ss``."""
+    spec = ctx.spec
+    if spec.style != "aggregate":
+        return OracleResult("fairness-manifold", False, True,
+                            "individual-feedback scenario")
+    if not (spec.homogeneous and spec.all_tsi):
+        return OracleResult("fairness-manifold", False, True,
+                            "needs a homogeneous TSI rule")
+    if not ctx.converged:
+        return OracleResult(
+            "fairness-manifold", False, True,
+            f"trajectory outcome {ctx.trajectory.outcome.value}")
+    rho_ss = float(_rho_vec(ctx)[0])
+    member = is_aggregate_steady_state(
+        ctx.system.network, rho_ss, ctx.trajectory.final,
+        tol=MANIFOLD_TOL)
+    return OracleResult(
+        "fairness-manifold", True, member,
+        f"manifold membership at rho_ss={rho_ss:.6g} "
+        f"(tol {MANIFOLD_TOL:.0e})")
+
+
+def check_fs_floor(ctx: ScenarioContext) -> OracleResult:
+    """Theorem 5: under Fair Share with individual feedback, every TSI
+    connection reaches at least its reservation floor
+    ``min_a rho_ss_i mu^a / N^a``."""
+    spec = ctx.spec
+    if spec.discipline != "fair-share" or spec.style != "individual":
+        return OracleResult(
+            "fs-floor", False, True,
+            "needs unweighted fair-share + individual feedback")
+    if not spec.all_tsi:
+        return OracleResult("fs-floor", False, True,
+                            "needs every rule TSI")
+    if not ctx.converged:
+        return OracleResult(
+            "fs-floor", False, True,
+            f"trajectory outcome {ctx.trajectory.outcome.value}")
+    floors = reservation_floor_heterogeneous(ctx.system.network,
+                                             _rho_vec(ctx))
+    ratios = ctx.trajectory.final / floors
+    worst = float(np.min(ratios))
+    return OracleResult(
+        "fs-floor", True, worst >= 1.0 - FLOOR_TOL,
+        f"min r_i / floor_i = {worst:.6f} "
+        f"(robust iff >= 1 - {FLOOR_TOL:.0e})")
+
+
+def check_stability(ctx: ScenarioContext) -> OracleResult:
+    """Section 3.3: the Jacobian at an *observed* attractor cannot be
+    expanding — spectral radius at most 1 (plus slack for the neutral
+    manifold eigenvalue and finite differencing)."""
+    if not ctx.converged:
+        return OracleResult(
+            "stability", False, True,
+            f"trajectory outcome {ctx.trajectory.outcome.value}")
+    final = ctx.trajectory.final
+    scale = ctx.scale()
+    if np.min(final) < ACTIVE_FRACTION * scale:
+        # Central differencing across the max(0, .) kink at a pinned
+        # rate produces arbitrary one-sided slopes.
+        return OracleResult(
+            "stability", False, True,
+            "a rate is pinned at ~0; the Jacobian is one-sided there")
+    # The bottleneck MAX is non-smooth where two gateways tie for a
+    # connection's largest signal (common at symmetric attractors, e.g.
+    # parking lots under aggregate feedback); differencing across the
+    # tie mixes branches and fabricates spurious eigenvalues.
+    local = ctx.system.scheme.local_signals(final)
+    network = ctx.system.network
+    for i in range(network.num_connections):
+        per_gateway = [
+            float(local[g][network.connections_at(g).index(i)])
+            for g in network.gamma(i)]
+        peak = max(per_gateway)
+        ties = sum(1 for b in per_gateway if b >= peak - 1e-6)
+        if len(per_gateway) > 1 and ties > 1:
+            return OracleResult(
+                "stability", False, True,
+                f"connection {i} has {ties} tied bottlenecks; the "
+                f"Jacobian is not defined across the MAX kink")
+    sr = spectral_radius(jacobian(ctx.system, final))
+    return OracleResult(
+        "stability", True, sr <= 1.0 + STABILITY_SLACK,
+        f"spectral radius at the attractor: {sr:.6f} "
+        f"(must be <= 1 + {STABILITY_SLACK})")
+
+
+def check_steady_signal(ctx: ScenarioContext) -> OracleResult:
+    """Theorems 1/3: at a steady state every TSI connection that is not
+    pinned at zero sees exactly its target signal ``b_ss``."""
+    spec = ctx.spec
+    if not any(rule.tsi for rule in spec.rules):
+        return OracleResult("steady-signal", False, True,
+                            "no TSI rules in the mix")
+    if not ctx.converged:
+        return OracleResult(
+            "steady-signal", False, True,
+            f"trajectory outcome {ctx.trajectory.outcome.value}")
+    final = ctx.trajectory.final
+    scale = max(1.0, float(np.max(final)))
+    signals = ctx.system.scheme.signals(final)
+    worst = 0.0
+    checked = 0
+    for i, rule in enumerate(spec.rules):
+        if not rule.tsi or final[i] < ACTIVE_FRACTION * scale:
+            continue
+        checked += 1
+        worst = max(worst, abs(float(signals[i]) - rule.target_signal()))
+    if checked == 0:
+        return OracleResult("steady-signal", False, True,
+                            "every TSI connection is pinned at ~0")
+    return OracleResult(
+        "steady-signal", True, worst <= SIGNAL_TOL,
+        f"max |b_i - b_ss_i| = {worst:.3e} over {checked} active TSI "
+        f"connections (tol {SIGNAL_TOL:.0e})")
+
+
+def check_fault_determinism(ctx: ScenarioContext) -> OracleResult:
+    """Seeded fault plans are deterministic and the empty plan is a
+    bit-identical no-op; ensemble members replay scalar fault runs."""
+    spec = ctx.spec
+    if spec.fault_plan is None:
+        return OracleResult("fault-determinism", False, True,
+                            "scenario carries no fault plan")
+    budget = min(spec.max_steps, 400)
+    initial = spec.initial()
+    system = ctx.system
+
+    def faulted():
+        return system.run(initial, max_steps=budget, tol=spec.tol,
+                          faults=spec.build_fault_plan())
+
+    first, second = faulted(), faulted()
+    if not np.array_equal(first.history, second.history):
+        return OracleResult("fault-determinism", True, False,
+                            "two runs of the same seeded plan diverge")
+    if (first.fault_events or []) != (second.fault_events or []):
+        return OracleResult(
+            "fault-determinism", True, False,
+            "two runs of the same seeded plan inject different events")
+    plain = system.run(initial, max_steps=budget, tol=spec.tol)
+    empty = system.run(initial, max_steps=budget, tol=spec.tol,
+                       faults=FaultPlan())
+    if not np.array_equal(plain.history, empty.history):
+        return OracleResult(
+            "fault-determinism", True, False,
+            "the empty fault plan is not a bit-identical no-op")
+    initials = np.stack([initial, 0.9 * initial])
+    ens = system.run_ensemble(initials, max_steps=budget, tol=spec.tol,
+                              faults=spec.build_fault_plan())
+    for m in range(len(ens)):
+        scalar = system.run(initials[m], max_steps=budget, tol=spec.tol,
+                            faults=spec.build_fault_plan(),
+                            fault_member=m)
+        if not np.array_equal(ens.finals[m], scalar.final):
+            return OracleResult(
+                "fault-determinism", True, False,
+                f"ensemble member {m} differs from the scalar fault "
+                f"run")
+    return OracleResult(
+        "fault-determinism", True, True,
+        f"plan replays identically; {len(first.fault_events or [])} "
+        f"events over {budget} steps")
+
+
+#: The oracle catalogue, in evaluation order.
+ORACLES: Dict[str, Callable[[ScenarioContext], OracleResult]] = {
+    "batch-equivalence": check_batch_equivalence,
+    "ensemble-equivalence": check_ensemble_equivalence,
+    "kernel-equivalence": check_kernel_equivalence,
+    "fixed-point": check_fixed_point,
+    "tsi": check_tsi,
+    "fairness-manifold": check_fairness_manifold,
+    "fs-floor": check_fs_floor,
+    "stability": check_stability,
+    "steady-signal": check_steady_signal,
+    "fault-determinism": check_fault_determinism,
+}
+
+
+def oracle_names() -> List[str]:
+    return list(ORACLES)
+
+
+def run_oracle(name: str, ctx: ScenarioContext) -> OracleResult:
+    """Evaluate one oracle by name.  Raises
+    :class:`~repro.errors.OracleError` for unknown names."""
+    try:
+        oracle = ORACLES[name]
+    except KeyError:
+        raise OracleError(
+            f"unknown oracle {name!r} (known: {oracle_names()})") \
+            from None
+    return oracle(ctx)
+
+
+def run_all_oracles(spec: ScenarioSpec,
+                    oracles: Optional[Sequence[str]] = None,
+                    system: Optional[FlowControlSystem] = None
+                    ) -> List[OracleResult]:
+    """Evaluate a scenario against (a subset of) the catalogue.
+
+    ``system`` lets callers inject a pre-built (possibly instrumented)
+    system — the mutation tests use this to plant a discrepancy between
+    redundant paths and watch an oracle catch it.
+    """
+    names = oracle_names() if oracles is None else list(oracles)
+    ctx = ScenarioContext(spec, system=system)
+    return [run_oracle(name, ctx) for name in names]

@@ -1,0 +1,141 @@
+"""Greedy minimisation of failing fuzzing scenarios.
+
+When a scenario violates an oracle, the raw spec is rarely the story —
+a five-connection parking lot with seven-digit rates obscures a bug
+that a two-connection single gateway with round rates would show just
+as well.  :func:`shrink` repeatedly tries structure-removing and
+value-simplifying edits, keeping an edit whenever the *same* oracles
+still fail on the smaller spec:
+
+1. drop a connection (with its rule, weight, initial rate, and any
+   gateway left unused);
+2. truncate a multi-hop path to its first gateway;
+3. clear the fault plan;
+4. zero all latencies;
+5. homogenise the rule mix (everyone gets connection 0's rule);
+6. round service rates and initial rates to 2, then 1, decimals.
+
+The loop is greedy and deterministic: edits are tried in a fixed
+order, each accepted edit restarts the pass, and the search stops at a
+fixed point or after ``max_iters`` oracle evaluations.  Every
+candidate is validated by the spec layer; candidates that no longer
+form a buildable scenario are simply skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError, ScenarioError
+from .oracles import run_all_oracles
+from .spec import ConnectionSpec, ScenarioSpec
+
+__all__ = ["ShrinkResult", "failing_oracles", "shrink"]
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """The outcome of one shrink search.
+
+    Attributes:
+        spec: the smallest failing spec found (the original when no
+            edit could be accepted).
+        oracles: the oracle names the shrunk spec still violates.
+        evaluations: oracle-harness evaluations spent.
+        accepted: number of edits that survived.
+    """
+
+    spec: ScenarioSpec
+    oracles: Tuple[str, ...]
+    evaluations: int
+    accepted: int
+
+
+def failing_oracles(spec: ScenarioSpec,
+                    oracles: Optional[Sequence[str]] = None
+                    ) -> Tuple[str, ...]:
+    """Names of the oracles ``spec`` violates (empty when healthy)."""
+    return tuple(res.name for res in run_all_oracles(spec, oracles)
+                 if res.violated)
+
+
+def _candidates(spec: ScenarioSpec) -> List[ScenarioSpec]:
+    """All single-edit simplifications of ``spec``, simplest-first,
+    skipping edits that do not change the spec or do not validate."""
+    out: List[ScenarioSpec] = []
+
+    def offer(make: Callable[[], ScenarioSpec]) -> None:
+        try:
+            candidate = make()
+        except ReproError:
+            return
+        if candidate != spec:
+            out.append(candidate)
+
+    for i in range(spec.num_connections):
+        offer(lambda i=i: spec.drop_connection(i))
+    for i, conn in enumerate(spec.connections):
+        if len(conn.path) > 1:
+            def truncate(i=i, conn=conn):
+                connections = list(spec.connections)
+                connections[i] = ConnectionSpec(conn.name,
+                                                (conn.path[0],))
+                used = {g for c in connections for g in c.path}
+                return replace(
+                    spec,
+                    connections=tuple(connections),
+                    gateways=tuple(g for g in spec.gateways
+                                   if g.name in used))
+            offer(truncate)
+    if spec.fault_plan is not None:
+        offer(lambda: replace(spec, fault_plan=None))
+    if any(g.latency != 0.0 for g in spec.gateways):
+        offer(lambda: replace(
+            spec,
+            gateways=tuple(replace(g, latency=0.0)
+                           for g in spec.gateways)))
+    if not spec.homogeneous:
+        offer(lambda: replace(
+            spec, rules=(spec.rules[0],) * spec.num_connections))
+    for decimals in (2, 1):
+        offer(lambda d=decimals: spec.with_rounded_values(d))
+    return out
+
+
+def shrink(spec: ScenarioSpec,
+           oracles: Optional[Sequence[str]] = None,
+           max_iters: int = 200) -> ShrinkResult:
+    """Greedily minimise a failing scenario.
+
+    ``oracles`` restricts which oracles define "failing" (default: the
+    full catalogue).  An edit is accepted only when every oracle that
+    failed on the *current* spec still fails on the candidate, so the
+    shrunk spec reproduces the original violation, not a new one.
+    Raises :class:`~repro.errors.ScenarioError` when ``spec`` does not
+    fail in the first place — shrinking a healthy spec is a harness
+    bug, not a fuzzing outcome.
+    """
+    target = failing_oracles(spec, oracles)
+    evaluations = 1
+    if not target:
+        raise ScenarioError(
+            f"scenario {spec.name!r} violates no oracle; there is "
+            f"nothing to shrink")
+    accepted = 0
+    current = spec
+    progress = True
+    while progress and evaluations < max_iters:
+        progress = False
+        for candidate in _candidates(current):
+            if evaluations >= max_iters:
+                break
+            still_failing = failing_oracles(candidate, oracles)
+            evaluations += 1
+            if set(target) <= set(still_failing):
+                current = candidate
+                accepted += 1
+                progress = True
+                break
+    return ShrinkResult(spec=current, oracles=target,
+                        evaluations=evaluations, accepted=accepted)

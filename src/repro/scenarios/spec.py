@@ -1,0 +1,658 @@
+"""Serialisable scenario specifications for the fuzzing subsystem.
+
+A :class:`ScenarioSpec` is a *complete, standalone* description of one
+flow-control configuration: the resolved topology (gateways and
+connections, not a family name), the service discipline, the signal
+function, the feedback style, one rate-adjustment rule per connection,
+optional fair-share weights, the initial condition, the run budget, and
+an optional fault plan.  It is the unit of currency of the fuzzing
+harness:
+
+* the generator emits specs;
+* the differential/oracle harness consumes specs (via :meth:`build`);
+* the shrinker transforms specs;
+* a failing spec serialises to a single JSON document
+  (:meth:`to_json`) that reproduces the failure exactly —
+  ``ScenarioSpec.from_json(text)`` round-trips *equal*, field for
+  field, so a bug report is one copy-pasteable blob.
+
+All spec classes are frozen dataclasses built from tuples, so equality
+is structural and specs are hashable and safe to share.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.dynamics import FlowControlSystem
+from ..core.fairshare import FairShare
+from ..core.fifo import Fifo
+from ..core.ratecontrol import (BinaryAimdRule, DecbitRateRule,
+                                DecbitWindowRule, ProportionalTargetRule,
+                                RateAdjustment, TargetRule)
+from ..core.signals import (ExponentialSignal, FeedbackStyle,
+                            LinearSaturating, PowerSaturating)
+from ..core.topology import Connection, Gateway, Network
+from ..core.weighted import WeightedFairShare
+from ..errors import ReproError, ScenarioError
+from ..faults import (ExtraDelay, FaultPlan, GatewayOutage, SignalLoss,
+                      SignalNoise, SignalQuantisation)
+
+__all__ = [
+    "SCENARIO_SCHEMA",
+    "GatewaySpec",
+    "ConnectionSpec",
+    "SignalSpec",
+    "RuleSpec",
+    "InjectorSpec",
+    "FaultPlanSpec",
+    "ScenarioSpec",
+]
+
+#: Schema identifier embedded in every serialised scenario.
+SCENARIO_SCHEMA = "repro.scenario-spec/v1"
+
+#: Rule kinds the spec layer knows how to build, with their parameter
+#: names.  TSI kinds declare a target signal (Theorem 1) — the oracle
+#: layer uses this to decide which theorem oracles apply.
+RULE_KINDS = {
+    "target": ("eta", "beta"),
+    "proportional-target": ("eta", "beta"),
+    "decbit-window": ("eta", "beta"),
+    "decbit-rate": ("eta", "beta"),
+    "binary-aimd": ("increase", "decrease", "threshold"),
+}
+
+_RULE_BUILDERS = {
+    "target": TargetRule,
+    "proportional-target": ProportionalTargetRule,
+    "decbit-window": DecbitWindowRule,
+    "decbit-rate": DecbitRateRule,
+    "binary-aimd": BinaryAimdRule,
+}
+
+SIGNAL_KINDS = ("linear-saturating", "power-saturating", "exponential")
+
+DISCIPLINE_KINDS = ("fifo", "fair-share", "weighted-fair-share")
+
+INJECTOR_KINDS = {
+    "delay": ("delay", "jitter"),
+    "outage": ("start", "duration", "period", "gateway"),
+    "loss": ("rate", "connections"),
+    "corrupt": ("rate", "amplitude"),
+    "quantise": ("levels",),
+}
+
+_INJECTOR_BUILDERS = {
+    "delay": ExtraDelay,
+    "outage": GatewayOutage,
+    "loss": SignalLoss,
+    "corrupt": SignalNoise,
+    "quantise": SignalQuantisation,
+}
+
+
+def _params_tuple(kind: str, params, known) -> Tuple[Tuple[str, object], ...]:
+    """Normalise a params mapping/pair-sequence into a sorted tuple."""
+    if isinstance(params, dict):
+        items = params.items()
+    else:
+        items = list(params)
+    out = []
+    for key, value in sorted(items):
+        key = str(key)
+        if key not in known:
+            raise ScenarioError(
+                f"{kind!r}: unknown parameter {key!r} "
+                f"(known: {sorted(known)})")
+        if isinstance(value, list):
+            value = tuple(value)
+        out.append((key, value))
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class GatewaySpec:
+    """One gateway of a scenario: ``(name, mu, latency)``."""
+
+    name: str
+    mu: float
+    latency: float = 0.0
+
+    def __post_init__(self):
+        if not (isinstance(self.name, str) and self.name):
+            raise ScenarioError(
+                f"gateway name must be a nonempty string, got "
+                f"{self.name!r}")
+        if not (math.isfinite(self.mu) and self.mu > 0):
+            raise ScenarioError(
+                f"gateway {self.name!r}: mu must be finite and positive, "
+                f"got {self.mu!r}")
+        if not (math.isfinite(self.latency) and self.latency >= 0):
+            raise ScenarioError(
+                f"gateway {self.name!r}: latency must be finite and "
+                f"nonnegative, got {self.latency!r}")
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "mu": self.mu, "latency": self.latency}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GatewaySpec":
+        return cls(name=data["name"], mu=data["mu"],
+                   latency=data.get("latency", 0.0))
+
+
+@dataclass(frozen=True)
+class ConnectionSpec:
+    """One connection of a scenario: ``(name, path)``."""
+
+    name: str
+    path: Tuple[str, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "path", tuple(self.path))
+        if not (isinstance(self.name, str) and self.name):
+            raise ScenarioError(
+                f"connection name must be a nonempty string, got "
+                f"{self.name!r}")
+        if not self.path:
+            raise ScenarioError(
+                f"connection {self.name!r}: path must not be empty")
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "path": list(self.path)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ConnectionSpec":
+        return cls(name=data["name"], path=tuple(data["path"]))
+
+
+@dataclass(frozen=True)
+class SignalSpec:
+    """The signal function ``B``: a kind plus its single parameter.
+
+    ``param`` is the exponent for ``power-saturating``, the rate
+    constant for ``exponential``, and must be 0 for
+    ``linear-saturating`` (which has no parameter).
+    """
+
+    kind: str = "linear-saturating"
+    param: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in SIGNAL_KINDS:
+            raise ScenarioError(
+                f"unknown signal kind {self.kind!r} "
+                f"(known: {SIGNAL_KINDS})")
+        if self.kind == "linear-saturating":
+            if self.param != 0.0:
+                raise ScenarioError(
+                    "linear-saturating takes no parameter; param must "
+                    f"be 0, got {self.param!r}")
+        elif not (math.isfinite(self.param) and self.param > 0):
+            raise ScenarioError(
+                f"signal {self.kind!r}: param must be finite and "
+                f"positive, got {self.param!r}")
+
+    def build(self):
+        if self.kind == "linear-saturating":
+            return LinearSaturating()
+        if self.kind == "power-saturating":
+            return PowerSaturating(p=self.param)
+        return ExponentialSignal(k=self.param)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "param": self.param}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SignalSpec":
+        return cls(kind=data["kind"], param=data.get("param", 0.0))
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """One rate-adjustment rule: a kind plus its parameters.
+
+    ``params`` is stored as a sorted tuple of ``(name, value)`` pairs
+    so equality and hashing are structural; construct with either a
+    mapping or a pair sequence.
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, float], ...] = ()
+
+    def __post_init__(self):
+        if self.kind not in RULE_KINDS:
+            raise ScenarioError(
+                f"unknown rule kind {self.kind!r} "
+                f"(known: {sorted(RULE_KINDS)})")
+        object.__setattr__(
+            self, "params",
+            _params_tuple(self.kind, self.params, RULE_KINDS[self.kind]))
+
+    @property
+    def tsi(self) -> bool:
+        """Theorem 1: does this rule declare a steady-state signal?"""
+        return self.kind in ("target", "proportional-target")
+
+    def target_signal(self) -> float:
+        """The declared ``b_ss`` of a TSI rule."""
+        if not self.tsi:
+            raise ScenarioError(
+                f"rule kind {self.kind!r} is not TSI; it has no target "
+                f"signal")
+        return float(dict(self.params)["beta"])
+
+    def build(self) -> RateAdjustment:
+        try:
+            return _RULE_BUILDERS[self.kind](**dict(self.params))
+        except ReproError as exc:
+            raise ScenarioError(
+                f"rule {self.kind!r} with params "
+                f"{dict(self.params)!r}: {exc}") from exc
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RuleSpec":
+        return cls(kind=data["kind"], params=data.get("params", {}))
+
+
+@dataclass(frozen=True)
+class InjectorSpec:
+    """One fault injector: a kind plus its parameters (see
+    :mod:`repro.faults.injectors` for the semantics)."""
+
+    kind: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self):
+        if self.kind not in INJECTOR_KINDS:
+            raise ScenarioError(
+                f"unknown injector kind {self.kind!r} "
+                f"(known: {sorted(INJECTOR_KINDS)})")
+        object.__setattr__(
+            self, "params",
+            _params_tuple(self.kind, self.params,
+                          INJECTOR_KINDS[self.kind]))
+
+    def build(self):
+        try:
+            return _INJECTOR_BUILDERS[self.kind](**dict(self.params))
+        except ReproError as exc:
+            raise ScenarioError(
+                f"injector {self.kind!r} with params "
+                f"{dict(self.params)!r}: {exc}") from exc
+
+    def to_dict(self) -> dict:
+        params = {}
+        for key, value in self.params:
+            params[key] = list(value) if isinstance(value, tuple) else value
+        return {"kind": self.kind, "params": params}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InjectorSpec":
+        return cls(kind=data["kind"], params=data.get("params", {}))
+
+
+@dataclass(frozen=True)
+class FaultPlanSpec:
+    """A serialisable :class:`~repro.faults.FaultPlan` description."""
+
+    seed: int = 0
+    injectors: Tuple[InjectorSpec, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "injectors", tuple(self.injectors))
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool) \
+                or self.seed < 0:
+            raise ScenarioError(
+                f"fault-plan seed must be an int >= 0, got {self.seed!r}")
+        for inj in self.injectors:
+            if not isinstance(inj, InjectorSpec):
+                raise ScenarioError(
+                    f"fault-plan entries must be InjectorSpec, got "
+                    f"{inj!r}")
+
+    def build(self) -> FaultPlan:
+        return FaultPlan(
+            injectors=tuple(inj.build() for inj in self.injectors),
+            seed=self.seed)
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed,
+                "injectors": [inj.to_dict() for inj in self.injectors]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlanSpec":
+        return cls(seed=data.get("seed", 0),
+                   injectors=tuple(InjectorSpec.from_dict(d)
+                                   for d in data.get("injectors", ())))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete, reproducible fuzzing scenario.
+
+    Attributes:
+        name: human-readable identifier (``fuzz-<seed>-<index>`` for
+            generated scenarios).
+        gateways / connections: the resolved topology.
+        discipline: one of :data:`DISCIPLINE_KINDS`;
+            ``weighted-fair-share`` requires ``weights``.
+        signal: the signal function ``B``.
+        style: ``"aggregate"`` or ``"individual"``.
+        rules: one :class:`RuleSpec` per connection.  Equal specs are
+            built as one shared rule *object*, so homogeneity is
+            preserved and the batch engine's rule grouping stays
+            effective.
+        weights: optional per-connection fair-share weights.
+        initial_rates: the starting rate vector, strictly positive.
+        max_steps / tol: the trajectory budget used by the oracle
+            harness.
+        seed: the scenario's own RNG seed (packet-kernel runs, probe
+            states).
+        fault_plan: optional fault plan exercised by the
+            fault-determinism oracle.
+    """
+
+    name: str
+    gateways: Tuple[GatewaySpec, ...]
+    connections: Tuple[ConnectionSpec, ...]
+    discipline: str
+    signal: SignalSpec
+    style: str
+    rules: Tuple[RuleSpec, ...]
+    initial_rates: Tuple[float, ...]
+    weights: Optional[Tuple[float, ...]] = None
+    max_steps: int = 2000
+    tol: float = 1e-10
+    seed: int = 0
+    fault_plan: Optional[FaultPlanSpec] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "gateways", tuple(self.gateways))
+        object.__setattr__(self, "connections", tuple(self.connections))
+        object.__setattr__(self, "rules", tuple(self.rules))
+        object.__setattr__(self, "initial_rates",
+                           tuple(float(r) for r in self.initial_rates))
+        if self.weights is not None:
+            object.__setattr__(self, "weights",
+                               tuple(float(w) for w in self.weights))
+        if not self.gateways:
+            raise ScenarioError("a scenario needs at least one gateway")
+        if not self.connections:
+            raise ScenarioError("a scenario needs at least one connection")
+        gw_names = set()
+        for gw in self.gateways:
+            if gw.name in gw_names:
+                raise ScenarioError(f"duplicate gateway {gw.name!r}")
+            gw_names.add(gw.name)
+        conn_names = set()
+        for conn in self.connections:
+            if conn.name in conn_names:
+                raise ScenarioError(f"duplicate connection {conn.name!r}")
+            conn_names.add(conn.name)
+            unknown = set(conn.path) - gw_names
+            if unknown:
+                raise ScenarioError(
+                    f"connection {conn.name!r} routed through unknown "
+                    f"gateways {sorted(unknown)!r}")
+            if len(set(conn.path)) != len(conn.path):
+                raise ScenarioError(
+                    f"connection {conn.name!r}: path visits a gateway "
+                    f"twice")
+        n = len(self.connections)
+        if self.discipline not in DISCIPLINE_KINDS:
+            raise ScenarioError(
+                f"unknown discipline {self.discipline!r} "
+                f"(known: {DISCIPLINE_KINDS})")
+        if self.style not in ("aggregate", "individual"):
+            raise ScenarioError(
+                f"style must be 'aggregate' or 'individual', got "
+                f"{self.style!r}")
+        if len(self.rules) != n:
+            raise ScenarioError(
+                f"need one rule per connection ({n}), got "
+                f"{len(self.rules)}")
+        if len(self.initial_rates) != n:
+            raise ScenarioError(
+                f"need one initial rate per connection ({n}), got "
+                f"{len(self.initial_rates)}")
+        for r in self.initial_rates:
+            if not (math.isfinite(r) and r > 0):
+                raise ScenarioError(
+                    f"initial rates must be finite and strictly "
+                    f"positive, got {r!r}")
+        if self.weights is not None:
+            if len(self.weights) != n:
+                raise ScenarioError(
+                    f"need one weight per connection ({n}), got "
+                    f"{len(self.weights)}")
+            for w in self.weights:
+                if not (math.isfinite(w) and w > 0):
+                    raise ScenarioError(
+                        f"weights must be finite and positive, got {w!r}")
+        if self.discipline == "weighted-fair-share":
+            if self.weights is None:
+                raise ScenarioError(
+                    "discipline 'weighted-fair-share' requires weights")
+            # WeightedFairShare's weight vector is indexed like the
+            # *local* rate vector at each gateway, so one global weight
+            # vector is only coherent when every gateway carries every
+            # connection.
+            for gw in self.gateways:
+                carried = sum(gw.name in c.path for c in self.connections)
+                if carried != n:
+                    raise ScenarioError(
+                        f"discipline 'weighted-fair-share' requires "
+                        f"every connection to cross every gateway, but "
+                        f"{gw.name!r} carries {carried} of {n}")
+        if not isinstance(self.max_steps, int) \
+                or isinstance(self.max_steps, bool) or self.max_steps < 1:
+            raise ScenarioError(
+                f"max_steps must be an int >= 1, got {self.max_steps!r}")
+        if not (isinstance(self.tol, float) and math.isfinite(self.tol)
+                and self.tol > 0):
+            raise ScenarioError(
+                f"tol must be a finite positive float, got {self.tol!r}")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool) \
+                or self.seed < 0:
+            raise ScenarioError(
+                f"seed must be an int >= 0, got {self.seed!r}")
+        if self.fault_plan is not None \
+                and not isinstance(self.fault_plan, FaultPlanSpec):
+            raise ScenarioError(
+                f"fault_plan must be a FaultPlanSpec or None, got "
+                f"{self.fault_plan!r}")
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    @property
+    def num_connections(self) -> int:
+        return len(self.connections)
+
+    @property
+    def homogeneous(self) -> bool:
+        """Do all connections run the same (structurally equal) rule?"""
+        return all(rule == self.rules[0] for rule in self.rules)
+
+    @property
+    def all_tsi(self) -> bool:
+        """Is every rule time-scale invariant (declares a target)?"""
+        return all(rule.tsi for rule in self.rules)
+
+    def network(self) -> Network:
+        return Network(
+            gateways=[Gateway(g.name, g.mu, g.latency)
+                      for g in self.gateways],
+            connections=[Connection(c.name, c.path)
+                         for c in self.connections])
+
+    def build(self) -> FlowControlSystem:
+        """Materialise the scenario into a live system.
+
+        Structurally equal :class:`RuleSpec` s share one rule object so
+        the batch engine's per-rule column grouping (and the
+        ``homogeneous`` fast paths) behave exactly as for hand-built
+        systems.
+        """
+        network = self.network()
+        if self.discipline == "fifo":
+            discipline = Fifo()
+        elif self.discipline == "fair-share":
+            discipline = FairShare()
+        else:
+            discipline = WeightedFairShare(self.weights)
+        built: dict = {}
+        rules = []
+        for rule_spec in self.rules:
+            if rule_spec not in built:
+                built[rule_spec] = rule_spec.build()
+            rules.append(built[rule_spec])
+        try:
+            return FlowControlSystem(
+                network, discipline, self.signal.build(), rules,
+                style=FeedbackStyle(self.style), weights=self.weights)
+        except ReproError as exc:
+            raise ScenarioError(f"scenario {self.name!r} does not "
+                                f"build: {exc}") from exc
+
+    def build_fault_plan(self) -> FaultPlan:
+        """The scenario's fault plan (the empty plan when unset)."""
+        if self.fault_plan is None:
+            return FaultPlan()
+        return self.fault_plan.build()
+
+    def initial(self) -> np.ndarray:
+        return np.asarray(self.initial_rates, dtype=float)
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCENARIO_SCHEMA,
+            "name": self.name,
+            "gateways": [g.to_dict() for g in self.gateways],
+            "connections": [c.to_dict() for c in self.connections],
+            "discipline": self.discipline,
+            "signal": self.signal.to_dict(),
+            "style": self.style,
+            "rules": [r.to_dict() for r in self.rules],
+            "weights": None if self.weights is None else list(self.weights),
+            "initial_rates": list(self.initial_rates),
+            "max_steps": self.max_steps,
+            "tol": self.tol,
+            "seed": self.seed,
+            "fault_plan": (None if self.fault_plan is None
+                           else self.fault_plan.to_dict()),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Strict-JSON serialisation; exact round-trip via
+        :meth:`from_json`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True,
+                          allow_nan=False)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        if not isinstance(data, dict):
+            raise ScenarioError(
+                f"scenario spec must be a dict, got "
+                f"{type(data).__name__}")
+        schema = data.get("schema", SCENARIO_SCHEMA)
+        if schema != SCENARIO_SCHEMA:
+            raise ScenarioError(
+                f"unsupported scenario schema {schema!r} "
+                f"(expected {SCENARIO_SCHEMA!r})")
+        try:
+            return cls(
+                name=data["name"],
+                gateways=tuple(GatewaySpec.from_dict(g)
+                               for g in data["gateways"]),
+                connections=tuple(ConnectionSpec.from_dict(c)
+                                  for c in data["connections"]),
+                discipline=data["discipline"],
+                signal=SignalSpec.from_dict(data["signal"]),
+                style=data["style"],
+                rules=tuple(RuleSpec.from_dict(r) for r in data["rules"]),
+                weights=(None if data.get("weights") is None
+                         else tuple(data["weights"])),
+                initial_rates=tuple(data["initial_rates"]),
+                max_steps=data.get("max_steps", 2000),
+                tol=data.get("tol", 1e-10),
+                seed=data.get("seed", 0),
+                fault_plan=(None if data.get("fault_plan") is None
+                            else FaultPlanSpec.from_dict(
+                                data["fault_plan"])),
+            )
+        except KeyError as exc:
+            raise ScenarioError(
+                f"scenario spec is missing field {exc.args[0]!r}") \
+                from None
+        except TypeError as exc:
+            raise ScenarioError(
+                f"scenario spec is malformed: {exc}") from None
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(
+                f"scenario spec is not valid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # structural edits (used by the shrinker)
+    # ------------------------------------------------------------------
+    def drop_connection(self, index: int) -> "ScenarioSpec":
+        """A copy without connection ``index`` (and without gateways
+        that no longer carry any connection).  Raises
+        :class:`~repro.errors.ScenarioError` when it is the last one.
+        """
+        n = self.num_connections
+        if not (0 <= index < n):
+            raise ScenarioError(
+                f"connection index {index!r} out of range 0..{n - 1}")
+        if n == 1:
+            raise ScenarioError("cannot drop the last connection")
+        keep = [i for i in range(n) if i != index]
+        connections = tuple(self.connections[i] for i in keep)
+        used = {g for c in connections for g in c.path}
+        gateways = tuple(g for g in self.gateways if g.name in used)
+        return replace(
+            self,
+            gateways=gateways,
+            connections=connections,
+            rules=tuple(self.rules[i] for i in keep),
+            initial_rates=tuple(self.initial_rates[i] for i in keep),
+            weights=(None if self.weights is None
+                     else tuple(self.weights[i] for i in keep)),
+        )
+
+    def with_rounded_values(self, decimals: int) -> "ScenarioSpec":
+        """A copy with service rates and initial rates rounded to
+        ``decimals`` places (guarding against rounding to zero)."""
+
+        def rounded(value: float, lo: float) -> float:
+            return max(lo, round(float(value), decimals))
+
+        lo = 10.0 ** (-decimals)
+        return replace(
+            self,
+            gateways=tuple(
+                GatewaySpec(g.name, rounded(g.mu, lo),
+                            max(0.0, round(g.latency, decimals)))
+                for g in self.gateways),
+            initial_rates=tuple(rounded(r, lo)
+                                for r in self.initial_rates),
+        )

@@ -6,8 +6,10 @@ map, ensemble runner, vectorised quadratic sweep, parallel sweep
 runner) is compared against its scalar counterpart on small
 configurations, to 1e-12, plus a fault-injection smoke (empty plan is
 a no-op, seeded plan replays identically, checkpoint/resume
-round-trips).  Exit code 0 means everything agreed, and the nonzero
-exit propagates through ``python -m repro selftest``.
+round-trips) and a scenario-fuzzing smoke (deterministic generation,
+exact JSON round-trip, a handful of generated scenarios through the
+full oracle catalogue).  Exit code 0 means everything agreed, and the
+nonzero exit propagates through ``python -m repro selftest``.
 
 ``--quick`` shrinks the ensembles for CI; ``--force-fail`` injects one
 deliberately failing check so the exit-code plumbing itself can be
@@ -185,6 +187,27 @@ def run_selftest(quick: bool = False, force_fail: bool = False) -> bool:
                first == resumed == [x * x for x in grid], failures)
     finally:
         shutil.rmtree(ckpt, ignore_errors=True)
+
+    print("scenario fuzzing smoke:")
+    from .scenarios import generate, run_scenario
+    budget = 3 if quick else 6
+    specs = generate(11, budget)
+    _check("generator is deterministic (same seed, same specs)",
+           specs == generate(11, budget), failures)
+    from .scenarios import ScenarioSpec
+    _check("specs JSON round-trip exactly",
+           all(ScenarioSpec.from_json(s.to_json()) == s for s in specs),
+           failures)
+    outcomes = [run_scenario(s) for s in specs]
+    ok = all(o.passed for o in outcomes)
+    checked = sum(1 for o in outcomes for res in o.results
+                  if res.applicable)
+    _check(f"{budget} fuzzed scenarios pass all oracles "
+           f"({checked} applicable checks)", ok, failures)
+    if not ok:
+        for o in outcomes:
+            for res in o.violations:
+                print(f"       {o.spec.name} {res.name}: {res.detail}")
 
     if force_fail:
         _check("forced failure (--force-fail)", False, failures)

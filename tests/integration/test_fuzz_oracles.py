@@ -1,0 +1,272 @@
+"""Integration tests for the fuzzing harness: every oracle fires on a
+known-bad scenario, the shrinker produces minimal still-failing
+reproducers, the artifact/CLI wiring works, and a 25-scenario smoke
+sweep over the real engines passes the whole catalogue."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.dynamics import Outcome, Trajectory
+from repro.core.fairshare import FairShare
+from repro.core.steadystate import predicted_steady_state
+from repro.errors import ScenarioError, SweepError
+from repro.faults.plan import FaultState
+from repro.observability.artifacts import validate_artifact
+from repro.scenarios import (ConnectionSpec, FaultPlanSpec, GatewaySpec,
+                             InjectorSpec, RuleSpec, ScenarioSpec,
+                             SignalSpec, failing_oracles, fuzz, generate,
+                             run_scenario, shrink)
+from repro.scenarios.oracles import ScenarioContext, run_oracle
+from repro.simulation.network_sim import NetworkSimulation
+
+
+def spec_of(n=3, discipline="fair-share", style="individual",
+            rule=None, mu=1.0, fault_plan=None, name="bad", seed=5):
+    rule = rule or RuleSpec("proportional-target",
+                            {"eta": 0.5, "beta": 0.5})
+    return ScenarioSpec(
+        name=name,
+        gateways=(GatewaySpec("g0", mu),),
+        connections=tuple(ConnectionSpec(f"c{i}", ("g0",))
+                          for i in range(n)),
+        discipline=discipline,
+        signal=SignalSpec(),
+        style=style,
+        rules=(rule,) * n,
+        initial_rates=tuple(0.1 + 0.05 * i for i in range(n)),
+        max_steps=1500,
+        seed=seed,
+        fault_plan=fault_plan,
+    )
+
+
+def doctored_context(spec, fake_final):
+    """A context whose reference trajectory *claims* convergence to
+    ``fake_final`` — the oracle under test must notice the lie."""
+    ctx = ScenarioContext(spec)
+    final = np.asarray(fake_final, dtype=float)
+    ctx._trajectory = Trajectory(
+        history=np.stack([spec.initial(), final]),
+        outcome=Outcome.CONVERGED, period=1, steps=1)
+    return ctx
+
+
+class TestEveryOracleFires:
+    """Each oracle catches the specific violation it exists for."""
+
+    def test_batch_equivalence_catches_scalar_only_mutation(
+            self, monkeypatch):
+        orig = FairShare.queue_lengths
+
+        def broken(self, rates, mu):
+            q = np.array(orig(self, rates, mu), dtype=float)
+            if q.shape[0] and np.isfinite(q[-1]):
+                q[-1] += 0.01
+            return q
+
+        monkeypatch.setattr(FairShare, "queue_lengths", broken)
+        fails = failing_oracles(spec_of(), ["batch-equivalence"])
+        assert fails == ("batch-equivalence",)
+
+    def test_ensemble_equivalence_catches_scalar_only_mutation(
+            self, monkeypatch):
+        orig = FairShare.queue_lengths
+
+        def broken(self, rates, mu):
+            q = np.array(orig(self, rates, mu), dtype=float)
+            if q.shape[0] and np.isfinite(q[-1]):
+                q[-1] += 0.01
+            return q
+
+        monkeypatch.setattr(FairShare, "queue_lengths", broken)
+        fails = failing_oracles(spec_of(), ["ensemble-equivalence"])
+        assert fails == ("ensemble-equivalence",)
+
+    def test_kernel_equivalence_catches_engine_skew(self, monkeypatch):
+        orig = NetworkSimulation.throughput
+
+        def skewed(self):
+            thr = np.array(orig(self), dtype=float)
+            if self.engine == "fast":
+                thr = thr + 1e-9
+            return thr
+
+        monkeypatch.setattr(NetworkSimulation, "throughput", skewed)
+        fails = failing_oracles(spec_of(discipline="fifo"),
+                                ["kernel-equivalence"])
+        assert fails == ("kernel-equivalence",)
+
+    def test_fixed_point_catches_non_stationary_final(self):
+        spec = spec_of()
+        ctx = doctored_context(spec, spec.initial())
+        res = run_oracle("fixed-point", ctx)
+        assert res.applicable and not res.passed
+
+    def test_tsi_catches_scale_dependent_steady_state(self):
+        spec = spec_of()
+        true_final = spec.build().run(spec.initial(),
+                                      max_steps=spec.max_steps).final
+        ctx = doctored_context(spec, 0.7 * true_final)
+        res = run_oracle("tsi", ctx)
+        assert res.applicable and not res.passed
+
+    def test_fairness_manifold_catches_off_manifold_point(self):
+        spec = spec_of(style="aggregate", discipline="fifo")
+        # Every gateway strictly below rho_ss: not a steady state.
+        ctx = doctored_context(spec, [0.01] * spec.num_connections)
+        res = run_oracle("fairness-manifold", ctx)
+        assert res.applicable and not res.passed
+
+    def test_fs_floor_catches_starved_connection(self):
+        spec = spec_of()
+        ctx = doctored_context(spec, [0.01] * spec.num_connections)
+        res = run_oracle("fs-floor", ctx)
+        assert res.applicable and not res.passed
+
+    def test_stability_catches_repelling_fixed_point(self):
+        # eta=10 makes the fair point an exact but *repelling* fixed
+        # point (spectral radius 4); a trajectory claiming convergence
+        # there is lying, and the stability oracle must say so.
+        spec = spec_of(n=2, rule=RuleSpec("proportional-target",
+                                          {"eta": 10.0, "beta": 0.5}))
+        r_star = predicted_steady_state(spec.build())
+        ctx = doctored_context(spec, r_star)
+        fp = run_oracle("fixed-point", ctx)
+        assert fp.applicable and fp.passed  # it IS a fixed point...
+        res = run_oracle("stability", ctx)
+        assert res.applicable and not res.passed  # ...but repelling
+
+    def test_steady_signal_catches_off_target_signal(self):
+        spec = spec_of()
+        true_final = spec.build().run(spec.initial(),
+                                      max_steps=spec.max_steps).final
+        ctx = doctored_context(spec, 0.5 * true_final)
+        res = run_oracle("steady-signal", ctx)
+        assert res.applicable and not res.passed
+
+    def test_fault_determinism_catches_unseeded_state(self, monkeypatch):
+        orig = FaultState.apply
+        leak = {"n": 0}
+
+        def flaky(self, step, true_signals):
+            out = np.array(orig(self, step, true_signals), dtype=float)
+            leak["n"] += 1
+            return np.clip(out + 1e-6 * leak["n"], 0.0, 1.0)
+
+        monkeypatch.setattr(FaultState, "apply", flaky)
+        plan = FaultPlanSpec(seed=3, injectors=(
+            InjectorSpec("quantise", {"levels": 8}),))
+        fails = failing_oracles(spec_of(fault_plan=plan),
+                                ["fault-determinism"])
+        assert fails == ("fault-determinism",)
+
+
+class TestShrinker:
+    def test_fair_share_queue_law_mutation_shrinks_small(
+            self, monkeypatch):
+        # The ISSUE's acceptance scenario: break the Fair Share queue
+        # law on the scalar path only, fuzz until an oracle fires, and
+        # shrink the failure to <= 3 connections.
+        orig = FairShare.queue_lengths
+
+        def broken(self, rates, mu):
+            q = np.array(orig(self, rates, mu), dtype=float)
+            if q.shape[0] and np.isfinite(q[-1]):
+                q[-1] += 0.01
+            return q
+
+        monkeypatch.setattr(FairShare, "queue_lengths", broken)
+        target = next(s for s in generate(7, 50)
+                      if s.discipline == "fair-share")
+        fails = failing_oracles(target)
+        assert "batch-equivalence" in fails
+        result = shrink(target, oracles=["batch-equivalence"])
+        assert result.spec.num_connections <= 3
+        assert "batch-equivalence" in failing_oracles(
+            result.spec, ["batch-equivalence"])
+        # The reproducer round-trips through JSON like any spec.
+        assert ScenarioSpec.from_json(result.spec.to_json()) == \
+            result.spec
+
+    def test_shrinking_a_healthy_spec_raises(self):
+        with pytest.raises(ScenarioError, match="violates no oracle"):
+            shrink(spec_of())
+
+    def test_shrink_respects_iteration_cap(self, monkeypatch):
+        orig = FairShare.queue_lengths
+
+        def broken(self, rates, mu):
+            q = np.array(orig(self, rates, mu), dtype=float)
+            if q.shape[0] and np.isfinite(q[-1]):
+                q[-1] += 0.01
+            return q
+
+        monkeypatch.setattr(FairShare, "queue_lengths", broken)
+        result = shrink(spec_of(n=5), oracles=["batch-equivalence"],
+                        max_iters=3)
+        assert result.evaluations <= 3
+
+
+class TestHarnessAndCli:
+    def test_fuzz_writes_schema_valid_artifacts(self, tmp_path):
+        report = fuzz(7, 3, json_dir=tmp_path)
+        assert report.passed
+        files = sorted(tmp_path.glob("fuzz-7-*.json"))
+        assert len(files) == 3
+        for path in files:
+            artifact = json.loads(path.read_text())
+            assert validate_artifact(artifact) == []
+            # The embedded spec reproduces the scenario exactly.
+            spec = ScenarioSpec.from_json(
+                artifact["experiment"]["notes"][0])
+            assert spec.name == path.stem
+
+    def test_fuzz_failure_writes_repro_spec(self, tmp_path, monkeypatch):
+        orig = FairShare.queue_lengths
+
+        def broken(self, rates, mu):
+            q = np.array(orig(self, rates, mu), dtype=float)
+            if q.shape[0] and np.isfinite(q[-1]):
+                q[-1] += 0.01
+            return q
+
+        monkeypatch.setattr(FairShare, "queue_lengths", broken)
+        # seed 7 index 1 is a fair-share scenario (fixed by the
+        # generator's determinism contract).
+        report = fuzz(7, 2, shrink_failures=True, json_dir=tmp_path,
+                      oracles=["batch-equivalence"])
+        assert not report.passed
+        repros = sorted(tmp_path.glob("*.repro.json"))
+        assert repros, "failing scenarios must leave a repro spec"
+        shrunk = ScenarioSpec.from_json(repros[0].read_text())
+        assert shrunk.num_connections <= 3
+
+    def test_cli_fuzz_passes_on_main(self, capsys):
+        from repro.cli import main
+        assert main(["fuzz", "--seed", "7", "--count", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "0 violations" in out
+
+    def test_cli_fuzz_rejects_bad_budget(self):
+        from repro.cli import main
+        with pytest.raises(SweepError, match="count must be positive"):
+            main(["fuzz", "--seed", "7", "--count", "0"])
+
+    def test_cli_fuzz_rejects_unknown_oracle(self):
+        from repro.cli import main
+        from repro.errors import CLIError
+        with pytest.raises(CLIError, match="unknown oracle"):
+            main(["fuzz", "--count", "1", "--oracle", "vibes"])
+
+
+class TestSmokeSweep:
+    def test_25_scenarios_pass_all_oracles(self):
+        failures = []
+        for spec in generate(7, 25):
+            outcome = run_scenario(spec)
+            failures.extend(
+                (spec.name, res.name, res.detail)
+                for res in outcome.violations)
+        assert failures == []

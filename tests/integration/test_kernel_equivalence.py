@@ -157,6 +157,38 @@ class TestEngineSelection:
                               engine="turbo")
 
 
+class TestFuzzGeneratedConfigs:
+    """The bit-identity contract holds on configurations drawn from the
+    scenario fuzzer (fixed seed), not just the hand-picked ones above —
+    topology, rates, and discipline come straight from the generator."""
+
+    @pytest.fixture(scope="class")
+    def fuzz_specs(self):
+        from repro.scenarios import generate
+        specs = [s for s in generate(7, 30)
+                 if s.discipline in ("fifo", "fair-share")]
+        assert len(specs) >= 2
+        return specs
+
+    def test_fuzz_fifo_config_bit_identical(self, fuzz_specs):
+        spec = next(s for s in fuzz_specs if s.discipline == "fifo")
+        _assert_engines_agree(disc="fifo", net=spec.network(),
+                              rates=list(spec.initial_rates))
+
+    def test_fuzz_fair_share_config_bit_identical(self, fuzz_specs):
+        spec = next(s for s in fuzz_specs
+                    if s.discipline == "fair-share")
+        _assert_engines_agree(disc="fair-share", net=spec.network(),
+                              rates=list(spec.initial_rates), steps=2,
+                              rate_seq=[0.8 * np.asarray(spec.initial_rates),
+                                        1.1 * np.asarray(spec.initial_rates)])
+
+    def test_fuzz_multi_gateway_config_bit_identical(self, fuzz_specs):
+        spec = next(s for s in fuzz_specs if len(s.gateways) > 1)
+        _assert_engines_agree(disc=spec.discipline, net=spec.network(),
+                              rates=list(spec.initial_rates))
+
+
 class TestClosedLoopEngines:
     KW = dict(style=FeedbackStyle.INDIVIDUAL, discipline_kind="fair-share",
               control_interval=150.0, n_steps=6, seed=3)

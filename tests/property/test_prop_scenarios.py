@@ -1,0 +1,128 @@
+"""Property tests for ScenarioSpec serialisation: ``from_json(to_json(s))
+== s`` must hold *exactly* (structural equality on every field, fault
+plans and weighted-share weights included) for arbitrary valid specs —
+the repro workflow depends on the JSON file being a faithful copy."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import (SCENARIO_SCHEMA, ConnectionSpec, FaultPlanSpec,
+                             GatewaySpec, InjectorSpec, RuleSpec,
+                             ScenarioSpec, SignalSpec)
+
+# Finite, JSON-exact floats: json.dumps/loads round-trips any finite
+# float exactly, so the only values excluded are NaN/inf (which the
+# strict serialiser rejects by design).
+finite = st.floats(min_value=1e-6, max_value=1e6, allow_nan=False,
+                   allow_infinity=False)
+small = st.floats(min_value=1e-6, max_value=1.0, allow_nan=False,
+                  allow_infinity=False)
+name = st.from_regex(r"[a-z][a-z0-9-]{0,11}", fullmatch=True)
+
+
+@st.composite
+def rule_specs(draw):
+    kind = draw(st.sampled_from(
+        ["target", "proportional-target", "decbit-window", "decbit-rate"]))
+    if kind == "binary-aimd":  # pragma: no cover — kept for clarity
+        params = {"increase": draw(small), "decrease": draw(small),
+                  "threshold": draw(small)}
+    else:
+        params = {"eta": draw(finite),
+                  "beta": draw(st.floats(min_value=0.05, max_value=0.95))}
+    return RuleSpec(kind, params)
+
+
+@st.composite
+def injector_specs(draw, n_connections):
+    kind = draw(st.sampled_from(["loss", "quantise", "delay", "corrupt"]))
+    if kind == "loss":
+        conns = draw(st.sets(st.integers(0, n_connections - 1), min_size=1))
+        params = {"rate": draw(st.floats(min_value=0.01, max_value=0.9)),
+                  "connections": tuple(sorted(conns))}
+    elif kind == "quantise":
+        params = {"levels": draw(st.integers(2, 64))}
+    elif kind == "delay":
+        params = {"delay": draw(st.integers(1, 5)),
+                  "jitter": draw(st.integers(0, 3))}
+    else:
+        params = {"rate": draw(st.floats(min_value=0.01, max_value=0.9)),
+                  "amplitude": draw(st.floats(min_value=0.01, max_value=1.0))}
+    return InjectorSpec(kind, params)
+
+
+@st.composite
+def scenario_specs(draw):
+    n_gw = draw(st.integers(1, 3))
+    gateways = tuple(GatewaySpec(f"g{i}", draw(finite),
+                                 latency=draw(st.floats(0.0, 2.0)))
+                     for i in range(n_gw))
+    n = draw(st.integers(1, 5))
+    weighted = draw(st.booleans())
+    if weighted:
+        # Weighted fair share requires full crossing.
+        paths = [tuple(g.name for g in gateways)] * n
+    else:
+        paths = [tuple(gateways[j].name for j in sorted(draw(
+            st.sets(st.integers(0, n_gw - 1), min_size=1))))
+            for _ in range(n)]
+    connections = tuple(ConnectionSpec(f"c{i}", paths[i]) for i in range(n))
+    homogeneous = draw(st.booleans())
+    if homogeneous:
+        rules = (draw(rule_specs()),) * n
+    else:
+        rules = tuple(draw(rule_specs()) for _ in range(n))
+    fault_plan = draw(st.none() | st.builds(
+        FaultPlanSpec,
+        seed=st.integers(0, 2**31),
+        injectors=st.lists(injector_specs(n), min_size=1, max_size=3)
+        .map(tuple)))
+    return ScenarioSpec(
+        name=draw(name),
+        gateways=gateways,
+        connections=connections,
+        discipline=("weighted-fair-share" if weighted else
+                    draw(st.sampled_from(["fifo", "fair-share"]))),
+        signal=draw(st.sampled_from(["linear-saturating", "power-saturating",
+                                     "exponential"]).flatmap(
+            lambda kind: st.builds(
+                SignalSpec, kind=st.just(kind),
+                param=(st.just(0.0) if kind == "linear-saturating"
+                       else st.floats(min_value=0.5, max_value=3.0))))),
+        style=draw(st.sampled_from(["aggregate", "individual"])),
+        rules=rules,
+        initial_rates=tuple(draw(small) for _ in range(n)),
+        weights=tuple(draw(finite) for _ in range(n)) if weighted else None,
+        max_steps=draw(st.integers(1, 10**6)),
+        tol=draw(st.floats(min_value=1e-14, max_value=1e-3)),
+        seed=draw(st.integers(0, 2**31)),
+        fault_plan=fault_plan,
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(scenario_specs())
+def test_json_round_trip_is_exact(spec):
+    assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+
+@settings(max_examples=50, deadline=None)
+@given(scenario_specs())
+def test_round_trip_is_idempotent_text(spec):
+    # Serialising the deserialised spec reproduces the byte-identical
+    # document: canonical key order makes the JSON file diffable.
+    text = spec.to_json()
+    assert ScenarioSpec.from_json(text).to_json() == text
+
+
+@settings(max_examples=50, deadline=None)
+@given(scenario_specs())
+def test_schema_and_structure_survive(spec):
+    data = json.loads(spec.to_json())
+    assert data["schema"] == SCENARIO_SCHEMA
+    back = ScenarioSpec.from_dict(data)
+    assert back.fault_plan == spec.fault_plan
+    assert back.weights == spec.weights
+    assert hash(back) == hash(spec)

@@ -61,6 +61,19 @@ class TestSignalFunctions:
                            atol=1e-12)
         assert out[3] == 1.0
 
+    @pytest.mark.parametrize("fn", [LinearSaturating(),
+                                    PowerSaturating(2.444),
+                                    ExponentialSignal(1.3)])
+    def test_scalar_is_bit_identical_to_batch(self, fn):
+        # Found by the scenario fuzzer: libm pow/exp (the builtin ** and
+        # math.exp) disagree with numpy's ufuncs in the last ulp, which
+        # let run() and run_ensemble() drift apart under delayed-fault
+        # feedback.  The scalar path must reproduce apply_batch exactly.
+        cs = np.random.default_rng(3).uniform(0.0, 20.0, 500)
+        batch = fn.apply_batch(cs)
+        for c, expected in zip(cs, batch):
+            assert fn(float(c)) == expected
+
     def test_apply_batch_empty(self, signal):
         out = signal.apply_batch(np.empty((0,)))
         assert out.shape == (0,)

@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test selftest gate fuzz-quick verify bench
+.PHONY: test selftest gate fuzz-quick scale-quick verify bench
 
 test:
 	$(PYTHON) -m pytest -q
@@ -19,14 +19,20 @@ gate:
 fuzz-quick:
 	$(PYTHON) -m repro fuzz --seed 7 --count 12 --shrink
 
-# The tier-1 flow: full test suite, the engine smoke check, the
-# benchmark regression gate (quick CI workload), and the bounded
-# fuzzing sweep.
-verify: test selftest gate fuzz-quick
+# Quick blocked-vs-one-shot scale check: small workloads judged
+# against the committed BENCH_scale.json quick floors (no rewrite).
+scale-quick:
+	$(PYTHON) benchmarks/bench_scale.py --quick --check
 
-# Full-scale benchmarks + gate; refreshes BENCH_core.json and
-# BENCH_sim.json.
+# The tier-1 flow: full test suite, the engine smoke check, the
+# benchmark regression gate (quick CI workload), the bounded fuzzing
+# sweep, and the blocked-ensemble scale check.
+verify: test selftest gate fuzz-quick scale-quick
+
+# Full-scale benchmarks + gate; refreshes BENCH_core.json,
+# BENCH_sim.json, and BENCH_scale.json.
 bench:
 	$(PYTHON) benchmarks/bench_core_engine.py
 	$(PYTHON) benchmarks/bench_sim_kernel.py
+	$(PYTHON) benchmarks/bench_scale.py
 	$(PYTHON) benchmarks/regression_gate.py

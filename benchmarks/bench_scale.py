@@ -1,0 +1,240 @@
+"""Million-scale benchmark: blocked ensembles vs one-shot execution.
+
+Standalone (not collected by pytest): measures the two promises of the
+blocked ensemble engine on a large single-gateway Fair Share system,
+
+* **memory** — peak traced allocation of ``run_ensemble`` at
+  ``N = 100_000`` connections, ``M = 64`` members, with blocked
+  execution (``block_size=8``) vs the one-shot path
+  (``block_size=None``).  The blocked run must fit the fixed budget
+  (:data:`BUDGET_MB`); the one-shot run must not (that is the point of
+  blocking), and the peak ratio is the gated number;
+* **throughput** — member-steps per second at a moderate ``N`` where
+  both paths are cheap, blocked vs one-shot (median ratio over
+  :data:`REPEATS` interleaved timing pairs).  Blocking must cost
+  almost nothing when memory is not a concern: the gated ratio is
+  one-shot time / blocked time.
+
+Both runs use ``tol=0.0`` so every member consumes the full step
+budget — identical work on both sides, no convergence races — and the
+results are verified bit-identical before any number is reported.
+
+The analytic projections from
+:func:`repro.core.dynamics.ensemble_buffer_bytes` are recorded
+alongside the measurements (informational, not gated): they show why
+the one-shot tail buffer alone dwarfs the budget at paper scale.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py [--quick] [--check]
+
+``--quick`` shrinks the workload for CI and judges against the lower
+``quick_targets``; ``--check`` additionally compares against the
+committed ``BENCH_scale.json`` floors without rewriting it (this is
+what ``make scale-quick`` runs).
+"""
+
+import argparse
+import json
+import sys
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.core.dynamics import FlowControlSystem, ensemble_buffer_bytes
+from repro.core.fairshare import FairShare
+from repro.core.ratecontrol import TargetRule
+from repro.core.signals import FeedbackStyle, LinearSaturating
+from repro.core.topology import single_gateway
+
+#: Fixed memory budget (MB) the blocked run must fit inside.
+BUDGET_MB = 512
+
+#: Interleaved one-shot/blocked timing pairs in the throughput
+#: comparison (the gated ratio is the median of the per-pair ratios).
+REPEATS = 5
+
+#: Full-scale floors (the committed BENCH_scale.json targets): the
+#: one-shot peak must be >= 3x the blocked peak, and blocking may cost
+#: at most 10% throughput at small N.
+TARGETS = {"scale_memory_ratio_min": 3.0,
+           "scale_throughput_ratio_min": 0.9}
+
+#: Quick-mode floors: smaller workloads shrink the buffer gap and
+#: amortise block overhead worse, for reasons unrelated to regressions.
+QUICK_TARGETS = {"scale_memory_ratio_min": 2.0,
+                 "scale_throughput_ratio_min": 0.85}
+
+
+def _build(n, mu=None):
+    """A single-gateway Fair Share / individual-signal system at size n."""
+    net = single_gateway(n, mu=float(n) if mu is None else mu)
+    return FlowControlSystem(net, FairShare(), LinearSaturating(),
+                             TargetRule(eta=0.05, beta=0.4),
+                             style=FeedbackStyle.INDIVIDUAL)
+
+
+def _initials(m, n, seed=7):
+    rng = np.random.default_rng(seed)
+    # Per-member spread around a moderate operating point, scaled so the
+    # gateway load starts below saturation.
+    return rng.uniform(0.2, 0.8, size=(m, n))
+
+
+def _run(system, initials, block_size, max_steps, history):
+    return system.run_ensemble(initials, max_steps=max_steps, tol=0.0,
+                               max_period=8, history=history,
+                               block_size=block_size)
+
+
+def _traced_peak(fn):
+    """(result, peak traced bytes) of calling fn with tracemalloc on."""
+    tracemalloc.start()
+    try:
+        out = fn()
+        peak = tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+    return out, peak
+
+
+def bench_memory(n=100_000, members=64, block_size=8, max_steps=12,
+                 budget_mb=BUDGET_MB):
+    """Peak traced allocation, blocked vs one-shot, at paper scale.
+
+    Both runs keep the default rolling tail (``history="tail"``) — the
+    mode period detection needs — so the one-shot side pays the full
+    ``(M, tail, N)`` buffer while the blocked side only ever holds one
+    ``(block, tail, N)`` slice.
+    """
+    system = _build(n)
+    r0 = _initials(members, n)
+    # Warm-up outside the traced region: first-touch page faults and
+    # lazily built CSR arrays belong to neither side.
+    _run(system, r0[:2], None, 2, "none")
+
+    blocked, blocked_peak = _traced_peak(
+        lambda: _run(system, r0, block_size, max_steps, "tail"))
+    oneshot, oneshot_peak = _traced_peak(
+        lambda: _run(system, r0, None, max_steps, "tail"))
+    if not np.array_equal(blocked.finals, oneshot.finals):
+        raise AssertionError("blocked finals differ from one-shot finals")
+    if not np.array_equal(blocked.steps, oneshot.steps):
+        raise AssertionError("blocked steps differ from one-shot steps")
+
+    budget = budget_mb * 1024 * 1024
+    projection = {
+        policy: ensemble_buffer_bytes(members, n, max_steps=max_steps,
+                                      max_period=8, history=policy)
+        for policy in ("full", "tail", "none")}
+    return {"n": n, "members": members, "block_size": block_size,
+            "max_steps": max_steps, "budget_mb": budget_mb,
+            "blocked_peak_mb": round(blocked_peak / 2**20, 1),
+            "oneshot_peak_mb": round(oneshot_peak / 2**20, 1),
+            "blocked_within_budget": bool(blocked_peak <= budget),
+            "oneshot_within_budget": bool(oneshot_peak <= budget),
+            "projected_buffer_mb": {k: round(v / 2**20, 1)
+                                    for k, v in projection.items()},
+            "speedup": round(oneshot_peak / blocked_peak, 2)}
+
+
+def bench_throughput(n=4096, members=64, block_size=32, max_steps=30,
+                     pairs=REPEATS):
+    """Member-steps per second, blocked vs one-shot, at moderate N.
+
+    ``history="none"`` on both sides: the comparison is about stepping
+    cost, not buffer writes.  As in ``bench_sim_kernel``, single
+    timings swing with machine noise, so the gated number is the
+    median of per-pair ratios over interleaved one-shot/blocked runs —
+    slow spells hit both sides alike.
+    """
+    system = _build(n)
+    r0 = _initials(members, n)
+    _run(system, r0, None, 2, "none")  # warm-up
+
+    ratios = []
+    t_blocked = t_oneshot = 0.0
+    for _ in range(pairs):
+        t0 = time.perf_counter()
+        _run(system, r0, None, max_steps, "none")
+        t_oneshot = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        _run(system, r0, block_size, max_steps, "none")
+        t_blocked = time.perf_counter() - t0
+        ratios.append(t_oneshot / t_blocked)
+    ratios.sort()
+    member_steps = members * max_steps
+    return {"n": n, "members": members, "block_size": block_size,
+            "max_steps": max_steps, "pairs": pairs,
+            "blocked_msteps_per_s": round(member_steps / t_blocked),
+            "oneshot_msteps_per_s": round(member_steps / t_oneshot),
+            "pair_ratios": [round(r, 2) for r in ratios],
+            "speedup": round(ratios[len(ratios) // 2], 2)}
+
+
+def run_benchmarks(quick=False):
+    if quick:
+        memory = bench_memory(n=4096, members=32, block_size=8,
+                              max_steps=10, budget_mb=64)
+        throughput = bench_throughput(n=2048, members=64, block_size=16,
+                                      max_steps=20, pairs=3)
+    else:
+        memory = bench_memory()
+        throughput = bench_throughput()
+    return {"memory": memory, "throughput": throughput}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_scale.json",
+                        help="output JSON path (default: BENCH_scale.json)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small CI workload, judged against the "
+                             "quick floors (no JSON rewrite)")
+    parser.add_argument("--check", action="store_true",
+                        help="judge fresh numbers against the committed "
+                             "baseline's floors without rewriting it")
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks(quick=args.quick)
+    mem, thr = results["memory"], results["throughput"]
+    print(f"memory    : one-shot {mem['oneshot_peak_mb']} MB vs blocked "
+          f"{mem['blocked_peak_mb']} MB at N={mem['n']} -> "
+          f"{mem['speedup']}x (budget {mem['budget_mb']} MB: blocked "
+          f"{'fits' if mem['blocked_within_budget'] else 'BLOWS'}, "
+          f"one-shot "
+          f"{'fits' if mem['oneshot_within_budget'] else 'blows'})")
+    print(f"throughput: blocked {thr['blocked_msteps_per_s']} vs one-shot "
+          f"{thr['oneshot_msteps_per_s']} member-steps/s at "
+          f"N={thr['n']} -> {thr['speedup']}x")
+
+    targets = QUICK_TARGETS if args.quick else TARGETS
+    ok = (mem["speedup"] >= targets["scale_memory_ratio_min"]
+          and thr["speedup"] >= targets["scale_throughput_ratio_min"]
+          and mem["blocked_within_budget"])
+    if args.check:
+        with open(args.out) as fh:
+            committed = json.load(fh)
+        floors = (committed["quick_targets"] if args.quick
+                  else committed["targets"])
+        ok = (mem["speedup"] >= floors["scale_memory_ratio_min"]
+              and thr["speedup"] >= floors["scale_throughput_ratio_min"]
+              and mem["blocked_within_budget"])
+        print(f"checked against committed {args.out} floors: "
+              f"{'OK' if ok else 'FAIL'}")
+    results["targets"] = dict(TARGETS)
+    results["quick_targets"] = dict(QUICK_TARGETS)
+    results["targets_met"] = ok
+    if not (args.quick or args.check):
+        with open(args.out, "w") as fh:
+            json.dump(results, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out} (targets met: {ok})")
+    else:
+        print(f"{'quick ' if args.quick else ''}floors met: {ok}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

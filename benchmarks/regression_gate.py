@@ -1,11 +1,13 @@
-"""Performance regression gate for the batched trajectory engine and
-the fast simulation kernel.
+"""Performance regression gate for the batched trajectory engine, the
+fast simulation kernel, and the blocked-ensemble scale path.
 
-Re-runs the core microbenchmarks (``bench_core_engine.py``) and the
-simulation-kernel benchmarks (``bench_sim_kernel.py``), compares the
-fresh speedups against the committed baselines in ``BENCH_core.json``
-and ``BENCH_sim.json``, and exits nonzero when performance regressed by
-more than the threshold (default 25%).
+Re-runs the core microbenchmarks (``bench_core_engine.py``), the
+simulation-kernel benchmarks (``bench_sim_kernel.py``), and the
+blocked-vs-one-shot scale benchmarks (``bench_scale.py``), compares
+the fresh ratios against the committed baselines in
+``BENCH_core.json``, ``BENCH_sim.json``, and ``BENCH_scale.json``, and
+exits nonzero when performance regressed by more than the threshold
+(default 25%).
 
 Two modes:
 
@@ -33,6 +35,8 @@ import sys
 from pathlib import Path
 
 from bench_core_engine import bench_ensemble, bench_quadratic_sweep
+from bench_scale import QUICK_TARGETS as SCALE_QUICK_TARGETS
+from bench_scale import run_benchmarks as run_scale_benchmarks
 from bench_sim_kernel import QUICK_TARGETS as SIM_QUICK_TARGETS
 from bench_sim_kernel import run_benchmarks as run_sim_benchmarks
 
@@ -44,6 +48,12 @@ GATED = [("ensemble", "ensemble_speedup_min"),
 GATED_SIM = [("fifo_closed_loop", "fifo_events_speedup_min"),
              ("f12_end_to_end", "f12_speedup_min"),
              ("warm_start", "warm_start_savings_min")]
+
+#: The blocked-ensemble scale benchmarks (baseline BENCH_scale.json).
+#: "speedup" holds a ratio in both: one-shot/blocked peak memory and
+#: one-shot/blocked wall time, so compare() applies unchanged.
+GATED_SCALE = [("memory", "scale_memory_ratio_min"),
+               ("throughput", "scale_throughput_ratio_min")]
 
 
 def compare(baseline, fresh, threshold=0.25, floor_only=False,
@@ -109,14 +119,13 @@ def run_fresh(quick=False):
     return {"ensemble": ensemble, "quadratic_sweep": sweep_res}
 
 
-def _sim_baseline_for_mode(baseline, quick):
-    """In quick mode, judge the kernel benchmarks against the lower
-    quick floors recorded in the baseline (fallback: the benchmark
-    module's constants)."""
+def _quick_baseline_for_mode(baseline, quick, quick_targets):
+    """In quick mode, judge against the lower quick floors recorded in
+    the baseline (fallback: the benchmark module's constants)."""
     if not quick:
         return baseline
     swapped = dict(baseline)
-    swapped["targets"] = baseline.get("quick_targets", SIM_QUICK_TARGETS)
+    swapped["targets"] = baseline.get("quick_targets", quick_targets)
     return swapped
 
 
@@ -133,6 +142,12 @@ def main(argv=None):
                     "BENCH_sim.json"),
         help="committed kernel baseline JSON (default: repo "
              "BENCH_sim.json)")
+    parser.add_argument(
+        "--scale-baseline",
+        default=str(Path(__file__).resolve().parent.parent /
+                    "BENCH_scale.json"),
+        help="committed scale baseline JSON (default: repo "
+             "BENCH_scale.json)")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed fractional regression vs the "
                              "baseline speedup (default 0.25)")
@@ -145,16 +160,25 @@ def main(argv=None):
         baseline = json.load(fh)
     with open(args.sim_baseline) as fh:
         sim_baseline = json.load(fh)
+    with open(args.scale_baseline) as fh:
+        scale_baseline = json.load(fh)
     fresh = run_fresh(quick=args.quick)
     ok, report = compare(baseline, fresh, threshold=args.threshold,
                          floor_only=args.quick)
     sim_fresh = run_sim_benchmarks(quick=args.quick)
     sim_ok, sim_report = compare(
-        _sim_baseline_for_mode(sim_baseline, args.quick), sim_fresh,
+        _quick_baseline_for_mode(sim_baseline, args.quick,
+                                 SIM_QUICK_TARGETS), sim_fresh,
         threshold=args.threshold, floor_only=args.quick,
         gated=GATED_SIM)
-    ok = ok and sim_ok
-    print(format_report(report + sim_report))
+    scale_fresh = run_scale_benchmarks(quick=args.quick)
+    scale_ok, scale_report = compare(
+        _quick_baseline_for_mode(scale_baseline, args.quick,
+                                 SCALE_QUICK_TARGETS), scale_fresh,
+        threshold=args.threshold, floor_only=args.quick,
+        gated=GATED_SCALE)
+    ok = ok and sim_ok and scale_ok
+    print(format_report(report + sim_report + scale_report))
     print(f"\nregression gate {'PASSED' if ok else 'FAILED'} "
           f"({'quick' if args.quick else 'full'} mode, "
           f"threshold {args.threshold:.0%})")

@@ -19,7 +19,11 @@ Commands:
   K deterministic random scenarios and cross-check every engine and
   theorem oracle on each (see :mod:`repro.scenarios`); exits nonzero
   on any oracle violation and prints a minimal repro spec when
-  ``--shrink`` is given.
+  ``--shrink`` is given;
+* ``scale [--n N] [--members M] [--block-size B] [--history P]
+  [--steps K] [--discipline D]`` — run one blocked ensemble at scale
+  (default ``N=100000``) and print the projected buffer sizes,
+  outcome counts, and member-steps per second.
 
 ``run`` also takes ``--faults SPEC`` (inject a seeded fault plan, e.g.
 ``loss=0.3,delay=2,seed=7`` — see :func:`repro.faults.parse_fault_spec`)
@@ -118,6 +122,24 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument("--max-shrink-iters", type=int, default=None,
                         help="cap on shrink-search oracle evaluations "
                              "(clamped to a safe range)")
+
+    scale_p = sub.add_parser(
+        "scale",
+        help="run a large blocked ensemble and report memory/throughput")
+    scale_p.add_argument("--n", type=int, default=100_000,
+                         help="connections through the gateway "
+                              "(default 100000)")
+    scale_p.add_argument("--members", type=int, default=64,
+                         help="ensemble members (default 64)")
+    scale_p.add_argument("--block-size", type=int, default=8,
+                         help="members stepped per block (default 8)")
+    scale_p.add_argument("--history", default="none",
+                         help="retention policy: full, tail, or none "
+                              "(default none)")
+    scale_p.add_argument("--steps", type=int, default=50,
+                         help="step budget per member (default 50)")
+    scale_p.add_argument("--discipline", default="fair-share",
+                         help="fair-share or fifo (default fair-share)")
     return parser
 
 
@@ -225,6 +247,73 @@ def _cmd_fuzz(seed: int, count: int, shrink: bool,
     return 0 if report.passed else 1
 
 
+def _cmd_scale(n: int, members: int, block_size: int, history: str,
+               steps: int, discipline: str) -> int:
+    """Run one blocked ensemble at scale and print what it cost.
+
+    Flag values are validated here with :class:`~repro.errors.CLIError`
+    (the CLI contract); ``block_size`` is deliberately passed through
+    so the engine's own :class:`~repro.errors.SweepError` validation
+    (reject ``<= 0``, warn when it exceeds M) stays the single source
+    of truth for that contract.
+    """
+    import time as _time
+
+    import numpy as np
+
+    from .core.dynamics import (HISTORY_POLICIES, FlowControlSystem,
+                                ensemble_buffer_bytes)
+    from .core.fairshare import FairShare
+    from .core.fifo import Fifo
+    from .core.ratecontrol import TargetRule
+    from .core.signals import FeedbackStyle, LinearSaturating
+    from .core.topology import single_gateway
+
+    if n < 1:
+        raise CLIError(f"--n must be >= 1, got {n}")
+    if members < 1:
+        raise CLIError(f"--members must be >= 1, got {members}")
+    if steps < 1:
+        raise CLIError(f"--steps must be >= 1, got {steps}")
+    if history not in HISTORY_POLICIES:
+        raise CLIError(f"--history must be one of "
+                       f"{', '.join(HISTORY_POLICIES)}, got {history!r}")
+    disciplines = {"fair-share": FairShare, "fifo": Fifo}
+    if discipline not in disciplines:
+        raise CLIError(f"--discipline must be one of "
+                       f"{', '.join(sorted(disciplines))}, "
+                       f"got {discipline!r}")
+
+    system = FlowControlSystem(
+        single_gateway(n, mu=float(n)), disciplines[discipline](),
+        LinearSaturating(), TargetRule(eta=0.05, beta=0.4),
+        style=FeedbackStyle.INDIVIDUAL)
+    rng = np.random.default_rng(7)
+    initials = rng.uniform(0.2, 0.8, size=(members, n))
+    projected = ensemble_buffer_bytes(members, n, max_steps=steps,
+                                      history=history)
+    one_shot = ensemble_buffer_bytes(members, n, max_steps=steps,
+                                     history="full")
+    print(f"N={n} connections, M={members} members, "
+          f"block_size={block_size}, history={history!r}, "
+          f"{steps}-step budget ({discipline})")
+    print(f"projected buffers: {projected / 2**20:.1f} MB "
+          f"({history!r}) vs {one_shot / 2**20:.1f} MB (full history)")
+    t0 = _time.perf_counter()
+    result = system.run_ensemble(initials, max_steps=steps, tol=1e-10,
+                                 history=history, block_size=block_size)
+    elapsed = _time.perf_counter() - t0
+    counts = {}
+    for outcome in result.outcomes:
+        counts[outcome.value] = counts.get(outcome.value, 0) + 1
+    summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+    total_steps = int(np.sum(result.steps))
+    print(f"outcomes: {summary}")
+    print(f"{total_steps} member-steps in {elapsed:.2f}s "
+          f"({total_steps / elapsed:.0f} member-steps/s)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -245,6 +334,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_fuzz(args.seed, args.count, args.shrink,
                          args.json_dir, args.oracles,
                          args.max_shrink_iters)
+    if args.command == "scale":
+        return _cmd_scale(args.n, args.members, args.block_size,
+                          args.history, args.steps, args.discipline)
     raise CLIError(f"unhandled command {args.command!r}")
 
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import RateVectorError
-from .math_utils import as_rate_vector
+from .math_utils import as_rate_vector, pick_kernel
 from .service import ServiceDiscipline
 from .topology import Network
 
@@ -39,20 +39,29 @@ def per_gateway_delays(network: Network, discipline: ServiceDiscipline,
 
 
 def round_trip_delays(network: Network, discipline: ServiceDiscipline,
-                      rates: np.ndarray) -> np.ndarray:
+                      rates: np.ndarray,
+                      method: str = "auto") -> np.ndarray:
     """``d_i = L_i + sum over the path of the gateway sojourn times``.
 
     Entries are ``inf`` where any gateway on the path is overloaded for
     that connection.
+
+    ``method``: ``"dense"`` walks each connection's route through the
+    per-gateway sojourn vectors (the reference path, CSR-addressed so
+    it never rescans ``Gamma(a)``); ``"sparse"`` runs the vector as a
+    one-row batch through :func:`round_trip_delays_batch`; ``"auto"``
+    (default) switches to sparse at ``N >= SPARSE_MIN_N``.
     """
     r = as_rate_vector(rates, n=network.num_connections)
+    if pick_kernel(method, r.shape[0], large="sparse") == "sparse":
+        return round_trip_delays_batch(network, discipline, r[None, :])[0]
     sojourns = per_gateway_delays(network, discipline, r)
+    csr = network.csr
     d = np.zeros(network.num_connections, dtype=float)
     for i in range(network.num_connections):
         total = network.path_latency(i)
-        for gname in network.gamma(i):
-            pos = network.connections_at(gname).index(i)
-            total += float(sojourns[gname][pos])
+        for a, pos in zip(csr.route(i), csr.positions(i)):
+            total += float(sojourns[csr.gateway_names[a]][pos])
         d[i] = total
     return d
 
@@ -64,17 +73,19 @@ def round_trip_delays_batch(network: Network,
     result equals ``round_trip_delays(network, discipline, rates[m])``.
 
     Gateway sojourns are computed once per gateway for the whole batch
-    and scattered back onto connection columns.
+    and scattered back onto connection columns through the network's
+    CSR member arrays.
     """
     r = np.asarray(rates, dtype=float)
     n = network.num_connections
     if r.ndim != 2 or r.shape[1] != n:
         raise RateVectorError(
             f"need an (M, {n}) rate batch, got shape {r.shape}")
+    csr = network.csr
     d = np.empty_like(r)
-    d[:] = [network.path_latency(i) for i in range(n)]
-    for gname in network.gateway_names:
-        cols = np.asarray(network.connections_at(gname), dtype=np.intp)
+    d[:] = csr.path_latency
+    for a, gname in enumerate(csr.gateway_names):
+        cols = csr.members(a)
         if cols.size == 0:
             continue
         sojourn = discipline.delays_batch(r[:, cols], network.mu(gname))

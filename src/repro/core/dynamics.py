@@ -26,12 +26,13 @@ from __future__ import annotations
 import enum
 import math
 import time
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from ..errors import ConvergenceError, RateVectorError
+from ..errors import ConvergenceError, RateVectorError, SweepError
 from ..faults import FaultEvent, FaultPlan
 from ..observability import RunRecord, emit_run_record, is_collecting
 from .delays import round_trip_delays, round_trip_delays_batch
@@ -42,7 +43,46 @@ from .service import ServiceDiscipline
 from .signals import FeedbackScheme, FeedbackStyle, SignalFunction
 from .topology import Network
 
-__all__ = ["Outcome", "Trajectory", "EnsembleResult", "FlowControlSystem"]
+__all__ = ["Outcome", "Trajectory", "EnsembleResult", "FlowControlSystem",
+           "HISTORY_POLICIES", "ensemble_buffer_bytes"]
+
+#: Valid ``history`` policies for :meth:`FlowControlSystem.run_ensemble`.
+#: ``"full"`` keeps every state of every member (the ``record=True``
+#: behaviour), ``"tail"`` keeps only the rolling window period detection
+#: needs, ``"none"`` keeps no history at all (cheapest; members that
+#: exhaust the step budget classify UNDECIDED because there is no tail
+#: to search for a limit cycle).
+HISTORY_POLICIES = ("full", "tail", "none")
+
+
+def ensemble_buffer_bytes(n_members: int, n_connections: int,
+                          max_steps: int = 20000, max_period: int = 64,
+                          history: str = "tail") -> int:
+    """Bytes of trajectory buffers ``run_ensemble`` preallocates.
+
+    Covers the dominant allocations — the ``(M, tcap, N)`` rolling tail
+    (``tcap = min(4 * max_period, max_steps + 1)``), the
+    ``(M, max_steps + 1, N)`` full-history buffer under
+    ``history="full"``, and the ``(M, N)`` finals / initial copies —
+    not the transient per-step working set, which scales with
+    ``block_size * N`` rather than M.  Use it to choose a ``block_size``
+    before committing to a million-member run: the tail and full
+    buffers are allocated *per block*, so blocking divides those terms
+    by ``M / block_size``.
+    """
+    if history not in HISTORY_POLICIES:
+        raise SweepError(
+            f"history must be one of {HISTORY_POLICIES}, got {history!r}")
+    itemsize = np.dtype(float).itemsize
+    base = 2 * n_members * n_connections * itemsize  # finals + initials
+    tcap = min(4 * max_period, max_steps + 1)
+    if history == "none":
+        return base
+    tail = n_members * tcap * n_connections * itemsize
+    if history == "tail":
+        return base + tail
+    full = n_members * (max_steps + 1) * n_connections * itemsize
+    return base + tail + full
 
 
 class Outcome(enum.Enum):
@@ -106,15 +146,22 @@ class EnsembleResult:
             length when oscillating, ``None`` otherwise).
         steps: per-member number of map applications performed.
         initials: the ``(M, N)`` initial conditions.
-        histories: when the ensemble was run with ``record=True``, the
-            per-member trajectories (each ``(steps_m + 1, N)``);
-            otherwise ``None``.
+        histories: when the ensemble was run with ``record=True`` (or
+            ``history="full"``), the per-member trajectories (each
+            ``(steps_m + 1, N)``).  These are *views* into the block
+            history buffer, not copies — zero-copy for the common
+            "wrap in a Trajectory and read" pattern; call ``.copy()``
+            on one before mutating it in place.  ``None`` otherwise.
         telemetry: the :class:`~repro.observability.RunRecord` of the
             ensemble when telemetry was collected, otherwise ``None``.
         fault_events: the :class:`~repro.faults.FaultEvent` s a
             non-empty :class:`~repro.faults.FaultPlan` injected across
             all members, ordered by (step, member); ``None`` for
             fault-free runs.
+        history_policy: the history retention policy the run used
+            (``"full"``, ``"tail"``, or ``"none"``).
+        block_size: the member block size when the ensemble was run
+            blocked, ``None`` when it ran as a single block.
     """
 
     finals: np.ndarray
@@ -125,6 +172,8 @@ class EnsembleResult:
     histories: Optional[List[np.ndarray]] = None
     telemetry: Optional[RunRecord] = None
     fault_events: Optional[List[FaultEvent]] = None
+    history_policy: str = "tail"
+    block_size: Optional[int] = None
 
     def __len__(self) -> int:
         return self.finals.shape[0]
@@ -147,8 +196,8 @@ class EnsembleResult:
         """
         if self.histories is None:
             raise RateVectorError(
-                "run_ensemble(..., record=True) is required to extract "
-                "per-member trajectories")
+                "run_ensemble(..., record=True) (history='full') is "
+                "required to extract per-member trajectories")
         return Trajectory(self.histories[m], self.outcomes[m],
                           self.periods[m], int(self.steps[m]))
 
@@ -326,9 +375,10 @@ class FlowControlSystem:
         rec = RunRecord.begin("run", 1, r.shape[0], max_steps, tol,
                               settle) if telemetry else None
         step_seconds = 0.0
-        # Preallocate the whole history buffer; trim (with a copy, so
-        # early convergence does not pin max_steps worth of memory) on
-        # return.
+        # Preallocate the whole history buffer.  When the step budget
+        # was fully used the buffer is returned as-is (no duplicate);
+        # an early exit trims with a copy so the trajectory does not
+        # pin max_steps worth of memory through a view.
         history = np.empty((max_steps + 1, r.shape[0]), dtype=float)
         history[0] = r
         quiet = 0
@@ -411,7 +461,9 @@ class FlowControlSystem:
                      max_period: int = 64,
                      record: bool = False,
                      telemetry: Optional[bool] = None,
-                     faults: Optional[FaultPlan] = None) -> EnsembleResult:
+                     faults: Optional[FaultPlan] = None,
+                     block_size: Optional[int] = None,
+                     history: Optional[str] = None) -> EnsembleResult:
         """Iterate the map from a whole batch of initial conditions.
 
         ``initials`` is an ``(M, N)`` array — M starting rate vectors —
@@ -424,22 +476,56 @@ class FlowControlSystem:
         stop costing work.  An empty batch (``M = 0``) returns
         immediately with well-shaped empty results.
 
-        Pass ``record=True`` to also keep the full per-member histories
-        (memory: ``M * (max_steps + 1) * N`` floats); by default only a
-        rolling tail needed for limit-cycle detection is retained.
+        ``block_size`` chunks the M axis: members are evolved in
+        consecutive blocks of at most ``block_size`` members, so the
+        trajectory buffers (and the per-step working set) scale with
+        the block, not with M — this is what makes M ~ 10^6 ensembles
+        runnable out of core.  Members are independent, so blocked
+        execution is *bit-identical* to the one-shot path in finals,
+        outcomes, steps, periods, and mask events.  ``None`` (default)
+        runs a single block.  ``block_size <= 0`` raises
+        :class:`~repro.errors.SweepError`; a block size larger than M
+        warns and runs as a single block.
+
+        ``history`` selects how much trajectory state is retained:
+
+        - ``"full"`` — every state of every member; equivalent to (and
+          implied by) ``record=True``.  Memory:
+          ``block * (max_steps + 1) * N`` floats per block, and the
+          returned ``histories`` views keep each block's buffer alive.
+        - ``"tail"`` (default) — only the rolling
+          ``min(4 * max_period, max_steps + 1)``-state tail that
+          limit-cycle detection needs.
+        - ``"none"`` — no history at all.  Cheapest; the one semantic
+          change is that members exhausting the step budget classify
+          UNDECIDED (never OSCILLATING) because there is no tail to
+          search for a cycle.
+
+        Invalid policies raise :class:`~repro.errors.SweepError`, as
+        does ``record=True`` combined with a conflicting ``history``.
+        :func:`ensemble_buffer_bytes` predicts the buffer cost of a
+        given (M, N, history, block) combination.
 
         ``telemetry`` works as in :meth:`run`: ``None`` records a
         :class:`~repro.observability.RunRecord` exactly when a
-        :func:`~repro.observability.collect` session is active.
+        :func:`~repro.observability.collect` session is active.  A
+        blocked run streams each block's per-iteration reductions into
+        the single record (series are concatenated in block order; the
+        record's ``n_blocks``/``block_size`` fields say how to cut
+        them), and mask events are merged across blocks into the same
+        (step, member) order the one-shot path produces.
 
         ``faults`` works as in :meth:`run`; each member gets its own
-        independent fault stream (seeded by the member index), so
-        member ``m`` reproduces ``run(initials[m], faults=plan,
-        fault_member=m)``.  The empty plan keeps the fault-free path
-        bit-identical.
+        independent fault stream (seeded by the *absolute* member
+        index, blocked or not), so member ``m`` reproduces
+        ``run(initials[m], faults=plan, fault_member=m)``.  The empty
+        plan keeps the fault-free path bit-identical.
         """
         r0 = as_rate_matrix(initials, n=self.network.num_connections)
         m_total, n = r0.shape
+        history = _resolve_history(record, history)
+        record = history == "full"
+        block = _resolve_block_size(block_size, m_total)
         fault_states = None
         if faults is not None and not faults.empty:
             fault_states = [faults.start(network=self.network, member=m)
@@ -449,16 +535,15 @@ class FlowControlSystem:
             telemetry = is_collecting()
         rec = RunRecord.begin("ensemble", m_total, n, max_steps, tol,
                               settle) if telemetry else None
-        step_seconds = 0.0
-        classify_seconds = 0.0
-        conv_total = 0
-        div_total = 0
+        n_blocks = -(-m_total // block) if m_total else 0
+        if rec is not None:
+            rec.n_blocks = max(n_blocks, 1)
+            rec.block_size = block if block_size is not None else None
 
         outcomes: List[Outcome] = [Outcome.UNDECIDED] * m_total
         periods: List[Optional[int]] = [None] * m_total
         steps = np.full(m_total, 0, dtype=int)
         finals = r0.copy()
-        quiet = np.zeros(m_total, dtype=int)
 
         if m_total == 0:
             # An empty ensemble is already finished; do not spin the
@@ -473,32 +558,101 @@ class FlowControlSystem:
                                   telemetry=rec,
                                   fault_events=(
                                       [] if fault_states is not None
-                                      else None))
+                                      else None),
+                                  history_policy=history,
+                                  block_size=None)
 
+        histories: Optional[List[Optional[np.ndarray]]] = \
+            [None] * m_total if record else None
+        mask_events: List[tuple] = []
+        timings = {"step": 0.0, "classify": 0.0, "period": 0.0}
+        totals = {"converged": 0, "diverged": 0, "period_ran": 0}
+        for base in range(0, m_total, block):
+            self._run_ensemble_block(
+                r0, base, min(base + block, m_total), max_steps, tol,
+                settle, max_period, limit, history, fault_states, rec,
+                outcomes, periods, steps, finals, histories,
+                mask_events, timings, totals)
+
+        # Members finish in (step, member) order on the one-shot path;
+        # blocked execution discovers the same events block by block,
+        # so a (stable) sort restores the identical ordering.
+        mask_events.sort(key=lambda e: (e[0], e[1]))
+        all_fault_events = None
+        if fault_states is not None:
+            all_fault_events = [event for state in fault_states
+                                for event in state.events]
+            all_fault_events.sort(key=lambda e: (e.step, e.member))
+        if rec is not None:
+            for step_count, member, kind in mask_events:
+                rec.observe_mask_event(step_count, member, kind)
+            if all_fault_events is not None:
+                for event in all_fault_events:
+                    rec.observe_fault_event(*event)
+            if totals["period_ran"]:
+                rec.add_phase("period_detection", timings["period"])
+            rec.add_phase("step_batch", timings["step"])
+            rec.add_phase("classify", timings["classify"])
+            counts = {}
+            for o in outcomes:
+                counts[o.value] = counts.get(o.value, 0) + 1
+            rec.finish(int(np.max(steps)) if m_total else 0, counts)
+            emit_run_record(rec)
+        return EnsembleResult(finals=finals, outcomes=outcomes,
+                              periods=periods, steps=steps,
+                              initials=r0, histories=histories,
+                              telemetry=rec,
+                              fault_events=all_fault_events,
+                              history_policy=history,
+                              block_size=(block if block_size is not None
+                                          else None))
+
+    def _run_ensemble_block(self, r0, base, end, max_steps, tol, settle,
+                            max_period, limit, history, fault_states,
+                            rec, outcomes, periods, steps, finals,
+                            histories, mask_events, timings, totals):
+        """Evolve members ``base:end`` of ``r0``; write results in place.
+
+        One block of :meth:`run_ensemble`: the per-step loop, masking,
+        and period detection over a contiguous member slice, writing
+        into the caller's result arrays at absolute member indices and
+        appending ``(step, member, kind)`` mask events.  Fault states
+        are indexed by absolute member so blocked fault streams match
+        the one-shot path exactly.
+        """
+        mb = end - base
+        n = r0.shape[1]
+        block_states = (fault_states[base:end]
+                        if fault_states is not None else None)
         # Rolling tail for period detection: _detect_period probes lags
         # up to max_period over a window of 3 * max_period, so the last
         # 4 * max_period states suffice.
         tcap = min(4 * max_period, max_steps + 1)
-        tail = np.zeros((m_total, tcap, n), dtype=float)
-        tail[:, 0] = r0
-        full = np.empty((m_total, max_steps + 1, n)) if record else None
-        if record:
-            full[:, 0] = r0
+        tail = None
+        if history != "none":
+            tail = np.zeros((mb, tcap, n), dtype=float)
+            tail[:, 0] = r0[base:end]
+        full = None
+        if history == "full":
+            full = np.empty((mb, max_steps + 1, n))
+            full[:, 0] = r0[base:end]
+        quiet = np.zeros(mb, dtype=int)
 
-        idx = np.arange(m_total)      # members still iterating
-        r = r0.copy()                 # their current states, compressed
+        idx = np.arange(mb)           # block members still iterating
+        r = r0[base:end].copy()       # their current states, compressed
         for step_count in range(1, max_steps + 1):
             if rec is not None:
                 t0 = time.perf_counter()
-            r_next = (self.step_batch(r) if fault_states is None else
-                      self.step_batch(r, faults=fault_states,
+            r_next = (self.step_batch(r) if block_states is None else
+                      self.step_batch(r, faults=block_states,
                                       members=idx,
                                       step_index=step_count))
             if rec is not None:
-                step_seconds += time.perf_counter() - t0
+                timings["step"] += time.perf_counter() - t0
                 t0 = time.perf_counter()
-            tail[idx, step_count % tcap] = r_next
-            if record:
+            if tail is not None:
+                tail[idx, step_count % tcap] = r_next
+            if full is not None:
                 full[idx, step_count] = r_next
 
             finite = np.all(np.isfinite(r_next), axis=1)
@@ -514,20 +668,20 @@ class FlowControlSystem:
 
             if np.any(done):
                 done_members = idx[done]
-                finals[done_members] = r_next[done]
-                steps[done_members] = step_count
+                finals[base + done_members] = r_next[done]
+                steps[base + done_members] = step_count
                 for m, is_div in zip(done_members, diverged[done]):
+                    member = base + int(m)
                     if is_div:
-                        outcomes[m] = Outcome.DIVERGED
-                        div_total += 1
+                        outcomes[member] = Outcome.DIVERGED
+                        totals["diverged"] += 1
                     else:
-                        outcomes[m] = Outcome.CONVERGED
-                        periods[m] = 1
-                        conv_total += 1
-                    if rec is not None:
-                        rec.observe_mask_event(
-                            step_count, int(m),
-                            "diverged" if is_div else "converged")
+                        outcomes[member] = Outcome.CONVERGED
+                        periods[member] = 1
+                        totals["converged"] += 1
+                    mask_events.append(
+                        (step_count, member,
+                         "diverged" if is_div else "converged"))
                 keep = ~done
                 idx = idx[keep]
                 r = r_next[keep]
@@ -536,61 +690,46 @@ class FlowControlSystem:
                     rec.observe_iteration(
                         float(np.max(finite_changes))
                         if finite_changes.size else math.inf,
-                        int(idx.size), conv_total, div_total)
-                    classify_seconds += time.perf_counter() - t0
+                        int(idx.size), totals["converged"],
+                        totals["diverged"])
+                    timings["classify"] += time.perf_counter() - t0
                 if idx.size == 0:
                     break
             else:
                 r = r_next
                 if rec is not None:
                     rec.observe_iteration(float(np.max(change)),
-                                          int(idx.size), conv_total,
-                                          div_total)
-                    classify_seconds += time.perf_counter() - t0
+                                          int(idx.size),
+                                          totals["converged"],
+                                          totals["diverged"])
+                    timings["classify"] += time.perf_counter() - t0
         else:
             # Members that exhausted the step budget: reconstruct the
-            # ordered tail from the ring buffer and look for a cycle.
-            finals[idx] = r
-            steps[idx] = max_steps
-            if rec is not None:
-                t0 = time.perf_counter()
-            start = (max_steps + 1) % tcap if max_steps + 1 > tcap else 0
-            for m in idx:
-                ordered = np.roll(tail[m], -start, axis=0)
-                period = _detect_period(ordered, max_period, tol,
-                                        total_len=max_steps + 1)
-                if period is not None:
-                    outcomes[m] = Outcome.OSCILLATING
-                    periods[m] = period
-            if rec is not None:
-                rec.add_phase("period_detection",
-                              time.perf_counter() - t0)
+            # ordered tail from the ring buffer and look for a cycle
+            # (skipped — UNDECIDED — under history="none").
+            finals[base + idx] = r
+            steps[base + idx] = max_steps
+            if tail is not None:
+                if rec is not None:
+                    t0 = time.perf_counter()
+                start = ((max_steps + 1) % tcap
+                         if max_steps + 1 > tcap else 0)
+                for m in idx:
+                    ordered = np.roll(tail[m], -start, axis=0)
+                    period = _detect_period(ordered, max_period, tol,
+                                            total_len=max_steps + 1)
+                    if period is not None:
+                        outcomes[base + m] = Outcome.OSCILLATING
+                        periods[base + m] = period
+                if rec is not None:
+                    timings["period"] += time.perf_counter() - t0
+                    totals["period_ran"] += 1
 
-        histories = None
-        if record:
-            histories = [full[m, :steps[m] + 1].copy()
-                         for m in range(m_total)]
-        all_fault_events = None
-        if fault_states is not None:
-            all_fault_events = [event for state in fault_states
-                                for event in state.events]
-            all_fault_events.sort(key=lambda e: (e.step, e.member))
-        if rec is not None:
-            if all_fault_events is not None:
-                for event in all_fault_events:
-                    rec.observe_fault_event(*event)
-            rec.add_phase("step_batch", step_seconds)
-            rec.add_phase("classify", classify_seconds)
-            counts = {}
-            for o in outcomes:
-                counts[o.value] = counts.get(o.value, 0) + 1
-            rec.finish(int(np.max(steps)) if m_total else 0, counts)
-            emit_run_record(rec)
-        return EnsembleResult(finals=finals, outcomes=outcomes,
-                              periods=periods, steps=steps,
-                              initials=r0, histories=histories,
-                              telemetry=rec,
-                              fault_events=all_fault_events)
+        if full is not None:
+            # Views, not copies: each member's trajectory window into
+            # the block buffer (see EnsembleResult.histories).
+            for m in range(mb):
+                histories[base + m] = full[m, :steps[base + m] + 1]
 
     def solve(self, initial: Sequence[float], **kwargs) -> np.ndarray:
         """Run to convergence and return the steady state; raise otherwise."""
@@ -599,6 +738,39 @@ class FlowControlSystem:
             raise ConvergenceError(
                 f"dynamics did not converge (outcome: {traj.outcome.value})")
         return traj.final
+
+
+def _resolve_history(record: bool, history: Optional[str]) -> str:
+    """Resolve the ``record``/``history`` pair to one retention policy."""
+    if history is None:
+        return "full" if record else "tail"
+    if history not in HISTORY_POLICIES:
+        raise SweepError(
+            f"history must be one of {HISTORY_POLICIES}, got {history!r}")
+    if record and history != "full":
+        raise SweepError(
+            f"record=True keeps full histories and conflicts with "
+            f"history={history!r}; drop one of the two")
+    return history
+
+
+def _resolve_block_size(block_size, m_total: int) -> int:
+    """Validate ``block_size`` and clamp it to the ensemble size."""
+    if block_size is None:
+        return max(m_total, 1)
+    if isinstance(block_size, bool) or \
+            not isinstance(block_size, (int, np.integer)):
+        raise SweepError(
+            f"block_size must be a positive integer, got {block_size!r}")
+    if block_size <= 0:
+        raise SweepError(f"block_size must be >= 1, got {block_size}")
+    if m_total and block_size > m_total:
+        warnings.warn(
+            f"block_size={block_size} exceeds the ensemble size "
+            f"M={m_total}; running as a single block",
+            RuntimeWarning, stacklevel=3)
+        return m_total
+    return int(block_size)
 
 
 def _detect_period(history: np.ndarray, max_period: int, tol: float,

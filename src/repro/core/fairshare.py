@@ -43,11 +43,29 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import RateVectorError
-from .math_utils import as_rate_vector, g, inverse_permutation, sorted_order
+from .math_utils import (SPARSE_MIN_N, as_rate_vector, g,
+                         inverse_permutation, pick_kernel, sorted_order)
 from .service import ServiceDiscipline, _check_mu
 
 __all__ = ["FairShare", "priority_decomposition", "cumulative_loads",
            "cumulative_loads_batch", "fair_share_queues_recursive"]
+
+
+def _sorted_loads(sorted_rates: np.ndarray, mu: float) -> np.ndarray:
+    """O(n log n) cumulative loads from row-sorted rates.
+
+    With the rates of each row sorted increasingly,
+    ``sum_m min(r_m, r_(k)) = prefix_k + r_(k) * (n - 1 - k)`` — every
+    rate at or below rank ``k`` contributes itself (the running prefix
+    sum, inclusive of ``r_(k)``), every larger one is capped at
+    ``r_(k)``.  This replaces the O(n^2) min-broadcast for large
+    gateways; the result differs from the broadcast sum only in
+    floating-point summation order (last-ulp), never in value.
+    """
+    n = sorted_rates.shape[-1]
+    prefix = np.cumsum(sorted_rates, axis=-1)
+    counts = (n - 1 - np.arange(n)).astype(float)
+    return (prefix + sorted_rates * counts) / mu
 
 
 def priority_decomposition(rates: Sequence[float]) -> np.ndarray:
@@ -69,7 +87,8 @@ def priority_decomposition(rates: Sequence[float]) -> np.ndarray:
 
 
 def cumulative_loads(rates: Sequence[float], mu: float,
-                     sorted_rates: np.ndarray = None) -> np.ndarray:
+                     sorted_rates: np.ndarray = None,
+                     method: str = "auto") -> np.ndarray:
     """``sigma_k = (1/mu) sum_m min(r_m, r_(k))`` for sorted rank ``k``.
 
     ``sigma_k`` is the cumulative utilisation of priority classes
@@ -87,17 +106,27 @@ def cumulative_loads(rates: Sequence[float], mu: float,
     the last ulp across permutations.  Summing in canonical (sorted)
     order makes the result bit-identical under any permutation of the
     input.
+
+    ``method`` selects the kernel: ``"dense"`` is the O(n^2)
+    min-broadcast reference, ``"sorted"`` the O(n log n) prefix-sum
+    formulation, ``"auto"`` (default) switches to sorted at
+    ``n >= SPARSE_MIN_N``.  The two agree to floating-point summation
+    order; the scalar and batch paths use the same kernel at the same
+    ``n``, so the scalar/batch identity holds at every size.
     """
     r = as_rate_vector(rates)
     _check_mu(mu)
     if sorted_rates is None:
         sorted_rates = r[sorted_order(r)]
+    if pick_kernel(method, r.shape[0]) == "sorted":
+        return _sorted_loads(sorted_rates[None, :], mu)[0]
     capped = np.minimum(sorted_rates[None, :], sorted_rates[:, None])
     return capped.sum(axis=1) / mu
 
 
 def cumulative_loads_batch(rates: np.ndarray, mu: float,
-                           sorted_rates: np.ndarray = None) -> np.ndarray:
+                           sorted_rates: np.ndarray = None,
+                           method: str = "auto") -> np.ndarray:
     """Batched :func:`cumulative_loads`: row ``m`` of the ``(M, n)``
     result is ``cumulative_loads(rates[m], mu)``.
 
@@ -106,7 +135,10 @@ def cumulative_loads_batch(rates: np.ndarray, mu: float,
 
     As in :func:`cumulative_loads`, the sum runs over the sorted rates
     so each row's loads are bit-identical under permutation of that row
-    (and bit-identical to the scalar path).
+    (and bit-identical to the scalar path).  ``method`` works as there;
+    at ``n >= SPARSE_MIN_N`` the ``(M, n, n)`` min-broadcast — the
+    allocation that caps ensemble size — is replaced by the O(M n log n)
+    prefix-sum kernel.
     """
     r = np.asarray(rates, dtype=float)
     _check_mu(mu)
@@ -115,6 +147,8 @@ def cumulative_loads_batch(rates: np.ndarray, mu: float,
             f"rate batch must be 2-D, got shape {r.shape}")
     if sorted_rates is None:
         sorted_rates = np.sort(r, axis=1, kind="stable")
+    if pick_kernel(method, r.shape[1]) == "sorted":
+        return _sorted_loads(sorted_rates, mu)
     capped = np.minimum(sorted_rates[:, None, :],
                         sorted_rates[:, :, None])
     return capped.sum(axis=2) / mu
@@ -129,6 +163,12 @@ class FairShare(ServiceDiscipline):
         r = as_rate_vector(rates)
         _check_mu(mu)
         n = r.shape[0]
+        if n >= SPARSE_MIN_N:
+            # Large gateways: run the single vector as a one-row batch.
+            # Same kernels, same operations — the scalar/batch identity
+            # is exact by construction — and neither the O(n) Python
+            # class loop nor the O(n^2) broadcast ever runs.
+            return self.queue_lengths_batch(r[None, :], mu)[0]
         order = sorted_order(r)
         inv = inverse_permutation(order)
         sigma = cumulative_loads(r, mu, sorted_rates=r[order])

@@ -32,7 +32,33 @@ __all__ = [
     "sup_norm",
     "is_close_vector",
     "clip_nonnegative",
+    "SPARSE_MIN_N",
+    "pick_kernel",
 ]
+
+#: Problem size at which the scale-oriented kernels take over from the
+#: small-N reference paths: O(n log n) sorted formulations replace the
+#: O(n^2) broadcast kernels, and scalar entry points delegate to their
+#: batched counterparts.  Below this size every code path is exactly the
+#: historical (pre-sparse) implementation, bit for bit.
+SPARSE_MIN_N = 64
+
+
+def pick_kernel(method: str, n: int, large: str = "sorted") -> str:
+    """Resolve a kernel ``method`` argument to ``"dense"`` or ``large``.
+
+    ``"auto"`` switches to the scale kernel (named ``large`` — e.g.
+    ``"sorted"`` or ``"sparse"``) at ``n >= SPARSE_MIN_N`` and stays on
+    the dense reference path below; passing the kernel name explicitly
+    forces it, which is how the equivalence tests compare the two.
+    """
+    if method == "auto":
+        return large if n >= SPARSE_MIN_N else "dense"
+    if method not in ("dense", large):
+        raise RateVectorError(
+            f"method must be 'auto', 'dense', or {large!r}, "
+            f"got {method!r}")
+    return method
 
 
 def g(x):

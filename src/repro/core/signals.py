@@ -32,7 +32,7 @@ from typing import Dict, Sequence
 import numpy as np
 
 from ..errors import RateVectorError
-from .math_utils import as_rate_vector
+from .math_utils import as_rate_vector, pick_kernel
 from .service import ServiceDiscipline
 from .topology import Network
 
@@ -234,28 +234,68 @@ def aggregate_congestion(queues: Sequence[float]) -> float:
     return float(np.sum(np.asarray(queues, dtype=float)))
 
 
-def individual_congestion(queues: Sequence[float]) -> np.ndarray:
+def _individual_sorted(queues: np.ndarray) -> np.ndarray:
+    """O(n log n) individual congestion for a row batch of queues.
+
+    Sort each row; in sorted order
+    ``C_(k) = prefix_k + Q_(k) * (n - 1 - k)`` — every queue at or
+    below rank ``k`` contributes itself (prefix sum inclusive of
+    ``Q_(k)``), every larger one is capped at ``Q_(k)`` by the MIN.
+    Infinite queues (overloaded classes) sort last: a finite ``Q_(k)``
+    caps them like any larger queue, while ``Q_(k) = inf`` itself gets
+    ``C = inf`` directly (its tail count can be zero, and ``inf * 0``
+    is NaN, so the mask is applied explicitly).  Scattered back to the
+    caller's order.  Agrees with the min-broadcast kernel up to
+    floating-point summation order.
+    """
+    n = queues.shape[-1]
+    order = np.argsort(queues, axis=-1, kind="stable")
+    qs = np.take_along_axis(queues, order, axis=-1)
+    prefix = np.cumsum(qs, axis=-1)
+    counts = (n - 1 - np.arange(n)).astype(float)
+    with np.errstate(invalid="ignore"):
+        c_sorted = np.where(np.isinf(qs), math.inf, prefix + qs * counts)
+    out = np.empty_like(queues)
+    np.put_along_axis(out, order, c_sorted, axis=-1)
+    return out
+
+
+def individual_congestion(queues: Sequence[float],
+                          method: str = "auto") -> np.ndarray:
     """``C_i = sum_k min(Q_k, Q_i)`` for every connection at a gateway.
 
     For the smallest queue this is ``N * Q_min``; for the largest it is
     the aggregate measure.  ``inf`` queues participate through the MIN.
+
+    ``method``: ``"dense"`` is the O(n^2) min-broadcast reference,
+    ``"sorted"`` the O(n log n) prefix-sum kernel, ``"auto"`` (default)
+    switches to sorted at ``n >= SPARSE_MIN_N`` — the same threshold
+    the batch path uses, so scalar and batch stay identical at every
+    gateway size.
     """
     q = np.asarray(queues, dtype=float)
     if q.ndim != 1:
         raise RateVectorError(f"queue vector must be 1-D, got {q.shape}")
+    if pick_kernel(method, q.shape[0]) == "sorted":
+        return _individual_sorted(q[None, :])[0]
     capped = np.minimum(q[None, :], q[:, None])
     return capped.sum(axis=1)
 
 
-def individual_congestion_batch(queues: np.ndarray) -> np.ndarray:
+def individual_congestion_batch(queues: np.ndarray,
+                                method: str = "auto") -> np.ndarray:
     """Row-wise :func:`individual_congestion` for an ``(M, n)`` batch.
 
-    Uses the same ``min`` broadcast as the scalar path (row for row
-    identical results), vectorised over the batch axis.
+    Uses the same kernel as the scalar path at the same ``n`` (row for
+    row identical results), vectorised over the batch axis; ``method``
+    works as in :func:`individual_congestion`, replacing the
+    ``(M, n, n)`` min-broadcast with the sorted kernel at large n.
     """
     q = np.asarray(queues, dtype=float)
     if q.ndim != 2:
         raise RateVectorError(f"queue batch must be 2-D, got {q.shape}")
+    if pick_kernel(method, q.shape[1]) == "sorted":
+        return _individual_sorted(q)
     capped = np.minimum(q[:, None, :], q[:, :, None])
     return capped.sum(axis=2)
 
@@ -338,10 +378,12 @@ class FeedbackScheme:
             if np.any(self.weights <= 0):
                 raise RateVectorError("weights must be positive")
         # Gather indices for the batch path: per gateway, the connection
-        # columns in Gamma(a) order.  Static because routing is static.
+        # columns in Gamma(a) order — views into the network's CSR
+        # member arrays.  Static because routing is static.
+        csr = network.csr
         self._gateway_cols = {
-            gname: np.asarray(network.connections_at(gname), dtype=np.intp)
-            for gname in network.gateway_names}
+            gname: csr.members(a)
+            for a, gname in enumerate(csr.gateway_names)}
 
     # -- per-gateway quantities ---------------------------------------
     def local_queues(self, rates: np.ndarray) -> Dict[str, np.ndarray]:
@@ -383,16 +425,28 @@ class FeedbackScheme:
         return out
 
     # -- per-connection quantities ------------------------------------
-    def signals(self, rates: np.ndarray) -> np.ndarray:
-        """Bottleneck signals ``b_i = max_{a in gamma(i)} b^a_i``."""
-        local = self.local_signals(rates)
-        net = self.network
-        b = np.zeros(net.num_connections, dtype=float)
-        for i in range(net.num_connections):
+    def signals(self, rates: np.ndarray,
+                method: str = "auto") -> np.ndarray:
+        """Bottleneck signals ``b_i = max_{a in gamma(i)} b^a_i``.
+
+        ``method``: ``"dense"`` walks each connection's route through
+        the per-gateway signal vectors (the reference path, now
+        CSR-addressed so it never rescans ``Gamma(a)``); ``"sparse"``
+        runs the vector as a one-row batch through
+        :meth:`signals_batch` — same gather/scatter kernels the
+        ensemble engine uses; ``"auto"`` (default) switches to sparse
+        at ``N >= SPARSE_MIN_N``.
+        """
+        r = as_rate_vector(rates, n=self.network.num_connections)
+        if pick_kernel(method, r.shape[0], large="sparse") == "sparse":
+            return self.signals_batch(r[None, :])[0]
+        local = self.local_signals(r)
+        csr = self.network.csr
+        b = np.zeros(self.network.num_connections, dtype=float)
+        for i in range(b.shape[0]):
             best = 0.0
-            for gname in net.gamma(i):
-                pos = net.connections_at(gname).index(i)
-                best = max(best, float(local[gname][pos]))
+            for a, pos in zip(csr.route(i), csr.positions(i)):
+                best = max(best, float(local[csr.gateway_names[a]][pos]))
             b[i] = best
         return b
 
@@ -436,11 +490,12 @@ class FeedbackScheme:
         """
         local = self.local_signals(rates)
         net = self.network
+        csr = net.csr
         result = {}
         for i in range(net.num_connections):
             values = []
-            for gname in net.gamma(i):
-                pos = net.connections_at(gname).index(i)
+            for a, pos in zip(csr.route(i), csr.positions(i)):
+                gname = csr.gateway_names[a]
                 values.append((gname, float(local[gname][pos])))
             peak = max(v for _, v in values)
             if peak <= 0.0:

@@ -33,6 +33,7 @@ __all__ = [
     "Gateway",
     "Connection",
     "Network",
+    "TopologyCSR",
     "single_gateway",
     "two_gateway_shared",
     "tandem",
@@ -97,6 +98,58 @@ class Connection:
                 f"{self.path!r}")
 
 
+@dataclass(frozen=True)
+class TopologyCSR:
+    """CSR-style index arrays over the connection x gateway incidence.
+
+    The paper's ``Gamma(a)`` (connections through a gateway) and
+    ``gamma(i)`` (gateways on a connection's path) as flat numpy
+    arrays, so large-N code can gather and scatter without per-lookup
+    Python work or ``Gamma(a).index(i)`` scans.  Built lazily once per
+    :class:`Network` (routing is static) via :attr:`Network.csr`.
+
+    Attributes:
+        gateway_names: gateway order; index ``a`` below refers to it.
+        mu: per-gateway service rates, shape ``(G,)``.
+        latency: per-gateway line latencies, shape ``(G,)``.
+        gw_ptr / gw_members: the member lists — connections through
+            gateway ``a`` are
+            ``gw_members[gw_ptr[a]:gw_ptr[a + 1]]``, in ``Gamma(a)``
+            order (the order every local queue vector uses).
+        route_ptr / route_gateways: the route lists — gateway indices
+            on ``gamma(i)`` are
+            ``route_gateways[route_ptr[i]:route_ptr[i + 1]]``, in path
+            order.
+        route_positions: aligned with ``route_gateways``: the position
+            of connection ``i`` inside that gateway's member segment,
+            precomputed so per-connection scatter/gather never rescans
+            ``Gamma(a)``.
+        path_latency: ``L_i`` per connection, shape ``(N,)``.
+    """
+
+    gateway_names: Tuple[str, ...]
+    mu: np.ndarray
+    latency: np.ndarray
+    gw_ptr: np.ndarray
+    gw_members: np.ndarray
+    route_ptr: np.ndarray
+    route_gateways: np.ndarray
+    route_positions: np.ndarray
+    path_latency: np.ndarray
+
+    def members(self, a: int) -> np.ndarray:
+        """``Gamma(a)`` as an index array (view into ``gw_members``)."""
+        return self.gw_members[self.gw_ptr[a]:self.gw_ptr[a + 1]]
+
+    def route(self, i: int) -> np.ndarray:
+        """``gamma(i)`` as gateway indices (view into ``route_gateways``)."""
+        return self.route_gateways[self.route_ptr[i]:self.route_ptr[i + 1]]
+
+    def positions(self, i: int) -> np.ndarray:
+        """Connection ``i``'s member-segment positions along its route."""
+        return self.route_positions[self.route_ptr[i]:self.route_ptr[i + 1]]
+
+
 class Network:
     """An immutable network + traffic topology.
 
@@ -140,6 +193,7 @@ class Network:
                 members[gname].append(i)
         self._members: Dict[str, Tuple[int, ...]] = {
             g: tuple(v) for g, v in members.items()}
+        self._csr: TopologyCSR = None  # built lazily by .csr
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -200,6 +254,56 @@ class Network:
     def path_latency(self, i: int) -> float:
         """``L_i``: total line latency along connection ``i``'s path."""
         return sum(self._gateways[g].latency for g in self.gamma(i))
+
+    @property
+    def csr(self) -> TopologyCSR:
+        """The :class:`TopologyCSR` index arrays of this network.
+
+        Built on first access and cached — routing is static, so the
+        arrays never go stale.
+        """
+        if self._csr is None:
+            self._csr = self._build_csr()
+        return self._csr
+
+    def _build_csr(self) -> TopologyCSR:
+        gateway_names = self.gateway_names
+        g_index = {g: a for a, g in enumerate(gateway_names)}
+        mu = np.array([self._gateways[g].mu for g in gateway_names])
+        latency = np.array([self._gateways[g].latency
+                            for g in gateway_names])
+
+        gw_ptr = np.zeros(len(gateway_names) + 1, dtype=np.intp)
+        segments = []
+        position_of: Dict[Tuple[str, int], int] = {}
+        for a, gname in enumerate(gateway_names):
+            conns = self._members[gname]
+            gw_ptr[a + 1] = gw_ptr[a] + len(conns)
+            segments.append(np.asarray(conns, dtype=np.intp))
+            for pos, i in enumerate(conns):
+                position_of[(gname, i)] = pos
+        gw_members = (np.concatenate(segments) if segments
+                      else np.empty(0, dtype=np.intp))
+
+        n = self.num_connections
+        route_ptr = np.zeros(n + 1, dtype=np.intp)
+        route_gateways = []
+        route_positions = []
+        for i, conn in enumerate(self._connections):
+            route_ptr[i + 1] = route_ptr[i] + len(conn.path)
+            for gname in conn.path:
+                route_gateways.append(g_index[gname])
+                route_positions.append(position_of[(gname, i)])
+        # Same summation as path_latency() so the vector is
+        # bit-identical to the per-connection scalar accessor.
+        path_lat = np.array([self.path_latency(i) for i in range(n)])
+        return TopologyCSR(
+            gateway_names=gateway_names, mu=mu, latency=latency,
+            gw_ptr=gw_ptr, gw_members=gw_members,
+            route_ptr=route_ptr,
+            route_gateways=np.asarray(route_gateways, dtype=np.intp),
+            route_positions=np.asarray(route_positions, dtype=np.intp),
+            path_latency=path_lat)
 
     def local_rates(self, gateway_name: str,
                     rates: np.ndarray) -> np.ndarray:

@@ -63,6 +63,12 @@ class RunRecord:
         phase_seconds: wall time per engine phase (``"step"``,
             ``"classify"``, ``"period_detection"``).
         wall_seconds: total wall time of the call.
+        n_blocks: number of member blocks the ensemble was executed in
+            (1 for unblocked runs and scalar trajectories).
+        block_size: the block size used when the run was blocked,
+            ``None`` otherwise.  For blocked runs the per-iteration
+            series are the concatenation of the per-block series in
+            block order (each block streams its own reductions).
     """
 
     kind: str
@@ -82,6 +88,8 @@ class RunRecord:
     steps: int = 0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     wall_seconds: float = 0.0
+    n_blocks: int = 1
+    block_size: Optional[int] = None
     _started: float = field(default=0.0, repr=False)
 
     @classmethod
@@ -166,6 +174,8 @@ class RunRecord:
             "phase_seconds": {k: json_safe_float(v)
                               for k, v in self.phase_seconds.items()},
             "wall_seconds": json_safe_float(self.wall_seconds),
+            "n_blocks": self.n_blocks,
+            "block_size": self.block_size,
         }
 
 

@@ -65,8 +65,8 @@ import warnings
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Union
 
-from .errors import RateVectorError, SweepError, WorkerFunctionError
-from .observability import SweepRecord, emit_sweep_record, is_collecting
+from ..errors import RateVectorError, SweepError, WorkerFunctionError
+from ..observability import SweepRecord, emit_sweep_record, is_collecting
 
 __all__ = ["sweep", "chunk_indices", "memoised", "CHECKPOINT_SCHEMA"]
 
@@ -484,3 +484,12 @@ def _submit(pool, fn: Callable, chunk_items: list, first_index: int):
     """Submit one chunk to the pool (separate function so tests can
     inject infrastructure failures deterministically)."""
     return pool.submit(_run_chunk_guarded, fn, chunk_items, first_index)
+
+
+# Re-exported here so ``repro.parallel`` remains the single import
+# surface for parallel execution; the import sits at module bottom
+# because orchestrator pulls sweep()/chunk_indices() back from this
+# package.
+from .orchestrator import ORCHESTRATOR_SCHEMA, Orchestrator, SweepJob  # noqa: E402
+
+__all__ += ["Orchestrator", "SweepJob", "ORCHESTRATOR_SCHEMA"]

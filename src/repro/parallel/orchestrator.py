@@ -1,0 +1,285 @@
+"""Long-running sharded sweep orchestrator.
+
+:func:`repro.parallel.sweep` evaluates one grid and returns.  The
+:class:`Orchestrator` manages a *queue* of such sweeps as durable jobs
+rooted in a directory:
+
+* each submitted :class:`SweepJob` gets its own job directory with a
+  small ``state.json`` lifecycle record
+  (``queued -> running -> done | failed``);
+* a job's grid is split into ``shards`` contiguous slices
+  (:func:`repro.parallel.chunk_indices`), and each shard runs as its
+  own checkpointed :func:`~repro.parallel.sweep` across the worker
+  pool;
+* every finished shard's results are written to disk immediately
+  (atomic ``pickle`` per shard), so aggregation is incremental — a
+  million-point grid never has to be held as one in-flight result set;
+* a killed or crashed orchestrator resumes mid-job: re-submit the same
+  job and completed shards are loaded from disk while the interrupted
+  shard resumes from its own sweep checkpoint, chunk by chunk.
+
+Functions are not persisted (pickling arbitrary callables is not
+reliable across processes and code versions): resuming means
+re-submitting the same ``(name, fn, grid)``.  ``state.json`` pins the
+grid size and shard layout and refuses a mismatched resubmission, the
+same contract the sweep checkpoint manifest uses for chunks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..errors import SweepError
+from . import chunk_indices, sweep
+
+__all__ = ["SweepJob", "Orchestrator", "ORCHESTRATOR_SCHEMA"]
+
+#: Schema identifier embedded in every job ``state.json``.
+ORCHESTRATOR_SCHEMA = "repro.orchestrator-job/v1"
+
+_STATUSES = ("queued", "running", "done", "failed")
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One sweep in the orchestrator queue.
+
+    ``fn``/``grid`` are as in :func:`repro.parallel.sweep`; ``shards``
+    is the number of contiguous grid slices the job is split into
+    (each shard is one checkpointed sweep call, and the unit of
+    incremental aggregation and resume).  The remaining fields are
+    passed through to every shard's ``sweep``.
+    """
+
+    name: str
+    fn: Callable
+    grid: Sequence = field(repr=False)
+    shards: int = 4
+    workers: Optional[int] = None
+    executor: str = "process"
+    chunk_size: Optional[int] = None
+    timeout: Optional[float] = None
+    retries: int = 2
+    backoff: float = 0.5
+
+    def __post_init__(self):
+        if not (isinstance(self.name, str) and self.name):
+            raise SweepError(
+                f"job name must be a nonempty string, got {self.name!r}")
+        if os.sep in self.name or "/" in self.name or self.name in (".",
+                                                                    ".."):
+            raise SweepError(
+                f"job name must be a plain directory name, "
+                f"got {self.name!r}")
+        if not isinstance(self.shards, int) or isinstance(self.shards,
+                                                          bool) \
+                or self.shards < 1:
+            raise SweepError(
+                f"shards must be a positive integer, got {self.shards!r}")
+        if not callable(self.fn):
+            raise SweepError(f"fn must be callable, got {self.fn!r}")
+
+    @property
+    def shard_ranges(self) -> List[range]:
+        return chunk_indices(len(self.grid), self.shards)
+
+
+def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_bytes(payload)
+    os.replace(tmp, path)
+
+
+class Orchestrator:
+    """A durable queue of sharded sweep jobs rooted in one directory."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self._jobs: Dict[str, SweepJob] = {}
+
+    # ------------------------------------------------------------------
+    # disk layout helpers
+    # ------------------------------------------------------------------
+    def job_dir(self, name: str) -> Path:
+        return self.jobs_dir / name
+
+    def _state_path(self, name: str) -> Path:
+        return self.job_dir(name) / "state.json"
+
+    def _shard_result_path(self, name: str, k: int) -> Path:
+        return self.job_dir(name) / "results" / f"shard_{k:05d}.pkl"
+
+    def _shard_checkpoint_dir(self, name: str, k: int) -> Path:
+        return self.job_dir(name) / "shards" / f"shard_{k:05d}"
+
+    def _write_state(self, name: str, state: dict) -> None:
+        state = dict(state)
+        state["schema"] = ORCHESTRATOR_SCHEMA
+        _atomic_write_bytes(self._state_path(name),
+                            json.dumps(state, indent=1).encode())
+
+    def _read_state(self, name: str) -> Optional[dict]:
+        path = self._state_path(name)
+        if not path.exists():
+            return None
+        try:
+            state = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SweepError(
+                f"unreadable job state {path}: {exc!r}") from exc
+        if state.get("schema") != ORCHESTRATOR_SCHEMA:
+            raise SweepError(
+                f"job state {path} has schema {state.get('schema')!r}, "
+                f"expected {ORCHESTRATOR_SCHEMA!r}")
+        return state
+
+    # ------------------------------------------------------------------
+    # queue operations
+    # ------------------------------------------------------------------
+    def submit(self, job: SweepJob) -> dict:
+        """Queue a job (or re-attach to its on-disk state to resume).
+
+        Returns the job's state dict.  Re-submitting a job whose name
+        already has on-disk state verifies the grid size and shard
+        layout against the pinned values — a mismatch raises
+        :class:`~repro.errors.SweepError` rather than silently mixing
+        two different grids — and an interrupted ``running`` job drops
+        back to ``queued`` so :meth:`run_pending` picks it up again.
+        """
+        if not isinstance(job, SweepJob):
+            raise SweepError(f"expected a SweepJob, got {job!r}")
+        shard_sizes = [len(rng) for rng in job.shard_ranges]
+        state = self._read_state(job.name)
+        if state is None:
+            self.job_dir(job.name).mkdir(parents=True, exist_ok=True)
+            state = {"name": job.name, "n_items": len(job.grid),
+                     "shards": job.shards, "shard_sizes": shard_sizes,
+                     "status": "queued", "completed_shards": [],
+                     "error": None}
+        else:
+            if state["n_items"] != len(job.grid) \
+                    or state["shard_sizes"] != shard_sizes:
+                raise SweepError(
+                    f"job {job.name!r}: on-disk state pins "
+                    f"{state['n_items']} items in shards "
+                    f"{state['shard_sizes']}, resubmitted with "
+                    f"{len(job.grid)} items in shards {shard_sizes}")
+            if state["status"] in ("running", "failed"):
+                # Interrupted or failed: back to the queue for resume.
+                state["status"] = "queued"
+                state["error"] = None
+        self._write_state(job.name, state)
+        self._jobs[job.name] = job
+        return state
+
+    def status(self, name: str) -> dict:
+        """The on-disk state of a job (raises for unknown names)."""
+        state = self._read_state(name)
+        if state is None:
+            raise SweepError(f"no job named {name!r} under {self.root}")
+        return state
+
+    def queued(self) -> List[str]:
+        """Names of registered jobs still waiting to run, in order."""
+        return [name for name, job in self._jobs.items()
+                if self.status(name)["status"] == "queued"]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run_job(self, name: str) -> List:
+        """Run (or resume) one job to completion and return its results.
+
+        Completed shards are skipped (their results come from disk);
+        the first incomplete shard resumes from its sweep checkpoint.
+        A shard failure marks the job ``failed`` (with the error
+        recorded in ``state.json``) and re-raises.
+        """
+        job = self._jobs.get(name)
+        if job is None:
+            raise SweepError(
+                f"job {name!r} is not registered in this orchestrator; "
+                f"submit() it (functions are not persisted on disk)")
+        state = self.status(name)
+        if state["status"] == "done":
+            return self.results(name)
+        state["status"] = "running"
+        self._write_state(name, state)
+        completed = set(state["completed_shards"])
+        for k, rng in enumerate(job.shard_ranges):
+            if k in completed:
+                continue
+            shard_grid = [job.grid[i] for i in rng]
+            try:
+                shard_results = sweep(
+                    job.fn, shard_grid, workers=job.workers,
+                    executor=job.executor, chunk_size=job.chunk_size,
+                    timeout=job.timeout, retries=job.retries,
+                    backoff=job.backoff,
+                    checkpoint_dir=self._shard_checkpoint_dir(name, k))
+            except Exception as exc:
+                state["status"] = "failed"
+                state["error"] = repr(exc)
+                self._write_state(name, state)
+                raise
+            # Incremental aggregation: persist the shard before moving
+            # on, so a later crash never recomputes it.
+            path = self._shard_result_path(name, k)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            _atomic_write_bytes(path, pickle.dumps(shard_results))
+            state["completed_shards"] = sorted(completed | {k})
+            completed.add(k)
+            self._write_state(name, state)
+        state["status"] = "done"
+        state["error"] = None
+        self._write_state(name, state)
+        return self.results(name)
+
+    def run_pending(self) -> Dict[str, str]:
+        """Drain the queue in submission order; return final statuses.
+
+        Per-job failures are recorded in that job's state and do not
+        stop the queue — inspect the returned mapping (or
+        :meth:`status`) and re-submit to retry.
+        """
+        outcome = {}
+        for name in list(self._jobs):
+            if self.status(name)["status"] not in ("queued", "running"):
+                outcome[name] = self.status(name)["status"]
+                continue
+            try:
+                self.run_job(name)
+            except Exception:
+                pass
+            outcome[name] = self.status(name)["status"]
+        return outcome
+
+    def results(self, name: str) -> List:
+        """The job's results in grid order, loaded shard by shard."""
+        state = self.status(name)
+        if state["status"] != "done":
+            raise SweepError(
+                f"job {name!r} is {state['status']!r}, not done; "
+                f"no complete results to load")
+        out: List = []
+        for k in range(len(state["shard_sizes"])):
+            path = self._shard_result_path(name, k)
+            try:
+                shard = pickle.loads(path.read_bytes())
+            except (OSError, pickle.UnpicklingError) as exc:
+                raise SweepError(
+                    f"job {name!r}: shard result {path} is "
+                    f"unreadable: {exc!r}") from exc
+            if len(shard) != state["shard_sizes"][k]:
+                raise SweepError(
+                    f"job {name!r}: shard {k} holds {len(shard)} "
+                    f"results, expected {state['shard_sizes'][k]}")
+            out.extend(shard)
+        return out

@@ -8,6 +8,8 @@ a whole scenario family:
 ``batch-equivalence``    scalar ``step`` vs ``step_batch`` rows
                          (contract: equal to <= 1e-12)
 ``ensemble-equivalence`` ``run_ensemble`` member vs scalar ``run``
+``blocked-equivalence``  ``run_ensemble`` with ``block_size < M`` vs
+                         the one-shot run (bit-identical)
 ``kernel-equivalence``   legacy vs fast packet kernels (bit-identical)
 ``fixed-point``          converged trajectory is a fixed point of the
                          map, and agrees with the damped refiner
@@ -516,10 +518,60 @@ def check_fault_determinism(ctx: ScenarioContext) -> OracleResult:
         f"events over {budget} steps")
 
 
+def check_blocked_equivalence(ctx: ScenarioContext) -> OracleResult:
+    """Blocked execution is invisible: ``run_ensemble`` with
+    ``block_size < M`` reproduces the one-shot run bit for bit.
+
+    Members are row-independent through ``step_batch``, so chunking the
+    member axis must change nothing — finals, outcomes, steps, periods,
+    and the retained histories all have to match exactly.  Any
+    batch-row-position dependence in a kernel (a reduction over the
+    member axis leaking across rows) breaks this and is caught here.
+    """
+    budget = min(ctx.spec.max_steps, 400)
+    initials = ctx.probes
+    kwargs = dict(max_steps=budget, tol=ctx.spec.tol, record=True)
+    blocked = ctx.system.run_ensemble(initials, block_size=2, **kwargs)
+    oneshot = ctx.system.run_ensemble(initials, **kwargs)
+    if not np.array_equal(blocked.finals, oneshot.finals):
+        worst = float(np.max(np.abs(blocked.finals - oneshot.finals)))
+        return OracleResult(
+            "blocked-equivalence", True, False,
+            f"finals differ between block_size=2 and one-shot "
+            f"(max |diff| = {worst:.3e})")
+    if blocked.outcomes != oneshot.outcomes:
+        return OracleResult(
+            "blocked-equivalence", True, False,
+            "outcome classification differs between blocked and "
+            "one-shot execution")
+    if not np.array_equal(blocked.steps, oneshot.steps):
+        return OracleResult(
+            "blocked-equivalence", True, False,
+            "per-member step counts differ between blocked and "
+            "one-shot execution")
+    if blocked.periods != oneshot.periods:
+        return OracleResult(
+            "blocked-equivalence", True, False,
+            "detected periods differ between blocked and one-shot "
+            "execution")
+    for m in range(len(blocked)):
+        if not np.array_equal(blocked.histories[m],
+                              oneshot.histories[m]):
+            return OracleResult(
+                "blocked-equivalence", True, False,
+                f"member {m}: retained history differs between "
+                f"blocked and one-shot execution")
+    return OracleResult(
+        "blocked-equivalence", True, True,
+        f"{len(blocked)} members bit-identical in blocks of "
+        f"{blocked.block_size} ({budget}-step budget)")
+
+
 #: The oracle catalogue, in evaluation order.
 ORACLES: Dict[str, Callable[[ScenarioContext], OracleResult]] = {
     "batch-equivalence": check_batch_equivalence,
     "ensemble-equivalence": check_ensemble_equivalence,
+    "blocked-equivalence": check_blocked_equivalence,
     "kernel-equivalence": check_kernel_equivalence,
     "fixed-point": check_fixed_point,
     "tsi": check_tsi,

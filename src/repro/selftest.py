@@ -38,6 +38,7 @@ from .core.ratecontrol import (DecbitRateRule, ProportionalTargetRule,
 from .core.signals import (FeedbackStyle, LinearSaturating,
                            PowerSaturating)
 from .core.topology import parking_lot, single_gateway
+from .errors import SweepError
 from .observability import collect, validate_run_record
 from .parallel import sweep
 
@@ -107,6 +108,25 @@ def run_selftest(quick: bool = False, force_fail: bool = False) -> bool:
                and bool(np.allclose(result.finals[m], traj.final,
                                     atol=_TOL)))
     _check(f"{members}-member ensemble matches run()", ok, failures)
+
+    print("blocked ensemble execution:")
+    blocked = system.run_ensemble(starts, max_steps=max_steps,
+                                  block_size=3)
+    _check("block_size=3 is bit-identical to one-shot",
+           bool(np.array_equal(blocked.finals, result.finals))
+           and blocked.outcomes == result.outcomes
+           and bool(np.array_equal(blocked.steps, result.steps)),
+           failures)
+    lean = system.run_ensemble(starts, max_steps=max_steps,
+                               block_size=3, history="none")
+    _check("history='none' keeps the finals",
+           bool(np.array_equal(lean.finals, result.finals))
+           and lean.history_policy == "none", failures)
+    try:
+        system.run_ensemble(starts, block_size=0)
+        _check("block_size=0 raises SweepError", False, failures)
+    except SweepError:
+        _check("block_size=0 raises SweepError", True, failures)
 
     print("engine edge cases:")
     empty = system.run_ensemble(np.empty((0, 4)), max_steps=max_steps)

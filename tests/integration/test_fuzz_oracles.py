@@ -84,6 +84,22 @@ class TestEveryOracleFires:
         fails = failing_oracles(spec_of(), ["ensemble-equivalence"])
         assert fails == ("ensemble-equivalence",)
 
+    def test_blocked_equivalence_catches_row_position_dependence(
+            self, monkeypatch):
+        # A kernel that leaks the batch-row *position* into the result
+        # is invisible to the one-shot run alone, but blocked execution
+        # re-bases each member's row index — the differential fires.
+        from repro.core.dynamics import FlowControlSystem
+        orig = FlowControlSystem.step_batch
+
+        def broken(self, rates):
+            out = np.array(orig(self, rates), dtype=float)
+            return out + 1e-6 * np.arange(out.shape[0])[:, None]
+
+        monkeypatch.setattr(FlowControlSystem, "step_batch", broken)
+        fails = failing_oracles(spec_of(), ["blocked-equivalence"])
+        assert fails == ("blocked-equivalence",)
+
     def test_kernel_equivalence_catches_engine_skew(self, monkeypatch):
         orig = NetworkSimulation.throughput
 

@@ -1,0 +1,189 @@
+"""Unit tests for the sharded sweep orchestrator.
+
+The orchestrator's contract: jobs are durable directories, shard
+results aggregate to disk as they finish, and a killed job resumes
+exactly where it stopped — completed shards load from disk, the
+interrupted shard resumes from its own sweep checkpoint, and the final
+aggregate equals the uninterrupted run.  Failures are injected by
+raising from the worker function at a chosen grid item (the
+deterministic stand-in for killing a shard mid-job), mirroring the
+resilient-sweep tests.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import SweepError, WorkerFunctionError
+from repro.parallel import ORCHESTRATOR_SCHEMA, Orchestrator, SweepJob
+
+GRID = list(range(12))
+
+CALLS: list = []
+FAIL_AT: set = set()
+
+
+def tracked(x):
+    CALLS.append(x)
+    if x in FAIL_AT:
+        raise ValueError(f"injected failure at {x}")
+    return x * 10
+
+
+@pytest.fixture(autouse=True)
+def _reset_worker_state():
+    CALLS.clear()
+    FAIL_AT.clear()
+    yield
+    FAIL_AT.clear()
+
+
+def job(name="j", grid=GRID, shards=4, **kwargs):
+    kwargs.setdefault("executor", "serial")
+    kwargs.setdefault("retries", 0)
+    return SweepJob(name, tracked, grid, shards=shards, **kwargs)
+
+
+class TestLifecycle:
+    def test_submit_run_results(self, tmp_path):
+        orch = Orchestrator(tmp_path)
+        state = orch.submit(job())
+        assert state["status"] == "queued"
+        assert state["shard_sizes"] == [3, 3, 3, 3]
+        results = orch.run_job("j")
+        assert results == [x * 10 for x in GRID]
+        assert orch.status("j")["status"] == "done"
+        assert orch.status("j")["completed_shards"] == [0, 1, 2, 3]
+        assert orch.results("j") == results
+
+    def test_state_file_is_schema_stamped_json(self, tmp_path):
+        orch = Orchestrator(tmp_path)
+        orch.submit(job())
+        state = json.loads(
+            (tmp_path / "jobs" / "j" / "state.json").read_text())
+        assert state["schema"] == ORCHESTRATOR_SCHEMA
+
+    def test_done_job_reruns_for_free(self, tmp_path):
+        orch = Orchestrator(tmp_path)
+        orch.submit(job())
+        first = orch.run_job("j")
+        CALLS.clear()
+        assert orch.run_job("j") == first
+        assert CALLS == []  # served entirely from disk
+
+    def test_run_pending_drains_in_submission_order(self, tmp_path):
+        orch = Orchestrator(tmp_path)
+        orch.submit(job("alpha", grid=[1, 2], shards=1))
+        orch.submit(job("beta", grid=[3, 4], shards=1))
+        statuses = orch.run_pending()
+        assert statuses == {"alpha": "done", "beta": "done"}
+        assert CALLS == [1, 2, 3, 4]
+
+    def test_shards_exceeding_grid_collapse(self, tmp_path):
+        orch = Orchestrator(tmp_path)
+        orch.submit(job(grid=[5, 6], shards=8))
+        assert orch.run_job("j") == [50, 60]
+
+    def test_empty_grid_completes_immediately(self, tmp_path):
+        orch = Orchestrator(tmp_path)
+        orch.submit(job(grid=[]))
+        assert orch.run_job("j") == []
+        assert orch.status("j")["status"] == "done"
+
+
+class TestFailureAndResume:
+    def test_killed_job_resumes_skipping_completed_shards(self,
+                                                          tmp_path):
+        # Uninterrupted reference aggregate first, in its own root.
+        ref = Orchestrator(tmp_path / "ref")
+        ref.submit(job())
+        expected = ref.run_job("j")
+
+        # First pass: the worker dies at grid item 7 (inside shard 2),
+        # after shards 0 and 1 already aggregated to disk.
+        FAIL_AT.add(7)
+        orch = Orchestrator(tmp_path / "real")
+        orch.submit(job())
+        with pytest.raises(WorkerFunctionError):
+            orch.run_job("j")
+        state = orch.status("j")
+        assert state["status"] == "failed"
+        assert state["completed_shards"] == [0, 1]
+        assert "injected failure" in state["error"]
+
+        # Second pass: a fresh orchestrator (process restart) with the
+        # fault cleared.  Completed shards must come from disk, not be
+        # recomputed — only shard 2 onwards touches the worker.
+        FAIL_AT.clear()
+        CALLS.clear()
+        resumed = Orchestrator(tmp_path / "real")
+        assert resumed.submit(job())["status"] == "queued"
+        assert resumed.run_job("j") == expected
+        assert all(x >= 6 for x in CALLS), \
+            f"completed shards were recomputed: {CALLS}"
+
+    def test_interrupted_shard_resumes_from_sweep_checkpoint(self,
+                                                             tmp_path):
+        # chunk_size=1 checkpoints every grid item inside the shard, so
+        # resuming the killed shard re-runs only the item that failed
+        # and later ones — not the shard's earlier items.
+        FAIL_AT.add(7)
+        orch = Orchestrator(tmp_path)
+        orch.submit(job(shards=2, chunk_size=1))  # shards of 6
+        with pytest.raises(WorkerFunctionError):
+            orch.run_job("j")
+        FAIL_AT.clear()
+        CALLS.clear()
+        resumed = Orchestrator(tmp_path)
+        resumed.submit(job(shards=2, chunk_size=1))
+        assert resumed.run_job("j") == [x * 10 for x in GRID]
+        assert 6 not in CALLS, "checkpointed chunk was recomputed"
+        assert 7 in CALLS
+
+    def test_run_pending_records_failure_and_continues(self, tmp_path):
+        FAIL_AT.add(1)
+        orch = Orchestrator(tmp_path)
+        orch.submit(job("bad", grid=[0, 1], shards=1))
+        orch.submit(job("good", grid=[2, 3], shards=1))
+        statuses = orch.run_pending()
+        assert statuses == {"bad": "failed", "good": "done"}
+        assert orch.results("good") == [20, 30]
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"name": ""}, {"name": "a/b"}, {"name": ".."},
+        {"shards": 0}, {"shards": True}, {"shards": 2.0},
+    ])
+    def test_bad_job_fields_raise(self, kwargs):
+        base = dict(name="ok", fn=tracked, grid=GRID)
+        base.update(kwargs)
+        with pytest.raises(SweepError):
+            SweepJob(**base)
+
+    def test_non_callable_fn_raises(self):
+        with pytest.raises(SweepError, match="callable"):
+            SweepJob("j", 42, GRID)
+
+    def test_submit_rejects_non_job(self, tmp_path):
+        with pytest.raises(SweepError, match="SweepJob"):
+            Orchestrator(tmp_path).submit("not a job")
+
+    def test_resubmit_with_different_grid_shape_raises(self, tmp_path):
+        orch = Orchestrator(tmp_path)
+        orch.submit(job())
+        with pytest.raises(SweepError, match="pins"):
+            orch.submit(job(grid=GRID[:-1]))
+
+    def test_unknown_job_raises(self, tmp_path):
+        orch = Orchestrator(tmp_path)
+        with pytest.raises(SweepError, match="no job named"):
+            orch.status("ghost")
+        with pytest.raises(SweepError, match="not registered"):
+            orch.run_job("ghost")
+
+    def test_results_before_done_raise(self, tmp_path):
+        orch = Orchestrator(tmp_path)
+        orch.submit(job())
+        with pytest.raises(SweepError, match="not done"):
+            orch.results("j")

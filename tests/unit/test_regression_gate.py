@@ -14,8 +14,9 @@ import pytest
 _BENCHMARKS = Path(__file__).resolve().parents[2] / "benchmarks"
 sys.path.insert(0, str(_BENCHMARKS))
 
-from regression_gate import (GATED, GATED_SIM, _sim_baseline_for_mode,
-                             compare, format_report)  # noqa: E402
+from regression_gate import (GATED, GATED_SCALE, GATED_SIM,
+                             _quick_baseline_for_mode, compare,
+                             format_report)  # noqa: E402
 
 
 def _baseline(ensemble=50.0, sweep=20.0, ens_min=5.0, sweep_min=3.0):
@@ -125,9 +126,11 @@ class TestSimBaseline:
 
     def test_quick_mode_swaps_in_quick_targets(self):
         data = self._sim_baseline()
-        swapped = _sim_baseline_for_mode(data, quick=True)
+        swapped = _quick_baseline_for_mode(data, quick=True,
+                                           quick_targets={})
         assert swapped["targets"] == data["quick_targets"]
-        assert _sim_baseline_for_mode(data, quick=False) is data
+        assert _quick_baseline_for_mode(data, quick=False,
+                                        quick_targets={}) is data
 
     def test_compare_judges_sim_keys(self):
         baseline = {
@@ -147,4 +150,48 @@ class TestSimBaseline:
             [name for name, _ in GATED_SIM]
         fresh["fifo_closed_loop"]["speedup"] = 4.0
         ok, report = compare(baseline, fresh, gated=GATED_SIM)
+        assert not ok
+
+
+class TestScaleBaseline:
+    def _scale_baseline(self):
+        return json.loads(
+            (_BENCHMARKS.parent / "BENCH_scale.json").read_text())
+
+    def test_baseline_file_has_gated_keys(self):
+        data = self._scale_baseline()
+        for name, target_key in GATED_SCALE:
+            assert "speedup" in data[name]
+            assert target_key in data["targets"]
+            assert target_key in data["quick_targets"]
+            assert data["quick_targets"][target_key] <= \
+                data["targets"][target_key]
+        assert data["targets_met"] is True
+        # The headline claim: the blocked run fits the stated budget
+        # and the one-shot run does not.
+        assert data["memory"]["blocked_within_budget"] is True
+        assert data["memory"]["oneshot_within_budget"] is False
+        assert data["memory"]["n"] >= 100_000
+        assert data["memory"]["members"] >= 64
+
+    def test_gate_passes_against_itself(self):
+        data = self._scale_baseline()
+        ok, _ = compare(data, data, gated=GATED_SCALE)
+        assert ok
+
+    def test_compare_judges_scale_keys(self):
+        baseline = {
+            "memory": {"speedup": 5.0},
+            "throughput": {"speedup": 1.0},
+            "targets": {"scale_memory_ratio_min": 3.0,
+                        "scale_throughput_ratio_min": 0.9},
+        }
+        fresh = {"memory": {"speedup": 4.0},
+                 "throughput": {"speedup": 0.95}}
+        ok, report = compare(baseline, fresh, gated=GATED_SCALE)
+        assert ok
+        assert [e["name"] for e in report] == \
+            [name for name, _ in GATED_SCALE]
+        fresh["throughput"]["speedup"] = 0.5
+        ok, _ = compare(baseline, fresh, gated=GATED_SCALE)
         assert not ok

@@ -30,9 +30,10 @@ scale-quick:
 verify: test selftest gate fuzz-quick scale-quick
 
 # Full-scale benchmarks + gate; refreshes BENCH_core.json,
-# BENCH_sim.json, and BENCH_scale.json.
+# BENCH_sim.json, BENCH_scale.json, and BENCH_controllers.json.
 bench:
 	$(PYTHON) benchmarks/bench_core_engine.py
 	$(PYTHON) benchmarks/bench_sim_kernel.py
 	$(PYTHON) benchmarks/bench_scale.py
+	$(PYTHON) benchmarks/bench_controllers.py
 	$(PYTHON) benchmarks/regression_gate.py

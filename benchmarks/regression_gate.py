@@ -1,13 +1,15 @@
 """Performance regression gate for the batched trajectory engine, the
-fast simulation kernel, and the blocked-ensemble scale path.
+fast simulation kernel, the blocked-ensemble scale path, and the
+controller zoo's batched paths.
 
 Re-runs the core microbenchmarks (``bench_core_engine.py``), the
-simulation-kernel benchmarks (``bench_sim_kernel.py``), and the
-blocked-vs-one-shot scale benchmarks (``bench_scale.py``), compares
-the fresh ratios against the committed baselines in
-``BENCH_core.json``, ``BENCH_sim.json``, and ``BENCH_scale.json``, and
-exits nonzero when performance regressed by more than the threshold
-(default 25%).
+simulation-kernel benchmarks (``bench_sim_kernel.py``), the
+blocked-vs-one-shot scale benchmarks (``bench_scale.py``), and the
+controller benchmarks (``bench_controllers.py``), compares the fresh
+ratios against the committed baselines in ``BENCH_core.json``,
+``BENCH_sim.json``, ``BENCH_scale.json``, and
+``BENCH_controllers.json``, and exits nonzero when performance
+regressed by more than the threshold (default 25%).
 
 Two modes:
 
@@ -34,6 +36,8 @@ import json
 import sys
 from pathlib import Path
 
+from bench_controllers import QUICK_TARGETS as CTRL_QUICK_TARGETS
+from bench_controllers import run_benchmarks as run_controller_benchmarks
 from bench_core_engine import bench_ensemble, bench_quadratic_sweep
 from bench_scale import QUICK_TARGETS as SCALE_QUICK_TARGETS
 from bench_scale import run_benchmarks as run_scale_benchmarks
@@ -54,6 +58,11 @@ GATED_SIM = [("fifo_closed_loop", "fifo_events_speedup_min"),
 #: one-shot/blocked wall time, so compare() applies unchanged.
 GATED_SCALE = [("memory", "scale_memory_ratio_min"),
                ("throughput", "scale_throughput_ratio_min")]
+
+#: The controller-zoo benchmarks (baseline BENCH_controllers.json).
+GATED_CONTROLLERS = [
+    ("controlled_ensemble", "controllers_ensemble_speedup_min"),
+    ("tcp_delta_batch", "controllers_delta_batch_speedup_min")]
 
 
 def compare(baseline, fresh, threshold=0.25, floor_only=False,
@@ -148,6 +157,12 @@ def main(argv=None):
                     "BENCH_scale.json"),
         help="committed scale baseline JSON (default: repo "
              "BENCH_scale.json)")
+    parser.add_argument(
+        "--controllers-baseline",
+        default=str(Path(__file__).resolve().parent.parent /
+                    "BENCH_controllers.json"),
+        help="committed controller baseline JSON (default: repo "
+             "BENCH_controllers.json)")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed fractional regression vs the "
                              "baseline speedup (default 0.25)")
@@ -162,6 +177,8 @@ def main(argv=None):
         sim_baseline = json.load(fh)
     with open(args.scale_baseline) as fh:
         scale_baseline = json.load(fh)
+    with open(args.controllers_baseline) as fh:
+        ctrl_baseline = json.load(fh)
     fresh = run_fresh(quick=args.quick)
     ok, report = compare(baseline, fresh, threshold=args.threshold,
                          floor_only=args.quick)
@@ -177,8 +194,15 @@ def main(argv=None):
                                  SCALE_QUICK_TARGETS), scale_fresh,
         threshold=args.threshold, floor_only=args.quick,
         gated=GATED_SCALE)
-    ok = ok and sim_ok and scale_ok
-    print(format_report(report + sim_report + scale_report))
+    ctrl_fresh = run_controller_benchmarks(quick=args.quick)
+    ctrl_ok, ctrl_report = compare(
+        _quick_baseline_for_mode(ctrl_baseline, args.quick,
+                                 CTRL_QUICK_TARGETS), ctrl_fresh,
+        threshold=args.threshold, floor_only=args.quick,
+        gated=GATED_CONTROLLERS)
+    ok = ok and sim_ok and scale_ok and ctrl_ok
+    print(format_report(report + sim_report + scale_report
+                        + ctrl_report))
     print(f"\nregression gate {'PASSED' if ok else 'FAILED'} "
           f"({'quick' if args.quick else 'full'} mode, "
           f"threshold {args.threshold:.0%})")

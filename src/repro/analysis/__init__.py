@@ -10,6 +10,8 @@ from .ascii_plot import histogram, line_chart, scatter_chart
 from .bifurcation import (BifurcationPoint, bifurcation_diagram,
                           quadratic_map_sweep)
 from .classify import OrbitClass, Regime, classify_tail
+from .fairness_tables import (allocation_summary, bottleneck_utilisation,
+                              format_grid, gateway_utilisations)
 from .lyapunov import lyapunov_exponent
 from .maps import QuadraticRateMap, orbit, orbit_tail
 
@@ -19,4 +21,6 @@ __all__ = [
     "lyapunov_exponent",
     "BifurcationPoint", "bifurcation_diagram", "quadratic_map_sweep",
     "line_chart", "scatter_chart", "histogram",
+    "gateway_utilisations", "bottleneck_utilisation",
+    "allocation_summary", "format_grid",
 ]

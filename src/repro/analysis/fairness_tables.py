@@ -1,0 +1,75 @@
+"""Utilisation / Jain-fairness tables for controller sweeps.
+
+The controller-zoo experiment (F13) reports its grids the way
+congestion-control benchmark write-ups do: one pipe-separated table
+per sweep, a row per grid point, with link utilisation and Jain's
+fairness index side by side.  This module holds the small, reusable
+pieces: per-gateway utilisation of a rate vector, the
+utilisation/fairness summary of an allocation, and the ASCII grid
+formatter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.fairness import jain_index
+from ..core.topology import Network
+
+__all__ = [
+    "gateway_utilisations",
+    "bottleneck_utilisation",
+    "allocation_summary",
+    "format_grid",
+]
+
+
+def gateway_utilisations(network: Network,
+                         rates: Sequence[float]) -> Dict[str, float]:
+    """Offered load over capacity, ``y^a / mu^a``, per gateway."""
+    r = np.asarray(rates, dtype=float)
+    out: Dict[str, float] = {}
+    for name in network.gateway_names:
+        members = network.connections_at(name)
+        out[name] = float(r[list(members)].sum()) / network.mu(name)
+    return out
+
+
+def bottleneck_utilisation(network: Network,
+                           rates: Sequence[float]) -> float:
+    """The busiest gateway's utilisation — the number a capacity
+    sweep tracks."""
+    return max(gateway_utilisations(network, rates).values())
+
+
+def allocation_summary(network: Network,
+                       rates: Sequence[float]) -> Dict[str, float]:
+    """The two grid metrics of an allocation: bottleneck utilisation
+    and Jain's fairness index."""
+    return {
+        "utilisation": bottleneck_utilisation(network, rates),
+        "jain": float(jain_index(np.asarray(rates, dtype=float))),
+    }
+
+
+def format_grid(point_label: str,
+                rows: Sequence[Tuple[str, float, float]]) -> List[str]:
+    """Render ``(point, utilisation, jain)`` rows as a pipe table::
+
+        BW (mu) | Utilization | JFI
+        --------|-------------|------
+        1       | 0.730       | 1.000
+
+    Returns the table as a list of lines (callers join or append to
+    experiment notes).
+    """
+    width = max(len(point_label),
+                max((len(str(p)) for p, _, _ in rows), default=0))
+    header = f"{point_label:<{width}} | Utilization | JFI"
+    rule = f"{'-' * width}-|-------------|------"
+    lines = [header, rule]
+    for point, util, jain in rows:
+        lines.append(f"{str(point):<{width}} | {util:11.3f} | {jain:.3f}")
+    return lines

@@ -22,8 +22,10 @@ from .feasibility import FeasibilityReport, check_feasibility
 from .fifo import Fifo
 from .math_utils import as_rate_matrix, g, g_inverse
 from .ratecontrol import (BinaryAimdRule, DecbitRateRule, DecbitWindowRule,
-                          ProportionalTargetRule, RateAdjustment, TargetRule,
+                          ProportionalTargetRule, RateAdjustment,
+                          RcpSourceRule, TargetRule, TcpLikeRule,
                           tsi_target, verify_tsi)
+from .rcp import RcpBank, RcpController
 from .robustness import (is_robust_outcome, reservation_delay,
                          reservation_floor, satisfies_theorem5_condition,
                          theorem5_bound, theorem5_condition_batch,
@@ -69,7 +71,10 @@ __all__ = [
     # rate control
     "RateAdjustment", "TargetRule", "ProportionalTargetRule",
     "DecbitWindowRule", "DecbitRateRule", "BinaryAimdRule",
+    "TcpLikeRule", "RcpSourceRule",
     "verify_tsi", "tsi_target",
+    # router-side control (RCP)
+    "RcpController", "RcpBank",
     # dynamics
     "FlowControlSystem", "Outcome", "Trajectory", "EnsembleResult",
     # delays

@@ -84,17 +84,26 @@ class RoundRobinSchedule(UpdateSchedule):
 
 
 class BernoulliSchedule(UpdateSchedule):
-    """Each connection updates independently with probability ``p``."""
+    """Each connection updates independently with probability ``p``.
+
+    Masks are a pure function of ``(seed, step)``: a shared generator
+    advancing across calls would make the schedule stateful — reusing
+    one schedule object for two runs (or probing a mask out of band)
+    would silently change every later trajectory.  Counter-based
+    seeding keeps runs bit-identical per seed regardless of call
+    history.
+    """
 
     def __init__(self, p: float, seed: int = 0):
         if not 0.0 < p <= 1.0:
             raise RateVectorError(
                 f"update probability must lie in (0, 1], got {p!r}")
         self.p = float(p)
-        self._rng = np.random.default_rng(seed)
+        self.seed = int(seed)
 
     def participants(self, step, n):
-        return self._rng.random(n) < self.p
+        rng = np.random.default_rng([self.seed, int(step)])
+        return rng.random(n) < self.p
 
     def steps_per_sweep(self, n):
         return max(1, int(round(1.0 / self.p)))

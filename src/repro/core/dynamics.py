@@ -38,7 +38,8 @@ from ..observability import RunRecord, emit_run_record, is_collecting
 from .delays import round_trip_delays, round_trip_delays_batch
 from .math_utils import (as_rate_matrix, as_rate_vector, clip_nonnegative,
                          sup_norm)
-from .ratecontrol import RateAdjustment
+from .ratecontrol import RateAdjustment, RcpSourceRule
+from .rcp import RcpController
 from .service import ServiceDiscipline
 from .signals import FeedbackScheme, FeedbackStyle, SignalFunction
 from .topology import Network
@@ -212,7 +213,8 @@ class FlowControlSystem:
                  signal_fn: SignalFunction,
                  rules: Union[RateAdjustment, Sequence[RateAdjustment]],
                  style: FeedbackStyle = FeedbackStyle.INDIVIDUAL,
-                 weights=None):
+                 weights=None,
+                 controller: Optional[RcpController] = None):
         self.network = network
         self.discipline = discipline
         self.scheme = FeedbackScheme(network, discipline, signal_fn, style,
@@ -241,6 +243,36 @@ class FlowControlSystem:
                 groups[seen[key]][1].append(i)
         self._rule_groups = [(rule, np.asarray(cols, dtype=np.intp))
                              for rule, cols in groups]
+        # Router-side control (RCP): per-gateway advertised-rate state
+        # replaces the per-source rule map entirely.  Sources must run
+        # the degenerate RcpSourceRule so the configuration is explicit
+        # about who owns the control law.
+        self.controller = controller
+        self._bank = None
+        has_rcp_sources = any(isinstance(rule, RcpSourceRule)
+                              for rule in self.rules)
+        if controller is not None:
+            if not all(isinstance(rule, RcpSourceRule)
+                       for rule in self.rules):
+                raise RateVectorError(
+                    "a controller-driven system requires every "
+                    "connection to run RcpSourceRule (sources adopt "
+                    "advertised rates; they do not self-adjust)")
+            self._bank = controller.bind(network)
+        elif has_rcp_sources:
+            raise RateVectorError(
+                "RcpSourceRule needs a controller: without one the "
+                "dynamics would be the identity map")
+
+    @property
+    def controlled(self) -> bool:
+        """True when a router-side controller owns the control law."""
+        return self._bank is not None
+
+    @property
+    def bank(self):
+        """The bound per-gateway controller state factory, or ``None``."""
+        return self._bank
 
     @property
     def style(self) -> FeedbackStyle:
@@ -279,7 +311,14 @@ class FlowControlSystem:
         ``step_index`` is the 1-based step number the injectors see.
         With ``faults=None`` the computation is exactly the fault-free
         map — no extra work, bit-identical results.
+
+        Controller-driven systems carry per-gateway state the rule map
+        knows nothing about; use :meth:`step_controlled` (``run`` /
+        ``run_ensemble`` dispatch automatically).
         """
+        if self._bank is not None:
+            raise RateVectorError(
+                "system is controller-driven; use step_controlled")
         r = as_rate_vector(rates, n=self.network.num_connections)
         b = self.signals(r)
         if faults is not None:
@@ -308,6 +347,9 @@ class FlowControlSystem:
         stay aligned with the scalar path even when finished members
         have been masked out of the batch.
         """
+        if self._bank is not None:
+            raise RateVectorError(
+                "system is controller-driven; use step_controlled_batch")
         r = as_rate_matrix(rates, n=self.network.num_connections)
         b = self.scheme.signals_batch(r)
         if faults is not None:
@@ -320,6 +362,37 @@ class FlowControlSystem:
             new[:, cols] = rule.apply_batch(r[:, cols], b[:, cols],
                                             d[:, cols])
         return clip_nonnegative(new)
+
+    def step_controlled(self, rates: np.ndarray,
+                        state: np.ndarray) -> tuple:
+        """One controlled step: gateways update, sources adopt.
+
+        ``state`` is the ``(G,)`` advertised-rate vector (start from
+        ``self.bank.initial_state()``).  Returns ``(r_next,
+        state_next)`` — gateways observe the offered rates, advance
+        their advertised rates, and every source adopts the path
+        minimum.
+        """
+        if self._bank is None:
+            raise RateVectorError(
+                "system has no controller; use step")
+        r = as_rate_vector(rates, n=self.network.num_connections)
+        state_next = self._bank.update(r, state)
+        return clip_nonnegative(self._bank.advertised(state_next)), \
+            state_next
+
+    def step_controlled_batch(self, rates: np.ndarray,
+                              state: np.ndarray) -> tuple:
+        """Batched :meth:`step_controlled` over ``(M, N)`` rates and
+        ``(M, G)`` controller state; row ``m`` is bit-identical to the
+        scalar path."""
+        if self._bank is None:
+            raise RateVectorError(
+                "system has no controller; use step_batch")
+        r = as_rate_matrix(rates, n=self.network.num_connections)
+        state_next = self._bank.update_batch(r, state)
+        return clip_nonnegative(self._bank.advertised_batch(state_next)), \
+            state_next
 
     def residual(self, rates: np.ndarray) -> np.ndarray:
         """``F(r) - r``: zero exactly at (truncated) steady states."""
@@ -367,6 +440,14 @@ class FlowControlSystem:
         reproduces ``run(initials[m], faults=plan, fault_member=m)``.
         """
         r = as_rate_vector(initial, n=self.network.num_connections)
+        if self._bank is not None and faults is not None \
+                and not faults.empty:
+            raise SweepError(
+                "fault plans perturb the per-source signal path, which "
+                "controller-driven systems do not read; faults with a "
+                "controller are not supported")
+        ctrl = (self._bank.initial_state()
+                if self._bank is not None else None)
         fault_state = (faults.start(network=self.network,
                                     member=fault_member)
                        if faults is not None else None)
@@ -406,9 +487,12 @@ class FlowControlSystem:
         for step_count in range(1, max_steps + 1):
             if rec is not None:
                 t0 = time.perf_counter()
-            r_next = (self.step(r) if fault_state is None else
-                      self.step(r, faults=fault_state,
-                                step_index=step_count))
+            if ctrl is not None:
+                r_next, ctrl = self.step_controlled(r, ctrl)
+            else:
+                r_next = (self.step(r) if fault_state is None else
+                          self.step(r, faults=fault_state,
+                                    step_index=step_count))
             if rec is not None:
                 step_seconds += time.perf_counter() - t0
             history[step_count] = r_next
@@ -523,6 +607,12 @@ class FlowControlSystem:
         """
         r0 = as_rate_matrix(initials, n=self.network.num_connections)
         m_total, n = r0.shape
+        if self._bank is not None and faults is not None \
+                and not faults.empty:
+            raise SweepError(
+                "fault plans perturb the per-source signal path, which "
+                "controller-driven systems do not read; faults with a "
+                "controller are not supported")
         history = _resolve_history(record, history)
         record = history == "full"
         block = _resolve_block_size(block_size, m_total)
@@ -640,13 +730,20 @@ class FlowControlSystem:
 
         idx = np.arange(mb)           # block members still iterating
         r = r0[base:end].copy()       # their current states, compressed
+        # Controller state rides alongside r and is masked with it, so
+        # finished members stop paying for gateway updates too.
+        ctrl = (self._bank.initial_state_batch(mb)
+                if self._bank is not None else None)
         for step_count in range(1, max_steps + 1):
             if rec is not None:
                 t0 = time.perf_counter()
-            r_next = (self.step_batch(r) if block_states is None else
-                      self.step_batch(r, faults=block_states,
-                                      members=idx,
-                                      step_index=step_count))
+            if ctrl is not None:
+                r_next, ctrl = self.step_controlled_batch(r, ctrl)
+            else:
+                r_next = (self.step_batch(r) if block_states is None else
+                          self.step_batch(r, faults=block_states,
+                                          members=idx,
+                                          step_index=step_count))
             if rec is not None:
                 timings["step"] += time.perf_counter() - t0
                 t0 = time.perf_counter()
@@ -685,6 +782,8 @@ class FlowControlSystem:
                 keep = ~done
                 idx = idx[keep]
                 r = r_next[keep]
+                if ctrl is not None:
+                    ctrl = ctrl[keep]
                 if rec is not None:
                     finite_changes = change[keep][np.isfinite(change[keep])]
                     rec.observe_iteration(

@@ -29,6 +29,16 @@ delays.  The module provides the paper's named examples:
   multiplicative-decrease driven by a thresholded (binary) signal; never
   admits ``f = 0``, so its asymptotics are a limit cycle, not a steady
   state (why the paper's steady-state analysis excludes it).
+* :class:`TcpLikeRule` — the window-interpreted AIMD of Andrews and
+  Slivkins (arXiv:0812.1321): one packet per round trip of additive
+  increase (``increase / d``) below the congestion threshold, a
+  multiplicative cut above it.  Like :class:`BinaryAimdRule` it never
+  admits ``f = 0`` (perpetual sawtooth), and the ``1/d`` factor makes it
+  latency-biased.
+* :class:`RcpSourceRule` — the degenerate source half of RCP: sources do
+  not self-adjust at all (``f = 0``); the network's per-gateway
+  controller (:mod:`repro.core.rcp`) sets their rates explicitly.  Only
+  valid inside a controlled :class:`~repro.core.dynamics.FlowControlSystem`.
 
 :func:`verify_tsi` checks Theorem 1's condition numerically for *any*
 rule, and :func:`tsi_target` extracts the unique ``b_ss``.
@@ -52,6 +62,8 @@ __all__ = [
     "DecbitWindowRule",
     "DecbitRateRule",
     "BinaryAimdRule",
+    "TcpLikeRule",
+    "RcpSourceRule",
     "verify_tsi",
     "tsi_target",
 ]
@@ -81,11 +93,13 @@ class RateAdjustment(abc.ABC):
 
         The base implementation loops over :meth:`delta`, so any custom
         rule is batch-capable out of the box; the built-in rules
-        override it with vectorised arithmetic.
+        override it with vectorised arithmetic.  Inputs broadcast
+        against each other exactly like the vectorised overrides (a
+        scalar delay against an ``(N,)`` rate vector is fine).
         """
-        r = np.asarray(rates, dtype=float)
-        b = np.asarray(signals, dtype=float)
-        d = np.asarray(delays, dtype=float)
+        r, b, d = np.broadcast_arrays(np.asarray(rates, dtype=float),
+                                      np.asarray(signals, dtype=float),
+                                      np.asarray(delays, dtype=float))
         out = np.empty(r.shape, dtype=float)
         flat_r, flat_b, flat_d = r.ravel(), b.ravel(), d.ravel()
         flat_out = out.ravel()
@@ -277,13 +291,97 @@ class BinaryAimdRule(RateAdjustment):
                 f"decrease={self.decrease}, threshold={self.threshold})")
 
 
+class TcpLikeRule(RateAdjustment):
+    """TCP-like AIMD (Andrews–Slivkins, arXiv:0812.1321).
+
+    ``f = increase / d`` when ``b < threshold`` (one window's worth of
+    additive increase per round trip, expressed as a rate) and
+    ``f = -decrease * r`` otherwise.  Like :class:`BinaryAimdRule` the
+    adjustment never vanishes, so trajectories oscillate forever; unlike
+    it, the ``1/d`` increase makes the sawtooth latency-biased — longer
+    paths recover more slowly after each cut and settle on a smaller
+    time-average share (the TCP RTT-unfairness the paper's Section 4
+    rules exhibit in window form).
+    """
+
+    name = "tcp-like"
+
+    def __init__(self, increase: float = 0.05, decrease: float = 0.125,
+                 threshold: float = 0.5):
+        self.increase = _positive(increase, "additive increase")
+        if not (0.0 < decrease < 1.0):
+            raise RateVectorError(
+                f"multiplicative decrease must lie in (0, 1), "
+                f"got {decrease!r}")
+        self.decrease = float(decrease)
+        self.threshold = _signal_in_open_interval(threshold, "threshold")
+        self.declared_target = None
+
+    def delta(self, rate, signal, delay):
+        if delay <= 0:
+            raise RateVectorError(f"delay must be positive, got {delay!r}")
+        if signal < self.threshold:
+            return self.increase / delay
+        return -self.decrease * rate
+
+    def delta_batch(self, rates, signals, delays):
+        r = np.asarray(rates, dtype=float)
+        b = np.asarray(signals, dtype=float)
+        d = np.asarray(delays, dtype=float)
+        if np.any(d <= 0):
+            raise RateVectorError("delays must be positive")
+        # increase / inf == 0.0 exactly, matching the scalar path.
+        return np.where(b < self.threshold, self.increase / d,
+                        -self.decrease * r)
+
+    def __repr__(self):
+        return (f"TcpLikeRule(increase={self.increase}, "
+                f"decrease={self.decrease}, threshold={self.threshold})")
+
+
+class RcpSourceRule(RateAdjustment):
+    """The source half of RCP: no local adjustment at all.
+
+    RCP sources simply adopt the smallest advertised rate along their
+    path each round trip; all of the control law lives in the gateways
+    (:class:`repro.core.rcp.RcpController`).  ``f = 0`` keeps the rule
+    interface satisfied for bookkeeping (grouping, serialisation), and
+    :class:`~repro.core.dynamics.FlowControlSystem` refuses to run this
+    rule without a controller attached.
+    """
+
+    name = "rcp-source"
+
+    def __init__(self):
+        self.declared_target = None
+
+    def delta(self, rate, signal, delay):
+        return 0.0
+
+    def delta_batch(self, rates, signals, delays):
+        r = np.asarray(rates, dtype=float)
+        b = np.asarray(signals, dtype=float)
+        return np.zeros(np.broadcast(r, b).shape, dtype=float)
+
+    def __repr__(self):
+        return "RcpSourceRule()"
+
+
 # ----------------------------------------------------------------------
 # Theorem 1: the TSI test
 # ----------------------------------------------------------------------
 def _signal_roots(rule: RateAdjustment, rate: float, delay: float,
                   grid: np.ndarray, tol: float) -> list:
-    """Zeros of ``b -> f(rate, b, delay)`` on (0, 1), by bracketing."""
+    """Zeros of ``b -> f(rate, b, delay)`` on (0, 1), by bracketing.
+
+    Sign changes are confirmed by checking ``|f|`` at the candidate:
+    at a jump discontinuity (AIMD-style thresholds) brentq still
+    converges — to the jump location, where ``f`` does *not* vanish —
+    and reporting that point as a root misclassifies oscillating rules
+    as TSI.  The residual test rejects those pseudo-roots.
+    """
     values = np.array([rule.delta(rate, b, delay) for b in grid])
+    residual_cap = 1e-6 * (1.0 + float(np.max(np.abs(values))))
     roots = []
     for k in range(grid.size - 1):
         lo, hi = values[k], values[k + 1]
@@ -293,7 +391,8 @@ def _signal_roots(rule: RateAdjustment, rate: float, delay: float,
             root = optimize.brentq(
                 lambda b: rule.delta(rate, b, delay), grid[k], grid[k + 1],
                 xtol=tol)
-            roots.append(float(root))
+            if abs(rule.delta(rate, float(root), delay)) <= residual_cap:
+                roots.append(float(root))
     if values[-1] == 0.0:
         roots.append(float(grid[-1]))
     merged = []
@@ -329,11 +428,29 @@ def verify_tsi(rule: RateAdjustment,
 
 
 def tsi_target(rule: RateAdjustment, **kwargs) -> float:
-    """The unique ``b_ss`` of a TSI rule; raises if the rule is not TSI."""
-    if rule.declared_target is not None:
-        return float(rule.declared_target)
+    """The unique ``b_ss`` of a TSI rule; raises if the rule is not TSI.
+
+    A ``declared_target`` is a *claim*, not a certificate: the declared
+    value is validated against :func:`verify_tsi` and a mislabelled rule
+    (wrong target, or not TSI at all) raises
+    :class:`~repro.errors.NotTimeScaleInvariantError` instead of being
+    silently trusted.  Validation passed, the exact declared value is
+    returned (it is typically analytic where the measurement is not).
+    """
     target = verify_tsi(rule, **kwargs)
     if target is None:
+        if rule.declared_target is not None:
+            raise NotTimeScaleInvariantError(
+                f"rule {rule!r} declares target "
+                f"{rule.declared_target!r} but is not time-scale "
+                f"invariant")
         raise NotTimeScaleInvariantError(
             f"rule {rule!r} is not time-scale invariant")
+    if rule.declared_target is not None:
+        declared = float(rule.declared_target)
+        if abs(declared - target) > 1e-4:
+            raise NotTimeScaleInvariantError(
+                f"rule {rule!r} declares target {declared!r} but its "
+                f"measured steady-state signal is {target!r}")
+        return declared
     return target

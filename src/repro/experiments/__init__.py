@@ -27,6 +27,7 @@ from .exp_f9_robustness import run_f9_robustness
 from .exp_f10_delay_advantage import run_f10_delay_advantage
 from .exp_f11_real_algorithms import run_f11_real_algorithms
 from .exp_f12_sim_validation import run_f12_sim_validation
+from .exp_f13_controller_zoo import run_f13_controller_zoo
 
 __all__ = [
     "ExperimentResult", "Experiment", "REGISTRY", "EXTENSIONS",
@@ -41,4 +42,5 @@ __all__ = [
     "run_f7_fs_stability", "staircase_network", "run_f8_heterogeneity",
     "run_f9_robustness", "run_f10_delay_advantage",
     "run_f11_real_algorithms", "run_f12_sim_validation",
+    "run_f13_controller_zoo",
 ]

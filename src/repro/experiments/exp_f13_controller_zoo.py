@@ -1,0 +1,190 @@
+"""F13 — the modern-controller zoo: RCP vs TCP-like AIMD.
+
+Two controllers the paper predates, run through the same model and
+reported SIGCOMM-benchmark style (utilisation + Jain fairness tables
+over bandwidth and RTT grids):
+
+* **RCP** (router-side explicit rates): every grid point converges,
+  the bottleneck settles at the analytic fixed-point utilisation
+  ``x*`` solving ``alpha (1-x)^2 = beta x`` — independent of the link
+  speed, the time-scale-invariance the paper's Theorem 1 asks for —
+  and the allocation is the max-min split of the effective capacities
+  ``x* mu``, so Jain's index is 1 regardless of RTT;
+* **TCP-like AIMD** (additive increase ``eta / d``, multiplicative
+  decrease): it never reaches a steady state (the adjustment never
+  vanishes), stays fair between connections with equal round trips,
+  but is RTT-biased — the increase term scales as ``1/d``, so the
+  short-RTT connection out-claims the long one by a growing factor as
+  the latency gap widens (Andrews-Slivkins).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..analysis.fairness_tables import (allocation_summary,
+                                        bottleneck_utilisation,
+                                        format_grid)
+from ..core.dynamics import FlowControlSystem, Outcome
+from ..core.fairness import jain_index
+from ..core.fifo import Fifo
+from ..core.ratecontrol import RcpSourceRule, TcpLikeRule
+from ..core.rcp import RcpController
+from ..core.signals import FeedbackStyle, LinearSaturating
+from ..core.topology import Connection, Gateway, Network, single_gateway
+from .base import ExperimentResult
+
+__all__ = ["run_f13_controller_zoo"]
+
+#: RCP gains used throughout the grids: stability factor
+#: s = alpha (1 + x*) ~ 0.87, comfortably inside the s < 2 region.
+RCP_ALPHA = 0.5
+RCP_BETA = 0.05
+
+#: TCP-like gains: sawtooth period well inside the detector window.
+TCP_INCREASE = 0.05
+TCP_DECREASE = 0.125
+TCP_THRESHOLD = 0.5
+
+
+def _rtt_network(long_latency: float) -> Network:
+    """One shared bottleneck; the long connection also crosses a fast
+    feeder gateway carrying the extra round-trip latency."""
+    gws = [Gateway("bottleneck", 1.0, 0.1),
+           Gateway("feeder", 10.0, long_latency)]
+    conns = [Connection("short", ("bottleneck",)),
+             Connection("long", ("feeder", "bottleneck"))]
+    return Network(gws, conns)
+
+
+def _rcp_system(network: Network) -> FlowControlSystem:
+    return FlowControlSystem(
+        network, Fifo(), LinearSaturating(), RcpSourceRule(),
+        style=FeedbackStyle.INDIVIDUAL,
+        controller=RcpController(alpha=RCP_ALPHA, beta=RCP_BETA))
+
+
+def _tcp_system(network: Network) -> FlowControlSystem:
+    # Aggregate feedback: every source reacts to the *shared* bottleneck
+    # signal, the setting in which AIMD's RTT bias is classically shown
+    # (under individual feedback each source hovers at its own
+    # threshold and the bias all but disappears).
+    return FlowControlSystem(
+        network, Fifo(), LinearSaturating(),
+        TcpLikeRule(increase=TCP_INCREASE, decrease=TCP_DECREASE,
+                    threshold=TCP_THRESHOLD),
+        style=FeedbackStyle.AGGREGATE)
+
+
+def _tcp_mean_rates(system: FlowControlSystem, initial, steps: int):
+    """Time-averaged rates over the second half of a tcp-like run —
+    the sawtooth has no final state worth quoting."""
+    traj = system.run(initial, max_steps=steps)
+    mean = np.asarray(traj.history)[steps // 2:].mean(axis=0)
+    return traj, mean
+
+
+def run_f13_controller_zoo(
+        bandwidths: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
+        latencies: Sequence[float] = (0.1, 0.5, 2.0, 8.0),
+        connections: int = 4,
+        steps: int = 1200) -> ExperimentResult:
+    """Utilisation + fairness grids for RCP and TCP-like AIMD."""
+    controller = RcpController(alpha=RCP_ALPHA, beta=RCP_BETA)
+    x_star = controller.fixed_point_utilisation()
+    rows = []
+    notes = []
+
+    # --- Grid 1: bandwidth sweep at a single shared bottleneck. ---
+    rcp_bw_rows, tcp_bw_rows = [], []
+    rcp_converged = True
+    rcp_util_err = 0.0
+    rcp_jain_min = 1.0
+    tcp_steady = False
+    tcp_jain_equal_rtt = 1.0
+    for mu in bandwidths:
+        network = single_gateway(connections, mu=float(mu))
+        initial = [0.1 * mu / connections] * connections
+
+        traj = _rcp_system(network).run(initial, max_steps=steps)
+        rcp_converged &= traj.outcome is Outcome.CONVERGED
+        summary = allocation_summary(network, traj.final)
+        rcp_util_err = max(rcp_util_err,
+                           abs(summary["utilisation"] - x_star))
+        rcp_jain_min = min(rcp_jain_min, summary["jain"])
+        rcp_bw_rows.append((f"{mu:g}", summary["utilisation"],
+                            summary["jain"]))
+        rows.append(("rcp", "bandwidth", f"mu={mu:g}",
+                     summary["utilisation"], summary["jain"]))
+
+        traj, mean = _tcp_mean_rates(_tcp_system(network), initial, steps)
+        tcp_steady |= traj.outcome in (Outcome.CONVERGED,
+                                       Outcome.DIVERGED)
+        summary = allocation_summary(network, mean)
+        tcp_jain_equal_rtt = min(tcp_jain_equal_rtt, summary["jain"])
+        tcp_bw_rows.append((f"{mu:g}", summary["utilisation"],
+                            summary["jain"]))
+        rows.append(("tcp-like", "bandwidth", f"mu={mu:g}",
+                     summary["utilisation"], summary["jain"]))
+
+    # --- Grid 2: RTT sweep at a fixed shared bottleneck. ---
+    rcp_rtt_rows, tcp_rtt_rows = [], []
+    rcp_jain_rtt_min = 1.0
+    bias_ratios = []
+    for latency in latencies:
+        network = _rtt_network(float(latency))
+        initial = [0.05, 0.05]
+
+        traj = _rcp_system(network).run(initial, max_steps=steps)
+        rcp_converged &= traj.outcome is Outcome.CONVERGED
+        util = bottleneck_utilisation(network, traj.final)
+        jain = float(jain_index(traj.final))
+        rcp_jain_rtt_min = min(rcp_jain_rtt_min, jain)
+        rcp_rtt_rows.append((f"{latency:g}", util, jain))
+        rows.append(("rcp", "rtt", f"latency={latency:g}", util, jain))
+
+        traj, mean = _tcp_mean_rates(_tcp_system(network), initial, steps)
+        tcp_steady |= traj.outcome in (Outcome.CONVERGED,
+                                       Outcome.DIVERGED)
+        util = bottleneck_utilisation(network, mean)
+        jain = float(jain_index(mean))
+        bias_ratios.append(float(mean[0]) / max(float(mean[1]), 1e-12))
+        tcp_rtt_rows.append((f"{latency:g}", util, jain))
+        rows.append(("tcp-like", "rtt", f"latency={latency:g}", util,
+                     jain))
+
+    for title, grid_rows, label in (
+            ("RCP, bandwidth sweep", rcp_bw_rows, "BW (mu)"),
+            ("TCP-like, bandwidth sweep", tcp_bw_rows, "BW (mu)"),
+            ("RCP, RTT sweep", rcp_rtt_rows, "Latency"),
+            ("TCP-like, RTT sweep", tcp_rtt_rows, "Latency")):
+        notes.append(title + ":")
+        notes.extend("  " + line for line in format_grid(label, grid_rows))
+    notes.append(
+        f"RCP fixed-point utilisation x* = {x_star:.4f} "
+        f"(alpha={RCP_ALPHA}, beta={RCP_BETA}); short/long AIMD rate "
+        f"ratios over the RTT grid: "
+        + ", ".join(f"{b:.2f}" for b in bias_ratios))
+
+    return ExperimentResult(
+        experiment_id="F13",
+        title="Controller zoo: RCP vs TCP-like AIMD over bandwidth/RTT "
+              "grids",
+        columns=("controller", "grid", "point", "utilisation", "jain"),
+        rows=rows,
+        checks={
+            "rcp_converges_at_every_grid_point": rcp_converged,
+            "rcp_utilisation_matches_fixed_point":
+                rcp_util_err <= 1e-3,
+            "rcp_fair_at_equal_rtt": rcp_jain_min >= 0.999,
+            "rcp_fair_across_rtt_grid": rcp_jain_rtt_min >= 0.999,
+            "tcp_never_reaches_steady_state": not tcp_steady,
+            "tcp_fair_at_equal_rtt": tcp_jain_equal_rtt >= 0.99,
+            "tcp_rtt_bias_grows_with_latency_gap":
+                bool(np.all(np.diff(bias_ratios) > 0.0)
+                     and bias_ratios[-1] > 1.3),
+        },
+        notes=notes,
+    )

@@ -21,6 +21,7 @@ from .exp_f9_robustness import run_f9_robustness
 from .exp_f10_delay_advantage import run_f10_delay_advantage
 from .exp_f11_real_algorithms import run_f11_real_algorithms
 from .exp_f12_sim_validation import run_f12_sim_validation
+from .exp_f13_controller_zoo import run_f13_controller_zoo
 from .exp_x6_faulty_feedback import run_x6_faulty_feedback
 from .extensions import (run_x1_asynchrony, run_x2_feedback_delay,
                          run_x3_weighted_fairness,
@@ -63,6 +64,8 @@ _ENTRIES = [
     Experiment("F11", "Section 4 (real algorithms)",
                run_f11_real_algorithms),
     Experiment("F12", "Model vs packet simulator", run_f12_sim_validation),
+    Experiment("F13", "Controller zoo (RCP vs TCP-like AIMD)",
+               run_f13_controller_zoo),
 ]
 
 REGISTRY: Dict[str, Experiment] = {e.experiment_id: e for e in _ENTRIES}

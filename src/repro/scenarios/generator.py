@@ -31,8 +31,9 @@ import numpy as np
 
 from ..core.topology import random_network
 from ..errors import SweepError
-from .spec import (ConnectionSpec, FaultPlanSpec, GatewaySpec, InjectorSpec,
-                   RuleSpec, ScenarioSpec, SignalSpec)
+from .spec import (ConnectionSpec, ControllerSpec, FaultPlanSpec,
+                   GatewaySpec, InjectorSpec, RuleSpec, ScenarioSpec,
+                   SignalSpec)
 
 __all__ = ["validate_budget", "generate_spec", "generate"]
 
@@ -236,6 +237,32 @@ def generate_spec(seed: int, index: int) -> ScenarioSpec:
         fault_plan = _draw_fault_plan(rng, n)
 
     max_steps = int(rng.choice([800, 1500, 2500]))
+    scenario_seed = int(rng.integers(0, 2**31 - 1))
+
+    # Modern-controller zoo: a *final* draw occasionally converts the
+    # scenario into a controller-driven (RCP) or TCP-like one.  The zoo
+    # draws come after every classic draw, so for a given (seed, index)
+    # the classic fields above are exactly what they were before the
+    # zoo existed — pinned-seed tests and repro specs stay valid.
+    controller = None
+    zoo = rng.random()
+    if zoo < 0.15:
+        beta = (0.0 if rng.random() < 0.3
+                else _round3(rng.uniform(0.02, 0.12)))
+        controller = ControllerSpec("rcp", {
+            "alpha": _round3(rng.uniform(0.3, 0.8)),
+            "beta": beta,
+            "fill": _round3(rng.uniform(0.3, 0.9))})
+        rules = (RuleSpec("rcp-source"),) * n
+        fault_plan = None
+    elif zoo < 0.3:
+        # Homogeneous TCP-like AIMD: gains chosen so the sawtooth
+        # period stays well under the limit-cycle detector's window.
+        rules = (RuleSpec("tcp-like", {
+            "increase": _round3(rng.uniform(0.02, 0.08)),
+            "decrease": _round3(rng.uniform(0.05, 0.2)),
+            "threshold": _round3(rng.uniform(0.4, 0.6))}),) * n
+
     return ScenarioSpec(
         name=f"fuzz-{int(seed)}-{int(index)}",
         gateways=gateways,
@@ -248,8 +275,9 @@ def generate_spec(seed: int, index: int) -> ScenarioSpec:
         initial_rates=initial_rates,
         max_steps=max_steps,
         tol=1e-10,
-        seed=int(rng.integers(0, 2**31 - 1)),
+        seed=scenario_seed,
         fault_plan=fault_plan,
+        controller=controller,
     )
 
 

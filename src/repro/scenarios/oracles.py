@@ -25,6 +25,13 @@ a whole scenario family:
                          TSI connection sees exactly its target signal
 ``fault-determinism``    seeded fault plans replay bit-identically;
                          the empty plan is a bit-identical no-op
+``rcp-stability``        Voice et al.: RCP with stability factor
+                         ``s < 2`` converges globally to the max-min
+                         allocation of the effective capacities;
+                         ``s > 2`` at a single gateway cannot converge
+``tcp-oscillation``      Andrews–Slivkins: TCP-like AIMD never
+                         converges nor diverges, and every
+                         connection's sawtooth straddles the threshold
 ================== ====================================================
 
 Oracles *never* raise on a violation — a violation is data (an
@@ -81,6 +88,12 @@ STABILITY_SLACK = 1e-2
 SIGNAL_TOL = 1e-4
 #: Rates below this fraction of the scale count as pinned at zero.
 ACTIVE_FRACTION = 1e-3
+#: Margin around the RCP stability boundary ``s = 2``: scenarios inside
+#: the band are inapplicable (the discrete boundary is soft).
+RCP_MARGIN = 0.05
+#: Relative deviation allowed between a converged RCP trajectory and
+#: the analytic max-min allocation of the effective capacities.
+RCP_ALLOC_TOL = 1e-4
 
 
 @dataclass(frozen=True)
@@ -163,16 +176,37 @@ class ScenarioContext:
 # differential oracles
 # ----------------------------------------------------------------------
 def check_batch_equivalence(ctx: ScenarioContext) -> OracleResult:
-    """``step_batch(R)[m] == step(R[m])`` to :data:`BATCH_TOL`."""
+    """``step_batch(R)[m] == step(R[m])`` to :data:`BATCH_TOL`.
+
+    Controller-driven systems check the controlled pair instead —
+    ``step_controlled_batch`` rows against scalar ``step_controlled``
+    from the bank's initial state — covering both the advertised rates
+    and the per-gateway controller state."""
+    m_probes = ctx.probes.shape[0]
+    if ctx.system.controlled:
+        state0 = ctx.system.bank.initial_state()
+        batch, states = ctx.system.step_controlled_batch(
+            ctx.probes, ctx.system.bank.initial_state_batch(m_probes))
+        worst = 0.0
+        for m in range(m_probes):
+            scalar, state = ctx.system.step_controlled(
+                ctx.probes[m], state0)
+            worst = max(worst, float(np.max(np.abs(batch[m] - scalar))),
+                        float(np.max(np.abs(states[m] - state))))
+        return OracleResult(
+            "batch-equivalence", True, worst <= BATCH_TOL,
+            f"max |controlled batch - scalar| = {worst:.3e} over "
+            f"{m_probes} probes, rates and controller state "
+            f"(tol {BATCH_TOL:.0e})")
     batch = ctx.system.step_batch(ctx.probes)
     worst = 0.0
-    for m in range(ctx.probes.shape[0]):
+    for m in range(m_probes):
         scalar = ctx.system.step(ctx.probes[m])
         worst = max(worst, float(np.max(np.abs(batch[m] - scalar))))
     return OracleResult(
         "batch-equivalence", True, worst <= BATCH_TOL,
         f"max |step_batch - step| = {worst:.3e} over "
-        f"{ctx.probes.shape[0]} probes (tol {BATCH_TOL:.0e})")
+        f"{m_probes} probes (tol {BATCH_TOL:.0e})")
 
 
 def check_ensemble_equivalence(ctx: ScenarioContext) -> OracleResult:
@@ -261,6 +295,11 @@ def check_kernel_equivalence(ctx: ScenarioContext) -> OracleResult:
 def check_fixed_point(ctx: ScenarioContext) -> OracleResult:
     """A converged trajectory really sits on a fixed point of ``F``,
     and the damped refiner lands on the same point."""
+    if ctx.spec.controller is not None:
+        return OracleResult(
+            "fixed-point", False, True,
+            "controller state is part of the fixed point; the "
+            "rcp-stability oracle checks the controlled equilibrium")
     if not ctx.converged:
         return OracleResult(
             "fixed-point", False, True,
@@ -404,6 +443,11 @@ def check_stability(ctx: ScenarioContext) -> OracleResult:
     """Section 3.3: the Jacobian at an *observed* attractor cannot be
     expanding — spectral radius at most 1 (plus slack for the neutral
     manifold eigenvalue and finite differencing)."""
+    if ctx.spec.controller is not None:
+        return OracleResult(
+            "stability", False, True,
+            "the rule-map Jacobian does not describe controlled "
+            "dynamics; the rcp-stability oracle owns this check")
     if not ctx.converged:
         return OracleResult(
             "stability", False, True,
@@ -567,6 +611,114 @@ def check_blocked_equivalence(ctx: ScenarioContext) -> OracleResult:
         f"{blocked.block_size} ({budget}-step budget)")
 
 
+def check_rcp_stability(ctx: ScenarioContext) -> OracleResult:
+    """Voice et al.: the discrete RCP update contracts toward its fixed
+    point with multiplier ``1 - s``, so a stability factor ``s`` safely
+    below 2 must converge globally — and onto the max-min allocation of
+    the effective capacities ``x* mu^a`` — while ``s`` safely above 2
+    at a single gateway makes the fixed point repelling, so the run
+    cannot converge (the beta=0 map is conjugate to the logistic map).
+    Scenarios inside the ``(2(1-margin), 2(1+margin))`` band, or
+    unstable multi-gateway ones (where coupling can re-stabilise),
+    are inapplicable.
+    """
+    spec = ctx.spec
+    if spec.controller is None or spec.controller.kind != "rcp":
+        return OracleResult("rcp-stability", False, True,
+                            "no RCP controller in this scenario")
+    bank = ctx.system.bank
+    s = bank.controller.stability_factor()
+    if s <= 2.0 * (1.0 - RCP_MARGIN):
+        if not ctx.converged:
+            return OracleResult(
+                "rcp-stability", True, False,
+                f"stability factor s={s:.4f} < 2 but outcome is "
+                f"{ctx.trajectory.outcome.value}")
+        predicted = bank.predicted_allocation()
+        deviation = sup_norm(ctx.trajectory.final, predicted) \
+            / max(1e-12, float(np.max(predicted)))
+        return OracleResult(
+            "rcp-stability", True, deviation <= RCP_ALLOC_TOL,
+            f"s={s:.4f}: converged; relative deviation from the "
+            f"max-min allocation of x*mu: {deviation:.3e} "
+            f"(tol {RCP_ALLOC_TOL:.0e})")
+    if s >= 2.0 * (1.0 + RCP_MARGIN):
+        if ctx.system.network.num_gateways > 1:
+            return OracleResult(
+                "rcp-stability", False, True,
+                f"s={s:.4f} > 2 but multiple gateways; min-over-path "
+                f"coupling can re-stabilise the loop")
+        if ctx.converged:
+            # One escape hatch: the clipped update can land *exactly*
+            # on the repelling fixed point (e.g. fill * FACTOR_MAX hits
+            # the fair share dead-on), and a deterministic map stays
+            # there.  Exact equality is the artifact's signature; any
+            # float-close-but-not-equal convergence is a real bug.
+            predicted = bank.predicted_allocation()
+            if np.array_equal(ctx.trajectory.final, predicted):
+                return OracleResult(
+                    "rcp-stability", False, True,
+                    f"s={s:.4f} > 2 but the clipped update landed "
+                    f"bit-exactly on the repelling fixed point")
+            return OracleResult(
+                "rcp-stability", True, False,
+                f"stability factor s={s:.4f} > 2 at a single gateway "
+                f"yet the run converged; the fixed point is repelling")
+        return OracleResult(
+            "rcp-stability", True, True,
+            f"s={s:.4f} > 2: outcome "
+            f"{ctx.trajectory.outcome.value} as predicted")
+    return OracleResult(
+        "rcp-stability", False, True,
+        f"s={s:.4f} inside the soft boundary band around 2")
+
+
+def check_tcp_oscillation(ctx: ScenarioContext) -> OracleResult:
+    """Andrews-Slivkins: TCP-like AIMD has no fixed point — the
+    adjustment never vanishes — so a homogeneous tcp-like scenario can
+    neither converge (the increase term is bounded away from zero at
+    any finite rate vector with bounded delays) nor diverge (the
+    multiplicative decrease caps the sawtooth below ``mu`` plus one
+    additive step).  Moreover every connection's sawtooth must straddle
+    the threshold: its signal dips below (additive-increase phase) and
+    reaches it (decrease phase) somewhere along the trajectory.
+    """
+    spec = ctx.spec
+    if spec.controller is not None or spec.fault_plan is not None:
+        return OracleResult("tcp-oscillation", False, True,
+                            "needs plain tcp-like dynamics")
+    if not (spec.homogeneous and spec.rules[0].kind == "tcp-like"):
+        return OracleResult("tcp-oscillation", False, True,
+                            "needs a homogeneous tcp-like rule mix")
+    outcome = ctx.trajectory.outcome
+    if outcome is Outcome.CONVERGED:
+        return OracleResult(
+            "tcp-oscillation", True, False,
+            "run converged, but the AIMD adjustment never vanishes — "
+            "tcp-like has no fixed point")
+    if outcome is Outcome.DIVERGED:
+        return OracleResult(
+            "tcp-oscillation", True, False,
+            "run diverged, but multiplicative decrease bounds the "
+            "sawtooth")
+    history = ctx.trajectory.history
+    signals = ctx.system.scheme.signals_batch(history)
+    threshold = float(dict(spec.rules[0].params)["threshold"])
+    lows = np.min(signals, axis=0)
+    highs = np.max(signals, axis=0)
+    for i in range(signals.shape[1]):
+        if not (lows[i] < threshold <= highs[i]):
+            return OracleResult(
+                "tcp-oscillation", True, False,
+                f"connection {i}: signal range [{lows[i]:.4f}, "
+                f"{highs[i]:.4f}] never straddles the threshold "
+                f"{threshold}")
+    return OracleResult(
+        "tcp-oscillation", True, True,
+        f"{outcome.value}; every sawtooth straddles the threshold "
+        f"{threshold} over {history.shape[0]} recorded steps")
+
+
 #: The oracle catalogue, in evaluation order.
 ORACLES: Dict[str, Callable[[ScenarioContext], OracleResult]] = {
     "batch-equivalence": check_batch_equivalence,
@@ -580,6 +732,8 @@ ORACLES: Dict[str, Callable[[ScenarioContext], OracleResult]] = {
     "stability": check_stability,
     "steady-signal": check_steady_signal,
     "fault-determinism": check_fault_determinism,
+    "rcp-stability": check_rcp_stability,
+    "tcp-oscillation": check_tcp_oscillation,
 }
 
 

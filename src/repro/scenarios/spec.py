@@ -34,7 +34,9 @@ from ..core.fairshare import FairShare
 from ..core.fifo import Fifo
 from ..core.ratecontrol import (BinaryAimdRule, DecbitRateRule,
                                 DecbitWindowRule, ProportionalTargetRule,
-                                RateAdjustment, TargetRule)
+                                RateAdjustment, RcpSourceRule, TargetRule,
+                                TcpLikeRule)
+from ..core.rcp import RcpController
 from ..core.signals import (ExponentialSignal, FeedbackStyle,
                             LinearSaturating, PowerSaturating)
 from ..core.topology import Connection, Gateway, Network
@@ -49,6 +51,7 @@ __all__ = [
     "ConnectionSpec",
     "SignalSpec",
     "RuleSpec",
+    "ControllerSpec",
     "InjectorSpec",
     "FaultPlanSpec",
     "ScenarioSpec",
@@ -66,6 +69,8 @@ RULE_KINDS = {
     "decbit-window": ("eta", "beta"),
     "decbit-rate": ("eta", "beta"),
     "binary-aimd": ("increase", "decrease", "threshold"),
+    "tcp-like": ("increase", "decrease", "threshold"),
+    "rcp-source": (),
 }
 
 _RULE_BUILDERS = {
@@ -74,6 +79,17 @@ _RULE_BUILDERS = {
     "decbit-window": DecbitWindowRule,
     "decbit-rate": DecbitRateRule,
     "binary-aimd": BinaryAimdRule,
+    "tcp-like": TcpLikeRule,
+    "rcp-source": RcpSourceRule,
+}
+
+#: Router-side controller kinds and their parameter names.
+CONTROLLER_KINDS = {
+    "rcp": ("alpha", "beta", "fill"),
+}
+
+_CONTROLLER_BUILDERS = {
+    "rcp": RcpController,
 }
 
 SIGNAL_KINDS = ("linear-saturating", "power-saturating", "exponential")
@@ -265,6 +281,45 @@ class RuleSpec:
 
 
 @dataclass(frozen=True)
+class ControllerSpec:
+    """A router-side controller: a kind plus its parameters.
+
+    Currently the only kind is ``"rcp"`` (see
+    :class:`repro.core.rcp.RcpController`).  Scenarios carrying a
+    controller must run ``rcp-source`` rules on every connection — the
+    control law lives in the gateways, not the sources.
+    """
+
+    kind: str = "rcp"
+    params: Tuple[Tuple[str, float], ...] = ()
+
+    def __post_init__(self):
+        if self.kind not in CONTROLLER_KINDS:
+            raise ScenarioError(
+                f"unknown controller kind {self.kind!r} "
+                f"(known: {sorted(CONTROLLER_KINDS)})")
+        object.__setattr__(
+            self, "params",
+            _params_tuple(self.kind, self.params,
+                          CONTROLLER_KINDS[self.kind]))
+
+    def build(self) -> RcpController:
+        try:
+            return _CONTROLLER_BUILDERS[self.kind](**dict(self.params))
+        except ReproError as exc:
+            raise ScenarioError(
+                f"controller {self.kind!r} with params "
+                f"{dict(self.params)!r}: {exc}") from exc
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ControllerSpec":
+        return cls(kind=data["kind"], params=data.get("params", {}))
+
+
+@dataclass(frozen=True)
 class InjectorSpec:
     """One fault injector: a kind plus its parameters (see
     :mod:`repro.faults.injectors` for the semantics)."""
@@ -360,6 +415,10 @@ class ScenarioSpec:
             states).
         fault_plan: optional fault plan exercised by the
             fault-determinism oracle.
+        controller: optional router-side controller
+            (:class:`ControllerSpec`).  Requires every rule to be
+            ``rcp-source`` and excludes ``fault_plan`` (controllers do
+            not read the per-source signal path faults perturb).
     """
 
     name: str
@@ -375,6 +434,7 @@ class ScenarioSpec:
     tol: float = 1e-10
     seed: int = 0
     fault_plan: Optional[FaultPlanSpec] = None
+    controller: Optional[ControllerSpec] = None
 
     def __post_init__(self):
         object.__setattr__(self, "gateways", tuple(self.gateways))
@@ -471,6 +531,25 @@ class ScenarioSpec:
             raise ScenarioError(
                 f"fault_plan must be a FaultPlanSpec or None, got "
                 f"{self.fault_plan!r}")
+        if self.controller is not None:
+            if not isinstance(self.controller, ControllerSpec):
+                raise ScenarioError(
+                    f"controller must be a ControllerSpec or None, got "
+                    f"{self.controller!r}")
+            if self.fault_plan is not None:
+                raise ScenarioError(
+                    "a controller-driven scenario cannot carry a fault "
+                    "plan: faults perturb the per-source signal path, "
+                    "which the controller does not read")
+            bad = [r.kind for r in self.rules if r.kind != "rcp-source"]
+            if bad:
+                raise ScenarioError(
+                    f"controller-driven scenarios require every rule to "
+                    f"be 'rcp-source', got {sorted(set(bad))!r}")
+        elif any(r.kind == "rcp-source" for r in self.rules):
+            raise ScenarioError(
+                "'rcp-source' rules need a controller: without one the "
+                "dynamics would be the identity map")
 
     # ------------------------------------------------------------------
     # derived views
@@ -520,7 +599,9 @@ class ScenarioSpec:
         try:
             return FlowControlSystem(
                 network, discipline, self.signal.build(), rules,
-                style=FeedbackStyle(self.style), weights=self.weights)
+                style=FeedbackStyle(self.style), weights=self.weights,
+                controller=(None if self.controller is None
+                            else self.controller.build()))
         except ReproError as exc:
             raise ScenarioError(f"scenario {self.name!r} does not "
                                 f"build: {exc}") from exc
@@ -554,6 +635,8 @@ class ScenarioSpec:
             "seed": self.seed,
             "fault_plan": (None if self.fault_plan is None
                            else self.fault_plan.to_dict()),
+            "controller": (None if self.controller is None
+                           else self.controller.to_dict()),
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -593,6 +676,9 @@ class ScenarioSpec:
                 fault_plan=(None if data.get("fault_plan") is None
                             else FaultPlanSpec.from_dict(
                                 data["fault_plan"])),
+                controller=(None if data.get("controller") is None
+                            else ControllerSpec.from_dict(
+                                data["controller"])),
             )
         except KeyError as exc:
             raise ScenarioError(

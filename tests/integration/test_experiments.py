@@ -12,7 +12,7 @@ from repro.experiments.base import ExperimentResult as BaseResult
 
 class TestRegistry:
     def test_all_paper_artifacts_registered(self):
-        expected = {"T1"} | {f"F{k}" for k in range(1, 13)}
+        expected = {"T1"} | {f"F{k}" for k in range(1, 14)}
         assert set(REGISTRY) == expected
 
     def test_get_case_insensitive(self):
@@ -113,6 +113,14 @@ class TestExperimentShapes:
         run("F12", horizon=8000.0, warmup=800.0, loop_steps=60,
             loop_interval=250.0, tolerance=0.3,
             loop_tolerance=0.3).require()
+
+    def test_f13(self):
+        result = run("F13", bandwidths=(1.0, 4.0), latencies=(0.1, 8.0),
+                     steps=800).require()
+        assert result.columns == ("controller", "grid", "point",
+                                  "utilisation", "jain")
+        controllers = {row[0] for row in result.rows}
+        assert controllers == {"rcp", "tcp-like"}
 
 
 class TestExtensionShapes:

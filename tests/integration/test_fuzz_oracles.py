@@ -14,10 +14,10 @@ from repro.core.steadystate import predicted_steady_state
 from repro.errors import ScenarioError, SweepError
 from repro.faults.plan import FaultState
 from repro.observability.artifacts import validate_artifact
-from repro.scenarios import (ConnectionSpec, FaultPlanSpec, GatewaySpec,
-                             InjectorSpec, RuleSpec, ScenarioSpec,
-                             SignalSpec, failing_oracles, fuzz, generate,
-                             run_scenario, shrink)
+from repro.scenarios import (ConnectionSpec, ControllerSpec, FaultPlanSpec,
+                             GatewaySpec, InjectorSpec, RuleSpec,
+                             ScenarioSpec, SignalSpec, failing_oracles,
+                             fuzz, generate, run_scenario, shrink)
 from repro.scenarios.oracles import ScenarioContext, run_oracle
 from repro.simulation.network_sim import NetworkSimulation
 
@@ -286,3 +286,96 @@ class TestSmokeSweep:
                 (spec.name, res.name, res.detail)
                 for res in outcome.violations)
         assert failures == []
+
+
+class TestControllerZooOracles:
+    """The 12th/13th oracles: each fires on its known-bad scenario and
+    passes on the honest one."""
+
+    def rcp_spec(self, alpha=0.5, beta=0.05, fill=0.4, mu=1.0,
+                 name="rcp-unit"):
+        return ScenarioSpec(
+            name=name,
+            gateways=(GatewaySpec("g0", mu),),
+            connections=(ConnectionSpec("c0", ("g0",)),
+                         ConnectionSpec("c1", ("g0",))),
+            discipline="fifo",
+            signal=SignalSpec(),
+            style="individual",
+            rules=(RuleSpec("rcp-source"),) * 2,
+            initial_rates=(0.05, 0.2),
+            max_steps=2000,
+            seed=5,
+            controller=ControllerSpec("rcp", {"alpha": alpha,
+                                              "beta": beta,
+                                              "fill": fill}),
+        )
+
+    def tcp_spec(self):
+        return spec_of(rule=RuleSpec("tcp-like", {"increase": 0.05,
+                                                  "decrease": 0.125,
+                                                  "threshold": 0.5}),
+                       name="tcp-unit")
+
+    def test_rcp_stability_passes_on_stable_scenario(self):
+        res = run_oracle("rcp-stability", ScenarioContext(self.rcp_spec()))
+        assert res.applicable and res.passed
+
+    def test_rcp_stability_inapplicable_without_controller(self):
+        res = run_oracle("rcp-stability", ScenarioContext(spec_of()))
+        assert not res.applicable
+
+    def test_rcp_stability_catches_wrong_equilibrium(self):
+        # A stable controller that "converges" away from the max-min
+        # allocation of the effective capacities is lying.
+        spec = self.rcp_spec()
+        ctx = doctored_context(spec, [0.9, 0.05])
+        res = run_oracle("rcp-stability", ctx)
+        assert res.violated
+
+    def test_rcp_stability_catches_unstable_convergence(self):
+        # s = 3 > 2 at a single gateway: the fixed point is repelling,
+        # so a CONVERGED outcome (away from the exact fixed point) is
+        # impossible.
+        spec = self.rcp_spec(alpha=3.0, beta=0.0, fill=0.45)
+        ctx = doctored_context(spec, [0.3, 0.3])
+        res = run_oracle("rcp-stability", ctx)
+        assert res.violated
+
+    def test_rcp_stability_true_unstable_run_passes(self):
+        spec = self.rcp_spec(alpha=3.0, beta=0.0, fill=0.45)
+        res = run_oracle("rcp-stability", ScenarioContext(spec))
+        assert res.applicable and res.passed
+
+    def test_tcp_oscillation_passes_on_real_sawtooth(self):
+        res = run_oracle("tcp-oscillation",
+                         ScenarioContext(self.tcp_spec()))
+        assert res.applicable and res.passed
+
+    def test_tcp_oscillation_catches_convergence_claim(self):
+        spec = self.tcp_spec()
+        ctx = doctored_context(spec, spec.initial())
+        res = run_oracle("tcp-oscillation", ctx)
+        assert res.violated
+        assert "never vanishes" in res.detail
+
+    def test_tcp_oscillation_inapplicable_for_classic_rules(self):
+        res = run_oracle("tcp-oscillation", ScenarioContext(spec_of()))
+        assert not res.applicable
+
+    def test_batch_equivalence_covers_the_controlled_path(
+            self, monkeypatch):
+        from repro.core.rcp import RcpBank
+        spec = self.rcp_spec()
+        res = run_oracle("batch-equivalence", ScenarioContext(spec))
+        assert res.applicable and res.passed
+        assert "controller state" in res.detail
+
+        orig = RcpBank.update_batch
+
+        def skewed(self, rates, state):
+            return orig(self, rates, state) + 1e-6
+
+        monkeypatch.setattr(RcpBank, "update_batch", skewed)
+        assert failing_oracles(spec, ["batch-equivalence"]) == \
+            ("batch-equivalence",)

@@ -2,11 +2,13 @@
 
 import math
 
+import numpy as np
 import pytest
 
 from repro.core.ratecontrol import (BinaryAimdRule, DecbitRateRule,
                                     DecbitWindowRule,
-                                    ProportionalTargetRule, TargetRule,
+                                    ProportionalTargetRule, RateAdjustment,
+                                    RcpSourceRule, TargetRule, TcpLikeRule,
                                     tsi_target, verify_tsi)
 from repro.errors import NotTimeScaleInvariantError, RateVectorError
 
@@ -125,3 +127,157 @@ class TestTsiPredicate:
                 return super().delta(rate, signal, delay)
 
         assert verify_tsi(Flat(eta=0.1, beta=0.5)) is None
+
+
+class TestTcpLikeRule:
+    def test_increase_scales_inversely_with_delay(self):
+        rule = TcpLikeRule(increase=0.05, decrease=0.125, threshold=0.5)
+        assert rule.delta(1.0, 0.2, 1.0) == pytest.approx(0.05)
+        assert rule.delta(1.0, 0.2, 5.0) == pytest.approx(0.01)
+
+    def test_decrease_is_multiplicative(self):
+        rule = TcpLikeRule(increase=0.05, decrease=0.125, threshold=0.5)
+        assert rule.delta(2.0, 0.9, 1.0) == pytest.approx(-0.25)
+        assert rule.delta(4.0, 0.9, 1.0) == pytest.approx(-0.5)
+
+    def test_never_zero_at_positive_rate(self):
+        rule = TcpLikeRule()
+        for b in (0.0, 0.49, 0.51, 1.0):
+            assert rule.delta(1.0, b, 2.0) != 0.0
+
+    def test_infinite_delay_stalls_the_increase(self):
+        rule = TcpLikeRule(threshold=0.5)
+        assert rule.delta(1.0, 0.2, math.inf) == 0.0
+
+    def test_nonpositive_delay_rejected(self):
+        rule = TcpLikeRule()
+        with pytest.raises(RateVectorError):
+            rule.delta(1.0, 0.2, 0.0)
+        with pytest.raises(RateVectorError):
+            rule.delta(1.0, 0.2, -1.0)
+
+    def test_batch_matches_scalar(self):
+        rule = TcpLikeRule(increase=0.03, decrease=0.2, threshold=0.45)
+        r = np.array([0.5, 1.0, 2.0, 4.0])
+        b = np.array([0.1, 0.44, 0.45, 0.9])
+        d = np.array([0.5, 1.0, 2.0, np.inf])
+        batch = rule.delta_batch(r, b, d)
+        for k in range(4):
+            assert batch[k] == rule.delta(float(r[k]), float(b[k]),
+                                          float(d[k]))
+
+    def test_batch_rejects_nonpositive_delay(self):
+        rule = TcpLikeRule()
+        with pytest.raises(RateVectorError):
+            rule.delta_batch(np.ones(3), np.zeros(3),
+                             np.array([1.0, 0.0, 2.0]))
+
+    def test_validation(self):
+        with pytest.raises(RateVectorError):
+            TcpLikeRule(increase=0.0)
+        with pytest.raises(RateVectorError):
+            TcpLikeRule(decrease=1.5)
+        with pytest.raises(RateVectorError):
+            TcpLikeRule(threshold=1.0)
+
+    def test_not_tsi(self):
+        # f = eta/d never vanishes below the threshold, so there is no
+        # rate-independent root b_ss: Theorem 1 does not apply.
+        assert verify_tsi(TcpLikeRule()) is None
+        with pytest.raises(NotTimeScaleInvariantError):
+            tsi_target(TcpLikeRule())
+
+
+class TestRcpSourceRule:
+    def test_delta_is_identically_zero(self):
+        rule = RcpSourceRule()
+        assert rule.delta(1.0, 0.9, 2.0) == 0.0
+
+    def test_delta_batch_broadcasts_zeros(self):
+        rule = RcpSourceRule()
+        out = rule.delta_batch(np.ones((2, 3)), 0.5, np.ones(3))
+        assert out.shape == (2, 3)
+        assert not out.any()
+
+
+class TestDiscontinuousRulesNotTsi:
+    """Regression: brentq's pseudo-root at a jump used to let the TSI
+    verifier certify binary AIMD (and tcp-like) as TSI with the
+    threshold as target."""
+
+    def test_binary_aimd_not_tsi(self):
+        assert verify_tsi(BinaryAimdRule()) is None
+
+    def test_binary_aimd_tsi_target_raises(self):
+        with pytest.raises(NotTimeScaleInvariantError):
+            tsi_target(BinaryAimdRule())
+
+
+class TestTsiTargetValidatesDeclaration:
+    """Regression: ``tsi_target`` used to return ``declared_target``
+    without checking it numerically."""
+
+    def test_mislabelled_non_tsi_rule_rejected(self):
+        class Mislabelled(BinaryAimdRule):
+            declared_target = 0.5
+
+        with pytest.raises(NotTimeScaleInvariantError):
+            tsi_target(Mislabelled())
+
+    def test_wrong_declared_value_rejected(self):
+        rule = TargetRule(eta=0.1, beta=0.5)
+        rule.declared_target = 0.3  # claim contradicts the dynamics
+        with pytest.raises(NotTimeScaleInvariantError):
+            tsi_target(rule)
+
+    def test_honest_declaration_validated_and_returned(self):
+        assert tsi_target(TargetRule(eta=0.1, beta=0.5)) == 0.5
+
+
+class TestBaseDeltaBatchFallback:
+    """The base (loop) ``delta_batch`` must accept exactly the input
+    shapes the vectorised overrides accept."""
+
+    class ScalarOnly(TargetRule):
+        # Force the scalar-loop fallback.
+        delta_batch = RateAdjustment.delta_batch
+
+    def rule(self):
+        return self.ScalarOnly(eta=0.1, beta=0.5)
+
+    def test_broadcasts_mixed_scalar_and_vector(self):
+        rule = self.rule()
+        out = rule.delta_batch(np.ones(4), np.linspace(0, 1, 4), 2.0)
+        expected = [rule.delta(1.0, float(b), 2.0)
+                    for b in np.linspace(0, 1, 4)]
+        assert np.array_equal(out, expected)
+
+    def test_zero_dim_inputs(self):
+        rule = self.rule()
+        out = rule.delta_batch(np.float64(1.0), np.float64(0.3),
+                               np.float64(1.0))
+        assert float(out) == rule.delta(1.0, 0.3, 1.0)
+
+    def test_empty_inputs(self):
+        out = self.rule().delta_batch(np.empty(0), np.empty(0),
+                                      np.empty(0))
+        assert out.shape == (0,)
+
+    def test_non_contiguous_inputs(self):
+        rule = self.rule()
+        r = np.arange(8.0)[::2]
+        b = np.linspace(0, 1, 8)[::2]
+        d = np.ones(8)[::2]
+        out = rule.delta_batch(r, b, d)
+        expected = [rule.delta(float(r[k]), float(b[k]), float(d[k]))
+                    for k in range(4)]
+        assert np.array_equal(out, expected)
+
+    def test_matches_vectorised_override(self):
+        fallback = self.rule()
+        vectorised = TargetRule(eta=0.1, beta=0.5)
+        b = np.linspace(0, 1, 7)
+        assert np.array_equal(
+            fallback.delta_batch(np.ones(7), b, np.ones(7)),
+            np.broadcast_to(
+                vectorised.delta_batch(np.ones(7), b, np.ones(7)), (7,)))

@@ -14,9 +14,9 @@ import pytest
 _BENCHMARKS = Path(__file__).resolve().parents[2] / "benchmarks"
 sys.path.insert(0, str(_BENCHMARKS))
 
-from regression_gate import (GATED, GATED_SCALE, GATED_SIM,
-                             _quick_baseline_for_mode, compare,
-                             format_report)  # noqa: E402
+from regression_gate import (GATED, GATED_CONTROLLERS, GATED_SCALE,
+                             GATED_SIM, _quick_baseline_for_mode,
+                             compare, format_report)  # noqa: E402
 
 
 def _baseline(ensemble=50.0, sweep=20.0, ens_min=5.0, sweep_min=3.0):
@@ -195,3 +195,43 @@ class TestScaleBaseline:
         fresh["throughput"]["speedup"] = 0.5
         ok, _ = compare(baseline, fresh, gated=GATED_SCALE)
         assert not ok
+
+
+class TestControllersBaseline:
+    def _ctrl_baseline(self):
+        return json.loads(
+            (_BENCHMARKS.parent / "BENCH_controllers.json").read_text())
+
+    def test_baseline_file_has_gated_keys(self):
+        data = self._ctrl_baseline()
+        for name, target_key in GATED_CONTROLLERS:
+            assert "speedup" in data[name]
+            assert target_key in data["targets"]
+            assert target_key in data["quick_targets"]
+            assert data["quick_targets"][target_key] <= \
+                data["targets"][target_key]
+        assert data["targets_met"] is True
+
+    def test_gate_passes_against_itself(self):
+        data = self._ctrl_baseline()
+        ok, _ = compare(data, data, gated=GATED_CONTROLLERS)
+        assert ok
+
+    def test_compare_judges_controller_keys(self):
+        baseline = {
+            "controlled_ensemble": {"speedup": 30.0},
+            "tcp_delta_batch": {"speedup": 25.0},
+            "targets": {"controllers_ensemble_speedup_min": 8.0,
+                        "controllers_delta_batch_speedup_min": 10.0},
+        }
+        fresh = {"controlled_ensemble": {"speedup": 28.0},
+                 "tcp_delta_batch": {"speedup": 22.0}}
+        ok, report = compare(baseline, fresh, gated=GATED_CONTROLLERS)
+        assert ok
+        assert [e["name"] for e in report] == \
+            [name for name, _ in GATED_CONTROLLERS]
+        fresh["controlled_ensemble"]["speedup"] = 9.0
+        ok, report = compare(baseline, fresh, gated=GATED_CONTROLLERS)
+        assert not ok
+        failed = [e for e in report if not e["ok"]]
+        assert [e["name"] for e in failed] == ["controlled_ensemble"]

@@ -8,11 +8,11 @@ import numpy as np
 import pytest
 
 from repro.errors import OracleError, ScenarioError, SweepError
-from repro.scenarios import (SCENARIO_SCHEMA, ConnectionSpec, FaultPlanSpec,
-                             GatewaySpec, InjectorSpec, RuleSpec,
-                             ScenarioSpec, SignalSpec, generate,
-                             generate_spec, oracle_names, run_oracle,
-                             validate_budget)
+from repro.scenarios import (SCENARIO_SCHEMA, ConnectionSpec,
+                             ControllerSpec, FaultPlanSpec, GatewaySpec,
+                             InjectorSpec, RuleSpec, ScenarioSpec,
+                             SignalSpec, generate, generate_spec,
+                             oracle_names, run_oracle, validate_budget)
 from repro.scenarios.generator import MAX_SHRINK_ITERS
 from repro.scenarios.oracles import ScenarioContext
 
@@ -249,3 +249,67 @@ class TestOracleDispatch:
         assert "batch-equivalence" in oracle_names()
         assert "tsi" in oracle_names()
         assert "fault-determinism" in oracle_names()
+
+
+class TestControllerSpec:
+    def controlled_spec(self, **overrides):
+        base = dict(
+            rules=(RuleSpec("rcp-source"),) * 2,
+            controller=ControllerSpec("rcp", {"alpha": 0.5,
+                                              "beta": 0.05,
+                                              "fill": 0.4}))
+        base.update(overrides)
+        return small_spec(**base)
+
+    def test_round_trips_through_json(self):
+        spec = self.controlled_spec()
+        again = ScenarioSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.controller.params == spec.controller.params
+
+    def test_build_produces_controlled_system(self):
+        system = self.controlled_spec().build()
+        assert system.controlled
+        assert system.controller.alpha == 0.5
+
+    def test_unknown_controller_kind_rejected(self):
+        with pytest.raises(ScenarioError):
+            ControllerSpec("xcp", {})
+
+    def test_controller_requires_rcp_source_rules(self):
+        with pytest.raises(ScenarioError):
+            self.controlled_spec(
+                rules=(RuleSpec("target", {"eta": 0.1, "beta": 0.5}),) * 2)
+
+    def test_rcp_source_rules_require_controller(self):
+        with pytest.raises(ScenarioError):
+            small_spec(rules=(RuleSpec("rcp-source"),) * 2)
+
+    def test_controller_excludes_fault_plan(self):
+        plan = FaultPlanSpec(
+            seed=1, injectors=(InjectorSpec("delay", {"delay": 1,
+                                                      "jitter": 0}),))
+        with pytest.raises(ScenarioError):
+            self.controlled_spec(fault_plan=plan)
+
+
+class TestGeneratorZoo:
+    def test_zoo_scenarios_are_deterministic(self):
+        for index in range(40):
+            assert generate_spec(23, index) == generate_spec(23, index)
+
+    def test_zoo_produces_both_controller_kinds(self):
+        specs = generate(23, 60)
+        assert any(s.controller is not None for s in specs)
+        assert any(s.controller is None and s.homogeneous
+                   and s.rules[0].kind == "tcp-like" for s in specs)
+
+    def test_rcp_scenarios_are_well_formed(self):
+        for spec in generate(23, 60):
+            if spec.controller is None:
+                continue
+            assert spec.fault_plan is None
+            assert all(r.kind == "rcp-source" for r in spec.rules)
+            alpha = dict(spec.controller.params)["alpha"]
+            assert 0.3 <= alpha <= 0.8  # safely inside s < 2
+            spec.build()  # must construct a controlled system

@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test selftest gate fuzz-quick scale-quick verify bench
+.PHONY: test selftest gate fuzz-quick scale-quick chaos-quick verify bench
 
 test:
 	$(PYTHON) -m pytest -q
@@ -24,16 +24,24 @@ fuzz-quick:
 scale-quick:
 	$(PYTHON) benchmarks/bench_scale.py --quick --check
 
+# Quick chaos sweep (~30 s): the structural-fault demo, the Theorem 5
+# robustness-floor monitor (Fair Share holds / FIFO violates), and the
+# kill-anywhere orchestrator recovery harness at 2 rounds.
+chaos-quick:
+	$(PYTHON) -m repro chaos --quick
+
 # The tier-1 flow: full test suite, the engine smoke check, the
 # benchmark regression gate (quick CI workload), the bounded fuzzing
-# sweep, and the blocked-ensemble scale check.
-verify: test selftest gate fuzz-quick scale-quick
+# sweep, the blocked-ensemble scale check, and the chaos sweep.
+verify: test selftest gate fuzz-quick scale-quick chaos-quick
 
 # Full-scale benchmarks + gate; refreshes BENCH_core.json,
-# BENCH_sim.json, BENCH_scale.json, and BENCH_controllers.json.
+# BENCH_sim.json, BENCH_scale.json, BENCH_controllers.json, and
+# BENCH_chaos.json.
 bench:
 	$(PYTHON) benchmarks/bench_core_engine.py
 	$(PYTHON) benchmarks/bench_sim_kernel.py
 	$(PYTHON) benchmarks/bench_scale.py
 	$(PYTHON) benchmarks/bench_controllers.py
+	$(PYTHON) benchmarks/bench_chaos.py
 	$(PYTHON) benchmarks/regression_gate.py

@@ -1,15 +1,16 @@
 """Performance regression gate for the batched trajectory engine, the
-fast simulation kernel, the blocked-ensemble scale path, and the
-controller zoo's batched paths.
+fast simulation kernel, the blocked-ensemble scale path, the
+controller zoo's batched paths, and the structural chaos layer.
 
 Re-runs the core microbenchmarks (``bench_core_engine.py``), the
 simulation-kernel benchmarks (``bench_sim_kernel.py``), the
-blocked-vs-one-shot scale benchmarks (``bench_scale.py``), and the
-controller benchmarks (``bench_controllers.py``), compares the fresh
-ratios against the committed baselines in ``BENCH_core.json``,
-``BENCH_sim.json``, ``BENCH_scale.json``, and
-``BENCH_controllers.json``, and exits nonzero when performance
-regressed by more than the threshold (default 25%).
+blocked-vs-one-shot scale benchmarks (``bench_scale.py``), the
+controller benchmarks (``bench_controllers.py``), and the chaos-layer
+benchmarks (``bench_chaos.py``), compares the fresh ratios against the
+committed baselines in ``BENCH_core.json``, ``BENCH_sim.json``,
+``BENCH_scale.json``, ``BENCH_controllers.json``, and
+``BENCH_chaos.json``, and exits nonzero when performance regressed by
+more than the threshold (default 25%).
 
 Two modes:
 
@@ -36,6 +37,8 @@ import json
 import sys
 from pathlib import Path
 
+from bench_chaos import QUICK_TARGETS as CHAOS_QUICK_TARGETS
+from bench_chaos import run_benchmarks as run_chaos_benchmarks
 from bench_controllers import QUICK_TARGETS as CTRL_QUICK_TARGETS
 from bench_controllers import run_benchmarks as run_controller_benchmarks
 from bench_core_engine import bench_ensemble, bench_quadratic_sweep
@@ -63,6 +66,12 @@ GATED_SCALE = [("memory", "scale_memory_ratio_min"),
 GATED_CONTROLLERS = [
     ("controlled_ensemble", "controllers_ensemble_speedup_min"),
     ("tcp_delta_batch", "controllers_delta_batch_speedup_min")]
+
+#: The chaos-layer benchmarks (baseline BENCH_chaos.json).  "speedup"
+#: holds clean/chaos overhead ratios, so compare() applies unchanged:
+#: the floor bounds how much of clean throughput the chaos path keeps.
+GATED_CHAOS = [("empty_plan", "chaos_empty_plan_ratio_min"),
+               ("active_ensemble", "chaos_active_ensemble_ratio_min")]
 
 
 def compare(baseline, fresh, threshold=0.25, floor_only=False,
@@ -163,6 +172,12 @@ def main(argv=None):
                     "BENCH_controllers.json"),
         help="committed controller baseline JSON (default: repo "
              "BENCH_controllers.json)")
+    parser.add_argument(
+        "--chaos-baseline",
+        default=str(Path(__file__).resolve().parent.parent /
+                    "BENCH_chaos.json"),
+        help="committed chaos-layer baseline JSON (default: repo "
+             "BENCH_chaos.json)")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed fractional regression vs the "
                              "baseline speedup (default 0.25)")
@@ -179,6 +194,8 @@ def main(argv=None):
         scale_baseline = json.load(fh)
     with open(args.controllers_baseline) as fh:
         ctrl_baseline = json.load(fh)
+    with open(args.chaos_baseline) as fh:
+        chaos_baseline = json.load(fh)
     fresh = run_fresh(quick=args.quick)
     ok, report = compare(baseline, fresh, threshold=args.threshold,
                          floor_only=args.quick)
@@ -200,9 +217,15 @@ def main(argv=None):
                                  CTRL_QUICK_TARGETS), ctrl_fresh,
         threshold=args.threshold, floor_only=args.quick,
         gated=GATED_CONTROLLERS)
-    ok = ok and sim_ok and scale_ok and ctrl_ok
+    chaos_fresh = run_chaos_benchmarks(quick=args.quick)
+    chaos_ok, chaos_report = compare(
+        _quick_baseline_for_mode(chaos_baseline, args.quick,
+                                 CHAOS_QUICK_TARGETS), chaos_fresh,
+        threshold=args.threshold, floor_only=args.quick,
+        gated=GATED_CHAOS)
+    ok = ok and sim_ok and scale_ok and ctrl_ok and chaos_ok
     print(format_report(report + sim_report + scale_report
-                        + ctrl_report))
+                        + ctrl_report + chaos_report))
     print(f"\nregression gate {'PASSED' if ok else 'FAILED'} "
           f"({'quick' if args.quick else 'full'} mode, "
           f"threshold {args.threshold:.0%})")

@@ -1,0 +1,159 @@
+"""Kill-anywhere harness: SIGKILL a worker at fuzzed crashpoints and
+prove the resumed sweep is bit-identical to an uninterrupted one.
+
+The victim is a real subprocess running a real
+:class:`~repro.parallel.SweepJob` through the orchestrator, with
+``REPRO_CRASHPOINT`` armed at a fuzzed ``(site, hit-count)`` pair drawn
+from :data:`~repro.chaos.crashpoints.KNOWN_CRASHPOINTS` — including the
+mid-write windows between a checkpoint's temp file and its atomic
+rename.  The harness then re-runs the victim unarmed against the same
+job directory and asserts the recovered results equal the clean
+``[fn(p) for p in grid]`` list exactly.
+
+This module sits *above* :mod:`repro.parallel` in the layering (it
+imports the orchestrator), which is why :mod:`repro.chaos`'s package
+``__init__`` does not import it eagerly.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from .crashpoints import CRASHPOINT_ENV, KNOWN_CRASHPOINTS
+
+__all__ = ["KillReport", "victim_fn", "victim_job", "run_victim",
+           "kill_anywhere"]
+
+
+def victim_fn(x: int) -> tuple:
+    """Deterministic per-item work for the victim sweep (module-level
+    so shard pickles and resumed checkpoints replay identically)."""
+    return (x, x * x - 3 * x)
+
+
+def victim_job(name: str, n_items: int, shards: int):
+    """The victim's :class:`~repro.parallel.SweepJob` — serial executor
+    so the SIGKILL lands in the process doing the checkpoint writes."""
+    from ..parallel import SweepJob
+    return SweepJob(name=name, fn=victim_fn, grid=list(range(n_items)),
+                    shards=shards, executor="serial", retries=0)
+
+
+_VICTIM_SOURCE = """\
+import sys
+
+from repro.chaos.harness import victim_job
+from repro.parallel import Orchestrator
+
+root, name, n_items, shards = sys.argv[1:5]
+orchestrator = Orchestrator(root)
+job = victim_job(name, int(n_items), int(shards))
+orchestrator.submit(job)
+orchestrator.run_job(name)
+"""
+
+
+def run_victim(root: Union[str, Path], job_name: str = "kill-anywhere",
+               n_items: int = 9, shards: int = 3,
+               crash_spec: Optional[str] = None,
+               timeout: float = 120.0) -> subprocess.CompletedProcess:
+    """Run one victim subprocess against ``root``; returns the
+    completed process (``returncode == -SIGKILL`` when the armed
+    crashpoint fired, ``0`` on a clean finish)."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    if crash_spec:
+        env[CRASHPOINT_ENV] = crash_spec
+    else:
+        env.pop(CRASHPOINT_ENV, None)
+    return subprocess.run(
+        [sys.executable, "-c", _VICTIM_SOURCE, str(root), job_name,
+         str(int(n_items)), str(int(shards))],
+        env=env, capture_output=True, text=True, timeout=timeout)
+
+
+@dataclass(frozen=True)
+class KillReport:
+    """The outcome of one kill-and-resume round."""
+
+    point: str
+    count: int
+    killed: bool
+    resumed: bool
+    identical: bool
+    note: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """The round proved recovery: resume finished and the results
+        match the uninterrupted reference bit-for-bit.  (``killed`` may
+        legitimately be False when the fuzzed hit count exceeds how
+        often the site is reached — the run simply completed.)"""
+        return self.resumed and self.identical
+
+    def describe(self) -> str:
+        verdict = "ok" if self.ok else f"FAILED ({self.note or 'mismatch'})"
+        death = "killed" if self.killed else "survived"
+        return (f"{self.point}:{self.count} -> {death}, "
+                f"resume {verdict}")
+
+
+def kill_anywhere(workdir: Union[str, Path], rounds: int = 6,
+                  seed: int = 0, n_items: int = 9, shards: int = 3,
+                  points: Sequence[str] = KNOWN_CRASHPOINTS,
+                  max_count: int = 3) -> List[KillReport]:
+    """Fuzz ``rounds`` (site, count) pairs; kill, resume, compare.
+
+    Every round uses a fresh job directory under ``workdir``.  The
+    reference is the clean list comprehension — the strongest oracle
+    available, since the orchestrator's contract is exactly
+    ``[fn(p) for p in grid]``.
+    """
+    from ..parallel import Orchestrator
+    workdir = Path(workdir)
+    expected = [victim_fn(x) for x in range(n_items)]
+    rng = np.random.default_rng(seed)
+    reports: List[KillReport] = []
+    for k in range(rounds):
+        point = points[int(rng.integers(0, len(points)))]
+        count = int(rng.integers(1, max_count + 1))
+        root = workdir / f"round_{k:02d}"
+        victim = run_victim(root, n_items=n_items, shards=shards,
+                            crash_spec=f"{point}:{count}")
+        killed = victim.returncode == -int(signal.SIGKILL)
+        if not killed and victim.returncode != 0:
+            reports.append(KillReport(
+                point, count, killed=False, resumed=False, identical=False,
+                note=f"victim exited {victim.returncode}: "
+                     f"{victim.stderr.strip()[-400:]}"))
+            continue
+        resume = run_victim(root, n_items=n_items, shards=shards,
+                            crash_spec=None)
+        resumed = resume.returncode == 0
+        identical = False
+        note = ""
+        if resumed:
+            try:
+                identical = (Orchestrator(root).results("kill-anywhere")
+                             == expected)
+                if not identical:
+                    note = "recovered results differ from reference"
+            except Exception as exc:
+                note = f"results unreadable after resume: {exc!r}"
+        else:
+            note = (f"resume exited {resume.returncode}: "
+                    f"{resume.stderr.strip()[-400:]}")
+        reports.append(KillReport(point, count, killed=killed,
+                                  resumed=resumed, identical=identical,
+                                  note=note))
+    return reports

@@ -1,0 +1,122 @@
+"""Runtime robustness-floor monitor (Theorem 5 under adversaries).
+
+Theorem 5 guarantees every connection at least the reservation floor
+``floor_i = min_a rho_ss_i * mu^a / N^a`` under a TSI individual
+scheme whose discipline satisfies the queueing bound — *whatever* the
+other sources do.  :func:`check_robustness_floor` turns that into a
+runtime assertion over the **honest** connections only (the adversary
+zoo's members get no guarantee — they forfeited it by ignoring the
+signal), computed against whatever network is passed in: the intact
+topology for adversary-only runs, or a degraded
+:meth:`~repro.core.topology.Network.with_mu_factors` network when the
+floor is being judged mid-outage (graceful degradation: the guarantee
+shrinks *with* the capacity, it does not vanish).
+
+Fair Share satisfies Theorem 5's condition, so the check must hold
+there; FIFO violates it as soon as an adversary sends faster — the
+demonstration the `adversarial-floor` fuzz oracle and experiment X7
+both run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.ratecontrol import RateAdjustment, tsi_target
+from ..core.robustness import reservation_floor_heterogeneous
+from ..core.topology import Network
+from ..errors import ChaosError
+from .adversaries import honest_indices
+
+__all__ = ["FloorCheck", "check_robustness_floor"]
+
+#: Relative slack for the floor assertion (matches the fuzz oracle's
+#: FLOOR_TOL — finite-precision fixed points sit a hair under).
+FLOOR_TOL = 1e-5
+
+
+@dataclass(frozen=True)
+class FloorCheck:
+    """The verdict of one robustness-floor assertion.
+
+    Attributes:
+        honest: indices of the honest connections that were judged.
+        floors: their reservation floors, aligned with ``honest``.
+        rates: their achieved rates, aligned with ``honest``.
+        ratios: ``rates / floors``.
+        worst: ``min(ratios)`` — at or above ``1 - FLOOR_TOL`` means
+            every honest connection kept its guarantee.
+        holds: the boolean verdict.
+    """
+
+    honest: np.ndarray
+    floors: np.ndarray
+    rates: np.ndarray
+    ratios: np.ndarray
+    worst: float
+    holds: bool
+
+    def describe(self) -> str:
+        verdict = "holds" if self.holds else "VIOLATED"
+        return (f"robustness floor {verdict}: worst honest ratio "
+                f"{self.worst:.6f} over {self.honest.size} connections")
+
+
+def check_robustness_floor(network: Network, signal_fn,
+                           rules: Sequence[RateAdjustment],
+                           rates: Sequence[float],
+                           tol: float = FLOOR_TOL,
+                           rho_ss: Optional[Sequence[float]] = None
+                           ) -> FloorCheck:
+    """Assert Theorem 5's floor for the honest connections.
+
+    Each honest connection's steady utilisation comes from its own
+    rule's TSI target through ``signal_fn.steady_state_utilisation``
+    (the heterogeneous form used in the proof); pass ``rho_ss`` (one
+    value per connection, adversary entries ignored) to override —
+    e.g. when the honest rules are not TSI and no floor is defined,
+    which otherwise raises :class:`~repro.errors.ChaosError`.
+
+    ``network`` is the topology to judge against — the intact network
+    for behavioural misbehaviour alone, or the degraded network while
+    a structural window is active.
+    """
+    r = np.asarray(rates, dtype=float)
+    n = network.num_connections
+    if r.shape != (n,):
+        raise ChaosError(
+            f"need one rate per connection ({n}), got shape {r.shape}")
+    if len(rules) != n:
+        raise ChaosError(
+            f"need one rule per connection ({n}), got {len(rules)}")
+    honest = honest_indices(rules)
+    if honest.size == 0:
+        raise ChaosError(
+            "every connection is an adversary; Theorem 5 guarantees "
+            "nothing and there is no floor to monitor")
+    if rho_ss is not None:
+        rho = np.asarray(rho_ss, dtype=float)
+        if rho.shape != (n,):
+            raise ChaosError(
+                f"need one rho_ss per connection ({n}), got shape "
+                f"{rho.shape}")
+    else:
+        rho = np.full(n, 0.5)  # adversary slots: placeholder in (0, 1)
+        for i in honest:
+            rule = rules[i]
+            if rule.declared_target is None:
+                raise ChaosError(
+                    f"honest rule {rule!r} (connection {i}) is not TSI; "
+                    f"its reservation floor is undefined — pass rho_ss "
+                    f"explicitly")
+            rho[i] = signal_fn.steady_state_utilisation(tsi_target(rule))
+    floors = reservation_floor_heterogeneous(network, rho)[honest]
+    achieved = r[honest]
+    ratios = achieved / floors
+    worst = float(np.min(ratios))
+    return FloorCheck(honest=honest, floors=floors, rates=achieved,
+                      ratios=ratios, worst=worst,
+                      holds=worst >= 1.0 - tol)

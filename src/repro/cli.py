@@ -23,14 +23,21 @@ Commands:
 * ``scale [--n N] [--members M] [--block-size B] [--history P]
   [--steps K] [--discipline D]`` — run one blocked ensemble at scale
   (default ``N=100000``) and print the projected buffer sizes,
-  outcome counts, and member-steps per second.
+  outcome counts, and member-steps per second;
+* ``chaos [--quick] [--rounds R] [--seed S] [--workdir DIR]`` — the
+  structural chaos layer end to end: a scheduled
+  degradation/blackhole run with its recorded transitions, the
+  Theorem 5 robustness-floor monitor on Fair Share vs FIFO against a
+  blaster adversary, and the kill-anywhere harness (SIGKILL a sweep
+  worker at fuzzed crashpoints, prove the resumed results
+  bit-identical); exits nonzero when any leg fails.
 
 ``run`` also takes ``--faults SPEC`` (inject a seeded fault plan, e.g.
 ``loss=0.3,delay=2,seed=7`` — see :func:`repro.faults.parse_fault_spec`)
 and ``--resume DIR`` (checkpoint the experiment's parameter sweep in
 ``DIR`` and resume it from there after an interruption); both only work
 with experiments whose harness accepts the corresponding keyword
-(currently X6).
+(``--faults``: X6; ``--resume``: X6 and X7).
 
 :func:`main` raises :class:`~repro.errors.ReproError` subclasses on
 user mistakes — the process entry point :func:`console_main` turns
@@ -140,6 +147,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="step budget per member (default 50)")
     scale_p.add_argument("--discipline", default="fair-share",
                          help="fair-share or fifo (default fair-share)")
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="structural faults, the adversary floor monitor, and the "
+             "kill-anywhere recovery harness")
+    chaos_p.add_argument("--quick", action="store_true",
+                         help="fewer kill rounds (CI-friendly)")
+    chaos_p.add_argument("--rounds", type=int, default=None,
+                         help="kill-anywhere rounds (default 6, "
+                              "--quick 2)")
+    chaos_p.add_argument("--seed", type=int, default=0,
+                         help="seed for the crashpoint fuzzing")
+    chaos_p.add_argument("--workdir", type=Path, default=None,
+                         help="directory for the victim sweeps "
+                              "(default: a temporary directory)")
     return parser
 
 
@@ -314,6 +336,91 @@ def _cmd_scale(n: int, members: int, block_size: int, history: str,
     return 0
 
 
+def _cmd_chaos(quick: bool, rounds: Optional[int], seed: int,
+               workdir: Optional[Path]) -> int:
+    """The chaos layer end to end; see the module docstring."""
+    import tempfile
+
+    import numpy as np
+
+    from .chaos import (BlasterRule, CapacityDegradation,
+                        GatewayBlackhole, StructuralFaultPlan,
+                        check_robustness_floor)
+    from .chaos.harness import kill_anywhere
+    from .core.dynamics import FlowControlSystem
+    from .core.fairshare import FairShare
+    from .core.fifo import Fifo
+    from .core.ratecontrol import ProportionalTargetRule
+    from .core.signals import FeedbackStyle, LinearSaturating
+    from .core.topology import single_gateway
+
+    if rounds is None:
+        rounds = 2 if quick else 6
+    if rounds < 1:
+        raise CLIError(f"--rounds must be >= 1, got {rounds}")
+    if seed < 0:
+        raise CLIError(f"--seed must be >= 0, got {seed}")
+    ok = True
+
+    # 1. Structural faults: a degradation plus a blackhole window on a
+    # shared gateway, with the recorded transition log.
+    n = 4
+    honest = ProportionalTargetRule(eta=0.5, beta=0.3)
+    plan = StructuralFaultPlan(injectors=(
+        CapacityDegradation("g0", factor=0.5, start=30, duration=30),
+        GatewayBlackhole("g0", start=70, duration=20),
+    ), seed=seed)
+    system = FlowControlSystem(
+        single_gateway(n, mu=1.0), FairShare(), LinearSaturating(),
+        honest, style=FeedbackStyle.INDIVIDUAL)
+    traj = system.run(np.full(n, 0.1), max_steps=800, tol=1e-10,
+                      structural=plan)
+    print(f"structural: {plan.describe()}")
+    for event in traj.structural_events or []:
+        print(f"  step {event.step:>4}  {event.gateway}  "
+              f"{event.kind} (factor {event.detail:g})")
+    print(f"  outcome after damage and restore: {traj.outcome.value}")
+
+    # 2. The Theorem 5 floor monitor: honest connections behind Fair
+    # Share keep their floors against a blaster; FIFO lets them starve.
+    print("\nrobustness floor vs one blaster adversary "
+          f"({n - 1} honest + 1 blaster):")
+    rules = [honest] * (n - 1) + [BlasterRule(increment=0.2, cap=5.0)]
+    for disc_name, disc, expect_hold in (
+            ("fair-share", FairShare(), True), ("fifo", Fifo(), False)):
+        sys_d = FlowControlSystem(
+            single_gateway(n, mu=1.0), disc, LinearSaturating(), rules,
+            style=FeedbackStyle.INDIVIDUAL)
+        final = sys_d.run(np.full(n, 0.1), max_steps=4000,
+                          tol=1e-11).final
+        check = check_robustness_floor(
+            sys_d.network, LinearSaturating(), rules, final)
+        verdict = ("as Theorem 5 predicts" if check.holds == expect_hold
+                   else "UNEXPECTED")
+        ok &= check.holds == expect_hold
+        print(f"  {disc_name:>10}: {check.describe()} — {verdict}")
+
+    # 3. Kill-anywhere: SIGKILL a real sweep worker at fuzzed
+    # crashpoints, resume, demand bit-identical results.
+    print(f"\nkill-anywhere: {rounds} fuzzed SIGKILL rounds "
+          f"(seed {seed}):")
+    if workdir is not None:
+        workdir.mkdir(parents=True, exist_ok=True)
+        reports = kill_anywhere(workdir, rounds=rounds, seed=seed)
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            reports = kill_anywhere(tmp, rounds=rounds, seed=seed)
+    for report in reports:
+        print(f"  {report.describe()}")
+    kills = sum(r.killed for r in reports)
+    ok &= all(r.ok for r in reports)
+    print(f"  {kills}/{len(reports)} rounds killed the worker; "
+          f"recovery {'bit-identical in every round' if ok else 'FAILED'}")
+
+    print(f"\nchaos: {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -337,6 +444,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "scale":
         return _cmd_scale(args.n, args.members, args.block_size,
                           args.history, args.steps, args.discipline)
+    if args.command == "chaos":
+        return _cmd_chaos(args.quick, args.rounds, args.seed,
+                          args.workdir)
     raise CLIError(f"unhandled command {args.command!r}")
 
 

@@ -111,6 +111,12 @@ class Trajectory:
         fault_events: the :class:`~repro.faults.FaultEvent` s a
             non-empty :class:`~repro.faults.FaultPlan` injected, in
             step order; ``None`` for fault-free runs.
+        structural_events: the
+            :class:`~repro.chaos.structural.StructuralEvent` window
+            transitions a non-empty
+            :class:`~repro.chaos.structural.StructuralFaultPlan`
+            produced, in step order; ``None`` for structurally clean
+            runs.
     """
 
     history: np.ndarray
@@ -119,6 +125,7 @@ class Trajectory:
     steps: int
     telemetry: Optional[RunRecord] = None
     fault_events: Optional[List[FaultEvent]] = None
+    structural_events: Optional[list] = None
 
     @property
     def initial(self) -> np.ndarray:
@@ -159,6 +166,10 @@ class EnsembleResult:
             non-empty :class:`~repro.faults.FaultPlan` injected across
             all members, ordered by (step, member); ``None`` for
             fault-free runs.
+        structural_events: the
+            :class:`~repro.chaos.structural.StructuralEvent` window
+            transitions across all members, ordered by (step, member);
+            ``None`` for structurally clean runs.
         history_policy: the history retention policy the run used
             (``"full"``, ``"tail"``, or ``"none"``).
         block_size: the member block size when the ensemble was run
@@ -173,6 +184,7 @@ class EnsembleResult:
     histories: Optional[List[np.ndarray]] = None
     telemetry: Optional[RunRecord] = None
     fault_events: Optional[List[FaultEvent]] = None
+    structural_events: Optional[list] = None
     history_policy: str = "tail"
     block_size: Optional[int] = None
 
@@ -302,7 +314,7 @@ class FlowControlSystem:
     # the map
     # ------------------------------------------------------------------
     def step(self, rates: np.ndarray, faults=None,
-             step_index: int = 1) -> np.ndarray:
+             step_index: int = 1, structural=None) -> np.ndarray:
         """One synchronous application of ``F``.
 
         ``faults`` (a :class:`~repro.faults.FaultState`, obtained from
@@ -312,6 +324,17 @@ class FlowControlSystem:
         With ``faults=None`` the computation is exactly the fault-free
         map — no extra work, bit-identical results.
 
+        ``structural`` (a
+        :class:`~repro.chaos.structural.StructuralFaultState`, obtained
+        from :meth:`StructuralFaultPlan.start
+        <repro.chaos.structural.StructuralFaultPlan.start>`) resolves
+        this step against a possibly damaged topology: signals and
+        delays are computed on the degraded network, and connections
+        through a blackholed gateway observe the saturated signal
+        ``b = 1`` *before* any signal-path faults apply.  While no
+        window is active the resolved view is the base network and
+        scheme, so the step is bit-identical to the clean map.
+
         Controller-driven systems carry per-gateway state the rule map
         knows nothing about; use :meth:`step_controlled` (``run`` /
         ``run_ensemble`` dispatch automatically).
@@ -320,10 +343,19 @@ class FlowControlSystem:
             raise RateVectorError(
                 "system is controller-driven; use step_controlled")
         r = as_rate_vector(rates, n=self.network.num_connections)
-        b = self.signals(r)
+        if structural is not None:
+            view = structural.resolve(step_index)
+            b = view.scheme.signals(r)
+            if view.blackholed.size:
+                b[view.blackholed] = 1.0
+        else:
+            b = self.signals(r)
         if faults is not None:
             b = faults.apply(step_index, b)
-        d = self.delays(r)
+        if structural is not None:
+            d = round_trip_delays(view.network, self.discipline, r)
+        else:
+            d = self.delays(r)
         new = np.array([
             rule.apply(float(r[i]), float(b[i]), float(d[i]))
             for i, rule in enumerate(self.rules)
@@ -331,7 +363,7 @@ class FlowControlSystem:
         return clip_nonnegative(new)
 
     def step_batch(self, rates: np.ndarray, faults=None, members=None,
-                   step_index: int = 1) -> np.ndarray:
+                   step_index: int = 1, structural=None) -> np.ndarray:
         """One synchronous application of ``F`` to a batch of states.
 
         ``rates`` is an ``(M, N)`` array of M independent rate vectors
@@ -346,17 +378,46 @@ class FlowControlSystem:
         vector is perturbed by its own member state, so fault streams
         stay aligned with the scalar path even when finished members
         have been masked out of the batch.
+
+        ``structural`` is likewise a sequence of per-member
+        :class:`~repro.chaos.structural.StructuralFaultState` s indexed
+        by absolute member number.  Rows are grouped by their resolved
+        damage signature and each group's signals and delays are
+        computed on that group's degraded network in one vectorised
+        pass — equal signatures build bit-identical schemes, and every
+        per-row stage is row-independent, so grouping preserves
+        ``step_batch(R)[m] == step(R[m], structural=state_m)`` exactly.
         """
         if self._bank is not None:
             raise RateVectorError(
                 "system is controller-driven; use step_controlled_batch")
         r = as_rate_matrix(rates, n=self.network.num_connections)
-        b = self.scheme.signals_batch(r)
+        if structural is None:
+            b = self.scheme.signals_batch(r)
+        else:
+            rows_m = (list(members) if members is not None
+                      else list(range(r.shape[0])))
+            views = [structural[m].resolve(step_index) for m in rows_m]
+            groups: dict = {}
+            for row, view in enumerate(views):
+                groups.setdefault(view.key, (view, []))[1].append(row)
+            b = np.empty_like(r)
+            d = np.empty_like(r)
+            for view, row_list in groups.values():
+                sel = np.asarray(row_list, dtype=np.intp)
+                sub = r[sel]
+                bs = view.scheme.signals_batch(sub)
+                if view.blackholed.size:
+                    bs[:, view.blackholed] = 1.0
+                b[sel] = bs
+                d[sel] = round_trip_delays_batch(view.network,
+                                                 self.discipline, sub)
         if faults is not None:
             rows = members if members is not None else range(r.shape[0])
             for row, m in enumerate(rows):
                 b[row] = faults[m].apply(step_index, b[row])
-        d = round_trip_delays_batch(self.network, self.discipline, r)
+        if structural is None:
+            d = round_trip_delays_batch(self.network, self.discipline, r)
         new = np.empty_like(r)
         for rule, cols in self._rule_groups:
             new[:, cols] = rule.apply_batch(r[:, cols], b[:, cols],
@@ -412,7 +473,8 @@ class FlowControlSystem:
             max_period: int = 64,
             telemetry: Optional[bool] = None,
             faults: Optional[FaultPlan] = None,
-            fault_member: int = 0) -> Trajectory:
+            fault_member: int = 0,
+            structural=None) -> Trajectory:
         """Iterate the map from ``initial`` and classify the outcome.
 
         Convergence requires ``settle`` consecutive steps with sup-norm
@@ -438,6 +500,16 @@ class FlowControlSystem:
         fault-free path.  ``fault_member`` selects the plan's RNG
         stream — member ``m`` of a faulted :meth:`run_ensemble`
         reproduces ``run(initials[m], faults=plan, fault_member=m)``.
+
+        ``structural`` injects a
+        :class:`~repro.chaos.structural.StructuralFaultPlan`: scheduled
+        gateway capacity degradations and blackholes damage the
+        topology the dynamics run on (see :meth:`step`), every window
+        transition is recorded on the trajectory, and the empty plan
+        (and ``None``) keeps the run bit-identical to the clean path.
+        ``fault_member`` selects the structural jitter stream too.
+        Structural plans compose with signal-path ``faults``; neither
+        composes with a router-side controller.
         """
         r = as_rate_vector(initial, n=self.network.num_connections)
         if self._bank is not None and faults is not None \
@@ -446,11 +518,20 @@ class FlowControlSystem:
                 "fault plans perturb the per-source signal path, which "
                 "controller-driven systems do not read; faults with a "
                 "controller are not supported")
+        if self._bank is not None and structural is not None \
+                and not structural.empty:
+            raise SweepError(
+                "structural fault plans damage the per-source "
+                "signal/delay path, which controller-driven systems "
+                "replace with router-side state; structural faults "
+                "with a controller are not supported")
         ctrl = (self._bank.initial_state()
                 if self._bank is not None else None)
         fault_state = (faults.start(network=self.network,
                                     member=fault_member)
                        if faults is not None else None)
+        structural_state = (structural.start(self, member=fault_member)
+                            if structural is not None else None)
         if telemetry is None:
             telemetry = is_collecting()
         rec = RunRecord.begin("run", 1, r.shape[0], max_steps, tol,
@@ -484,15 +565,21 @@ class FlowControlSystem:
         def fault_events() -> Optional[List[FaultEvent]]:
             return fault_state.events if fault_state is not None else None
 
+        def structural_events() -> Optional[list]:
+            return (structural_state.events
+                    if structural_state is not None else None)
+
         for step_count in range(1, max_steps + 1):
             if rec is not None:
                 t0 = time.perf_counter()
             if ctrl is not None:
                 r_next, ctrl = self.step_controlled(r, ctrl)
+            elif fault_state is None and structural_state is None:
+                r_next = self.step(r)
             else:
-                r_next = (self.step(r) if fault_state is None else
-                          self.step(r, faults=fault_state,
-                                    step_index=step_count))
+                r_next = self.step(r, faults=fault_state,
+                                   step_index=step_count,
+                                   structural=structural_state)
             if rec is not None:
                 step_seconds += time.perf_counter() - t0
             history[step_count] = r_next
@@ -504,7 +591,8 @@ class FlowControlSystem:
                                   None, step_count,
                                   telemetry=finish(Outcome.DIVERGED,
                                                    step_count),
-                                  fault_events=fault_events())
+                                  fault_events=fault_events(),
+                                  structural_events=structural_events())
             change = sup_norm(r_next, r)
             scale = max(1.0, float(np.max(r_next)))
             settled = False
@@ -523,7 +611,8 @@ class FlowControlSystem:
                                   Outcome.CONVERGED, 1, step_count,
                                   telemetry=finish(Outcome.CONVERGED,
                                                    step_count),
-                                  fault_events=fault_events())
+                                  fault_events=fault_events(),
+                                  structural_events=structural_events())
             r = r_next
         if rec is not None:
             t0 = time.perf_counter()
@@ -535,10 +624,12 @@ class FlowControlSystem:
                               max_steps,
                               telemetry=finish(Outcome.OSCILLATING,
                                                max_steps),
-                              fault_events=fault_events())
+                              fault_events=fault_events(),
+                              structural_events=structural_events())
         return Trajectory(history, Outcome.UNDECIDED, None, max_steps,
                           telemetry=finish(Outcome.UNDECIDED, max_steps),
-                          fault_events=fault_events())
+                          fault_events=fault_events(),
+                          structural_events=structural_events())
 
     def run_ensemble(self, initials, max_steps: int = 20000,
                      tol: float = 1e-10, settle: int = 5,
@@ -547,7 +638,8 @@ class FlowControlSystem:
                      telemetry: Optional[bool] = None,
                      faults: Optional[FaultPlan] = None,
                      block_size: Optional[int] = None,
-                     history: Optional[str] = None) -> EnsembleResult:
+                     history: Optional[str] = None,
+                     structural=None) -> EnsembleResult:
         """Iterate the map from a whole batch of initial conditions.
 
         ``initials`` is an ``(M, N)`` array — M starting rate vectors —
@@ -604,6 +696,15 @@ class FlowControlSystem:
         index, blocked or not), so member ``m`` reproduces
         ``run(initials[m], faults=plan, fault_member=m)``.  The empty
         plan keeps the fault-free path bit-identical.
+
+        ``structural`` injects a
+        :class:`~repro.chaos.structural.StructuralFaultPlan` into every
+        member, each with its own jitter stream seeded by the absolute
+        member index — member ``m`` reproduces ``run(initials[m],
+        structural=plan, fault_member=m)``, blocked or not.  Window
+        transitions across all members are collected on the result in
+        (step, member) order.  The empty plan keeps the clean path
+        bit-identical.
         """
         r0 = as_rate_matrix(initials, n=self.network.num_connections)
         m_total, n = r0.shape
@@ -613,6 +714,13 @@ class FlowControlSystem:
                 "fault plans perturb the per-source signal path, which "
                 "controller-driven systems do not read; faults with a "
                 "controller are not supported")
+        if self._bank is not None and structural is not None \
+                and not structural.empty:
+            raise SweepError(
+                "structural fault plans damage the per-source "
+                "signal/delay path, which controller-driven systems "
+                "replace with router-side state; structural faults "
+                "with a controller are not supported")
         history = _resolve_history(record, history)
         record = history == "full"
         block = _resolve_block_size(block_size, m_total)
@@ -620,6 +728,10 @@ class FlowControlSystem:
         if faults is not None and not faults.empty:
             fault_states = [faults.start(network=self.network, member=m)
                             for m in range(m_total)]
+        structural_states = None
+        if structural is not None and not structural.empty:
+            structural_states = [structural.start(self, member=m)
+                                 for m in range(m_total)]
         limit = self.DIVERGENCE_FACTOR * self._mu_max
         if telemetry is None:
             telemetry = is_collecting()
@@ -649,6 +761,9 @@ class FlowControlSystem:
                                   fault_events=(
                                       [] if fault_states is not None
                                       else None),
+                                  structural_events=(
+                                      [] if structural_states is not None
+                                      else None),
                                   history_policy=history,
                                   block_size=None)
 
@@ -660,7 +775,8 @@ class FlowControlSystem:
         for base in range(0, m_total, block):
             self._run_ensemble_block(
                 r0, base, min(base + block, m_total), max_steps, tol,
-                settle, max_period, limit, history, fault_states, rec,
+                settle, max_period, limit, history, fault_states,
+                structural_states, rec,
                 outcomes, periods, steps, finals, histories,
                 mask_events, timings, totals)
 
@@ -673,6 +789,11 @@ class FlowControlSystem:
             all_fault_events = [event for state in fault_states
                                 for event in state.events]
             all_fault_events.sort(key=lambda e: (e.step, e.member))
+        all_structural_events = None
+        if structural_states is not None:
+            all_structural_events = [event for state in structural_states
+                                     for event in state.events]
+            all_structural_events.sort(key=lambda e: (e.step, e.member))
         if rec is not None:
             for step_count, member, kind in mask_events:
                 rec.observe_mask_event(step_count, member, kind)
@@ -693,12 +814,14 @@ class FlowControlSystem:
                               initials=r0, histories=histories,
                               telemetry=rec,
                               fault_events=all_fault_events,
+                              structural_events=all_structural_events,
                               history_policy=history,
                               block_size=(block if block_size is not None
                                           else None))
 
     def _run_ensemble_block(self, r0, base, end, max_steps, tol, settle,
                             max_period, limit, history, fault_states,
+                            structural_states,
                             rec, outcomes, periods, steps, finals,
                             histories, mask_events, timings, totals):
         """Evolve members ``base:end`` of ``r0``; write results in place.
@@ -706,14 +829,16 @@ class FlowControlSystem:
         One block of :meth:`run_ensemble`: the per-step loop, masking,
         and period detection over a contiguous member slice, writing
         into the caller's result arrays at absolute member indices and
-        appending ``(step, member, kind)`` mask events.  Fault states
-        are indexed by absolute member so blocked fault streams match
-        the one-shot path exactly.
+        appending ``(step, member, kind)`` mask events.  Fault and
+        structural states are indexed by absolute member so blocked
+        streams match the one-shot path exactly.
         """
         mb = end - base
         n = r0.shape[1]
         block_states = (fault_states[base:end]
                         if fault_states is not None else None)
+        block_structural = (structural_states[base:end]
+                            if structural_states is not None else None)
         # Rolling tail for period detection: _detect_period probes lags
         # up to max_period over a window of 3 * max_period, so the last
         # 4 * max_period states suffice.
@@ -739,11 +864,13 @@ class FlowControlSystem:
                 t0 = time.perf_counter()
             if ctrl is not None:
                 r_next, ctrl = self.step_controlled_batch(r, ctrl)
+            elif block_states is None and block_structural is None:
+                r_next = self.step_batch(r)
             else:
-                r_next = (self.step_batch(r) if block_states is None else
-                          self.step_batch(r, faults=block_states,
-                                          members=idx,
-                                          step_index=step_count))
+                r_next = self.step_batch(r, faults=block_states,
+                                         members=idx,
+                                         step_index=step_count,
+                                         structural=block_structural)
             if rec is not None:
                 timings["step"] += time.perf_counter() - t0
                 t0 = time.perf_counter()

@@ -327,6 +327,34 @@ class Network:
                for g in self._gateways.values()]
         return Network(gws, self._connections)
 
+    def with_mu_factors(self, factors: Mapping[str, float]) -> "Network":
+        """A copy with some service rates scaled per gateway.
+
+        The graceful-degradation helper of the structural chaos layer:
+        a capacity drop at gateway ``a`` is a *derived network* whose
+        ``mu^a`` is multiplied by ``factors[a]`` (strictly in ``(0, 1]``
+        — a dead line is a blackhole, not a zero-rate server, because
+        the queue laws require ``mu > 0``).  An empty map returns
+        ``self`` unchanged so the clean path keeps the original object
+        (and its cached CSR arrays).
+        """
+        if not factors:
+            return self
+        unknown = set(factors) - set(self._gateways)
+        if unknown:
+            raise TopologyError(f"unknown gateways in mu-factor map: "
+                                f"{sorted(unknown)!r}")
+        for gname, factor in factors.items():
+            f = float(factor)
+            if not (math.isfinite(f) and 0.0 < f <= 1.0):
+                raise TopologyError(
+                    f"mu factor for gateway {gname!r} must lie in "
+                    f"(0, 1], got {factor!r}")
+        gws = [Gateway(g.name, g.mu * float(factors.get(g.name, 1.0)),
+                       g.latency)
+               for g in self._gateways.values()]
+        return Network(gws, self._connections)
+
     def with_latencies(self, latencies: Mapping[str, float]) -> "Network":
         """A copy with some gateway latencies replaced (TSI probe)."""
         gws = []

@@ -105,6 +105,16 @@ class ScenarioError(ReproError):
     """
 
 
+class ChaosError(ReproError):
+    """A structural chaos plan, adversary, or crashpoint is malformed.
+
+    Examples: a capacity-degradation factor outside (0, 1], a blackhole
+    window referencing an unknown gateway, an adversary assignment that
+    does not match the connection count, or an unparsable
+    ``REPRO_CRASHPOINT`` specification.
+    """
+
+
 class OracleError(ReproError):
     """A differential oracle could not be evaluated.
 

@@ -23,6 +23,7 @@ from .exp_f11_real_algorithms import run_f11_real_algorithms
 from .exp_f12_sim_validation import run_f12_sim_validation
 from .exp_f13_controller_zoo import run_f13_controller_zoo
 from .exp_x6_faulty_feedback import run_x6_faulty_feedback
+from .exp_x7_chaos import run_x7_chaos_floors
 from .extensions import (run_x1_asynchrony, run_x2_feedback_delay,
                          run_x3_weighted_fairness,
                          run_x4_thinning_ablation,
@@ -86,6 +87,9 @@ EXTENSIONS: Dict[str, Experiment] = {
                    run_x5_implicit_feedback),
         Experiment("X6", "Extension: robustness under faulty feedback",
                    run_x6_faulty_feedback),
+        Experiment("X7", "Extension: robustness floors under chaos "
+                         "(adversaries + outages)",
+                   run_x7_chaos_floors),
     ]
 }
 

@@ -65,6 +65,9 @@ import warnings
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Union
 
+import numpy as np
+
+from ..chaos.crashpoints import crashpoint
 from ..errors import RateVectorError, SweepError, WorkerFunctionError
 from ..observability import SweepRecord, emit_sweep_record, is_collecting
 
@@ -79,6 +82,23 @@ CHECKPOINT_SCHEMA = "repro.sweep-checkpoint/v1"
 #: straight to the serial salvage path without burning retry rounds.
 _RETRYABLE = (TimeoutError, concurrent.futures.BrokenExecutor, OSError,
               MemoryError)
+
+
+def _retry_backoff(backoff: float, round_index: int, seed) -> float:
+    """Seconds to sleep before retry round ``round_index`` (1-based).
+
+    Exponential base ``backoff * 2**(round_index - 1)`` scaled by a
+    seeded jitter factor in ``[0.5, 1.5)`` — jitter decorrelates
+    workers retrying against the same contended resource, and seeding
+    it (``default_rng(seed)``, where the caller folds the sweep seed
+    and round into ``seed``) keeps the whole retry schedule
+    reproducible from the sweep seed alone.
+    """
+    base = backoff * (2 ** (round_index - 1))
+    if base <= 0:
+        return 0.0
+    jitter = np.random.default_rng(seed).random()
+    return base * (0.5 + jitter)
 
 
 def chunk_indices(n_items: int, n_chunks: int) -> List[range]:
@@ -233,6 +253,7 @@ class _Checkpoint:
         mode = "wb" if binary else "w"
         with tmp.open(mode) as handle:
             handle.write(payload)
+        crashpoint("sweep-checkpoint-mid-write")
         os.replace(tmp, path)
 
     def load(self) -> dict:
@@ -254,6 +275,7 @@ class _Checkpoint:
         return loaded
 
     def write(self, k: int, results: list) -> None:
+        crashpoint("sweep-checkpoint-pre-write")
         self._atomic_write(self._chunk_path(k),
                            pickle.dumps({"chunk": k, "results": results}),
                            binary=True)
@@ -265,7 +287,8 @@ def sweep(fn: Callable, grid: Sequence, workers: Optional[int] = None,
           timeout: Optional[float] = None,
           retries: int = 2,
           backoff: float = 0.5,
-          checkpoint_dir: Optional[Union[str, Path]] = None) -> list:
+          checkpoint_dir: Optional[Union[str, Path]] = None,
+          seed: int = 0) -> list:
     """Evaluate ``fn`` over ``grid``, in parallel, deterministically.
 
     Args:
@@ -284,10 +307,15 @@ def sweep(fn: Callable, grid: Sequence, workers: Optional[int] = None,
         retries: infrastructure-failure retry rounds before the serial
             salvage kicks in (function errors are never retried).
         backoff: base of the exponential sleep between retry rounds
-            (``backoff * 2**round`` seconds).
+            (``backoff * 2**round`` seconds, jittered — see ``seed``).
         checkpoint_dir: directory for per-chunk checkpoints; pass the
             same directory again to resume an interrupted sweep (grid
             shape must match — the manifest is checked).
+        seed: seeds the retry backoff's jitter stream
+            (``default_rng([seed, round])``), so the exact sleep
+            schedule of a retried sweep is reproducible from the sweep
+            seed; it does not affect the results, which are
+            deterministic regardless.
 
     Returns:
         ``[fn(p) for p in grid]`` — exactly, whatever the parallelism,
@@ -319,6 +347,8 @@ def sweep(fn: Callable, grid: Sequence, workers: Optional[int] = None,
         raise SweepError(f"retries must be an int >= 0, got {retries!r}")
     if not backoff >= 0:
         raise SweepError(f"backoff must be >= 0, got {backoff!r}")
+    if not isinstance(seed, int) or isinstance(seed, bool) or seed < 0:
+        raise SweepError(f"seed must be an int >= 0, got {seed!r}")
     rec = (SweepRecord(n_items=len(items), executor=executor,
                        workers=workers) if is_collecting() else None)
     wall_start = time.perf_counter()
@@ -376,7 +406,8 @@ def sweep(fn: Callable, grid: Sequence, workers: Optional[int] = None,
             if round_index > 0:
                 if round_index > retries:
                     break  # retry budget spent — salvage the rest
-                time.sleep(backoff * (2 ** (round_index - 1)))
+                time.sleep(_retry_backoff(backoff, round_index,
+                                          [seed, round_index]))
                 retry_rounds += 1
             round_index += 1
             try:

@@ -18,6 +18,28 @@ rooted in a directory:
   job and completed shards are loaded from disk while the interrupted
   shard resumes from its own sweep checkpoint, chunk by chunk.
 
+Chaos hardening (all crash-consistent, all deterministic in the
+results):
+
+* **Leases** — each in-flight shard is protected by a lease file
+  naming its owner (pid + nonce) and an expiry.  A second worker
+  skips live-leased shards instead of double-computing them, and
+  *reclaims* a lease whose owner process is dead or whose TTL has
+  lapsed — which is exactly how a SIGKILLed worker's shard gets picked
+  up again without waiting out the clock.
+* **Poison-shard quarantine** — with ``max_attempts > 1`` a failing
+  shard is retried with seeded-jitter exponential backoff
+  (``default_rng([seed, shard, attempt])`` — reproducible from the job
+  seed), then *quarantined*: recorded in ``state.json`` and skipped so
+  the remaining shards still complete before the job fails.  The
+  default ``max_attempts=1`` preserves fail-fast semantics: the first
+  shard failure marks the job ``failed`` and re-raises.
+* **Crashpoints** — the state/shard write paths carry named
+  :func:`~repro.chaos.crashpoints.crashpoint` sites (including the
+  window between a temp file's write and its atomic rename), which the
+  kill-anywhere harness arms to prove resumed jobs are bit-identical
+  to uninterrupted ones.
+
 Functions are not persisted (pickling arbitrary callables is not
 reliable across processes and code versions): resuming means
 re-submitting the same ``(name, fn, grid)``.  ``state.json`` pins the
@@ -30,17 +52,24 @@ from __future__ import annotations
 import json
 import os
 import pickle
+import time
+import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from ..chaos.crashpoints import crashpoint
 from ..errors import SweepError
-from . import chunk_indices, sweep
+from . import _retry_backoff, chunk_indices, sweep
 
 __all__ = ["SweepJob", "Orchestrator", "ORCHESTRATOR_SCHEMA"]
 
 #: Schema identifier embedded in every job ``state.json``.
-ORCHESTRATOR_SCHEMA = "repro.orchestrator-job/v1"
+ORCHESTRATOR_SCHEMA = "repro.orchestrator-job/v2"
+
+#: The previous schema; still readable.  v1 states lack the
+#: ``quarantined``/``attempts`` maps and are migrated on load.
+_ORCHESTRATOR_SCHEMA_V1 = "repro.orchestrator-job/v1"
 
 _STATUSES = ("queued", "running", "done", "failed")
 
@@ -52,8 +81,20 @@ class SweepJob:
     ``fn``/``grid`` are as in :func:`repro.parallel.sweep`; ``shards``
     is the number of contiguous grid slices the job is split into
     (each shard is one checkpointed sweep call, and the unit of
-    incremental aggregation and resume).  The remaining fields are
-    passed through to every shard's ``sweep``.
+    incremental aggregation, leasing, and resume).  ``workers`` through
+    ``backoff`` are passed through to every shard's ``sweep``.
+
+    Chaos-hardening knobs:
+
+    * ``seed`` drives the job's retry-backoff jitter streams (and
+      nothing else) — two runs of the same job sleep the same
+      schedule.
+    * ``max_attempts`` is the per-shard attempt budget.  ``1`` (the
+      default) is fail-fast: the first shard failure fails the job and
+      re-raises.  Larger values retry with seeded backoff, then
+      quarantine the poison shard and keep going.
+    * ``lease_ttl`` is the shard lease's expiry in seconds; a dead
+      owner's lease is reclaimed immediately, a live one after the TTL.
     """
 
     name: str
@@ -66,6 +107,9 @@ class SweepJob:
     timeout: Optional[float] = None
     retries: int = 2
     backoff: float = 0.5
+    seed: int = 0
+    max_attempts: int = 1
+    lease_ttl: float = 60.0
 
     def __post_init__(self):
         if not (isinstance(self.name, str) and self.name):
@@ -83,16 +127,47 @@ class SweepJob:
                 f"shards must be a positive integer, got {self.shards!r}")
         if not callable(self.fn):
             raise SweepError(f"fn must be callable, got {self.fn!r}")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool) \
+                or self.seed < 0:
+            raise SweepError(
+                f"job seed must be an int >= 0, got {self.seed!r}")
+        if not isinstance(self.max_attempts, int) \
+                or isinstance(self.max_attempts, bool) \
+                or self.max_attempts < 1:
+            raise SweepError(
+                f"max_attempts must be an int >= 1, "
+                f"got {self.max_attempts!r}")
+        if not self.lease_ttl > 0:
+            raise SweepError(
+                f"lease_ttl must be > 0 seconds, got {self.lease_ttl!r}")
 
     @property
     def shard_ranges(self) -> List[range]:
         return chunk_indices(len(self.grid), self.shards)
 
 
-def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+def _atomic_write_bytes(path: Path, payload: bytes,
+                        crash_site: Optional[str] = None) -> None:
     tmp = path.with_suffix(path.suffix + ".tmp")
     tmp.write_bytes(payload)
+    if crash_site is not None:
+        crashpoint(crash_site)
     os.replace(tmp, path)
+
+
+def _pid_alive(pid: int) -> bool:
+    """True when ``pid`` names a live process we can see."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
 
 
 class Orchestrator:
@@ -103,6 +178,9 @@ class Orchestrator:
         self.jobs_dir = self.root / "jobs"
         self.jobs_dir.mkdir(parents=True, exist_ok=True)
         self._jobs: Dict[str, SweepJob] = {}
+        # Lease identity: pid for liveness probing, nonce so a pid
+        # reuse never masquerades as the dead owner.
+        self._owner = f"{os.getpid()}-{uuid.uuid4().hex[:8]}"
 
     # ------------------------------------------------------------------
     # disk layout helpers
@@ -119,11 +197,15 @@ class Orchestrator:
     def _shard_checkpoint_dir(self, name: str, k: int) -> Path:
         return self.job_dir(name) / "shards" / f"shard_{k:05d}"
 
+    def _lease_path(self, name: str, k: int) -> Path:
+        return self.job_dir(name) / "leases" / f"shard_{k:05d}.json"
+
     def _write_state(self, name: str, state: dict) -> None:
         state = dict(state)
         state["schema"] = ORCHESTRATOR_SCHEMA
         _atomic_write_bytes(self._state_path(name),
-                            json.dumps(state, indent=1).encode())
+                            json.dumps(state, indent=1).encode(),
+                            crash_site="orchestrator-state-mid-write")
 
     def _read_state(self, name: str) -> Optional[dict]:
         path = self._state_path(name)
@@ -134,11 +216,54 @@ class Orchestrator:
         except (OSError, json.JSONDecodeError) as exc:
             raise SweepError(
                 f"unreadable job state {path}: {exc!r}") from exc
-        if state.get("schema") != ORCHESTRATOR_SCHEMA:
+        schema = state.get("schema")
+        if schema == _ORCHESTRATOR_SCHEMA_V1:
+            # Forward migration: v1 predates quarantine bookkeeping.
+            state.setdefault("quarantined", {})
+            state.setdefault("attempts", {})
+            state["schema"] = ORCHESTRATOR_SCHEMA
+        elif schema != ORCHESTRATOR_SCHEMA:
             raise SweepError(
-                f"job state {path} has schema {state.get('schema')!r}, "
-                f"expected {ORCHESTRATOR_SCHEMA!r}")
+                f"job state {path} has schema {schema!r}, expected "
+                f"{ORCHESTRATOR_SCHEMA!r} (or the migratable "
+                f"{_ORCHESTRATOR_SCHEMA_V1!r}); refusing to resume "
+                f"across an unknown schema version")
         return state
+
+    # ------------------------------------------------------------------
+    # leases
+    # ------------------------------------------------------------------
+    def _read_lease(self, name: str, k: int) -> Optional[dict]:
+        path = self._lease_path(name, k)
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None  # corrupt lease (e.g. crash mid-write): reclaim
+
+    def _acquire_lease(self, name: str, k: int, ttl: float) -> bool:
+        """Take (or refresh) the shard lease; False when another live
+        worker holds it.  Dead-owner and expired leases are reclaimed."""
+        lease = self._read_lease(name, k)
+        now = time.time()
+        if lease is not None and lease.get("owner") != self._owner:
+            expires = float(lease.get("expires_at", 0.0))
+            pid = int(lease.get("pid", 0))
+            if expires > now and _pid_alive(pid):
+                return False
+        path = self._lease_path(name, k)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        _atomic_write_bytes(path, json.dumps(
+            {"owner": self._owner, "pid": os.getpid(),
+             "acquired_at": now, "expires_at": now + ttl}).encode())
+        return True
+
+    def _release_lease(self, name: str, k: int) -> None:
+        try:
+            self._lease_path(name, k).unlink()
+        except FileNotFoundError:
+            pass
 
     # ------------------------------------------------------------------
     # queue operations
@@ -152,6 +277,8 @@ class Orchestrator:
         :class:`~repro.errors.SweepError` rather than silently mixing
         two different grids — and an interrupted ``running`` job drops
         back to ``queued`` so :meth:`run_pending` picks it up again.
+        Resubmission also clears the quarantine map: a fresh attempt
+        budget for every shard.
         """
         if not isinstance(job, SweepJob):
             raise SweepError(f"expected a SweepJob, got {job!r}")
@@ -162,7 +289,7 @@ class Orchestrator:
             state = {"name": job.name, "n_items": len(job.grid),
                      "shards": job.shards, "shard_sizes": shard_sizes,
                      "status": "queued", "completed_shards": [],
-                     "error": None}
+                     "error": None, "quarantined": {}, "attempts": {}}
         else:
             if state["n_items"] != len(job.grid) \
                     or state["shard_sizes"] != shard_sizes:
@@ -175,6 +302,8 @@ class Orchestrator:
                 # Interrupted or failed: back to the queue for resume.
                 state["status"] = "queued"
                 state["error"] = None
+                state["quarantined"] = {}
+                state["attempts"] = {}
         self._write_state(job.name, state)
         self._jobs[job.name] = job
         return state
@@ -194,13 +323,45 @@ class Orchestrator:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def _run_shard(self, job: SweepJob, name: str, k: int,
+                   rng: range) -> List:
+        """One shard through its attempt budget; raises the last error
+        when every attempt failed."""
+        shard_grid = [job.grid[i] for i in rng]
+        last_exc: Optional[Exception] = None
+        for attempt in range(1, job.max_attempts + 1):
+            # Heartbeat: refresh our lease so a long shard is not
+            # reclaimed mid-run by a patient second worker.
+            self._acquire_lease(name, k, job.lease_ttl)
+            if attempt > 1:
+                time.sleep(_retry_backoff(job.backoff, attempt - 1,
+                                          [job.seed, k, attempt]))
+            try:
+                return sweep(
+                    job.fn, shard_grid, workers=job.workers,
+                    executor=job.executor, chunk_size=job.chunk_size,
+                    timeout=job.timeout, retries=job.retries,
+                    backoff=job.backoff,
+                    checkpoint_dir=self._shard_checkpoint_dir(name, k))
+            except Exception as exc:
+                last_exc = exc
+        raise last_exc
+
     def run_job(self, name: str) -> List:
         """Run (or resume) one job to completion and return its results.
 
         Completed shards are skipped (their results come from disk);
         the first incomplete shard resumes from its sweep checkpoint.
-        A shard failure marks the job ``failed`` (with the error
-        recorded in ``state.json``) and re-raises.
+        Shards leased by another *live* worker are skipped and reported
+        via :class:`~repro.errors.SweepError` (the job drops back to
+        ``queued`` so a later run picks the stragglers up); dead
+        owners' leases are reclaimed on the spot.
+
+        With the default ``max_attempts=1`` a shard failure marks the
+        job ``failed`` (with the error recorded in ``state.json``) and
+        re-raises.  With a larger budget the shard is retried under
+        seeded backoff and then quarantined, the remaining shards still
+        run, and the job fails at the end naming every poison shard.
         """
         job = self._jobs.get(name)
         if job is None:
@@ -213,30 +374,59 @@ class Orchestrator:
         state["status"] = "running"
         self._write_state(name, state)
         completed = set(state["completed_shards"])
+        blocked: List[int] = []
         for k, rng in enumerate(job.shard_ranges):
             if k in completed:
                 continue
-            shard_grid = [job.grid[i] for i in rng]
+            if not self._acquire_lease(name, k, job.lease_ttl):
+                blocked.append(k)
+                continue
             try:
-                shard_results = sweep(
-                    job.fn, shard_grid, workers=job.workers,
-                    executor=job.executor, chunk_size=job.chunk_size,
-                    timeout=job.timeout, retries=job.retries,
-                    backoff=job.backoff,
-                    checkpoint_dir=self._shard_checkpoint_dir(name, k))
+                shard_results = self._run_shard(job, name, k, rng)
             except Exception as exc:
-                state["status"] = "failed"
-                state["error"] = repr(exc)
+                state["attempts"][str(k)] = job.max_attempts
+                state["quarantined"][str(k)] = repr(exc)
+                if job.max_attempts == 1:
+                    # Fail-fast: first failure fails the job.
+                    state["status"] = "failed"
+                    state["error"] = repr(exc)
+                    self._write_state(name, state)
+                    self._release_lease(name, k)
+                    raise
                 self._write_state(name, state)
-                raise
+                self._release_lease(name, k)
+                continue
             # Incremental aggregation: persist the shard before moving
             # on, so a later crash never recomputes it.
+            crashpoint("orchestrator-pre-shard-result")
             path = self._shard_result_path(name, k)
             path.parent.mkdir(parents=True, exist_ok=True)
-            _atomic_write_bytes(path, pickle.dumps(shard_results))
+            _atomic_write_bytes(path, pickle.dumps(shard_results),
+                                crash_site="orchestrator-shard-mid-write")
+            crashpoint("orchestrator-pre-state-update")
             state["completed_shards"] = sorted(completed | {k})
             completed.add(k)
             self._write_state(name, state)
+            self._release_lease(name, k)
+        quarantined = {k: err for k, err in state["quarantined"].items()
+                       if int(k) not in completed}
+        if quarantined:
+            summary = ", ".join(f"shard {k}: {err}"
+                                for k, err in sorted(quarantined.items()))
+            state["status"] = "failed"
+            state["error"] = (f"{len(quarantined)} shard(s) quarantined "
+                              f"after {job.max_attempts} attempts")
+            self._write_state(name, state)
+            raise SweepError(
+                f"job {name!r}: {state['error']} — {summary}; resubmit "
+                f"to retry with a fresh attempt budget")
+        if blocked:
+            state["status"] = "queued"
+            self._write_state(name, state)
+            raise SweepError(
+                f"job {name!r}: shard(s) {blocked} are leased by "
+                f"another live worker; run again once they finish or "
+                f"their leases expire")
         state["status"] = "done"
         state["error"] = None
         self._write_state(name, state)

@@ -20,14 +20,16 @@ from .harness import FuzzReport, ScenarioOutcome, fuzz, run_scenario
 from .oracles import (ORACLES, OracleResult, ScenarioContext, oracle_names,
                       run_all_oracles, run_oracle)
 from .shrink import ShrinkResult, failing_oracles, shrink
-from .spec import (SCENARIO_SCHEMA, ConnectionSpec, ControllerSpec,
-                   FaultPlanSpec, GatewaySpec, InjectorSpec, RuleSpec,
-                   ScenarioSpec, SignalSpec)
+from .spec import (SCENARIO_SCHEMA, AdversarySpec, ConnectionSpec,
+                   ControllerSpec, FaultPlanSpec, GatewaySpec,
+                   InjectorSpec, RuleSpec, ScenarioSpec, SignalSpec,
+                   StructuralInjectorSpec, StructuralPlanSpec)
 
 __all__ = [
     "SCENARIO_SCHEMA",
     "GatewaySpec", "ConnectionSpec", "SignalSpec", "RuleSpec",
     "InjectorSpec", "FaultPlanSpec", "ControllerSpec", "ScenarioSpec",
+    "AdversarySpec", "StructuralInjectorSpec", "StructuralPlanSpec",
     "generate", "generate_spec", "validate_budget",
     "ORACLES", "OracleResult", "ScenarioContext", "oracle_names",
     "run_oracle", "run_all_oracles",

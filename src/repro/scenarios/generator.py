@@ -13,7 +13,12 @@ analyses — not arbitrary noise:
 * **signals, disciplines, styles** — every combination the engines
   support, including weighted Fair Share;
 * **fault plans** — a minority of scenarios carry a small seeded
-  fault plan so the fault-determinism contracts are fuzzed too.
+  fault plan so the fault-determinism contracts are fuzzed too;
+* **chaos** — a minority of non-controller scenarios carry adversaries
+  (only behind fair-share gateways, where Theorem 5 predicts the
+  honest floors the adversarial-floor oracle asserts) or a structural
+  plan (scheduled capacity degradations / blackholes, exercised by the
+  fault-determinism oracle's structural branch).
 
 Determinism contract: ``generate_spec(seed, i)`` depends only on
 ``(seed, i)`` — it seeds a fresh ``np.random.default_rng([seed, i])``
@@ -31,9 +36,10 @@ import numpy as np
 
 from ..core.topology import random_network
 from ..errors import SweepError
-from .spec import (ConnectionSpec, ControllerSpec, FaultPlanSpec,
-                   GatewaySpec, InjectorSpec, RuleSpec, ScenarioSpec,
-                   SignalSpec)
+from .spec import (AdversarySpec, ConnectionSpec, ControllerSpec,
+                   FaultPlanSpec, GatewaySpec, InjectorSpec, RuleSpec,
+                   ScenarioSpec, SignalSpec, StructuralInjectorSpec,
+                   StructuralPlanSpec)
 
 __all__ = ["validate_budget", "generate_spec", "generate"]
 
@@ -179,6 +185,51 @@ def _draw_fault_plan(rng: np.random.Generator,
                          injectors=tuple(injectors))
 
 
+def _draw_adversaries(rng: np.random.Generator, n: int,
+                      mu_min: float) -> Tuple[AdversarySpec, ...]:
+    """1-2 misbehaving connections, parameters scaled to the topology."""
+    n_adv = 1 if n < 4 else int(rng.integers(1, 3))
+    indices = sorted(int(i) for i in
+                     rng.choice(n, size=n_adv, replace=False))
+    out = []
+    for i in indices:
+        kind = str(rng.choice(["blaster", "pinned", "sawtooth"]))
+        if kind == "blaster":
+            params = {"increment": _round3(rng.uniform(0.02, 0.1)),
+                      "cap": _round3(rng.uniform(1.0, 3.0) * mu_min)}
+        elif kind == "pinned":
+            params = {"rate": _round3(rng.uniform(0.5, 1.5) * mu_min)}
+        else:
+            params = {"low": _round3(rng.uniform(0.05, 0.2)),
+                      "high": _round3(rng.uniform(0.8, 2.0) * mu_min),
+                      "increase": _round3(rng.uniform(0.05, 0.15))}
+        out.append(AdversarySpec(i, kind, params))
+    return tuple(out)
+
+
+def _draw_structural_plan(rng: np.random.Generator,
+                          gateway_names) -> StructuralPlanSpec:
+    """1-2 scheduled topology faults over the scenario's gateways."""
+    n_inj = int(rng.integers(1, 3))
+    injectors = []
+    for _ in range(n_inj):
+        gw = str(rng.choice(gateway_names))
+        start = int(rng.integers(10, 120))
+        duration = int(rng.integers(5, 60))
+        params = {"gateway": gw, "start": start, "duration": duration}
+        if rng.random() < 0.3:
+            params["period"] = duration + int(rng.integers(20, 80))
+        if rng.random() < 0.3:
+            params["jitter"] = int(rng.integers(1, 4))
+        if rng.random() < 0.7:
+            params["factor"] = _round3(rng.uniform(0.3, 0.9))
+            injectors.append(StructuralInjectorSpec("degrade", params))
+        else:
+            injectors.append(StructuralInjectorSpec("blackhole", params))
+    return StructuralPlanSpec(seed=int(rng.integers(0, 2**31 - 1)),
+                              injectors=tuple(injectors))
+
+
 def generate_spec(seed: int, index: int) -> ScenarioSpec:
     """The ``index``-th scenario of the stream seeded by ``seed``.
 
@@ -263,6 +314,24 @@ def generate_spec(seed: int, index: int) -> ScenarioSpec:
             "decrease": _round3(rng.uniform(0.05, 0.2)),
             "threshold": _round3(rng.uniform(0.4, 0.6))}),) * n
 
+    # Chaos draws come after *every* earlier draw (the zoo included),
+    # so pre-chaos fields of a given (seed, index) are exactly what
+    # they were before the chaos layer existed — pinned-seed tests and
+    # archived repro specs stay valid.  Controllers exclude both chaos
+    # dimensions; adversaries are drawn only behind fair-share
+    # gateways, where Theorem 5 predicts the floors the
+    # adversarial-floor oracle asserts.
+    adversaries = ()
+    structural_plan = None
+    if controller is None:
+        adv_draw = rng.random()
+        struct_draw = rng.random()
+        if adv_draw < 0.12 and discipline == "fair-share" and n >= 2:
+            adversaries = _draw_adversaries(rng, n, mu_min)
+        if struct_draw < 0.12:
+            structural_plan = _draw_structural_plan(
+                rng, [g.name for g in gateways])
+
     return ScenarioSpec(
         name=f"fuzz-{int(seed)}-{int(index)}",
         gateways=gateways,
@@ -278,6 +347,8 @@ def generate_spec(seed: int, index: int) -> ScenarioSpec:
         seed=scenario_seed,
         fault_plan=fault_plan,
         controller=controller,
+        adversaries=adversaries,
+        structural_plan=structural_plan,
     )
 
 

@@ -23,8 +23,9 @@ a whole scenario family:
                          Jacobian spectral radius <= 1 (+ slack)
 ``steady-signal``        Theorems 1/3: at a steady state every active
                          TSI connection sees exactly its target signal
-``fault-determinism``    seeded fault plans replay bit-identically;
-                         the empty plan is a bit-identical no-op
+``fault-determinism``    seeded fault *and structural* plans replay
+                         bit-identically; the empty plans are
+                         bit-identical no-ops
 ``rcp-stability``        Voice et al.: RCP with stability factor
                          ``s < 2`` converges globally to the max-min
                          allocation of the effective capacities;
@@ -32,6 +33,10 @@ a whole scenario family:
 ``tcp-oscillation``      Andrews–Slivkins: TCP-like AIMD never
                          converges nor diverges, and every
                          connection's sawtooth straddles the threshold
+``adversarial-floor``    Theorem 5 under live fire: honest TSI
+                         connections keep their reservation floors
+                         whatever the adversary zoo does (green under
+                         Fair Share; FIFO is the counterexample)
 ================== ====================================================
 
 Oracles *never* raise on a violation — a violation is data (an
@@ -53,6 +58,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..chaos.monitor import check_robustness_floor
+from ..chaos.structural import StructuralFaultPlan
 from ..core.dynamics import FlowControlSystem, Outcome, Trajectory
 from ..core.math_utils import sup_norm
 from ..core.robustness import reservation_floor_heterogeneous
@@ -300,6 +307,11 @@ def check_fixed_point(ctx: ScenarioContext) -> OracleResult:
             "fixed-point", False, True,
             "controller state is part of the fixed point; the "
             "rcp-stability oracle checks the controlled equilibrium")
+    why = _chaotic(ctx.spec)
+    if why and ctx.spec.structural_plan is not None:
+        # Adversaries are legal rules — their fixed point is still a
+        # fixed point — but the reference run ignores structural plans.
+        return OracleResult("fixed-point", False, True, why)
     if not ctx.converged:
         return OracleResult(
             "fixed-point", False, True,
@@ -332,6 +344,19 @@ def check_fixed_point(ctx: ScenarioContext) -> OracleResult:
 # ----------------------------------------------------------------------
 # theorem oracles
 # ----------------------------------------------------------------------
+def _chaotic(spec: ScenarioSpec) -> str:
+    """Why the scenario sits outside a theorem oracle's hypotheses
+    (adversaries / structural damage), or ``""`` when it doesn't.
+    The adversarial-floor oracle owns the chaotic regime."""
+    if spec.adversaries:
+        return ("scenario carries adversaries; only the "
+                "adversarial-floor oracle applies")
+    if spec.structural_plan is not None:
+        return ("scenario carries structural faults; the theorem "
+                "hypotheses assume an intact network")
+    return ""
+
+
 def _rho_vec(ctx: ScenarioContext) -> np.ndarray:
     """Per-connection steady utilisations implied by each TSI target."""
     signal_fn = ctx.system.signal_fn
@@ -350,6 +375,9 @@ def check_tsi(ctx: ScenarioContext) -> OracleResult:
     point of the scaled manifold.
     """
     spec = ctx.spec
+    why = _chaotic(spec)
+    if why:
+        return OracleResult("tsi", False, True, why)
     if not (spec.homogeneous and spec.all_tsi):
         return OracleResult("tsi", False, True,
                             "needs a homogeneous TSI rule")
@@ -393,6 +421,9 @@ def check_fairness_manifold(ctx: ScenarioContext) -> OracleResult:
     manifold — no gateway above ``rho_ss``, every connection
     bottlenecked at ``rho_ss``."""
     spec = ctx.spec
+    why = _chaotic(spec)
+    if why:
+        return OracleResult("fairness-manifold", False, True, why)
     if spec.style != "aggregate":
         return OracleResult("fairness-manifold", False, True,
                             "individual-feedback scenario")
@@ -418,6 +449,9 @@ def check_fs_floor(ctx: ScenarioContext) -> OracleResult:
     connection reaches at least its reservation floor
     ``min_a rho_ss_i mu^a / N^a``."""
     spec = ctx.spec
+    why = _chaotic(spec)
+    if why:
+        return OracleResult("fs-floor", False, True, why)
     if spec.discipline != "fair-share" or spec.style != "individual":
         return OracleResult(
             "fs-floor", False, True,
@@ -448,6 +482,9 @@ def check_stability(ctx: ScenarioContext) -> OracleResult:
             "stability", False, True,
             "the rule-map Jacobian does not describe controlled "
             "dynamics; the rcp-stability oracle owns this check")
+    why = _chaotic(ctx.spec)
+    if why:
+        return OracleResult("stability", False, True, why)
     if not ctx.converged:
         return OracleResult(
             "stability", False, True,
@@ -488,6 +525,9 @@ def check_steady_signal(ctx: ScenarioContext) -> OracleResult:
     """Theorems 1/3: at a steady state every TSI connection that is not
     pinned at zero sees exactly its target signal ``b_ss``."""
     spec = ctx.spec
+    why = _chaotic(spec)
+    if why:
+        return OracleResult("steady-signal", False, True, why)
     if not any(rule.tsi for rule in spec.rules):
         return OracleResult("steady-signal", False, True,
                             "no TSI rules in the mix")
@@ -515,51 +555,100 @@ def check_steady_signal(ctx: ScenarioContext) -> OracleResult:
 
 
 def check_fault_determinism(ctx: ScenarioContext) -> OracleResult:
-    """Seeded fault plans are deterministic and the empty plan is a
-    bit-identical no-op; ensemble members replay scalar fault runs."""
+    """Seeded fault *and structural* plans are deterministic and the
+    empty plans are bit-identical no-ops; ensemble members replay the
+    scalar faulted runs exactly, for both plan families."""
     spec = ctx.spec
-    if spec.fault_plan is None:
+    if spec.fault_plan is None and spec.structural_plan is None:
         return OracleResult("fault-determinism", False, True,
-                            "scenario carries no fault plan")
+                            "scenario carries no fault or structural "
+                            "plan")
     budget = min(spec.max_steps, 400)
     initial = spec.initial()
     system = ctx.system
-
-    def faulted():
-        return system.run(initial, max_steps=budget, tol=spec.tol,
-                          faults=spec.build_fault_plan())
-
-    first, second = faulted(), faulted()
-    if not np.array_equal(first.history, second.history):
-        return OracleResult("fault-determinism", True, False,
-                            "two runs of the same seeded plan diverge")
-    if (first.fault_events or []) != (second.fault_events or []):
-        return OracleResult(
-            "fault-determinism", True, False,
-            "two runs of the same seeded plan inject different events")
-    plain = system.run(initial, max_steps=budget, tol=spec.tol)
-    empty = system.run(initial, max_steps=budget, tol=spec.tol,
-                       faults=FaultPlan())
-    if not np.array_equal(plain.history, empty.history):
-        return OracleResult(
-            "fault-determinism", True, False,
-            "the empty fault plan is not a bit-identical no-op")
     initials = np.stack([initial, 0.9 * initial])
-    ens = system.run_ensemble(initials, max_steps=budget, tol=spec.tol,
+    n_signal = n_struct = 0
+
+    if spec.fault_plan is not None:
+        def faulted():
+            return system.run(initial, max_steps=budget, tol=spec.tol,
                               faults=spec.build_fault_plan())
-    for m in range(len(ens)):
-        scalar = system.run(initials[m], max_steps=budget, tol=spec.tol,
-                            faults=spec.build_fault_plan(),
-                            fault_member=m)
-        if not np.array_equal(ens.finals[m], scalar.final):
+
+        first, second = faulted(), faulted()
+        if not np.array_equal(first.history, second.history):
             return OracleResult(
                 "fault-determinism", True, False,
-                f"ensemble member {m} differs from the scalar fault "
-                f"run")
+                "two runs of the same seeded plan diverge")
+        if (first.fault_events or []) != (second.fault_events or []):
+            return OracleResult(
+                "fault-determinism", True, False,
+                "two runs of the same seeded plan inject different "
+                "events")
+        plain = system.run(initial, max_steps=budget, tol=spec.tol)
+        empty = system.run(initial, max_steps=budget, tol=spec.tol,
+                           faults=FaultPlan())
+        if not np.array_equal(plain.history, empty.history):
+            return OracleResult(
+                "fault-determinism", True, False,
+                "the empty fault plan is not a bit-identical no-op")
+        ens = system.run_ensemble(initials, max_steps=budget,
+                                  tol=spec.tol,
+                                  faults=spec.build_fault_plan())
+        for m in range(len(ens)):
+            scalar = system.run(initials[m], max_steps=budget,
+                                tol=spec.tol,
+                                faults=spec.build_fault_plan(),
+                                fault_member=m)
+            if not np.array_equal(ens.finals[m], scalar.final):
+                return OracleResult(
+                    "fault-determinism", True, False,
+                    f"ensemble member {m} differs from the scalar "
+                    f"fault run")
+        n_signal = len(first.fault_events or [])
+
+    if spec.structural_plan is not None:
+        def damaged():
+            return system.run(initial, max_steps=budget, tol=spec.tol,
+                              structural=spec.build_structural_plan())
+
+        first, second = damaged(), damaged()
+        if not np.array_equal(first.history, second.history):
+            return OracleResult(
+                "fault-determinism", True, False,
+                "two runs of the same structural plan diverge")
+        if (first.structural_events or []) \
+                != (second.structural_events or []):
+            return OracleResult(
+                "fault-determinism", True, False,
+                "two runs of the same structural plan record "
+                "different transitions")
+        plain = system.run(initial, max_steps=budget, tol=spec.tol)
+        empty = system.run(initial, max_steps=budget, tol=spec.tol,
+                           structural=StructuralFaultPlan())
+        if not np.array_equal(plain.history, empty.history):
+            return OracleResult(
+                "fault-determinism", True, False,
+                "the empty structural plan is not a bit-identical "
+                "no-op")
+        ens = system.run_ensemble(initials, max_steps=budget,
+                                  tol=spec.tol,
+                                  structural=spec.build_structural_plan())
+        for m in range(len(ens)):
+            scalar = system.run(initials[m], max_steps=budget,
+                                tol=spec.tol,
+                                structural=spec.build_structural_plan(),
+                                fault_member=m)
+            if not np.array_equal(ens.finals[m], scalar.final):
+                return OracleResult(
+                    "fault-determinism", True, False,
+                    f"ensemble member {m} differs from the scalar "
+                    f"structural run")
+        n_struct = len(first.structural_events or [])
+
     return OracleResult(
         "fault-determinism", True, True,
-        f"plan replays identically; {len(first.fault_events or [])} "
-        f"events over {budget} steps")
+        f"plans replay identically; {n_signal} signal events, "
+        f"{n_struct} structural transitions over {budget} steps")
 
 
 def check_blocked_equivalence(ctx: ScenarioContext) -> OracleResult:
@@ -684,7 +773,8 @@ def check_tcp_oscillation(ctx: ScenarioContext) -> OracleResult:
     reaches it (decrease phase) somewhere along the trajectory.
     """
     spec = ctx.spec
-    if spec.controller is not None or spec.fault_plan is not None:
+    if spec.controller is not None or spec.fault_plan is not None \
+            or spec.chaotic:
         return OracleResult("tcp-oscillation", False, True,
                             "needs plain tcp-like dynamics")
     if not (spec.homogeneous and spec.rules[0].kind == "tcp-like"):
@@ -719,6 +809,49 @@ def check_tcp_oscillation(ctx: ScenarioContext) -> OracleResult:
         f"{threshold} over {history.shape[0]} recorded steps")
 
 
+def check_adversarial_floor(ctx: ScenarioContext) -> OracleResult:
+    """Theorem 5 under live fire: honest TSI connections keep their
+    reservation floors ``min_a rho_ss_i mu^a / N^a`` whatever the
+    adversaries at the other connections do — *provided* the discipline
+    satisfies the theorem's condition, which unweighted Fair Share does
+    and FIFO does not.  The oracle asserts the floors regardless of the
+    discipline: green on Fair Share is Theorem 5, and a violation on a
+    hand-built FIFO scenario is the paper's own counterexample (the
+    generator only draws adversaries behind fair-share gateways, so
+    fuzzing stays green)."""
+    spec = ctx.spec
+    if not spec.adversaries:
+        return OracleResult("adversarial-floor", False, True,
+                            "no adversaries in this scenario")
+    if spec.style != "individual":
+        return OracleResult(
+            "adversarial-floor", False, True,
+            "the robustness floor is an individual-feedback statement")
+    if spec.discipline not in ("fifo", "fair-share"):
+        return OracleResult(
+            "adversarial-floor", False, True,
+            f"no floor prediction for discipline {spec.discipline!r}")
+    honest = spec.honest_indices()
+    if not honest:
+        return OracleResult("adversarial-floor", False, True,
+                            "every connection is adversarial")
+    if not all(spec.rules[i].tsi for i in honest):
+        return OracleResult(
+            "adversarial-floor", False, True,
+            "an honest connection runs a non-TSI rule; Theorem 5 "
+            "protects TSI sources")
+    if not ctx.converged:
+        return OracleResult(
+            "adversarial-floor", False, True,
+            f"trajectory outcome {ctx.trajectory.outcome.value}")
+    check = check_robustness_floor(
+        ctx.system.network, ctx.system.signal_fn, ctx.system.rules,
+        ctx.trajectory.final)
+    return OracleResult(
+        "adversarial-floor", True, check.holds,
+        f"{spec.discipline}: {check.describe()}")
+
+
 #: The oracle catalogue, in evaluation order.
 ORACLES: Dict[str, Callable[[ScenarioContext], OracleResult]] = {
     "batch-equivalence": check_batch_equivalence,
@@ -734,6 +867,7 @@ ORACLES: Dict[str, Callable[[ScenarioContext], OracleResult]] = {
     "fault-determinism": check_fault_determinism,
     "rcp-stability": check_rcp_stability,
     "tcp-oscillation": check_tcp_oscillation,
+    "adversarial-floor": check_adversarial_floor,
 }
 
 

@@ -29,6 +29,10 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..chaos.adversaries import (AdversaryRule, BlasterRule,
+                                 PinnedRateRule, SawtoothRule)
+from ..chaos.structural import (CapacityDegradation, GatewayBlackhole,
+                                StructuralFaultPlan)
 from ..core.dynamics import FlowControlSystem
 from ..core.fairshare import FairShare
 from ..core.fifo import Fifo
@@ -54,6 +58,9 @@ __all__ = [
     "ControllerSpec",
     "InjectorSpec",
     "FaultPlanSpec",
+    "AdversarySpec",
+    "StructuralInjectorSpec",
+    "StructuralPlanSpec",
     "ScenarioSpec",
 ]
 
@@ -110,6 +117,33 @@ _INJECTOR_BUILDERS = {
     "loss": SignalLoss,
     "corrupt": SignalNoise,
     "quantise": SignalQuantisation,
+}
+
+#: Adversary-zoo kinds (see :mod:`repro.chaos.adversaries`) and their
+#: parameter names.
+ADVERSARY_KINDS = {
+    "blaster": ("increment", "cap"),
+    "pinned": ("rate",),
+    "sawtooth": ("low", "high", "increase"),
+}
+
+_ADVERSARY_BUILDERS = {
+    "blaster": BlasterRule,
+    "pinned": PinnedRateRule,
+    "sawtooth": SawtoothRule,
+}
+
+#: Structural injector kinds (see :mod:`repro.chaos.structural`) and
+#: their parameter names.
+STRUCTURAL_KINDS = {
+    "degrade": ("gateway", "factor", "start", "duration", "period",
+                "jitter"),
+    "blackhole": ("gateway", "start", "duration", "period", "jitter"),
+}
+
+_STRUCTURAL_BUILDERS = {
+    "degrade": CapacityDegradation,
+    "blackhole": GatewayBlackhole,
 }
 
 
@@ -392,6 +426,131 @@ class FaultPlanSpec:
 
 
 @dataclass(frozen=True)
+class AdversarySpec:
+    """One misbehaving connection: which index runs which zoo member.
+
+    An adversary *overrides* the rule at ``connections[index]`` when
+    the scenario is built — the honest ``rules`` tuple stays intact,
+    so the oracle layer can reason about the honest remainder (and the
+    adversarial-floor oracle knows exactly who Theorem 5 protects).
+    """
+
+    index: int
+    kind: str = "blaster"
+    params: Tuple[Tuple[str, float], ...] = ()
+
+    def __post_init__(self):
+        if not isinstance(self.index, int) or isinstance(self.index, bool) \
+                or self.index < 0:
+            raise ScenarioError(
+                f"adversary index must be an int >= 0, got {self.index!r}")
+        if self.kind not in ADVERSARY_KINDS:
+            raise ScenarioError(
+                f"unknown adversary kind {self.kind!r} "
+                f"(known: {sorted(ADVERSARY_KINDS)})")
+        object.__setattr__(
+            self, "params",
+            _params_tuple(self.kind, self.params,
+                          ADVERSARY_KINDS[self.kind]))
+
+    def build(self) -> AdversaryRule:
+        try:
+            return _ADVERSARY_BUILDERS[self.kind](**dict(self.params))
+        except ReproError as exc:
+            raise ScenarioError(
+                f"adversary {self.kind!r} with params "
+                f"{dict(self.params)!r}: {exc}") from exc
+
+    def to_dict(self) -> dict:
+        return {"index": self.index, "kind": self.kind,
+                "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AdversarySpec":
+        return cls(index=data["index"], kind=data["kind"],
+                   params=data.get("params", {}))
+
+
+@dataclass(frozen=True)
+class StructuralInjectorSpec:
+    """One structural injector: scheduled topology damage (see
+    :mod:`repro.chaos.structural` for the degradation semantics)."""
+
+    kind: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self):
+        if self.kind not in STRUCTURAL_KINDS:
+            raise ScenarioError(
+                f"unknown structural injector kind {self.kind!r} "
+                f"(known: {sorted(STRUCTURAL_KINDS)})")
+        object.__setattr__(
+            self, "params",
+            _params_tuple(self.kind, self.params,
+                          STRUCTURAL_KINDS[self.kind]))
+
+    def gateway(self) -> Optional[str]:
+        """The gateway this injector damages (``None`` when unset —
+        caught at build time)."""
+        return dict(self.params).get("gateway")
+
+    def build(self):
+        try:
+            return _STRUCTURAL_BUILDERS[self.kind](**dict(self.params))
+        except ReproError as exc:
+            raise ScenarioError(
+                f"structural injector {self.kind!r} with params "
+                f"{dict(self.params)!r}: {exc}") from exc
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StructuralInjectorSpec":
+        return cls(kind=data["kind"], params=data.get("params", {}))
+
+
+@dataclass(frozen=True)
+class StructuralPlanSpec:
+    """A serialisable :class:`~repro.chaos.StructuralFaultPlan`."""
+
+    seed: int = 0
+    injectors: Tuple[StructuralInjectorSpec, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "injectors", tuple(self.injectors))
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool) \
+                or self.seed < 0:
+            raise ScenarioError(
+                f"structural-plan seed must be an int >= 0, got "
+                f"{self.seed!r}")
+        for inj in self.injectors:
+            if not isinstance(inj, StructuralInjectorSpec):
+                raise ScenarioError(
+                    f"structural-plan entries must be "
+                    f"StructuralInjectorSpec, got {inj!r}")
+
+    def build(self) -> StructuralFaultPlan:
+        try:
+            return StructuralFaultPlan(
+                injectors=tuple(inj.build() for inj in self.injectors),
+                seed=self.seed)
+        except ReproError as exc:
+            raise ScenarioError(f"structural plan does not build: "
+                                f"{exc}") from exc
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed,
+                "injectors": [inj.to_dict() for inj in self.injectors]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StructuralPlanSpec":
+        return cls(seed=data.get("seed", 0),
+                   injectors=tuple(StructuralInjectorSpec.from_dict(d)
+                                   for d in data.get("injectors", ())))
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """One complete, reproducible fuzzing scenario.
 
@@ -419,6 +578,12 @@ class ScenarioSpec:
             (:class:`ControllerSpec`).  Requires every rule to be
             ``rcp-source`` and excludes ``fault_plan`` (controllers do
             not read the per-source signal path faults perturb).
+        adversaries: optional misbehaving connections
+            (:class:`AdversarySpec`).  Each overrides the rule at its
+            index when the system is built; excluded by ``controller``.
+        structural_plan: optional scheduled topology damage
+            (:class:`StructuralPlanSpec`), exercised by the
+            fault-determinism oracle; excluded by ``controller``.
     """
 
     name: str
@@ -435,11 +600,14 @@ class ScenarioSpec:
     seed: int = 0
     fault_plan: Optional[FaultPlanSpec] = None
     controller: Optional[ControllerSpec] = None
+    adversaries: Tuple[AdversarySpec, ...] = ()
+    structural_plan: Optional[StructuralPlanSpec] = None
 
     def __post_init__(self):
         object.__setattr__(self, "gateways", tuple(self.gateways))
         object.__setattr__(self, "connections", tuple(self.connections))
         object.__setattr__(self, "rules", tuple(self.rules))
+        object.__setattr__(self, "adversaries", tuple(self.adversaries))
         object.__setattr__(self, "initial_rates",
                            tuple(float(r) for r in self.initial_rates))
         if self.weights is not None:
@@ -531,6 +699,32 @@ class ScenarioSpec:
             raise ScenarioError(
                 f"fault_plan must be a FaultPlanSpec or None, got "
                 f"{self.fault_plan!r}")
+        seen_adv = set()
+        for adv in self.adversaries:
+            if not isinstance(adv, AdversarySpec):
+                raise ScenarioError(
+                    f"adversaries entries must be AdversarySpec, got "
+                    f"{adv!r}")
+            if adv.index >= n:
+                raise ScenarioError(
+                    f"adversary index {adv.index} out of range "
+                    f"0..{n - 1}")
+            if adv.index in seen_adv:
+                raise ScenarioError(
+                    f"duplicate adversary at connection {adv.index}")
+            seen_adv.add(adv.index)
+        if self.structural_plan is not None:
+            if not isinstance(self.structural_plan, StructuralPlanSpec):
+                raise ScenarioError(
+                    f"structural_plan must be a StructuralPlanSpec or "
+                    f"None, got {self.structural_plan!r}")
+            for inj in self.structural_plan.injectors:
+                gw = inj.gateway()
+                if gw not in gw_names:
+                    raise ScenarioError(
+                        f"structural injector {inj.kind!r} names "
+                        f"unknown gateway {gw!r} "
+                        f"(known: {sorted(gw_names)})")
         if self.controller is not None:
             if not isinstance(self.controller, ControllerSpec):
                 raise ScenarioError(
@@ -541,6 +735,17 @@ class ScenarioSpec:
                     "a controller-driven scenario cannot carry a fault "
                     "plan: faults perturb the per-source signal path, "
                     "which the controller does not read")
+            if self.structural_plan is not None:
+                raise ScenarioError(
+                    "a controller-driven scenario cannot carry a "
+                    "structural plan: structural faults damage the "
+                    "per-source signal/delay path, which "
+                    "controller-driven systems replace with router-side "
+                    "state")
+            if self.adversaries:
+                raise ScenarioError(
+                    "a controller-driven scenario cannot carry "
+                    "adversaries: every rule must be 'rcp-source'")
             bad = [r.kind for r in self.rules if r.kind != "rcp-source"]
             if bad:
                 raise ScenarioError(
@@ -567,6 +772,23 @@ class ScenarioSpec:
     def all_tsi(self) -> bool:
         """Is every rule time-scale invariant (declares a target)?"""
         return all(rule.tsi for rule in self.rules)
+
+    @property
+    def chaotic(self) -> bool:
+        """Does the scenario carry adversaries or structural damage?
+        Theorem oracles gate on this — their hypotheses assume honest
+        sources on an intact network."""
+        return bool(self.adversaries) or self.structural_plan is not None
+
+    def adversary_indices(self) -> Tuple[int, ...]:
+        """The misbehaving connection indices, sorted."""
+        return tuple(sorted(adv.index for adv in self.adversaries))
+
+    def honest_indices(self) -> Tuple[int, ...]:
+        """The connection indices Theorem 5 actually protects."""
+        bad = {adv.index for adv in self.adversaries}
+        return tuple(i for i in range(self.num_connections)
+                     if i not in bad)
 
     def network(self) -> Network:
         return Network(
@@ -596,6 +818,10 @@ class ScenarioSpec:
             if rule_spec not in built:
                 built[rule_spec] = rule_spec.build()
             rules.append(built[rule_spec])
+        for adv in self.adversaries:
+            if adv not in built:
+                built[adv] = adv.build()
+            rules[adv.index] = built[adv]
         try:
             return FlowControlSystem(
                 network, discipline, self.signal.build(), rules,
@@ -611,6 +837,12 @@ class ScenarioSpec:
         if self.fault_plan is None:
             return FaultPlan()
         return self.fault_plan.build()
+
+    def build_structural_plan(self) -> StructuralFaultPlan:
+        """The scenario's structural plan (the empty plan when unset)."""
+        if self.structural_plan is None:
+            return StructuralFaultPlan()
+        return self.structural_plan.build()
 
     def initial(self) -> np.ndarray:
         return np.asarray(self.initial_rates, dtype=float)
@@ -637,6 +869,9 @@ class ScenarioSpec:
                            else self.fault_plan.to_dict()),
             "controller": (None if self.controller is None
                            else self.controller.to_dict()),
+            "adversaries": [a.to_dict() for a in self.adversaries],
+            "structural_plan": (None if self.structural_plan is None
+                                else self.structural_plan.to_dict()),
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -679,6 +914,12 @@ class ScenarioSpec:
                 controller=(None if data.get("controller") is None
                             else ControllerSpec.from_dict(
                                 data["controller"])),
+                adversaries=tuple(AdversarySpec.from_dict(a)
+                                  for a in data.get("adversaries", ())),
+                structural_plan=(
+                    None if data.get("structural_plan") is None
+                    else StructuralPlanSpec.from_dict(
+                        data["structural_plan"])),
             )
         except KeyError as exc:
             raise ScenarioError(
@@ -715,6 +956,18 @@ class ScenarioSpec:
         connections = tuple(self.connections[i] for i in keep)
         used = {g for c in connections for g in c.path}
         gateways = tuple(g for g in self.gateways if g.name in used)
+        # Adversaries on the dropped connection disappear; the rest
+        # shift down with their connections.  Structural injectors on
+        # pruned gateways disappear with the gateway.
+        adversaries = tuple(
+            replace(a, index=a.index - (1 if a.index > index else 0))
+            for a in self.adversaries if a.index != index)
+        structural_plan = self.structural_plan
+        if structural_plan is not None:
+            kept = tuple(inj for inj in structural_plan.injectors
+                         if inj.gateway() in used)
+            structural_plan = (None if not kept else
+                               replace(structural_plan, injectors=kept))
         return replace(
             self,
             gateways=gateways,
@@ -723,6 +976,8 @@ class ScenarioSpec:
             initial_rates=tuple(self.initial_rates[i] for i in keep),
             weights=(None if self.weights is None
                      else tuple(self.weights[i] for i in keep)),
+            adversaries=adversaries,
+            structural_plan=structural_plan,
         )
 
     def with_rounded_values(self, decimals: int) -> "ScenarioSpec":

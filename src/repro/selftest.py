@@ -208,6 +208,36 @@ def run_selftest(quick: bool = False, force_fail: bool = False) -> bool:
     finally:
         shutil.rmtree(ckpt, ignore_errors=True)
 
+    print("structural chaos smoke:")
+    from .chaos import (BlasterRule, CapacityDegradation,
+                        StructuralFaultPlan, check_robustness_floor)
+    splan = StructuralFaultPlan(injectors=(
+        CapacityDegradation("g0", factor=0.5, start=30, duration=30),),
+        seed=3)
+    clean = system.run(starts[0], max_steps=max_steps)
+    noop = system.run(starts[0], max_steps=max_steps,
+                      structural=StructuralFaultPlan())
+    _check("empty structural plan is bit-identical",
+           bool(np.array_equal(clean.history, noop.history))
+           and noop.structural_events is None, failures)
+    dmg_a = system.run(starts[0], max_steps=max_steps, structural=splan)
+    dmg_b = system.run(starts[0], max_steps=max_steps, structural=splan)
+    _check("structural run is reproducible (trajectory + transitions)",
+           bool(np.array_equal(dmg_a.history, dmg_b.history))
+           and dmg_a.structural_events == dmg_b.structural_events
+           and len(dmg_a.structural_events) == 2, failures)
+    mixed = [TargetRule(eta=0.1, beta=0.5)] * 3 \
+        + [BlasterRule(increment=0.2, cap=5.0)]
+    adv_sys = FlowControlSystem(single_gateway(4, mu=1.0), FairShare(),
+                                LinearSaturating(), mixed,
+                                style=FeedbackStyle.INDIVIDUAL)
+    adv_final = adv_sys.run(starts[0], max_steps=max_steps,
+                            tol=1e-11).final
+    floor = check_robustness_floor(adv_sys.network, LinearSaturating(),
+                                   mixed, adv_final)
+    _check("Theorem 5 floor holds for honest sources vs a blaster",
+           floor.holds, failures)
+
     print("scenario fuzzing smoke:")
     from .scenarios import generate, run_scenario
     budget = 3 if quick else 6

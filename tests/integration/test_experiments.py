@@ -144,7 +144,8 @@ class TestExtensionShapes:
 
     def test_extensions_not_in_default_sweep(self):
         from repro.experiments import EXTENSIONS, REGISTRY
-        assert set(EXTENSIONS) == {"X1", "X2", "X3", "X4", "X5", "X6"}
+        assert set(EXTENSIONS) == {"X1", "X2", "X3", "X4", "X5", "X6",
+                                   "X7"}
         assert not (set(EXTENSIONS) & set(REGISTRY))
 
     def test_x5(self):
@@ -152,3 +153,11 @@ class TestExtensionShapes:
 
     def test_x6(self):
         run("X6", steps=2000, loss_rates=(0.0, 0.5)).require()
+
+    def test_x7(self):
+        res = run("X7", betas=(0.6, 0.45, 0.35), steps=3000,
+                  adversary_counts=(0, 1), mu_factors=(1.0, 0.5),
+                  workers=2).require()
+        roles = {row[4] for row in res.rows}
+        assert roles == {"honest", "adversary"}
+        assert any(row[9] > 0 for row in res.rows)  # events recorded

@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test selftest gate fuzz-quick scale-quick chaos-quick verify bench
+.PHONY: test selftest gate fuzz-quick scale-quick chaos-quick \
+	compiled-quick verify bench
 
 test:
 	$(PYTHON) -m pytest -q
@@ -30,18 +31,28 @@ scale-quick:
 chaos-quick:
 	$(PYTHON) -m repro chaos --quick
 
+# Quick compiled-backend check: small workloads judged against the
+# BENCH_compiled.json quick floors (no rewrite).  Exits 0 with a
+# notice when no compiled tier can be built (no numba, no C compiler)
+# so a bare install stays green.
+compiled-quick:
+	$(PYTHON) benchmarks/bench_compiled.py --quick
+
 # The tier-1 flow: full test suite, the engine smoke check, the
 # benchmark regression gate (quick CI workload), the bounded fuzzing
-# sweep, the blocked-ensemble scale check, and the chaos sweep.
-verify: test selftest gate fuzz-quick scale-quick chaos-quick
+# sweep, the blocked-ensemble scale check, the chaos sweep, and the
+# compiled-backend check.
+verify: test selftest gate fuzz-quick scale-quick chaos-quick \
+	compiled-quick
 
 # Full-scale benchmarks + gate; refreshes BENCH_core.json,
-# BENCH_sim.json, BENCH_scale.json, BENCH_controllers.json, and
-# BENCH_chaos.json.
+# BENCH_sim.json, BENCH_scale.json, BENCH_controllers.json,
+# BENCH_chaos.json, and BENCH_compiled.json.
 bench:
 	$(PYTHON) benchmarks/bench_core_engine.py
 	$(PYTHON) benchmarks/bench_sim_kernel.py
 	$(PYTHON) benchmarks/bench_scale.py
 	$(PYTHON) benchmarks/bench_controllers.py
 	$(PYTHON) benchmarks/bench_chaos.py
+	$(PYTHON) benchmarks/bench_compiled.py
 	$(PYTHON) benchmarks/regression_gate.py

@@ -5,12 +5,16 @@ controller zoo's batched paths, and the structural chaos layer.
 Re-runs the core microbenchmarks (``bench_core_engine.py``), the
 simulation-kernel benchmarks (``bench_sim_kernel.py``), the
 blocked-vs-one-shot scale benchmarks (``bench_scale.py``), the
-controller benchmarks (``bench_controllers.py``), and the chaos-layer
-benchmarks (``bench_chaos.py``), compares the fresh ratios against the
+controller benchmarks (``bench_controllers.py``), the chaos-layer
+benchmarks (``bench_chaos.py``), and the compiled-backend benchmarks
+(``bench_compiled.py``), compares the fresh ratios against the
 committed baselines in ``BENCH_core.json``, ``BENCH_sim.json``,
-``BENCH_scale.json``, ``BENCH_controllers.json``, and
-``BENCH_chaos.json``, and exits nonzero when performance regressed by
-more than the threshold (default 25%).
+``BENCH_scale.json``, ``BENCH_controllers.json``,
+``BENCH_chaos.json``, and ``BENCH_compiled.json``, and exits nonzero
+when performance regressed by more than the threshold (default 25%).
+The compiled-backend leg is skipped with a notice when no compiled
+tier exists in the environment (no numba, no C compiler) — the tier
+is optional, so a bare install must stay green.
 
 Two modes:
 
@@ -39,6 +43,9 @@ from pathlib import Path
 
 from bench_chaos import QUICK_TARGETS as CHAOS_QUICK_TARGETS
 from bench_chaos import run_benchmarks as run_chaos_benchmarks
+from bench_compiled import QUICK_TARGETS as COMPILED_QUICK_TARGETS
+from bench_compiled import compiled_tier_available
+from bench_compiled import run_benchmarks as run_compiled_benchmarks
 from bench_controllers import QUICK_TARGETS as CTRL_QUICK_TARGETS
 from bench_controllers import run_benchmarks as run_controller_benchmarks
 from bench_core_engine import bench_ensemble, bench_quadratic_sweep
@@ -72,6 +79,13 @@ GATED_CONTROLLERS = [
 #: the floor bounds how much of clean throughput the chaos path keeps.
 GATED_CHAOS = [("empty_plan", "chaos_empty_plan_ratio_min"),
                ("active_ensemble", "chaos_active_ensemble_ratio_min")]
+
+#: The compiled-backend benchmarks (baseline BENCH_compiled.json).
+#: Skipped with a notice when no compiled tier can be built in this
+#: environment (no numba, no C compiler): the tier is optional by
+#: contract, so its absence must not fail CI on a bare install.
+GATED_COMPILED = [("compiled_fifo", "compiled_fifo_speedup_min"),
+                  ("fs_queue_law", "fs_queue_law_speedup_min")]
 
 
 def compare(baseline, fresh, threshold=0.25, floor_only=False,
@@ -178,6 +192,12 @@ def main(argv=None):
                     "BENCH_chaos.json"),
         help="committed chaos-layer baseline JSON (default: repo "
              "BENCH_chaos.json)")
+    parser.add_argument(
+        "--compiled-baseline",
+        default=str(Path(__file__).resolve().parent.parent /
+                    "BENCH_compiled.json"),
+        help="committed compiled-backend baseline JSON (default: repo "
+             "BENCH_compiled.json)")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed fractional regression vs the "
                              "baseline speedup (default 0.25)")
@@ -223,9 +243,28 @@ def main(argv=None):
                                  CHAOS_QUICK_TARGETS), chaos_fresh,
         threshold=args.threshold, floor_only=args.quick,
         gated=GATED_CHAOS)
-    ok = ok and sim_ok and scale_ok and ctrl_ok and chaos_ok
+    compiled_ok, compiled_report, compiled_notice = True, [], None
+    if not compiled_tier_available():
+        compiled_notice = ("compiled-backend benchmarks skipped: no "
+                           "compiled tier in this environment (no "
+                           "numba, no C compiler) — pure-python "
+                           "fallback in force")
+    else:
+        with open(args.compiled_baseline) as fh:
+            compiled_baseline = json.load(fh)
+        compiled_fresh = run_compiled_benchmarks(quick=args.quick)
+        compiled_ok, compiled_report = compare(
+            _quick_baseline_for_mode(compiled_baseline, args.quick,
+                                     COMPILED_QUICK_TARGETS),
+            compiled_fresh, threshold=args.threshold,
+            floor_only=args.quick, gated=GATED_COMPILED)
+    ok = ok and sim_ok and scale_ok and ctrl_ok and chaos_ok \
+        and compiled_ok
     print(format_report(report + sim_report + scale_report
-                        + ctrl_report + chaos_report))
+                        + ctrl_report + chaos_report
+                        + compiled_report))
+    if compiled_notice:
+        print(f"[SKIP] {compiled_notice}")
     print(f"\nregression gate {'PASSED' if ok else 'FAILED'} "
           f"({'quick' if args.quick else 'full'} mode, "
           f"threshold {args.threshold:.0%})")

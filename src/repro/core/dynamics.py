@@ -226,7 +226,20 @@ class FlowControlSystem:
                  rules: Union[RateAdjustment, Sequence[RateAdjustment]],
                  style: FeedbackStyle = FeedbackStyle.INDIVIDUAL,
                  weights=None,
-                 controller: Optional[RcpController] = None):
+                 controller: Optional[RcpController] = None,
+                 backend=None):
+        # ``backend`` pins the array backend of the batch engine: a
+        # name (resolved through repro.backends.resolve, loud on
+        # unknown/unavailable), a Backend object, or None for the
+        # session's active backend (numpy unless selected otherwise).
+        from .. import backends as _backends
+        if backend is None:
+            self._backend = _backends.active()
+        elif isinstance(backend, _backends.Backend):
+            self._backend = backend
+        else:
+            self._backend = _backends.resolve(backend)
+        self._xp = self._backend.xp
         self.network = network
         self.discipline = discipline
         self.scheme = FeedbackScheme(network, discipline, signal_fn, style,
@@ -298,6 +311,16 @@ class FlowControlSystem:
     def homogeneous(self) -> bool:
         """True when every connection runs the same rule object."""
         return all(rule is self.rules[0] for rule in self.rules)
+
+    @property
+    def backend(self):
+        """The :class:`~repro.backends.Backend` the batch engine uses."""
+        return self._backend
+
+    @property
+    def xp(self):
+        """The array namespace of :attr:`backend`."""
+        return self._xp
 
     # ------------------------------------------------------------------
     # observables
@@ -391,9 +414,14 @@ class FlowControlSystem:
         if self._bank is not None:
             raise RateVectorError(
                 "system is controller-driven; use step_controlled_batch")
+        xp = self._xp
+        # The xp namespace is only forwarded off the numpy default, so
+        # overridable collaborators predating the parameter keep
+        # working (the conditional-kwarg seam pattern).
+        kw = {} if xp is np else {"xp": xp}
         r = as_rate_matrix(rates, n=self.network.num_connections)
         if structural is None:
-            b = self.scheme.signals_batch(r)
+            b = self.scheme.signals_batch(r, **kw)
         else:
             rows_m = (list(members) if members is not None
                       else list(range(r.shape[0])))
@@ -406,23 +434,25 @@ class FlowControlSystem:
             for view, row_list in groups.values():
                 sel = np.asarray(row_list, dtype=np.intp)
                 sub = r[sel]
-                bs = view.scheme.signals_batch(sub)
+                bs = view.scheme.signals_batch(sub, **kw)
                 if view.blackholed.size:
                     bs[:, view.blackholed] = 1.0
                 b[sel] = bs
                 d[sel] = round_trip_delays_batch(view.network,
-                                                 self.discipline, sub)
+                                                 self.discipline, sub,
+                                                 xp=xp)
         if faults is not None:
             rows = members if members is not None else range(r.shape[0])
             for row, m in enumerate(rows):
                 b[row] = faults[m].apply(step_index, b[row])
         if structural is None:
-            d = round_trip_delays_batch(self.network, self.discipline, r)
-        new = np.empty_like(r)
+            d = round_trip_delays_batch(self.network, self.discipline, r,
+                                        xp=xp)
+        new = xp.empty_like(r)
         for rule, cols in self._rule_groups:
             new[:, cols] = rule.apply_batch(r[:, cols], b[:, cols],
-                                            d[:, cols])
-        return clip_nonnegative(new)
+                                            d[:, cols], **kw)
+        return clip_nonnegative(new, xp=xp)
 
     def step_controlled(self, rates: np.ndarray,
                         state: np.ndarray) -> tuple:
@@ -450,9 +480,12 @@ class FlowControlSystem:
         if self._bank is None:
             raise RateVectorError(
                 "system has no controller; use step_batch")
+        xp = self._xp
+        kw = {} if xp is np else {"xp": xp}
         r = as_rate_matrix(rates, n=self.network.num_connections)
-        state_next = self._bank.update_batch(r, state)
-        return clip_nonnegative(self._bank.advertised_batch(state_next)), \
+        state_next = self._bank.update_batch(r, state, **kw)
+        return clip_nonnegative(
+            self._bank.advertised_batch(state_next, **kw), xp=xp), \
             state_next
 
     def residual(self, rates: np.ndarray) -> np.ndarray:

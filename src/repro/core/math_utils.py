@@ -45,19 +45,38 @@ SPARSE_MIN_N = 64
 
 
 def pick_kernel(method: str, n: int, large: str = "sorted") -> str:
-    """Resolve a kernel ``method`` argument to ``"dense"`` or ``large``.
+    """Resolve a kernel ``method`` argument to ``"dense"``, ``large``,
+    or ``"compiled"``.
 
     ``"auto"`` switches to the scale kernel (named ``large`` — e.g.
     ``"sorted"`` or ``"sparse"``) at ``n >= SPARSE_MIN_N`` and stays on
     the dense reference path below; passing the kernel name explicitly
     forces it, which is how the equivalence tests compare the two.
+
+    The compiled tier rides the same switch: when the active
+    :mod:`repro.backends` backend carries live compiled Fair Share
+    kernels, ``"auto"`` resolves to ``"compiled"`` exactly where it
+    would have resolved to ``"sorted"`` (the compiled kernels are loop
+    twins of the *sorted* formulation, proven bit-identical, so the
+    boundary semantics at ``SPARSE_MIN_N`` are unchanged).  Passing
+    ``method="compiled"`` forces it at any ``n`` on sorted-capable
+    paths; on ``large="sparse"`` paths (which have no compiled twin)
+    it resolves to the sparse kernel instead.
     """
     if method == "auto":
-        return large if n >= SPARSE_MIN_N else "dense"
+        if n < SPARSE_MIN_N:
+            return "dense"
+        if large == "sorted":
+            from .. import backends
+            if backends.fs_kernels_active():
+                return "compiled"
+        return large
+    if method == "compiled":
+        return "compiled" if large == "sorted" else large
     if method not in ("dense", large):
         raise RateVectorError(
-            f"method must be 'auto', 'dense', or {large!r}, "
-            f"got {method!r}")
+            f"method must be 'auto', 'dense', 'compiled', or "
+            f"{large!r}, got {method!r}")
     return method
 
 
@@ -186,9 +205,13 @@ def is_close_vector(a, b, atol: float = 1e-9, rtol: float = 1e-9) -> bool:
     return bool(np.allclose(av, bv, atol=atol, rtol=rtol))
 
 
-def clip_nonnegative(vec: np.ndarray) -> np.ndarray:
-    """Truncate negative entries to zero (the paper's rate truncation)."""
-    return np.maximum(np.asarray(vec, dtype=float), 0.0)
+def clip_nonnegative(vec: np.ndarray, xp=None) -> np.ndarray:
+    """Truncate negative entries to zero (the paper's rate truncation).
+
+    ``xp`` selects the array namespace (numpy when ``None``).
+    """
+    xp = np if xp is None else xp
+    return xp.maximum(xp.asarray(vec, dtype=float), 0.0)
 
 
 def pairs(seq: Sequence) -> Iterable[Tuple]:

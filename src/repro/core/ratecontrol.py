@@ -88,7 +88,7 @@ class RateAdjustment(abc.ABC):
         return max(0.0, rate + self.delta(rate, signal, delay))
 
     def delta_batch(self, rates: np.ndarray, signals: np.ndarray,
-                    delays: np.ndarray) -> np.ndarray:
+                    delays: np.ndarray, xp=None) -> np.ndarray:
         """Elementwise ``f`` over same-shaped arrays of ``(r, b, d)``.
 
         The base implementation loops over :meth:`delta`, so any custom
@@ -96,11 +96,16 @@ class RateAdjustment(abc.ABC):
         override it with vectorised arithmetic.  Inputs broadcast
         against each other exactly like the vectorised overrides (a
         scalar delay against an ``(N,)`` rate vector is fine).
+
+        ``xp`` selects the array namespace (numpy when ``None``);
+        callers forward it only for non-numpy backends, so custom
+        rules without the parameter keep working on the default path.
         """
-        r, b, d = np.broadcast_arrays(np.asarray(rates, dtype=float),
-                                      np.asarray(signals, dtype=float),
-                                      np.asarray(delays, dtype=float))
-        out = np.empty(r.shape, dtype=float)
+        xp = np if xp is None else xp
+        r, b, d = xp.broadcast_arrays(xp.asarray(rates, dtype=float),
+                                      xp.asarray(signals, dtype=float),
+                                      xp.asarray(delays, dtype=float))
+        out = xp.empty(r.shape, dtype=float)
         flat_r, flat_b, flat_d = r.ravel(), b.ravel(), d.ravel()
         flat_out = out.ravel()
         for k in range(flat_r.size):
@@ -109,10 +114,13 @@ class RateAdjustment(abc.ABC):
         return out
 
     def apply_batch(self, rates: np.ndarray, signals: np.ndarray,
-                    delays: np.ndarray) -> np.ndarray:
+                    delays: np.ndarray, xp=None) -> np.ndarray:
         """Elementwise truncated update ``max(0, r + f(r, b, d))``."""
-        r = np.asarray(rates, dtype=float)
-        return np.maximum(0.0, r + self.delta_batch(r, signals, delays))
+        xp = np if xp is None else xp
+        kw = {} if xp is np else {"xp": xp}
+        r = xp.asarray(rates, dtype=float)
+        return xp.maximum(0.0, r + self.delta_batch(r, signals, delays,
+                                                    **kw))
 
     def __repr__(self):
         return f"{type(self).__name__}()"
@@ -147,8 +155,9 @@ class TargetRule(RateAdjustment):
     def delta(self, rate, signal, delay):
         return self.eta * (self.beta - signal)
 
-    def delta_batch(self, rates, signals, delays):
-        b = np.asarray(signals, dtype=float)
+    def delta_batch(self, rates, signals, delays, xp=None):
+        xp = np if xp is None else xp
+        b = xp.asarray(signals, dtype=float)
         return self.eta * (self.beta - b)
 
     def __repr__(self):
@@ -174,9 +183,10 @@ class ProportionalTargetRule(RateAdjustment):
     def delta(self, rate, signal, delay):
         return self.eta * rate * (self.beta - signal)
 
-    def delta_batch(self, rates, signals, delays):
-        r = np.asarray(rates, dtype=float)
-        b = np.asarray(signals, dtype=float)
+    def delta_batch(self, rates, signals, delays, xp=None):
+        xp = np if xp is None else xp
+        r = xp.asarray(rates, dtype=float)
+        b = xp.asarray(signals, dtype=float)
         return self.eta * r * (self.beta - b)
 
     def __repr__(self):
@@ -205,16 +215,17 @@ class DecbitWindowRule(RateAdjustment):
             return -self.beta * signal * rate
         return (1.0 - signal) * self.eta / delay - self.beta * signal * rate
 
-    def delta_batch(self, rates, signals, delays):
-        r = np.asarray(rates, dtype=float)
-        b = np.asarray(signals, dtype=float)
-        d = np.asarray(delays, dtype=float)
-        if np.any(d <= 0):
+    def delta_batch(self, rates, signals, delays, xp=None):
+        xp = np if xp is None else xp
+        r = xp.asarray(rates, dtype=float)
+        b = xp.asarray(signals, dtype=float)
+        d = xp.asarray(delays, dtype=float)
+        if xp.any(d <= 0):
             raise RateVectorError("delays must be positive")
         decrease = self.beta * b * r
         with np.errstate(invalid="ignore"):
             increase = (1.0 - b) * self.eta / d
-        return np.where(np.isinf(d), -decrease, increase - decrease)
+        return xp.where(xp.isinf(d), -decrease, increase - decrease)
 
     def __repr__(self):
         return f"DecbitWindowRule(eta={self.eta}, beta={self.beta})"
@@ -238,9 +249,10 @@ class DecbitRateRule(RateAdjustment):
     def delta(self, rate, signal, delay):
         return (1.0 - signal) * self.eta - self.beta * signal * rate
 
-    def delta_batch(self, rates, signals, delays):
-        r = np.asarray(rates, dtype=float)
-        b = np.asarray(signals, dtype=float)
+    def delta_batch(self, rates, signals, delays, xp=None):
+        xp = np if xp is None else xp
+        r = xp.asarray(rates, dtype=float)
+        b = xp.asarray(signals, dtype=float)
         return (1.0 - b) * self.eta - self.beta * b * r
 
     def steady_rate(self, signal: float) -> float:
@@ -280,10 +292,11 @@ class BinaryAimdRule(RateAdjustment):
             return self.increase
         return -self.decrease * rate
 
-    def delta_batch(self, rates, signals, delays):
-        r = np.asarray(rates, dtype=float)
-        b = np.asarray(signals, dtype=float)
-        return np.where(b < self.threshold, self.increase,
+    def delta_batch(self, rates, signals, delays, xp=None):
+        xp = np if xp is None else xp
+        r = xp.asarray(rates, dtype=float)
+        b = xp.asarray(signals, dtype=float)
+        return xp.where(b < self.threshold, self.increase,
                         -self.decrease * r)
 
     def __repr__(self):
@@ -324,14 +337,15 @@ class TcpLikeRule(RateAdjustment):
             return self.increase / delay
         return -self.decrease * rate
 
-    def delta_batch(self, rates, signals, delays):
-        r = np.asarray(rates, dtype=float)
-        b = np.asarray(signals, dtype=float)
-        d = np.asarray(delays, dtype=float)
-        if np.any(d <= 0):
+    def delta_batch(self, rates, signals, delays, xp=None):
+        xp = np if xp is None else xp
+        r = xp.asarray(rates, dtype=float)
+        b = xp.asarray(signals, dtype=float)
+        d = xp.asarray(delays, dtype=float)
+        if xp.any(d <= 0):
             raise RateVectorError("delays must be positive")
         # increase / inf == 0.0 exactly, matching the scalar path.
-        return np.where(b < self.threshold, self.increase / d,
+        return xp.where(b < self.threshold, self.increase / d,
                         -self.decrease * r)
 
     def __repr__(self):
@@ -358,10 +372,11 @@ class RcpSourceRule(RateAdjustment):
     def delta(self, rate, signal, delay):
         return 0.0
 
-    def delta_batch(self, rates, signals, delays):
-        r = np.asarray(rates, dtype=float)
-        b = np.asarray(signals, dtype=float)
-        return np.zeros(np.broadcast(r, b).shape, dtype=float)
+    def delta_batch(self, rates, signals, delays, xp=None):
+        xp = np if xp is None else xp
+        r = xp.asarray(rates, dtype=float)
+        b = xp.asarray(signals, dtype=float)
+        return xp.zeros(np.broadcast(r, b).shape, dtype=float)
 
     def __repr__(self):
         return "RcpSourceRule()"

@@ -11,6 +11,9 @@ a whole scenario family:
 ``blocked-equivalence``  ``run_ensemble`` with ``block_size < M`` vs
                          the one-shot run (bit-identical)
 ``kernel-equivalence``   legacy vs fast packet kernels (bit-identical)
+``compiled-equivalence`` fast vs compiled (runtime-built C) FIFO
+                         kernels (bit-identical; not-applicable when
+                         no C tier could be built)
 ``fixed-point``          converged trajectory is a fixed point of the
                          map, and agrees with the damped refiner
 ``tsi``                  Theorem 1: scaling every ``mu`` by ``c``
@@ -297,6 +300,72 @@ def check_kernel_equivalence(ctx: ScenarioContext) -> OracleResult:
     return OracleResult(
         "kernel-equivalence", True, True,
         f"bit-identical over {legacy['events']} events")
+
+
+def check_compiled_equivalence(ctx: ScenarioContext) -> OracleResult:
+    """Compiled vs fast FIFO kernel: bit-identical statistics.
+
+    The compiled engine runs ``_run_fifo`` inside the runtime-built C
+    library (:mod:`repro.backends._cext`); its contract is the same
+    bit-identity the fast/legacy pair guarantees — same RNG bitstream,
+    same event order, same float arithmetic.  Applies to FIFO
+    scenarios (the only discipline with a compiled event loop); when
+    no C tier could be built the compiled engine falls back to the
+    Python loop per call, which keeps the check trivially green, so
+    the oracle reports not-applicable instead of a hollow pass.
+    """
+    spec = ctx.spec
+    if spec.discipline != "fifo":
+        return OracleResult(
+            "compiled-equivalence", False, True,
+            f"discipline {spec.discipline!r} has no compiled kernel")
+    from ..backends import compiled
+    if compiled.fifo_lib() is None:
+        return OracleResult(
+            "compiled-equivalence", False, True,
+            "no C tier available (no compiler / failed build); the "
+            "compiled engine would just re-run the Python loop")
+    # Local import, as in check_kernel_equivalence.
+    from ..simulation.network_sim import NetworkSimulation
+
+    def run(engine: str) -> dict:
+        sim = NetworkSimulation(
+            spec.network(), discipline_kind=spec.discipline,
+            seed=spec.seed, initial_rates=spec.initial(), engine=engine)
+        sim.run_for(30.0)
+        sim.reset_statistics()
+        sim.run_for(120.0)
+        fallbacks = getattr(sim._engine, "fifo_fallbacks", None)
+        return {"mql": sim.mean_queue_lengths(),
+                "arr": sim.measured_arrival_rates(),
+                "drop": sim.drop_fractions(),
+                "thr": sim.throughput(),
+                "delay": sim.mean_delays(),
+                "events": sim.events_processed,
+                "fallbacks": fallbacks}
+
+    fast, comp = run("fast"), run("compiled")
+    for key in ("mql", "arr", "drop"):
+        for g in fast[key]:
+            if not np.array_equal(fast[key][g], comp[key][g]):
+                return OracleResult(
+                    "compiled-equivalence", True, False,
+                    f"{key}[{g}] differs between fast and compiled")
+    if not np.array_equal(fast["thr"], comp["thr"]):
+        return OracleResult("compiled-equivalence", True, False,
+                            "throughput differs between fast and compiled")
+    if not np.array_equal(fast["delay"], comp["delay"], equal_nan=True):
+        return OracleResult("compiled-equivalence", True, False,
+                            "mean delays differ between fast and compiled")
+    if fast["events"] != comp["events"]:
+        return OracleResult(
+            "compiled-equivalence", True, False,
+            f"event counts differ: fast {fast['events']} vs compiled "
+            f"{comp['events']}")
+    return OracleResult(
+        "compiled-equivalence", True, True,
+        f"bit-identical over {fast['events']} events "
+        f"({comp['fallbacks']} fallbacks)")
 
 
 def check_fixed_point(ctx: ScenarioContext) -> OracleResult:
@@ -858,6 +927,7 @@ ORACLES: Dict[str, Callable[[ScenarioContext], OracleResult]] = {
     "ensemble-equivalence": check_ensemble_equivalence,
     "blocked-equivalence": check_blocked_equivalence,
     "kernel-equivalence": check_kernel_equivalence,
+    "compiled-equivalence": check_compiled_equivalence,
     "fixed-point": check_fixed_point,
     "tsi": check_tsi,
     "fairness-manifold": check_fairness_manifold,

@@ -238,6 +238,36 @@ def run_selftest(quick: bool = False, force_fail: bool = False) -> bool:
     _check("Theorem 5 floor holds for honest sources vs a blaster",
            floor.holds, failures)
 
+    print("backends:")
+    from . import backends
+    from .backends import compiled as compiled_kernels
+    act = backends.active()
+    print(f"  available: {', '.join(backends.available_backends())}; "
+          f"active: {act.name} (kernel tier: {act.kernel_tier}, "
+          f"compiled FS kernels: "
+          f"{'yes' if compiled_kernels.fs_available() else 'no'}, "
+          f"compiled FIFO engine: "
+          f"{'yes' if compiled_kernels.fifo_lib() is not None else 'no'})")
+    big = rng.uniform(0.0, 0.5, size=(4, 96))
+    want = FairShare().queue_lengths_batch(big, mu=1.0, method="sorted")
+    got = compiled_kernels.fs_queue_batch(big, 1.0)
+    if got is None:
+        _check("compiled FS kernels unavailable (pure-python tier ok)",
+               True, failures)
+    else:
+        _check("compiled FS queue law is bit-identical to sorted",
+               bool(np.array_equal(got, want)), failures)
+    stub = backends.resolve("stub")
+    stub_sys = FlowControlSystem(single_gateway(4, mu=1.0), FairShare(),
+                                 LinearSaturating(),
+                                 TargetRule(eta=0.1, beta=0.5),
+                                 style=FeedbackStyle.INDIVIDUAL,
+                                 backend=stub)
+    _check("stub xp namespace is exercised and bit-identical",
+           bool(np.array_equal(stub_sys.step_batch(starts[:4]),
+                               system.step_batch(starts[:4])))
+           and stub.xp.calls > 0, failures)
+
     print("scenario fuzzing smoke:")
     from .scenarios import generate, run_scenario
     budget = 3 if quick else 6
@@ -270,9 +300,13 @@ def main(argv=None, quick: bool = False, force_fail: bool = False) -> int:
         parser = argparse.ArgumentParser(prog="repro.selftest")
         parser.add_argument("--quick", action="store_true")
         parser.add_argument("--force-fail", action="store_true")
+        parser.add_argument("--backend", default=None, metavar="NAME")
         args = parser.parse_args(argv)
         quick = quick or args.quick
         force_fail = force_fail or args.force_fail
+        if args.backend is not None:
+            from . import backends
+            backends.use(backends.resolve(args.backend))
     t0 = time.perf_counter()
     passed = run_selftest(quick=quick, force_fail=force_fail)
     elapsed = time.perf_counter() - t0

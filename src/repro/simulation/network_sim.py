@@ -69,9 +69,10 @@ class NetworkSimulation:
             raise SimulationError(
                 f"drop_policy must be 'tail' or 'longest', "
                 f"got {drop_policy!r}")
-        if engine not in ("auto", "fast", "legacy"):
+        if engine not in ("auto", "fast", "compiled", "legacy"):
             raise SimulationError(
-                f"engine must be 'auto', 'fast' or 'legacy', got {engine!r}")
+                f"engine must be 'auto', 'fast', 'compiled' or "
+                f"'legacy', got {engine!r}")
         if buffer_sizes is None or isinstance(buffer_sizes, dict):
             buffer_map = dict(buffer_sizes or {})
         else:
@@ -96,13 +97,16 @@ class NetworkSimulation:
 
         fast_ok = supports_fast_engine(discipline_kind, buffer_map,
                                        drop_policy)
-        if engine == "fast" and not fast_ok:
+        if engine in ("fast", "compiled") and not fast_ok:
             raise SimulationError(
-                f"the fast engine does not support "
+                f"the {engine} engine does not support "
                 f"discipline {discipline_kind!r} with "
                 f"drop_policy {drop_policy!r} here; use engine='legacy'")
-        self.engine = "fast" if (engine != "legacy" and fast_ok) \
-            else "legacy"
+        if engine == "compiled":
+            self.engine = "compiled"
+        else:
+            self.engine = "fast" if (engine != "legacy" and fast_ok) \
+                else "legacy"
 
         # Rates the Fair Share classifier sees, per gateway (local order).
         self._fs_rates: Dict[str, np.ndarray] = {}
@@ -110,8 +114,16 @@ class NetworkSimulation:
             local = network.connections_at(gname)
             self._fs_rates[gname] = self._rates[list(local)].copy()
 
-        if self.engine == "fast":
-            self._engine: Optional[FastEngine] = FastEngine(
+        if self.engine in ("fast", "compiled"):
+            if self.engine == "compiled":
+                # Same construction, compiled FIFO hot loop (with a
+                # graceful per-call fallback to the Python loop when
+                # no C tier could be built).
+                from .kernel_compiled import CompiledFifoEngine
+                engine_cls = CompiledFifoEngine
+            else:
+                engine_cls = FastEngine
+            self._engine: Optional[FastEngine] = engine_cls(
                 network, discipline_kind, self.streams, self._rates,
                 buffer_map, drop_policy)
             self.scheduler = None

@@ -114,6 +114,39 @@ class TestEveryOracleFires:
                                 ["kernel-equivalence"])
         assert fails == ("kernel-equivalence",)
 
+    def test_compiled_equivalence_catches_compiled_kernel_skew(
+            self, monkeypatch):
+        from repro.backends import compiled
+        if compiled.fifo_lib() is None:
+            pytest.skip("no C tier: the oracle reports not-applicable")
+        orig = NetworkSimulation.throughput
+
+        def skewed(self):
+            thr = np.array(orig(self), dtype=float)
+            if self.engine == "compiled":
+                thr = thr + 1e-9
+            return thr
+
+        monkeypatch.setattr(NetworkSimulation, "throughput", skewed)
+        fails = failing_oracles(spec_of(discipline="fifo"),
+                                ["compiled-equivalence"])
+        assert fails == ("compiled-equivalence",)
+
+    def test_compiled_equivalence_passes_on_healthy_fifo(self):
+        res = run_oracle("compiled-equivalence",
+                         ScenarioContext(spec_of(discipline="fifo")))
+        from repro.backends import compiled
+        if compiled.fifo_lib() is None:
+            assert not res.applicable
+        else:
+            assert res.applicable and res.passed
+            assert "bit-identical" in res.detail
+
+    def test_compiled_equivalence_inapplicable_off_fifo(self):
+        res = run_oracle("compiled-equivalence",
+                         ScenarioContext(spec_of()))
+        assert not res.applicable
+
     def test_fixed_point_catches_non_stationary_final(self):
         spec = spec_of()
         ctx = doctored_context(spec, spec.initial())

@@ -77,6 +77,19 @@ def _assert_engines_agree(**kw):
     assert a["events"] == b["events"]
 
 
+def _assert_compiled_matches_fast(**kw):
+    a = _run("fast", **kw)
+    b = _run("compiled", **kw)
+    assert a["engine"] == "fast" and b["engine"] == "compiled"
+    for key in ("mql", "arr", "drop"):
+        for g in a[key]:
+            assert np.array_equal(a[key][g], b[key][g]), \
+                f"{key}[{g}]: {a[key][g]} vs {b[key][g]}"
+    assert np.array_equal(a["thr"], b["thr"])
+    assert np.array_equal(a["delay"], b["delay"], equal_nan=True)
+    assert a["events"] == b["events"]
+
+
 class TestBitIdentity:
     def test_fifo_zero_latency(self):
         _assert_engines_agree(disc="fifo", net=_net4(), rates=RATES4)
@@ -119,6 +132,66 @@ class TestBitIdentity:
         for g, est in out["arr"].items():
             assert np.all(np.isfinite(est))
             assert np.all(est >= 0.0)
+
+
+class TestCompiledEngine:
+    """engine="compiled" (the runtime-built C event loop) against the
+    fast kernel: the same bit-identity contract the fast engine keeps
+    against legacy.  These run with or without a C compiler — when no
+    library could be built the compiled engine transparently executes
+    the python loop, and the contract must hold either way."""
+
+    def test_fifo_zero_latency(self):
+        _assert_compiled_matches_fast(disc="fifo", net=_net4(),
+                                      rates=RATES4)
+
+    def test_fifo_with_latency_uses_burst_path(self):
+        _assert_compiled_matches_fast(disc="fifo", net=_net4_latency(),
+                                      rates=RATES4)
+
+    def test_fifo_finite_buffer_tail_drop(self):
+        _assert_compiled_matches_fast(disc="fifo", net=_net4_latency(),
+                                      rates=[0.5, 0.5, 0.4, 0.3],
+                                      buffer_sizes=4)
+
+    def test_tandem_fifo_with_rate_updates(self):
+        _assert_compiled_matches_fast(disc="fifo", net=_tandem(),
+                                      rates=RATES4, steps=2,
+                                      rate_seq=RATE_SEQ)
+
+    def test_measured_rate_mode_with_refresh(self):
+        _assert_compiled_matches_fast(disc="fifo", net=_net4_latency(),
+                                      rates=RATES4,
+                                      rate_mode="measured", steps=3,
+                                      refresh=True)
+
+    def test_closed_loop_trajectories_identical(self):
+        kw = dict(style=FeedbackStyle.INDIVIDUAL,
+                  discipline_kind="fifo", control_interval=150.0,
+                  n_steps=6, seed=3)
+        net = _net4_latency()
+        fast = run_closed_loop(net, TargetRule(eta=0.1, beta=0.4),
+                               LinearSaturating(), engine="fast", **kw)
+        comp = run_closed_loop(net, TargetRule(eta=0.1, beta=0.4),
+                               LinearSaturating(), engine="compiled",
+                               **kw)
+        assert np.array_equal(fast.rate_history, comp.rate_history)
+        assert np.array_equal(fast.signal_history, comp.signal_history)
+        assert np.array_equal(fast.final_throughput,
+                              comp.final_throughput)
+        assert np.array_equal(fast.final_delays, comp.final_delays,
+                              equal_nan=True)
+
+    def test_compiled_engine_is_selectable(self):
+        sim = NetworkSimulation(_net4(), discipline_kind="fifo",
+                                initial_rates=RATES4,
+                                engine="compiled")
+        assert sim.engine == "compiled"
+
+    def test_forced_compiled_on_unsupported_raises(self):
+        with pytest.raises(SimulationError):
+            NetworkSimulation(_net4(), discipline_kind="fair-queueing",
+                              initial_rates=RATES4, engine="compiled")
 
 
 class TestEngineSelection:

@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test selftest gate fuzz-quick scale-quick chaos-quick \
-	compiled-quick verify bench
+	async-quick compiled-quick verify bench
 
 test:
 	$(PYTHON) -m pytest -q
@@ -31,6 +31,13 @@ scale-quick:
 chaos-quick:
 	$(PYTHON) -m repro chaos --quick
 
+# Quick asynchronous-engine check: batched run_async_ensemble vs the
+# scalar per-member loop (bit-identity verified before timing) and the
+# delay-ring overhead, judged against the BENCH_async.json quick
+# floors (no rewrite).
+async-quick:
+	$(PYTHON) benchmarks/bench_async.py --quick --check
+
 # Quick compiled-backend check: small workloads judged against the
 # BENCH_compiled.json quick floors (no rewrite).  Exits 0 with a
 # notice when no compiled tier can be built (no numba, no C compiler)
@@ -40,19 +47,20 @@ compiled-quick:
 
 # The tier-1 flow: full test suite, the engine smoke check, the
 # benchmark regression gate (quick CI workload), the bounded fuzzing
-# sweep, the blocked-ensemble scale check, the chaos sweep, and the
-# compiled-backend check.
+# sweep, the blocked-ensemble scale check, the chaos sweep, the
+# asynchronous-engine check, and the compiled-backend check.
 verify: test selftest gate fuzz-quick scale-quick chaos-quick \
-	compiled-quick
+	async-quick compiled-quick
 
 # Full-scale benchmarks + gate; refreshes BENCH_core.json,
 # BENCH_sim.json, BENCH_scale.json, BENCH_controllers.json,
-# BENCH_chaos.json, and BENCH_compiled.json.
+# BENCH_chaos.json, BENCH_async.json, and BENCH_compiled.json.
 bench:
 	$(PYTHON) benchmarks/bench_core_engine.py
 	$(PYTHON) benchmarks/bench_sim_kernel.py
 	$(PYTHON) benchmarks/bench_scale.py
 	$(PYTHON) benchmarks/bench_controllers.py
 	$(PYTHON) benchmarks/bench_chaos.py
+	$(PYTHON) benchmarks/bench_async.py
 	$(PYTHON) benchmarks/bench_compiled.py
 	$(PYTHON) benchmarks/regression_gate.py

@@ -1,16 +1,19 @@
 """Performance regression gate for the batched trajectory engine, the
 fast simulation kernel, the blocked-ensemble scale path, the
-controller zoo's batched paths, and the structural chaos layer.
+controller zoo's batched paths, the structural chaos layer, and the
+heterogeneous-clock asynchronous engine.
 
 Re-runs the core microbenchmarks (``bench_core_engine.py``), the
 simulation-kernel benchmarks (``bench_sim_kernel.py``), the
 blocked-vs-one-shot scale benchmarks (``bench_scale.py``), the
 controller benchmarks (``bench_controllers.py``), the chaos-layer
-benchmarks (``bench_chaos.py``), and the compiled-backend benchmarks
+benchmarks (``bench_chaos.py``), the asynchronous-engine benchmarks
+(``bench_async.py``), and the compiled-backend benchmarks
 (``bench_compiled.py``), compares the fresh ratios against the
 committed baselines in ``BENCH_core.json``, ``BENCH_sim.json``,
 ``BENCH_scale.json``, ``BENCH_controllers.json``,
-``BENCH_chaos.json``, and ``BENCH_compiled.json``, and exits nonzero
+``BENCH_chaos.json``, ``BENCH_async.json``, and
+``BENCH_compiled.json``, and exits nonzero
 when performance regressed by more than the threshold (default 25%).
 The compiled-backend leg is skipped with a notice when no compiled
 tier exists in the environment (no numba, no C compiler) — the tier
@@ -41,6 +44,8 @@ import json
 import sys
 from pathlib import Path
 
+from bench_async import QUICK_TARGETS as ASYNC_QUICK_TARGETS
+from bench_async import run_benchmarks as run_async_benchmarks
 from bench_chaos import QUICK_TARGETS as CHAOS_QUICK_TARGETS
 from bench_chaos import run_benchmarks as run_chaos_benchmarks
 from bench_compiled import QUICK_TARGETS as COMPILED_QUICK_TARGETS
@@ -79,6 +84,13 @@ GATED_CONTROLLERS = [
 #: the floor bounds how much of clean throughput the chaos path keeps.
 GATED_CHAOS = [("empty_plan", "chaos_empty_plan_ratio_min"),
                ("active_ensemble", "chaos_active_ensemble_ratio_min")]
+
+#: The asynchronous-engine benchmarks (baseline BENCH_async.json).
+#: "speedup" holds batched-vs-scalar for the ensemble and the
+#: tau=0/tau=8 throughput ratio for the delay ring, so compare()
+#: applies unchanged.
+GATED_ASYNC = [("async_ensemble", "async_ensemble_speedup_min"),
+               ("delay_ring", "async_delay_ring_ratio_min")]
 
 #: The compiled-backend benchmarks (baseline BENCH_compiled.json).
 #: Skipped with a notice when no compiled tier can be built in this
@@ -193,6 +205,12 @@ def main(argv=None):
         help="committed chaos-layer baseline JSON (default: repo "
              "BENCH_chaos.json)")
     parser.add_argument(
+        "--async-baseline",
+        default=str(Path(__file__).resolve().parent.parent /
+                    "BENCH_async.json"),
+        help="committed asynchronous-engine baseline JSON (default: "
+             "repo BENCH_async.json)")
+    parser.add_argument(
         "--compiled-baseline",
         default=str(Path(__file__).resolve().parent.parent /
                     "BENCH_compiled.json"),
@@ -216,6 +234,8 @@ def main(argv=None):
         ctrl_baseline = json.load(fh)
     with open(args.chaos_baseline) as fh:
         chaos_baseline = json.load(fh)
+    with open(args.async_baseline) as fh:
+        async_baseline = json.load(fh)
     fresh = run_fresh(quick=args.quick)
     ok, report = compare(baseline, fresh, threshold=args.threshold,
                          floor_only=args.quick)
@@ -243,6 +263,12 @@ def main(argv=None):
                                  CHAOS_QUICK_TARGETS), chaos_fresh,
         threshold=args.threshold, floor_only=args.quick,
         gated=GATED_CHAOS)
+    async_fresh = run_async_benchmarks(quick=args.quick)
+    async_ok, async_report = compare(
+        _quick_baseline_for_mode(async_baseline, args.quick,
+                                 ASYNC_QUICK_TARGETS), async_fresh,
+        threshold=args.threshold, floor_only=args.quick,
+        gated=GATED_ASYNC)
     compiled_ok, compiled_report, compiled_notice = True, [], None
     if not compiled_tier_available():
         compiled_notice = ("compiled-backend benchmarks skipped: no "
@@ -259,9 +285,9 @@ def main(argv=None):
             compiled_fresh, threshold=args.threshold,
             floor_only=args.quick, gated=GATED_COMPILED)
     ok = ok and sim_ok and scale_ok and ctrl_ok and chaos_ok \
-        and compiled_ok
+        and async_ok and compiled_ok
     print(format_report(report + sim_report + scale_report
-                        + ctrl_report + chaos_report
+                        + ctrl_report + chaos_report + async_report
                         + compiled_report))
     if compiled_notice:
         print(f"[SKIP] {compiled_notice}")

@@ -2,7 +2,7 @@
 
 Commands:
 
-* ``list`` — enumerate the registered paper artifacts (T1, F1..F13);
+* ``list`` — enumerate the registered paper artifacts (T1, F1..F14);
 * ``run <id> [--csv PATH] [--json-dir DIR]`` — run one experiment with
   default parameters, print its table, optionally dump the rows as CSV
   and/or a schema-valid JSON run-record artifact (provenance +

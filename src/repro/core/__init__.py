@@ -49,9 +49,12 @@ from .topology import (Connection, Gateway, Network, parking_lot,
                        two_gateway_shared)
 from .weighted import (WeightedFairShare, weighted_max_min_allocation,
                        weighted_reservation_floor)
-from .asynchronous import (AsynchronousRunner, BernoulliSchedule,
+from .asynchronous import (CLOCK_KINDS, AsynchronousRunner,
+                           BernoulliSchedule, BurstyClock, ClockModel,
+                           ClockSchedule, DriftingClock, RateMixClock,
                            RoundRobinSchedule, SynchronousSchedule,
-                           UpdateSchedule)
+                           UniformClock, UpdateSchedule, clock_model,
+                           run_async_ensemble)
 
 __all__ = [
     # topology
@@ -99,7 +102,9 @@ __all__ = [
     "weighted_reservation_floor",
     # asynchronous extension
     "UpdateSchedule", "SynchronousSchedule", "RoundRobinSchedule",
-    "BernoulliSchedule", "AsynchronousRunner",
+    "BernoulliSchedule", "AsynchronousRunner", "run_async_ensemble",
+    "ClockModel", "UniformClock", "RateMixClock", "DriftingClock",
+    "BurstyClock", "ClockSchedule", "CLOCK_KINDS", "clock_model",
     # math
     "g", "g_inverse", "as_rate_matrix",
 ]

@@ -1,4 +1,4 @@
-"""Asynchronous and delayed rate adjustment (the paper's Section 2.5).
+"""Asynchronous, delayed, and heterogeneously-clocked rate adjustment.
 
 The model's synchronous, delay-free iteration is the assumption the
 paper itself flags as most suspect: *"the lack of asynchrony in our
@@ -10,13 +10,17 @@ that investigation executably:
   step, a schedule picks which subset updates: round-robin (one source
   per step), independent coin flips, or the synchronous all-at-once
   baseline;
+* **clock models** — a :class:`ClockModel` assigns each source its own
+  update rate (uniform, slow/fast mixes, drifting, bursty), turning
+  "who updates when" into a measurable heterogeneity dial;
 * **feedback delay** — sources may react to congestion signals
   computed from the rate vector ``tau`` steps in the past, modelling
   the round-trip that real signals ride on.
 
-Both knobs preserve the *steady states* (a fixed point of the
-synchronous map is fixed under any schedule and any delay), but change
-the *stability* story, and in opposite directions:
+All three knobs preserve the *steady states* (a fixed point of the
+synchronous map is fixed under any schedule and any delay — connections
+that update confirm the fixed point, connections that hold trivially
+keep it), but change the *stability* story, and in opposite directions:
 
 * round-robin (Gauss–Seidel-like) updating relaxes the synchronous
   overshoot: the aggregate example ``DF = I - eta 11^T`` that diverges
@@ -26,33 +30,64 @@ the *stability* story, and in opposite directions:
   scalar loop gain that keeps ``|1 - eta N|`` stable must shrink
   roughly like ``1 / tau``.
 
-The X1/X2 ablation benchmarks quantify both effects.
+The X1/X2 ablation benchmarks quantify both effects; experiment F14
+sweeps the clock-heterogeneity dial.
+
+Determinism contract: every built-in schedule's participation mask is
+a **pure function of (seed, step)** — no schedule object carries
+mutable stream state — so scalar runs, batched ensembles, and blocked
+ensembles all see identical masks regardless of call history.  The
+batched engine, :func:`run_async_ensemble`, evolves an ``(M, N)``
+ensemble under one schedule (or one schedule per member) with a
+delayed-signal ring buffer, and member ``m`` reproduces the scalar
+:class:`AsynchronousRunner` path bit-exactly.
 """
 
 from __future__ import annotations
 
 import abc
+import math
+import time
 from collections import deque
-from typing import Iterable, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from ..errors import RateVectorError
-from .dynamics import FlowControlSystem, Outcome, Trajectory, \
-    _detect_period
-from .math_utils import as_rate_vector, clip_nonnegative, sup_norm
+from ..errors import RateVectorError, SweepError
+from ..observability import RunRecord, emit_run_record, is_collecting
+from .delays import round_trip_delays_batch
+from .dynamics import EnsembleResult, FlowControlSystem, Outcome, \
+    Trajectory, _detect_period, _resolve_block_size, _resolve_history
+from .math_utils import as_rate_matrix, as_rate_vector, clip_nonnegative, \
+    sup_norm
 
 __all__ = [
     "UpdateSchedule",
     "SynchronousSchedule",
     "RoundRobinSchedule",
     "BernoulliSchedule",
+    "ClockModel",
+    "UniformClock",
+    "RateMixClock",
+    "DriftingClock",
+    "BurstyClock",
+    "ClockSchedule",
+    "CLOCK_KINDS",
+    "clock_model",
     "AsynchronousRunner",
+    "run_async_ensemble",
 ]
 
 
 class UpdateSchedule(abc.ABC):
-    """Chooses which connections update at each asynchronous step."""
+    """Chooses which connections update at each asynchronous step.
+
+    Implementations must keep :meth:`participants` a pure function of
+    ``(step, n)`` (randomness via counter-based seeding, never a shared
+    advancing generator): the batched engine re-evaluates masks per
+    member block, and blocked execution is bit-identical to one-shot
+    execution only because masks do not depend on call history.
+    """
 
     @abc.abstractmethod
     def participants(self, step: int, n: int) -> np.ndarray:
@@ -107,6 +142,256 @@ class BernoulliSchedule(UpdateSchedule):
 
     def steps_per_sweep(self, n):
         return max(1, int(round(1.0 / self.p)))
+
+
+# ----------------------------------------------------------------------
+# clock models
+# ----------------------------------------------------------------------
+def _check_rate(name: str, value: float, minimum: float = 0.0) -> float:
+    value = float(value)
+    if not (math.isfinite(value) and minimum < value <= 1.0):
+        bound = "(0, 1]" if minimum == 0.0 else f"({minimum}, 1]"
+        raise RateVectorError(
+            f"{name} must lie in {bound}, got {value!r}")
+    return value
+
+
+class ClockModel(abc.ABC):
+    """Per-source update-clock rates for heterogeneous asynchrony.
+
+    A clock model maps ``(step, n)`` to the per-source probability that
+    each connection's clock ticks — i.e. that the source applies its
+    rate-adjustment rule — at that step.  All per-source randomness
+    (phase offsets, slow/fast assignment, burst offsets) is drawn from
+    ``default_rng([seed, i])`` so source ``i``'s clock is a pure
+    function of ``(seed, i)``: adding or removing other sources never
+    reshuffles an existing source's clock, and scalar/batched/blocked
+    runs all agree bit-exactly.
+
+    Wrap a model in :class:`ClockSchedule` to drive
+    :class:`AsynchronousRunner` or :func:`run_async_ensemble`.
+    """
+
+    kind: str = "clock"
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._source_draws: dict = {}
+
+    @abc.abstractmethod
+    def tick_rates(self, step: int, n: int) -> np.ndarray:
+        """Per-source tick probabilities at ``step`` (each in (0, 1])."""
+
+    def nominal_rates(self, n: int) -> np.ndarray:
+        """Long-run per-source tick rates (defaults to the step-0 rates)."""
+        return self.tick_rates(0, n)
+
+    @property
+    @abc.abstractmethod
+    def heterogeneity(self) -> float:
+        """Ratio of the fastest to the slowest instantaneous tick rate
+        the model can express; 1.0 means homogeneous clocks."""
+
+    def fairness_index(self, n: int) -> float:
+        """Jain's fairness index of the nominal tick rates — the scalar
+        tracked as clock heterogeneity grows (1.0 = uniform clocks)."""
+        rates = self.nominal_rates(n)
+        total = float(np.sum(rates))
+        if total == 0.0:
+            return 1.0
+        return total * total / (n * float(np.sum(rates * rates)))
+
+    def _source_uniform(self, n: int) -> np.ndarray:
+        """``u_i = default_rng([seed, i]).random()`` — cached per n."""
+        got = self._source_draws.get(n)
+        if got is None:
+            got = np.array([
+                np.random.default_rng([self.seed, i]).random()
+                for i in range(n)
+            ])
+            self._source_draws[n] = got
+        return got
+
+
+class UniformClock(ClockModel):
+    """Every source ticks at the same ``rate`` — the homogeneous
+    baseline (``rate=1.0`` reduces to the synchronous schedule)."""
+
+    kind = "uniform"
+
+    def __init__(self, rate: float = 1.0, seed: int = 0):
+        super().__init__(seed)
+        self.rate = _check_rate("clock rate", rate)
+
+    def tick_rates(self, step, n):
+        return np.full(n, self.rate)
+
+    @property
+    def heterogeneity(self):
+        return 1.0
+
+
+class RateMixClock(ClockModel):
+    """A slow/fast population mix (the CS262 slow/fast VM experiment):
+    each source is independently assigned the slow clock with
+    probability ``slow_fraction`` (via ``default_rng([seed, i])``) and
+    ticks at its assigned rate forever after."""
+
+    kind = "mix"
+
+    def __init__(self, slow_rate: float = 0.25, fast_rate: float = 1.0,
+                 slow_fraction: float = 0.5, seed: int = 0):
+        super().__init__(seed)
+        self.slow_rate = _check_rate("slow clock rate", slow_rate)
+        self.fast_rate = _check_rate("fast clock rate", fast_rate)
+        if self.slow_rate > self.fast_rate:
+            raise RateVectorError(
+                f"slow clock rate {slow_rate!r} exceeds fast clock "
+                f"rate {fast_rate!r}")
+        frac = float(slow_fraction)
+        if not (math.isfinite(frac) and 0.0 <= frac <= 1.0):
+            raise RateVectorError(
+                f"slow fraction must lie in [0, 1], got {slow_fraction!r}")
+        self.slow_fraction = frac
+
+    def tick_rates(self, step, n):
+        slow = self._source_uniform(n) < self.slow_fraction
+        return np.where(slow, self.slow_rate, self.fast_rate)
+
+    @property
+    def heterogeneity(self):
+        return self.fast_rate / self.slow_rate
+
+
+class DriftingClock(ClockModel):
+    """Each source's rate drifts sinusoidally around ``base_rate`` with
+    its own phase (``default_rng([seed, i])``): slow and fast episodes
+    wander across the population instead of being fixed per source.
+    ``amplitude`` must keep every instantaneous rate inside (0, 1]."""
+
+    kind = "drifting"
+
+    def __init__(self, base_rate: float = 0.5, amplitude: float = 0.25,
+                 period: int = 64, seed: int = 0):
+        super().__init__(seed)
+        self.base_rate = _check_rate("base clock rate", base_rate)
+        amp = float(amplitude)
+        if not (math.isfinite(amp) and 0.0 <= amp < self.base_rate):
+            raise RateVectorError(
+                f"drift amplitude must lie in [0, base_rate), "
+                f"got {amplitude!r}")
+        if self.base_rate + amp > 1.0:
+            raise RateVectorError(
+                f"base_rate + amplitude must stay <= 1, got "
+                f"{self.base_rate + amp!r}")
+        if not (isinstance(period, (int, np.integer)) and period >= 1):
+            raise RateVectorError(
+                f"drift period must be an int >= 1, got {period!r}")
+        self.amplitude = amp
+        self.period = int(period)
+
+    def tick_rates(self, step, n):
+        phase = self._source_uniform(n)
+        angle = 2.0 * np.pi * (step / self.period + phase)
+        return self.base_rate + self.amplitude * np.sin(angle)
+
+    def nominal_rates(self, n):
+        # The sinusoid averages out over a period.
+        return np.full(n, self.base_rate)
+
+    @property
+    def heterogeneity(self):
+        if self.amplitude == 0.0:
+            return 1.0
+        return ((self.base_rate + self.amplitude)
+                / (self.base_rate - self.amplitude))
+
+
+class BurstyClock(ClockModel):
+    """Sources alternate between on-bursts (ticking at ``on_rate``) and
+    off-bursts (``off_rate``) of ``burst_len`` steps, with per-source
+    burst offsets (``default_rng([seed, i])``) so the population
+    desynchronises instead of breathing in lockstep."""
+
+    kind = "bursty"
+
+    def __init__(self, on_rate: float = 1.0, off_rate: float = 0.1,
+                 burst_len: int = 16, seed: int = 0):
+        super().__init__(seed)
+        self.on_rate = _check_rate("burst on rate", on_rate)
+        self.off_rate = _check_rate("burst off rate", off_rate)
+        if self.off_rate > self.on_rate:
+            raise RateVectorError(
+                f"burst off rate {off_rate!r} exceeds on rate "
+                f"{on_rate!r}")
+        if not (isinstance(burst_len, (int, np.integer))
+                and burst_len >= 1):
+            raise RateVectorError(
+                f"burst length must be an int >= 1, got {burst_len!r}")
+        self.burst_len = int(burst_len)
+
+    def _offsets(self, n: int) -> np.ndarray:
+        return np.floor(self._source_uniform(n)
+                        * 2 * self.burst_len).astype(np.intp)
+
+    def tick_rates(self, step, n):
+        phase = ((step + self._offsets(n)) // self.burst_len) % 2
+        return np.where(phase == 0, self.on_rate, self.off_rate)
+
+    def nominal_rates(self, n):
+        # Each source spends half its time in each phase.
+        return np.full(n, 0.5 * (self.on_rate + self.off_rate))
+
+    @property
+    def heterogeneity(self):
+        return self.on_rate / self.off_rate
+
+
+#: Clock-model kinds :func:`clock_model` can build, in the order the
+#: scenario grammar enumerates them.
+CLOCK_KINDS = ("uniform", "mix", "drifting", "bursty")
+
+_CLOCK_BUILDERS = {
+    "uniform": UniformClock,
+    "mix": RateMixClock,
+    "drifting": DriftingClock,
+    "bursty": BurstyClock,
+}
+
+
+def clock_model(kind: str, **params) -> ClockModel:
+    """Build a :class:`ClockModel` by kind name (scenario grammar entry
+    point).  Unknown kinds raise :class:`~repro.errors.RateVectorError`."""
+    builder = _CLOCK_BUILDERS.get(kind)
+    if builder is None:
+        raise RateVectorError(
+            f"unknown clock kind {kind!r}; known: {CLOCK_KINDS}")
+    return builder(**params)
+
+
+class ClockSchedule(UpdateSchedule):
+    """Drive an :class:`UpdateSchedule` from a :class:`ClockModel`.
+
+    At step ``t`` source ``i`` ticks iff ``u_i < rate_i(t)`` where the
+    coin vector ``u`` is drawn from ``default_rng([seed, step])`` —
+    the same counter-based contract as :class:`BernoulliSchedule`, so
+    masks are a pure function of ``(seed, step)`` and scalar, batched,
+    and blocked runs all see identical schedules.
+    """
+
+    def __init__(self, clock: ClockModel):
+        if not isinstance(clock, ClockModel):
+            raise RateVectorError(
+                f"ClockSchedule needs a ClockModel, got {clock!r}")
+        self.clock = clock
+
+    def participants(self, step, n):
+        rng = np.random.default_rng([self.clock.seed, int(step)])
+        return rng.random(n) < self.clock.tick_rates(int(step), n)
+
+    def steps_per_sweep(self, n):
+        mean = float(np.mean(self.clock.nominal_rates(n)))
+        return max(1, int(round(1.0 / mean)))
 
 
 class AsynchronousRunner:
@@ -188,3 +473,312 @@ class AsynchronousRunner:
                         tol: float = 1e-9) -> bool:
         """Fixed points coincide with the synchronous system's."""
         return self.system.is_steady_state(rates, tol=tol)
+
+
+# ----------------------------------------------------------------------
+# the batched asynchronous engine
+# ----------------------------------------------------------------------
+def run_async_ensemble(system: FlowControlSystem, initials,
+                       schedule: Union[UpdateSchedule,
+                                       Sequence[UpdateSchedule],
+                                       None] = None,
+                       signal_delay: int = 0,
+                       max_steps: int = 20000, tol: float = 1e-10,
+                       settle: Optional[int] = None,
+                       max_period: int = 64,
+                       record: bool = False,
+                       telemetry: Optional[bool] = None,
+                       block_size: Optional[int] = None,
+                       history: Optional[str] = None) -> EnsembleResult:
+    """Evolve an ``(M, N)`` ensemble under asynchronous updates.
+
+    The batched counterpart of :class:`AsynchronousRunner`: all M
+    members advance through one vectorised step per schedule tick —
+    signals and delays are computed from the rate vectors
+    ``signal_delay`` steps in the past (a ``(tau + 1, M, N)`` ring
+    buffer), the scheduled connection columns apply their rules via
+    the grouped ``apply_batch`` path (reusing the system's ``xp``
+    array-backend seam), and unscheduled columns hold their rates.
+    Member ``m`` reproduces
+    ``AsynchronousRunner(system, schedule, signal_delay)
+    .run(initials[m], ...)`` bit-exactly in finals, outcomes, steps,
+    and periods.
+
+    ``schedule`` is one :class:`UpdateSchedule` shared by every member
+    (default: synchronous), or a length-M sequence giving each member
+    its own schedule — per-member masks are stacked into an ``(M, N)``
+    participation matrix each step.  Schedules must keep
+    ``participants`` a pure function of ``(step, n)`` (all built-ins
+    do); stateful schedules would break blocked bit-identity.
+
+    ``settle=None`` resolves per member to
+    ``2 * steps_per_sweep + signal_delay + 3`` quiet steps, matching
+    the scalar runner's full-quiet-sweep contract.
+
+    ``record`` / ``history`` / ``block_size`` / ``telemetry`` follow
+    :meth:`FlowControlSystem.run_ensemble` exactly: the same retention
+    policies, the same blocked bit-identity, the same
+    ``(step, member)``-ordered mask events, and a
+    :class:`~repro.observability.RunRecord` of kind
+    ``"async_ensemble"`` when telemetry is collected.
+
+    Controller-driven systems own the update clock at the gateways and
+    raise :class:`~repro.errors.SweepError` — source-side schedules
+    have nothing to schedule there.
+    """
+    if signal_delay < 0:
+        raise RateVectorError(
+            f"signal delay must be >= 0, got {signal_delay!r}")
+    if system.controlled:
+        raise SweepError(
+            "run_async_ensemble drives source-side update schedules; "
+            "controller-driven systems update at the gateways and have "
+            "no per-source clock to schedule")
+    n = system.network.num_connections
+    r0 = as_rate_matrix(initials, n=n)
+    m_total = r0.shape[0]
+    history = _resolve_history(record, history)
+    record = history == "full"
+    block = _resolve_block_size(block_size, m_total)
+    tau = int(signal_delay)
+
+    shared: Optional[UpdateSchedule]
+    schedules: Optional[List[UpdateSchedule]]
+    if schedule is None:
+        shared, schedules = SynchronousSchedule(), None
+    elif isinstance(schedule, UpdateSchedule):
+        shared, schedules = schedule, None
+    else:
+        shared, schedules = None, list(schedule)
+        if len(schedules) != m_total:
+            raise SweepError(
+                f"need one schedule per member: got {len(schedules)} "
+                f"schedules for M={m_total}")
+        for s in schedules:
+            if not isinstance(s, UpdateSchedule):
+                raise SweepError(
+                    f"per-member schedules must be UpdateSchedules, "
+                    f"got {s!r}")
+
+    if settle is None:
+        if shared is not None:
+            settle_arr = np.full(
+                m_total, 2 * shared.steps_per_sweep(n) + tau + 3,
+                dtype=int)
+        else:
+            settle_arr = np.array(
+                [2 * s.steps_per_sweep(n) + tau + 3 for s in schedules],
+                dtype=int)
+    else:
+        settle_arr = np.full(m_total, int(settle), dtype=int)
+
+    limit = FlowControlSystem.DIVERGENCE_FACTOR * system._mu_max
+    if telemetry is None:
+        telemetry = is_collecting()
+    rec = RunRecord.begin(
+        "async_ensemble", m_total, n, max_steps, tol,
+        int(np.max(settle_arr)) if m_total else 0) if telemetry else None
+    n_blocks = -(-m_total // block) if m_total else 0
+    if rec is not None:
+        rec.n_blocks = max(n_blocks, 1)
+        rec.block_size = block if block_size is not None else None
+
+    outcomes: List[Outcome] = [Outcome.UNDECIDED] * m_total
+    periods: List[Optional[int]] = [None] * m_total
+    steps = np.full(m_total, 0, dtype=int)
+    finals = r0.copy()
+
+    if m_total == 0:
+        if rec is not None:
+            rec.finish(0, {})
+            emit_run_record(rec)
+        return EnsembleResult(finals=finals, outcomes=outcomes,
+                              periods=periods, steps=steps,
+                              initials=r0,
+                              histories=[] if record else None,
+                              telemetry=rec,
+                              history_policy=history,
+                              block_size=None)
+
+    histories: Optional[List[Optional[np.ndarray]]] = \
+        [None] * m_total if record else None
+    mask_events: List[tuple] = []
+    timings = {"step": 0.0, "classify": 0.0, "period": 0.0}
+    totals = {"converged": 0, "diverged": 0, "period_ran": 0}
+    for base in range(0, m_total, block):
+        _run_async_block(
+            system, r0, base, min(base + block, m_total), shared,
+            schedules, tau, max_steps, tol, settle_arr, max_period,
+            limit, history, rec, outcomes, periods, steps, finals,
+            histories, mask_events, timings, totals)
+
+    mask_events.sort(key=lambda e: (e[0], e[1]))
+    if rec is not None:
+        for step_count, member, kind in mask_events:
+            rec.observe_mask_event(step_count, member, kind)
+        if totals["period_ran"]:
+            rec.add_phase("period_detection", timings["period"])
+        rec.add_phase("step_batch", timings["step"])
+        rec.add_phase("classify", timings["classify"])
+        counts: dict = {}
+        for o in outcomes:
+            counts[o.value] = counts.get(o.value, 0) + 1
+        rec.finish(int(np.max(steps)) if m_total else 0, counts)
+        emit_run_record(rec)
+    return EnsembleResult(finals=finals, outcomes=outcomes,
+                          periods=periods, steps=steps,
+                          initials=r0, histories=histories,
+                          telemetry=rec,
+                          history_policy=history,
+                          block_size=(block if block_size is not None
+                                      else None))
+
+
+def _run_async_block(system, r0, base, end, shared, schedules, tau,
+                     max_steps, tol, settle_arr, max_period, limit,
+                     history, rec, outcomes, periods, steps, finals,
+                     histories, mask_events, timings, totals):
+    """Evolve members ``base:end`` asynchronously; write results in place.
+
+    The asynchronous sibling of
+    :meth:`FlowControlSystem._run_ensemble_block`: the same compressed
+    still-iterating index array, rolling period-detection tail, and
+    absolute-index result writes, plus the delayed-signal ring buffer
+    (state at time ``s`` lives in slot ``s % (tau + 1)``, so the slot
+    about to be overwritten at step ``t`` holds exactly the
+    ``tau``-stale state the signals must read) and the per-step
+    participation masks.
+    """
+    xp = system.xp
+    kw = {} if xp is np else {"xp": xp}
+    mb = end - base
+    n = r0.shape[1]
+    tcap = min(4 * max_period, max_steps + 1)
+    tail = None
+    if history != "none":
+        tail = np.zeros((mb, tcap, n), dtype=float)
+        tail[:, 0] = r0[base:end]
+    full = None
+    if history == "full":
+        full = np.empty((mb, max_steps + 1, n))
+        full[:, 0] = r0[base:end]
+    quiet = np.zeros(mb, dtype=int)
+    settle_blk = settle_arr[base:end]
+
+    idx = np.arange(mb)           # block members still iterating
+    r = r0[base:end].copy()       # their current states, compressed
+    # Delayed-signal ring: slot s % (tau + 1) holds the state of time
+    # s; all slots start at the initial condition, matching the scalar
+    # runner's pre-filled deque.  Rows are compressed alongside r.
+    ring = np.tile(r[np.newaxis], (tau + 1, 1, 1))
+    for step_count in range(1, max_steps + 1):
+        if rec is not None:
+            t0 = time.perf_counter()
+        slot = step_count % (tau + 1)
+        stale = ring[slot]
+        b = system.scheme.signals_batch(stale, **kw)
+        d = round_trip_delays_batch(system.network, system.discipline,
+                                    stale, xp=xp)
+        if shared is not None:
+            mask = shared.participants(step_count - 1, n)
+            r_next = r.copy()
+            for rule, cols in system._rule_groups:
+                cm = cols[mask[cols]]
+                if cm.size:
+                    r_next[:, cm] = rule.apply_batch(
+                        r[:, cm], b[:, cm], d[:, cm], **kw)
+        else:
+            mask_mat = np.stack(
+                [schedules[base + m].participants(step_count - 1, n)
+                 for m in idx])
+            new = xp.empty_like(r)
+            for rule, cols in system._rule_groups:
+                new[:, cols] = rule.apply_batch(r[:, cols], b[:, cols],
+                                                d[:, cols], **kw)
+            r_next = xp.where(mask_mat, new, r)
+        r_next = clip_nonnegative(r_next, xp=xp)
+        ring[slot] = r_next
+        if rec is not None:
+            timings["step"] += time.perf_counter() - t0
+            t0 = time.perf_counter()
+        if tail is not None:
+            tail[idx, step_count % tcap] = r_next
+        if full is not None:
+            full[idx, step_count] = r_next
+
+        finite = np.all(np.isfinite(r_next), axis=1)
+        with np.errstate(invalid="ignore"):
+            diverged = ~finite | np.any(r_next > limit, axis=1)
+            change = np.max(np.abs(r_next - r), axis=1)
+            scale = np.maximum(1.0, np.max(r_next, axis=1))
+            within = change <= tol * scale
+        quiet_next = np.where(within, quiet[idx] + 1, 0)
+        quiet[idx] = quiet_next
+        converged = (quiet_next >= settle_blk[idx]) & ~diverged
+        done = diverged | converged
+
+        if np.any(done):
+            done_members = idx[done]
+            finals[base + done_members] = r_next[done]
+            steps[base + done_members] = step_count
+            for m, is_div in zip(done_members, diverged[done]):
+                member = base + int(m)
+                if is_div:
+                    outcomes[member] = Outcome.DIVERGED
+                    totals["diverged"] += 1
+                else:
+                    outcomes[member] = Outcome.CONVERGED
+                    periods[member] = 1
+                    totals["converged"] += 1
+                mask_events.append(
+                    (step_count, member,
+                     "diverged" if is_div else "converged"))
+            keep = ~done
+            idx = idx[keep]
+            r = r_next[keep]
+            ring = ring[:, keep]
+            if rec is not None:
+                finite_changes = change[keep][np.isfinite(change[keep])]
+                rec.observe_iteration(
+                    float(np.max(finite_changes))
+                    if finite_changes.size else math.inf,
+                    int(idx.size), totals["converged"],
+                    totals["diverged"])
+                timings["classify"] += time.perf_counter() - t0
+            if idx.size == 0:
+                break
+        else:
+            r = r_next
+            if rec is not None:
+                rec.observe_iteration(float(np.max(change)),
+                                      int(idx.size),
+                                      totals["converged"],
+                                      totals["diverged"])
+                timings["classify"] += time.perf_counter() - t0
+    else:
+        # Members that exhausted the step budget: reconstruct the
+        # ordered tail from the ring buffer and look for a cycle
+        # (skipped — UNDECIDED — under history="none").
+        finals[base + idx] = r
+        steps[base + idx] = max_steps
+        if tail is not None:
+            if rec is not None:
+                t0 = time.perf_counter()
+            start = ((max_steps + 1) % tcap
+                     if max_steps + 1 > tcap else 0)
+            for m in idx:
+                ordered = np.roll(tail[m], -start, axis=0)
+                period = _detect_period(ordered, max_period, tol,
+                                        total_len=max_steps + 1)
+                if period is not None:
+                    outcomes[base + m] = Outcome.OSCILLATING
+                    periods[base + m] = period
+            if rec is not None:
+                timings["period"] += time.perf_counter() - t0
+                totals["period_ran"] += 1
+
+    if full is not None:
+        # Views, not copies: each member's trajectory window into the
+        # block buffer (see EnsembleResult.histories).
+        for m in range(mb):
+            histories[base + m] = full[m, :steps[base + m] + 1]

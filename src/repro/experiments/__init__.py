@@ -28,6 +28,8 @@ from .exp_f10_delay_advantage import run_f10_delay_advantage
 from .exp_f11_real_algorithms import run_f11_real_algorithms
 from .exp_f12_sim_validation import run_f12_sim_validation
 from .exp_f13_controller_zoo import run_f13_controller_zoo
+from .exp_f14_async import (run_f14_async_invariance,
+                            run_x8_clock_heterogeneity)
 
 __all__ = [
     "ExperimentResult", "Experiment", "REGISTRY", "EXTENSIONS",
@@ -42,5 +44,6 @@ __all__ = [
     "run_f7_fs_stability", "staircase_network", "run_f8_heterogeneity",
     "run_f9_robustness", "run_f10_delay_advantage",
     "run_f11_real_algorithms", "run_f12_sim_validation",
-    "run_f13_controller_zoo",
+    "run_f13_controller_zoo", "run_f14_async_invariance",
+    "run_x8_clock_heterogeneity",
 ]

@@ -22,6 +22,8 @@ from .exp_f10_delay_advantage import run_f10_delay_advantage
 from .exp_f11_real_algorithms import run_f11_real_algorithms
 from .exp_f12_sim_validation import run_f12_sim_validation
 from .exp_f13_controller_zoo import run_f13_controller_zoo
+from .exp_f14_async import (run_f14_async_invariance,
+                            run_x8_clock_heterogeneity)
 from .exp_x6_faulty_feedback import run_x6_faulty_feedback
 from .exp_x7_chaos import run_x7_chaos_floors
 from .extensions import (run_x1_asynchrony, run_x2_feedback_delay,
@@ -67,6 +69,9 @@ _ENTRIES = [
     Experiment("F12", "Model vs packet simulator", run_f12_sim_validation),
     Experiment("F13", "Controller zoo (RCP vs TCP-like AIMD)",
                run_f13_controller_zoo),
+    Experiment("F14", "Asynchronous invariance (schedules and delays "
+                      "preserve fixed points)",
+               run_f14_async_invariance),
 ]
 
 REGISTRY: Dict[str, Experiment] = {e.experiment_id: e for e in _ENTRIES}
@@ -90,6 +95,8 @@ EXTENSIONS: Dict[str, Experiment] = {
         Experiment("X7", "Extension: robustness floors under chaos "
                          "(adversaries + outages)",
                    run_x7_chaos_floors),
+        Experiment("X8", "Extension: clock-heterogeneity degradation",
+                   run_x8_clock_heterogeneity),
     ]
 }
 

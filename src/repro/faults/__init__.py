@@ -18,6 +18,9 @@ Injectors (see :mod:`repro.faults.injectors`):
 * :class:`ExtraDelay` — the arriving signal is the true signal from a
   bounded number of steps ago (staleness beyond the model's built-in
   synchrony);
+* :class:`ClockSkew` — each source draws one constant per-run lag and
+  always samples that many steps late (the fault-family face of the
+  heterogeneous-clock engine in :mod:`repro.core.asynchronous`);
 * :class:`GatewayOutage` — a gateway stops signalling for a window of
   steps (one-shot or periodic) and its connections coast on stale
   values until it recovers.
@@ -36,14 +39,15 @@ CLI specs (``--faults``) parse through :func:`parse_fault_spec`, e.g.
 ``"loss=0.3,seed=7"`` or ``"delay=2:1,outage=50:20:100"``.
 """
 
-from .injectors import (ExtraDelay, FaultInjector, GatewayOutage,
-                        SignalLoss, SignalNoise, SignalQuantisation)
+from .injectors import (ClockSkew, ExtraDelay, FaultInjector,
+                        GatewayOutage, SignalLoss, SignalNoise,
+                        SignalQuantisation)
 from .plan import FaultEvent, FaultPlan, FaultState
 from .spec import parse_fault_spec
 
 __all__ = [
     "FaultInjector", "SignalLoss", "SignalNoise", "SignalQuantisation",
-    "ExtraDelay", "GatewayOutage",
+    "ExtraDelay", "ClockSkew", "GatewayOutage",
     "FaultPlan", "FaultState", "FaultEvent",
     "parse_fault_spec",
 ]

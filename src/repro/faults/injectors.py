@@ -9,15 +9,17 @@ drive any number of independent, identically-distributed runs.
 Injectors are applied in a fixed stage order regardless of how they are
 listed in the plan (stable within a stage):
 
+0. :class:`ClockSkew` — a slow source samples the world late;
 1. :class:`ExtraDelay` — decides *which* true signal arrives;
 2. :class:`GatewayOutage` — suppresses arrival entirely (stale value);
 3. :class:`SignalLoss` — drops individual deliveries (stale value);
 4. :class:`SignalNoise` — corrupts what arrived;
 5. :class:`SignalQuantisation` — rounds what arrived.
 
-This matches the physical pipeline: a signal is first delayed in
-flight, may then fail to arrive at all, and only a signal that does
-arrive can be corrupted or coarsely encoded.
+This matches the physical pipeline: a skewed clock reads an old
+snapshot before anything is even sent, the signal is then delayed in
+flight, may fail to arrive at all, and only a signal that does arrive
+can be corrupted or coarsely encoded.
 """
 
 from __future__ import annotations
@@ -28,8 +30,8 @@ from typing import Optional, Tuple
 
 from ..errors import FaultError
 
-__all__ = ["FaultInjector", "ExtraDelay", "GatewayOutage", "SignalLoss",
-           "SignalNoise", "SignalQuantisation"]
+__all__ = ["FaultInjector", "ClockSkew", "ExtraDelay", "GatewayOutage",
+           "SignalLoss", "SignalNoise", "SignalQuantisation"]
 
 
 def _check_probability(name: str, value: float) -> float:
@@ -51,6 +53,43 @@ class FaultInjector:
         for key, value in self.__dict__.items():
             out[key] = value
         return out
+
+
+@dataclass(frozen=True)
+class ClockSkew(FaultInjector):
+    """Per-source constant signal staleness from heterogeneous clocks.
+
+    When the run starts, each connection draws one lag
+    ``l_i ~ U{min_lag..max_lag}`` from the member's fault stream and
+    thereafter always observes the *true* signal from ``l_i`` steps ago
+    (clamped to the oldest recorded step).  A slow clock reads the
+    world late — and unlike :class:`ExtraDelay`, whose lag is redrawn
+    every step, the staleness is a fixed per-source property, which is
+    exactly the asymmetry that a heterogeneous-clock population (see
+    :mod:`repro.core.asynchronous`) exhibits.
+
+    One event per (step, connection) with effective lag ``> 0`` is
+    recorded, carrying the lag as its detail.
+    """
+
+    min_lag: int = 0
+    max_lag: int = 2
+
+    stage = 0
+    kind = "clock_skew"
+
+    def __post_init__(self):
+        if not (isinstance(self.min_lag, int) and self.min_lag >= 0):
+            raise FaultError(
+                f"min_lag must be an int >= 0, got {self.min_lag!r}")
+        if not (isinstance(self.max_lag, int)
+                and self.max_lag >= self.min_lag):
+            raise FaultError(
+                f"max_lag must be an int >= min_lag "
+                f"({self.min_lag}), got {self.max_lag!r}")
+        if self.max_lag == 0:
+            raise FaultError("ClockSkew with max_lag=0 injects "
+                             "nothing; drop it from the plan")
 
 
 @dataclass(frozen=True)

@@ -24,8 +24,9 @@ from typing import List, NamedTuple, Optional, Tuple
 import numpy as np
 
 from ..errors import FaultError
-from .injectors import (ExtraDelay, FaultInjector, GatewayOutage,
-                        SignalLoss, SignalNoise, SignalQuantisation)
+from .injectors import (ClockSkew, ExtraDelay, FaultInjector,
+                        GatewayOutage, SignalLoss, SignalNoise,
+                        SignalQuantisation)
 
 __all__ = ["FaultEvent", "FaultPlan", "FaultState"]
 
@@ -141,14 +142,23 @@ class FaultState:
         self.member = int(member)
         self.events: List[FaultEvent] = []
         self.rng = np.random.default_rng([plan.seed, self.member])
-        # Stable stage sort: delay -> outage -> loss -> noise -> quantise.
+        # Stable stage sort: skew -> delay -> outage -> loss -> noise
+        # -> quantise.
         self._stages = sorted(plan.injectors, key=lambda inj: inj.stage)
         self._outage_masks = outage_masks
         self._delivered = np.zeros(self.n, dtype=float)
         max_lag = max((inj.max_lag for inj in self._stages
-                       if isinstance(inj, ExtraDelay)), default=0)
+                       if isinstance(inj, (ClockSkew, ExtraDelay))),
+                      default=0)
         self._history: List[np.ndarray] = []  # true signals, bounded
         self._history_cap = max_lag + 1
+        # Per-source skew lags are a fixed property of the run: drawn
+        # once from the member stream, before any per-step draws.
+        self._skew_lags = {
+            inj: self.rng.integers(inj.min_lag, inj.max_lag + 1,
+                                   size=self.n)
+            for inj in self._stages if isinstance(inj, ClockSkew)
+        }
 
     def _event(self, step: int, connection: int, kind: str,
                detail: float) -> None:
@@ -169,7 +179,9 @@ class FaultState:
             del self._history[0]
         observed = b.copy()
         for inj in self._stages:
-            if isinstance(inj, ExtraDelay):
+            if isinstance(inj, ClockSkew):
+                observed = self._apply_clock_skew(inj, step, observed)
+            elif isinstance(inj, ExtraDelay):
                 observed = self._apply_delay(inj, step, observed)
             elif isinstance(inj, GatewayOutage):
                 observed = self._apply_outage(inj, step, observed)
@@ -185,6 +197,20 @@ class FaultState:
         return observed
 
     # -- stages --------------------------------------------------------
+    def _apply_clock_skew(self, inj: ClockSkew, step: int,
+                          observed: np.ndarray) -> np.ndarray:
+        lags = self._skew_lags[inj]
+        # history[-1] is the current step's true signal (lag 0); the
+        # oldest retained entry bounds the achievable lag early on.
+        max_avail = len(self._history) - 1
+        for i in range(self.n):
+            lag = min(int(lags[i]), max_avail)
+            if lag <= 0:
+                continue
+            observed[i] = self._history[-1 - lag][i]
+            self._event(step, i, inj.kind, float(lag))
+        return observed
+
     def _apply_delay(self, inj: ExtraDelay, step: int,
                      observed: np.ndarray) -> np.ndarray:
         lags = np.full(self.n, inj.delay, dtype=np.intp)

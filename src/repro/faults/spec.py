@@ -6,6 +6,9 @@ Grammar (comma-separated ``key=value`` tokens, whitespace ignored)::
     noise=RATE[:AMPLITUDE]         additive corruption (amplitude 0.1)
     quantise=LEVELS                round signals to LEVELS grid points
     delay=STEPS[:JITTER]           bounded extra feedback delay
+    skew=MAX_LAG[:MIN_LAG]         per-source constant clock-skew lag
+                                   drawn once from U{MIN_LAG..MAX_LAG}
+                                   (MIN_LAG defaults to 0)
     outage=START:DURATION[:PERIOD][@GATEWAY]
                                    gateway outage window (repeating
                                    every PERIOD steps when given)
@@ -25,8 +28,8 @@ failure.
 from __future__ import annotations
 
 from ..errors import FaultError
-from .injectors import (ExtraDelay, GatewayOutage, SignalLoss,
-                        SignalNoise, SignalQuantisation)
+from .injectors import (ClockSkew, ExtraDelay, GatewayOutage,
+                        SignalLoss, SignalNoise, SignalQuantisation)
 from .plan import FaultPlan
 
 __all__ = ["parse_fault_spec"]
@@ -93,6 +96,15 @@ def parse_fault_spec(spec: str) -> FaultPlan:
             delay = _int_field(token, parts[0])
             jitter = _int_field(token, parts[1]) if len(parts) == 2 else 0
             injectors.append(ExtraDelay(delay=delay, jitter=jitter))
+        elif key == "skew":
+            parts = value.split(":")
+            if len(parts) > 2:
+                raise FaultError(
+                    f"fault spec token {token!r}: expected "
+                    f"skew=MAX_LAG[:MIN_LAG]")
+            max_lag = _int_field(token, parts[0])
+            min_lag = _int_field(token, parts[1]) if len(parts) == 2 else 0
+            injectors.append(ClockSkew(min_lag=min_lag, max_lag=max_lag))
         elif key == "outage":
             gateway = None
             if "@" in value:
@@ -112,5 +124,6 @@ def parse_fault_spec(spec: str) -> FaultPlan:
         else:
             raise FaultError(
                 f"fault spec token {token!r}: unknown injector {key!r} "
-                f"(known: loss, noise, quantise, delay, outage, seed)")
+                f"(known: loss, noise, quantise, delay, skew, outage, "
+                f"seed)")
     return FaultPlan(injectors=tuple(injectors), seed=seed)

@@ -41,7 +41,8 @@ class RunRecord:
     """Per-iteration observables of one trajectory or ensemble run.
 
     Attributes:
-        kind: ``"run"`` (single trajectory) or ``"ensemble"``.
+        kind: ``"run"`` (single trajectory), ``"ensemble"``, or
+            ``"async_ensemble"`` (the batched asynchronous engine).
         n_members: ensemble size (1 for a scalar run).
         n_connections: state dimension N.
         max_steps / tol / settle: the run parameters, for provenance.
@@ -266,15 +267,15 @@ def validate_run_record(data: dict, where: str = "record") -> List[str]:
         required = {"n_items": int, "executor": str, "workers": int,
                     "n_chunks": int, "chunk_sizes": list,
                     "chunk_seconds": list, "serial": bool}
-    elif kind in ("run", "ensemble"):
+    elif kind in ("run", "ensemble", "async_ensemble"):
         required = {"n_members": int, "n_connections": int,
                     "max_steps": int, "steps": int, "residuals": list,
                     "active_members": list, "converged_counts": list,
                     "diverged_counts": list, "mask_events": list,
                     "outcome_counts": dict, "phase_seconds": dict}
     else:
-        errors.append(f"{where}.kind: expected 'run', 'ensemble', or "
-                      f"'sweep', got {kind!r}")
+        errors.append(f"{where}.kind: expected 'run', 'ensemble', "
+                      f"'async_ensemble', or 'sweep', got {kind!r}")
         return errors
     for key, typ in required.items():
         if key not in data:

@@ -20,16 +20,17 @@ from .harness import FuzzReport, ScenarioOutcome, fuzz, run_scenario
 from .oracles import (ORACLES, OracleResult, ScenarioContext, oracle_names,
                       run_all_oracles, run_oracle)
 from .shrink import ShrinkResult, failing_oracles, shrink
-from .spec import (SCENARIO_SCHEMA, AdversarySpec, ConnectionSpec,
-                   ControllerSpec, FaultPlanSpec, GatewaySpec,
-                   InjectorSpec, RuleSpec, ScenarioSpec, SignalSpec,
-                   StructuralInjectorSpec, StructuralPlanSpec)
+from .spec import (SCENARIO_SCHEMA, AdversarySpec, ClockSpec,
+                   ConnectionSpec, ControllerSpec, FaultPlanSpec,
+                   GatewaySpec, InjectorSpec, RuleSpec, ScenarioSpec,
+                   SignalSpec, StructuralInjectorSpec, StructuralPlanSpec)
 
 __all__ = [
     "SCENARIO_SCHEMA",
     "GatewaySpec", "ConnectionSpec", "SignalSpec", "RuleSpec",
     "InjectorSpec", "FaultPlanSpec", "ControllerSpec", "ScenarioSpec",
     "AdversarySpec", "StructuralInjectorSpec", "StructuralPlanSpec",
+    "ClockSpec",
     "generate", "generate_spec", "validate_budget",
     "ORACLES", "OracleResult", "ScenarioContext", "oracle_names",
     "run_oracle", "run_all_oracles",

@@ -18,7 +18,11 @@ analyses — not arbitrary noise:
   (only behind fair-share gateways, where Theorem 5 predicts the
   honest floors the adversarial-floor oracle asserts) or a structural
   plan (scheduled capacity degradations / blackholes, exercised by the
-  fault-determinism oracle's structural branch).
+  fault-determinism oracle's structural branch);
+* **clocks** — a minority of non-controller scenarios carry a
+  heterogeneous update clock (:class:`~repro.scenarios.spec.ClockSpec`
+  — slow/fast mixes, drifting, bursty, plus a small signal delay),
+  exercised by the async fixed-point and scalar-vs-batch oracles.
 
 Determinism contract: ``generate_spec(seed, i)`` depends only on
 ``(seed, i)`` — it seeds a fresh ``np.random.default_rng([seed, i])``
@@ -36,10 +40,10 @@ import numpy as np
 
 from ..core.topology import random_network
 from ..errors import SweepError
-from .spec import (AdversarySpec, ConnectionSpec, ControllerSpec,
-                   FaultPlanSpec, GatewaySpec, InjectorSpec, RuleSpec,
-                   ScenarioSpec, SignalSpec, StructuralInjectorSpec,
-                   StructuralPlanSpec)
+from .spec import (AdversarySpec, ClockSpec, ConnectionSpec,
+                   ControllerSpec, FaultPlanSpec, GatewaySpec,
+                   InjectorSpec, RuleSpec, ScenarioSpec, SignalSpec,
+                   StructuralInjectorSpec, StructuralPlanSpec)
 
 __all__ = ["validate_budget", "generate_spec", "generate"]
 
@@ -230,6 +234,33 @@ def _draw_structural_plan(rng: np.random.Generator,
                               injectors=tuple(injectors))
 
 
+def _draw_clock(rng: np.random.Generator) -> ClockSpec:
+    """One heterogeneous update clock with tame tick rates."""
+    kind = str(rng.choice(["mix", "drifting", "bursty", "uniform"],
+                          p=[0.35, 0.25, 0.25, 0.15]))
+    if kind == "mix":
+        params = {"slow_rate": _round3(rng.uniform(0.1, 0.5)),
+                  "fast_rate": _round3(rng.uniform(0.7, 1.0)),
+                  "slow_fraction": _round3(rng.uniform(0.2, 0.8))}
+    elif kind == "drifting":
+        # Amplitude must keep every instantaneous rate inside (0, 1]:
+        # bounded away from both base_rate and 1 - base_rate.
+        base = _round3(rng.uniform(0.4, 0.7))
+        amp_max = min(base, 1.0 - base) - 0.05
+        params = {"base_rate": base,
+                  "amplitude": _round3(rng.uniform(0.05, amp_max)),
+                  "period": int(rng.integers(16, 129))}
+    elif kind == "bursty":
+        params = {"on_rate": _round3(rng.uniform(0.7, 1.0)),
+                  "off_rate": _round3(rng.uniform(0.05, 0.4)),
+                  "burst_len": int(rng.integers(4, 33))}
+    else:
+        params = {"rate": _round3(rng.uniform(0.3, 1.0))}
+    params["seed"] = int(rng.integers(0, 2**31 - 1))
+    return ClockSpec(kind, params,
+                     signal_delay=int(rng.integers(0, 3)))
+
+
 def generate_spec(seed: int, index: int) -> ScenarioSpec:
     """The ``index``-th scenario of the stream seeded by ``seed``.
 
@@ -332,6 +363,15 @@ def generate_spec(seed: int, index: int) -> ScenarioSpec:
             structural_plan = _draw_structural_plan(
                 rng, [g.name for g in gateways])
 
+    # Clock draws come after every earlier draw (zoo and chaos
+    # included), so pre-clock fields of a given (seed, index) are
+    # exactly what they were before the heterogeneous-clock engine
+    # existed — pinned-seed tests and archived repro specs stay valid.
+    # Controllers update at the gateways, so they exclude clocks.
+    clock = None
+    if controller is None and rng.random() < 0.25:
+        clock = _draw_clock(rng)
+
     return ScenarioSpec(
         name=f"fuzz-{int(seed)}-{int(index)}",
         gateways=gateways,
@@ -349,6 +389,7 @@ def generate_spec(seed: int, index: int) -> ScenarioSpec:
         controller=controller,
         adversaries=adversaries,
         structural_plan=structural_plan,
+        clock=clock,
     )
 
 

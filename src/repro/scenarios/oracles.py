@@ -40,6 +40,12 @@ a whole scenario family:
                          connections keep their reservation floors
                          whatever the adversary zoo does (green under
                          Fair Share; FIFO is the counterexample)
+``async-fixed-point``    a synchronous fixed point is invariant under
+                         every update schedule and signal delay — the
+                         async engine started *at* it must stay on it
+``async-batch-equivalence`` ``run_async_ensemble`` members reproduce
+                         the scalar :class:`AsynchronousRunner`
+                         bit-identically under the scenario's clock
 ================== ====================================================
 
 Oracles *never* raise on a violation — a violation is data (an
@@ -63,6 +69,8 @@ import numpy as np
 
 from ..chaos.monitor import check_robustness_floor
 from ..chaos.structural import StructuralFaultPlan
+from ..core.asynchronous import (AsynchronousRunner, BernoulliSchedule,
+                                 RoundRobinSchedule, run_async_ensemble)
 from ..core.dynamics import FlowControlSystem, Outcome, Trajectory
 from ..core.math_utils import sup_norm
 from ..core.robustness import reservation_floor_heterogeneous
@@ -921,6 +929,104 @@ def check_adversarial_floor(ctx: ScenarioContext) -> OracleResult:
         f"{spec.discipline}: {check.describe()}")
 
 
+def check_async_fixed_point(ctx: ScenarioContext) -> OracleResult:
+    """Schedule/delay invariance of fixed points (Section 3 of the
+    asynchronous analysis): a fixed point of the synchronous map is a
+    fixed point of *every* asynchronous iteration — whichever subset of
+    connections updates, and however stale the signals they act on, a
+    source already at ``r*`` recomputes ``r*``.  The oracle starts the
+    async engine exactly on the converged synchronous state and asserts
+    it stays there under the scenario's clock schedule and two
+    contrasting schedules, each with the scenario's signal delay."""
+    spec = ctx.spec
+    if spec.clock is None:
+        return OracleResult("async-fixed-point", False, True,
+                            "scenario carries no clock")
+    why = _chaotic(spec)
+    if why:
+        return OracleResult("async-fixed-point", False, True, why)
+    if not ctx.converged:
+        return OracleResult(
+            "async-fixed-point", False, True,
+            f"trajectory outcome {ctx.trajectory.outcome.value}")
+    fixed = ctx.trajectory.final
+    scale = ctx.scale()
+    tau = spec.clock.signal_delay
+    combos = [
+        ("clock", spec.clock.schedule(), tau),
+        ("round-robin", RoundRobinSchedule(), tau),
+        ("bernoulli", BernoulliSchedule(0.5, seed=spec.seed), tau + 2),
+    ]
+    worst = 0.0
+    for label, sched, delay in combos:
+        ens = run_async_ensemble(
+            ctx.system, fixed[np.newaxis], schedule=sched,
+            signal_delay=delay, max_steps=min(spec.max_steps, 400),
+            tol=spec.tol)
+        deviation = sup_norm(ens.finals[0], fixed)
+        if ens.outcomes[0] is not Outcome.CONVERGED:
+            return OracleResult(
+                "async-fixed-point", True, False,
+                f"{label} schedule (delay {delay}): started at the "
+                f"synchronous fixed point but finished "
+                f"{ens.outcomes[0].value}")
+        if deviation > FIXED_POINT_TOL * scale:
+            return OracleResult(
+                "async-fixed-point", True, False,
+                f"{label} schedule (delay {delay}): drifted "
+                f"{deviation:.3e} off the synchronous fixed point "
+                f"(tol {FIXED_POINT_TOL:.0e} * scale {scale:.3g})")
+        worst = max(worst, deviation)
+    return OracleResult(
+        "async-fixed-point", True, True,
+        f"fixed point held under {len(combos)} schedule/delay combos "
+        f"(max drift {worst:.3e})")
+
+
+def check_async_batch_equivalence(ctx: ScenarioContext) -> OracleResult:
+    """``run_async_ensemble`` members reproduce the scalar
+    :class:`AsynchronousRunner` bit-identically — finals, outcomes,
+    and step counts — under the scenario's clock schedule and delay."""
+    spec = ctx.spec
+    if spec.clock is None:
+        return OracleResult("async-batch-equivalence", False, True,
+                            "scenario carries no clock")
+    why = _chaotic(spec)
+    if why:
+        return OracleResult("async-batch-equivalence", False, True, why)
+    budget = min(spec.max_steps, 400)
+    initials = ctx.probes[:2]
+    sched = spec.clock.schedule()
+    tau = spec.clock.signal_delay
+    ens = run_async_ensemble(ctx.system, initials, schedule=sched,
+                             signal_delay=tau, max_steps=budget,
+                             tol=spec.tol)
+    runner = AsynchronousRunner(ctx.system, sched, signal_delay=tau)
+    for m in range(len(ens)):
+        traj = runner.run(initials[m], max_steps=budget, tol=spec.tol)
+        if ens.outcomes[m] is not traj.outcome:
+            return OracleResult(
+                "async-batch-equivalence", True, False,
+                f"member {m}: ensemble outcome {ens.outcomes[m].value} "
+                f"!= scalar {traj.outcome.value}")
+        if int(ens.steps[m]) != traj.steps:
+            return OracleResult(
+                "async-batch-equivalence", True, False,
+                f"member {m}: ensemble steps {int(ens.steps[m])} != "
+                f"scalar {traj.steps}")
+        if not np.array_equal(ens.finals[m], traj.final):
+            diff = float(np.max(np.abs(ens.finals[m] - traj.final)))
+            return OracleResult(
+                "async-batch-equivalence", True, False,
+                f"member {m}: final states differ by {diff:.3e} "
+                f"(contract is bit-identity)")
+    return OracleResult(
+        "async-batch-equivalence", True, True,
+        f"{len(ens)} members bit-identical to the scalar runner "
+        f"under the {spec.clock.kind} clock, delay {tau} "
+        f"({budget}-step budget)")
+
+
 #: The oracle catalogue, in evaluation order.
 ORACLES: Dict[str, Callable[[ScenarioContext], OracleResult]] = {
     "batch-equivalence": check_batch_equivalence,
@@ -938,6 +1044,8 @@ ORACLES: Dict[str, Callable[[ScenarioContext], OracleResult]] = {
     "rcp-stability": check_rcp_stability,
     "tcp-oscillation": check_tcp_oscillation,
     "adversarial-floor": check_adversarial_floor,
+    "async-fixed-point": check_async_fixed_point,
+    "async-batch-equivalence": check_async_batch_equivalence,
 }
 
 

@@ -33,6 +33,9 @@ from ..chaos.adversaries import (AdversaryRule, BlasterRule,
                                  PinnedRateRule, SawtoothRule)
 from ..chaos.structural import (CapacityDegradation, GatewayBlackhole,
                                 StructuralFaultPlan)
+from ..core.asynchronous import (BurstyClock, ClockModel, ClockSchedule,
+                                 DriftingClock, RateMixClock,
+                                 UniformClock)
 from ..core.dynamics import FlowControlSystem
 from ..core.fairshare import FairShare
 from ..core.fifo import Fifo
@@ -46,8 +49,8 @@ from ..core.signals import (ExponentialSignal, FeedbackStyle,
 from ..core.topology import Connection, Gateway, Network
 from ..core.weighted import WeightedFairShare
 from ..errors import ReproError, ScenarioError
-from ..faults import (ExtraDelay, FaultPlan, GatewayOutage, SignalLoss,
-                      SignalNoise, SignalQuantisation)
+from ..faults import (ClockSkew, ExtraDelay, FaultPlan, GatewayOutage,
+                      SignalLoss, SignalNoise, SignalQuantisation)
 
 __all__ = [
     "SCENARIO_SCHEMA",
@@ -56,6 +59,7 @@ __all__ = [
     "SignalSpec",
     "RuleSpec",
     "ControllerSpec",
+    "ClockSpec",
     "InjectorSpec",
     "FaultPlanSpec",
     "AdversarySpec",
@@ -105,6 +109,7 @@ DISCIPLINE_KINDS = ("fifo", "fair-share", "weighted-fair-share")
 
 INJECTOR_KINDS = {
     "delay": ("delay", "jitter"),
+    "clock_skew": ("min_lag", "max_lag"),
     "outage": ("start", "duration", "period", "gateway"),
     "loss": ("rate", "connections"),
     "corrupt": ("rate", "amplitude"),
@@ -113,6 +118,7 @@ INJECTOR_KINDS = {
 
 _INJECTOR_BUILDERS = {
     "delay": ExtraDelay,
+    "clock_skew": ClockSkew,
     "outage": GatewayOutage,
     "loss": SignalLoss,
     "corrupt": SignalNoise,
@@ -131,6 +137,22 @@ _ADVERSARY_BUILDERS = {
     "blaster": BlasterRule,
     "pinned": PinnedRateRule,
     "sawtooth": SawtoothRule,
+}
+
+#: Heterogeneous update-clock kinds (see
+#: :mod:`repro.core.asynchronous`) and their parameter names.
+CLOCK_KINDS = {
+    "uniform": ("rate", "seed"),
+    "mix": ("slow_rate", "fast_rate", "slow_fraction", "seed"),
+    "drifting": ("base_rate", "amplitude", "period", "seed"),
+    "bursty": ("on_rate", "off_rate", "burst_len", "seed"),
+}
+
+_CLOCK_BUILDERS = {
+    "uniform": UniformClock,
+    "mix": RateMixClock,
+    "drifting": DriftingClock,
+    "bursty": BurstyClock,
 }
 
 #: Structural injector kinds (see :mod:`repro.chaos.structural`) and
@@ -351,6 +373,61 @@ class ControllerSpec:
     @classmethod
     def from_dict(cls, data: dict) -> "ControllerSpec":
         return cls(kind=data["kind"], params=data.get("params", {}))
+
+
+@dataclass(frozen=True)
+class ClockSpec:
+    """A heterogeneous update clock: a :class:`~repro.core.asynchronous
+    .ClockModel` kind plus its parameters, and the feedback staleness
+    ``signal_delay``.
+
+    The async oracles build it into a
+    :class:`~repro.core.asynchronous.ClockSchedule` (via
+    :meth:`schedule`) and run the scenario's system through both the
+    scalar :class:`~repro.core.asynchronous.AsynchronousRunner` and the
+    batched :func:`~repro.core.asynchronous.run_async_ensemble`.
+    """
+
+    kind: str = "uniform"
+    params: Tuple[Tuple[str, object], ...] = ()
+    signal_delay: int = 0
+
+    def __post_init__(self):
+        if self.kind not in CLOCK_KINDS:
+            raise ScenarioError(
+                f"unknown clock kind {self.kind!r} "
+                f"(known: {sorted(CLOCK_KINDS)})")
+        object.__setattr__(
+            self, "params",
+            _params_tuple(self.kind, self.params,
+                          CLOCK_KINDS[self.kind]))
+        if not isinstance(self.signal_delay, int) \
+                or isinstance(self.signal_delay, bool) \
+                or self.signal_delay < 0:
+            raise ScenarioError(
+                f"clock signal_delay must be an int >= 0, got "
+                f"{self.signal_delay!r}")
+
+    def build(self) -> ClockModel:
+        try:
+            return _CLOCK_BUILDERS[self.kind](**dict(self.params))
+        except ReproError as exc:
+            raise ScenarioError(
+                f"clock {self.kind!r} with params "
+                f"{dict(self.params)!r}: {exc}") from exc
+
+    def schedule(self) -> ClockSchedule:
+        """The spec's clock as an update schedule."""
+        return ClockSchedule(self.build())
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": dict(self.params),
+                "signal_delay": self.signal_delay}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClockSpec":
+        return cls(kind=data["kind"], params=data.get("params", {}),
+                   signal_delay=data.get("signal_delay", 0))
 
 
 @dataclass(frozen=True)
@@ -584,6 +661,10 @@ class ScenarioSpec:
         structural_plan: optional scheduled topology damage
             (:class:`StructuralPlanSpec`), exercised by the
             fault-determinism oracle; excluded by ``controller``.
+        clock: optional heterogeneous update clock
+            (:class:`ClockSpec`), exercised by the async fixed-point
+            and scalar-vs-batch oracles; excluded by ``controller``
+            (gateway-driven systems have no per-source clock).
     """
 
     name: str
@@ -602,6 +683,7 @@ class ScenarioSpec:
     controller: Optional[ControllerSpec] = None
     adversaries: Tuple[AdversarySpec, ...] = ()
     structural_plan: Optional[StructuralPlanSpec] = None
+    clock: Optional[ClockSpec] = None
 
     def __post_init__(self):
         object.__setattr__(self, "gateways", tuple(self.gateways))
@@ -725,6 +807,11 @@ class ScenarioSpec:
                         f"structural injector {inj.kind!r} names "
                         f"unknown gateway {gw!r} "
                         f"(known: {sorted(gw_names)})")
+        if self.clock is not None \
+                and not isinstance(self.clock, ClockSpec):
+            raise ScenarioError(
+                f"clock must be a ClockSpec or None, got "
+                f"{self.clock!r}")
         if self.controller is not None:
             if not isinstance(self.controller, ControllerSpec):
                 raise ScenarioError(
@@ -746,6 +833,11 @@ class ScenarioSpec:
                 raise ScenarioError(
                     "a controller-driven scenario cannot carry "
                     "adversaries: every rule must be 'rcp-source'")
+            if self.clock is not None:
+                raise ScenarioError(
+                    "a controller-driven scenario cannot carry a "
+                    "clock: the control law updates at the gateways, "
+                    "so there is no per-source clock to skew")
             bad = [r.kind for r in self.rules if r.kind != "rcp-source"]
             if bad:
                 raise ScenarioError(
@@ -872,6 +964,8 @@ class ScenarioSpec:
             "adversaries": [a.to_dict() for a in self.adversaries],
             "structural_plan": (None if self.structural_plan is None
                                 else self.structural_plan.to_dict()),
+            "clock": (None if self.clock is None
+                      else self.clock.to_dict()),
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -920,6 +1014,8 @@ class ScenarioSpec:
                     None if data.get("structural_plan") is None
                     else StructuralPlanSpec.from_dict(
                         data["structural_plan"])),
+                clock=(None if data.get("clock") is None
+                       else ClockSpec.from_dict(data["clock"])),
             )
         except KeyError as exc:
             raise ScenarioError(

@@ -6,7 +6,10 @@ map, ensemble runner, vectorised quadratic sweep, parallel sweep
 runner) is compared against its scalar counterpart on small
 configurations, to 1e-12, plus a fault-injection smoke (empty plan is
 a no-op, seeded plan replays identically, checkpoint/resume
-round-trips) and a scenario-fuzzing smoke (deterministic generation,
+round-trips), an asynchronous-engine smoke (clocked batched ensemble
+bit-identical to the scalar runner, fixed point invariant under a
+delayed round-robin schedule) and a scenario-fuzzing smoke
+(deterministic generation,
 exact JSON round-trip, a handful of generated scenarios through the
 full oracle catalogue).  Exit code 0 means everything agreed, and the
 nonzero exit propagates through ``python -m repro selftest``.
@@ -237,6 +240,35 @@ def run_selftest(quick: bool = False, force_fail: bool = False) -> bool:
                                    mixed, adv_final)
     _check("Theorem 5 floor holds for honest sources vs a blaster",
            floor.holds, failures)
+
+    print("asynchronous engine smoke:")
+    from .core.asynchronous import (AsynchronousRunner, ClockSchedule,
+                                    RateMixClock, RoundRobinSchedule,
+                                    run_async_ensemble)
+    sched = ClockSchedule(RateMixClock(0.25, 1.0, 0.5, seed=5))
+    async_budget = 400 if quick else 1200
+    aens = run_async_ensemble(system, starts[:4], schedule=sched,
+                              signal_delay=2, max_steps=async_budget,
+                              tol=1e-11)
+    runner = AsynchronousRunner(system, sched, signal_delay=2)
+    ok = True
+    for m in range(len(aens)):
+        traj = runner.run(starts[m], max_steps=async_budget, tol=1e-11)
+        ok &= (aens.outcomes[m] is traj.outcome
+               and int(aens.steps[m]) == traj.steps
+               and bool(np.array_equal(aens.finals[m], traj.final)))
+    _check("clocked ensemble is bit-identical to the scalar runner",
+           ok, failures)
+    settled = system.run(starts[0], max_steps=max_steps, tol=1e-11)
+    held = run_async_ensemble(system, settled.final[None, :],
+                              schedule=RoundRobinSchedule(),
+                              signal_delay=1, max_steps=async_budget,
+                              tol=1e-11)
+    _check("sync fixed point survives round-robin with delay",
+           settled.outcome.name == "CONVERGED"
+           and held.outcomes[0].name == "CONVERGED"
+           and bool(np.allclose(held.finals[0], settled.final,
+                                atol=1e-8)), failures)
 
     print("backends:")
     from . import backends

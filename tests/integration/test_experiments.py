@@ -12,7 +12,7 @@ from repro.experiments.base import ExperimentResult as BaseResult
 
 class TestRegistry:
     def test_all_paper_artifacts_registered(self):
-        expected = {"T1"} | {f"F{k}" for k in range(1, 14)}
+        expected = {"T1"} | {f"F{k}" for k in range(1, 15)}
         assert set(REGISTRY) == expected
 
     def test_get_case_insensitive(self):
@@ -122,6 +122,14 @@ class TestExperimentShapes:
         controllers = {row[0] for row in result.rows}
         assert controllers == {"rcp", "tcp-like"}
 
+    def test_f14(self):
+        result = run("F14", delays=(0, 2), steps=8000, unstable_n=8,
+                     unstable_eta=0.4, unstable_steps=20000).require()
+        schedules = {row[0] for row in result.rows}
+        assert schedules == {"synchronous", "round-robin", "bernoulli",
+                             "mix-clock", "bursty-clock",
+                             "round-robin-rescue"}
+
 
 class TestExtensionShapes:
     """Fast-parameter runs of the X1-X4 extension experiments."""
@@ -145,7 +153,7 @@ class TestExtensionShapes:
     def test_extensions_not_in_default_sweep(self):
         from repro.experiments import EXTENSIONS, REGISTRY
         assert set(EXTENSIONS) == {"X1", "X2", "X3", "X4", "X5", "X6",
-                                   "X7"}
+                                   "X7", "X8"}
         assert not (set(EXTENSIONS) & set(REGISTRY))
 
     def test_x5(self):
@@ -161,3 +169,13 @@ class TestExtensionShapes:
         roles = {row[4] for row in res.rows}
         assert roles == {"honest", "adversary"}
         assert any(row[9] > 0 for row in res.rows)  # events recorded
+
+    def test_x8(self):
+        res = run("X8", slow_rates=(1.0, 0.25, 0.1),
+                  steps=40000).require()
+        ratios = [row[1] for row in res.rows]
+        assert ratios == [1.0, 4.0, 10.0]
+        # Raw steps-to-converge grows monotonically with heterogeneity
+        # on this grid, while the steady-state deviations stay flat.
+        steps = [row[5] for row in res.rows]
+        assert steps == sorted(steps)

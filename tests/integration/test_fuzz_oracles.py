@@ -3,6 +3,7 @@ known-bad scenario, the shrinker produces minimal still-failing
 reproducers, the artifact/CLI wiring works, and a 25-scenario smoke
 sweep over the real engines passes the whole catalogue."""
 
+import dataclasses
 import json
 
 import numpy as np
@@ -14,10 +15,11 @@ from repro.core.steadystate import predicted_steady_state
 from repro.errors import ScenarioError, SweepError
 from repro.faults.plan import FaultState
 from repro.observability.artifacts import validate_artifact
-from repro.scenarios import (ConnectionSpec, ControllerSpec, FaultPlanSpec,
-                             GatewaySpec, InjectorSpec, RuleSpec,
-                             ScenarioSpec, SignalSpec, failing_oracles,
-                             fuzz, generate, run_scenario, shrink)
+from repro.scenarios import (ClockSpec, ConnectionSpec, ControllerSpec,
+                             FaultPlanSpec, GatewaySpec, InjectorSpec,
+                             RuleSpec, ScenarioSpec, SignalSpec,
+                             failing_oracles, fuzz, generate,
+                             run_scenario, shrink)
 from repro.scenarios.oracles import ScenarioContext, run_oracle
 from repro.simulation.network_sim import NetworkSimulation
 
@@ -412,3 +414,77 @@ class TestControllerZooOracles:
         monkeypatch.setattr(RcpBank, "update_batch", skewed)
         assert failing_oracles(spec, ["batch-equivalence"]) == \
             ("batch-equivalence",)
+
+
+class TestAsyncOracles:
+    """The 16th/17th oracles: each fires on its known-bad mutation and
+    passes on the honest clocked scenario."""
+
+    def clocked_spec(self, kind="mix", params=None, signal_delay=1):
+        params = params if params is not None else {"slow_rate": 0.3,
+                                                    "seed": 4}
+        return dataclasses.replace(
+            spec_of(name="clocked"),
+            clock=ClockSpec(kind, params, signal_delay=signal_delay))
+
+    def test_async_oracles_inapplicable_without_clock(self):
+        ctx = ScenarioContext(spec_of())
+        for name in ("async-fixed-point", "async-batch-equivalence"):
+            res = run_oracle(name, ctx)
+            assert not res.applicable
+            assert "no clock" in res.detail
+
+    def test_async_fixed_point_passes_on_honest_scenario(self):
+        res = run_oracle("async-fixed-point",
+                         ScenarioContext(self.clocked_spec()))
+        assert res.applicable and res.passed
+        assert "fixed point held" in res.detail
+
+    def test_async_batch_equivalence_passes_on_honest_scenario(self):
+        res = run_oracle("async-batch-equivalence",
+                         ScenarioContext(self.clocked_spec()))
+        assert res.applicable and res.passed
+        assert "bit-identical" in res.detail
+
+    def test_async_fixed_point_catches_drifting_steady_state(
+            self, monkeypatch):
+        # Bias the async engine's clip stage: the synchronous reference
+        # (dynamics.py has its own import) still converges to the true
+        # fixed point, but every async trajectory drifts off it.
+        import repro.core.asynchronous as async_mod
+        orig = async_mod.clip_nonnegative
+
+        def biased(vec, xp=np):
+            return orig(vec, xp=xp) + 1e-4
+
+        monkeypatch.setattr(async_mod, "clip_nonnegative", biased)
+        fails = failing_oracles(self.clocked_spec(),
+                                ["async-fixed-point"])
+        assert fails == ("async-fixed-point",)
+
+    def test_async_batch_equivalence_catches_batch_only_mutation(
+            self, monkeypatch):
+        # Skew apply_batch alone: the scalar runner goes through
+        # rule.apply, so only the batched async path moves.
+        from repro.core.ratecontrol import RateAdjustment
+        orig = RateAdjustment.apply_batch
+
+        def skewed(self, rates, signals, delays, **kw):
+            return orig(self, rates, signals, delays, **kw) + 1e-9
+
+        monkeypatch.setattr(RateAdjustment, "apply_batch", skewed)
+        fails = failing_oracles(self.clocked_spec(),
+                                ["async-batch-equivalence"])
+        assert fails == ("async-batch-equivalence",)
+
+    def test_async_oracles_green_on_seed_scenarios(self):
+        # Every generated clocked scenario passes both oracles.
+        checked = 0
+        for spec in generate(42, 30):
+            if spec.clock is None:
+                continue
+            fails = failing_oracles(
+                spec, ["async-fixed-point", "async-batch-equivalence"])
+            assert fails == (), f"{spec.name}: {fails}"
+            checked += 1
+        assert checked >= 3

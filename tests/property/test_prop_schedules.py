@@ -1,0 +1,143 @@
+"""Property-based tests for update schedules and clock models.
+
+Two contracts, fuzzed across the whole schedule family:
+
+* **sweep accounting** — ``participants`` masks average one update per
+  connection per ``steps_per_sweep`` window (exactly for the
+  deterministic schedules, within the ``round(1/p)`` half-step plus
+  sampling noise for the stochastic ones);
+* **purity** — masks are a pure function of ``(seed, step)``: querying
+  them in any permuted order, with arbitrary out-of-band probes, yields
+  bit-identical masks (the property blocked execution relies on).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.asynchronous import (BernoulliSchedule, BurstyClock,
+                                     ClockSchedule, DriftingClock,
+                                     RateMixClock, RoundRobinSchedule,
+                                     SynchronousSchedule, UniformClock)
+
+SEEDS = st.integers(0, 2**31 - 1)
+RATES = st.floats(0.05, 1.0, allow_nan=False)
+
+
+@st.composite
+def stochastic_schedules(draw):
+    kind = draw(st.sampled_from(
+        ["bernoulli", "uniform", "mix", "drifting", "bursty"]))
+    seed = draw(SEEDS)
+    if kind == "bernoulli":
+        return BernoulliSchedule(draw(RATES), seed=seed)
+    if kind == "uniform":
+        return ClockSchedule(UniformClock(rate=draw(RATES), seed=seed))
+    if kind == "mix":
+        lo = draw(st.floats(0.05, 0.5))
+        hi = draw(st.floats(0.5, 1.0))
+        frac = draw(st.floats(0.0, 1.0))
+        return ClockSchedule(RateMixClock(lo, hi, frac, seed=seed))
+    if kind == "drifting":
+        base = draw(st.floats(0.3, 0.7))
+        amp = draw(st.floats(0.0, 0.25))
+        period = draw(st.integers(2, 64))
+        return ClockSchedule(DriftingClock(base, amp, period, seed=seed))
+    off = draw(st.floats(0.05, 0.5))
+    on = draw(st.floats(0.5, 1.0))
+    burst = draw(st.integers(1, 16))
+    return ClockSchedule(BurstyClock(on, off, burst, seed=seed))
+
+
+@st.composite
+def any_schedules(draw):
+    if draw(st.booleans()):
+        return draw(st.sampled_from([SynchronousSchedule(),
+                                     RoundRobinSchedule()]))
+    return draw(stochastic_schedules())
+
+
+class TestSweepAccounting:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 8), st.integers(0, 500))
+    def test_synchronous_one_update_per_step(self, n, start):
+        sched = SynchronousSchedule()
+        assert sched.steps_per_sweep(n) == 1
+        for step in range(start, start + 5):
+            assert sched.participants(step, n).sum() == n
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 8), st.integers(0, 500))
+    def test_round_robin_exactly_one_per_sweep(self, n, start):
+        sched = RoundRobinSchedule()
+        sweep = sched.steps_per_sweep(n)
+        assert sweep == n
+        window = np.stack([sched.participants(start + k, n)
+                           for k in range(sweep)])
+        # Each sweep window updates every connection exactly once.
+        assert np.array_equal(window.sum(axis=0), np.ones(n))
+
+    @settings(max_examples=40, deadline=None)
+    @given(stochastic_schedules(), st.integers(2, 8))
+    def test_one_update_per_connection_per_sweep_on_average(
+            self, sched, n):
+        sweep = sched.steps_per_sweep(n)
+        assert sweep >= 1
+        # Enough sweeps to average out sampling noise, burst phases,
+        # and drift periods (drift period <= 64).
+        steps = max(40 * sweep, 512)
+        counts = np.zeros(n)
+        for step in range(steps):
+            counts += sched.participants(step, n)
+        per_sweep = counts.mean() * sweep / steps
+        # round(1/p) puts the true mean within half a step of one
+        # update per sweep; the window budget keeps noise below ~0.2.
+        assert 0.4 <= per_sweep <= 1.75
+
+    @settings(max_examples=40, deadline=None)
+    @given(stochastic_schedules(), st.integers(2, 8))
+    def test_masks_match_tick_probabilities(self, sched, n):
+        if not isinstance(sched, ClockSchedule):
+            return
+        steps = 600
+        counts = np.zeros(n)
+        expected = np.zeros(n)
+        for step in range(steps):
+            counts += sched.participants(step, n)
+            expected += sched.clock.tick_rates(step, n)
+        # Per-connection empirical tick rate tracks the model's own
+        # probabilities (600 coins: 4 sigma < 0.09).
+        assert np.all(np.abs(counts - expected) / steps < 0.1)
+
+
+class TestSchedulePurity:
+    @settings(max_examples=60, deadline=None)
+    @given(any_schedules(), st.integers(2, 16),
+           st.permutations(list(range(12))),
+           st.lists(st.integers(0, 100), max_size=8))
+    def test_masks_invariant_under_call_history_permutation(
+            self, sched, n, order, probes):
+        # Reference pass: steps 0..11 in order on a fresh schedule.
+        reference = {step: sched.participants(step, n)
+                     for step in range(12)}
+        # Adversarial pass: out-of-band probes, then the same steps in
+        # a permuted order — every mask must replay bit-identically.
+        for step in probes:
+            sched.participants(step, n)
+        for step in order:
+            again = sched.participants(step, n)
+            assert np.array_equal(again, reference[step])
+
+    @settings(max_examples=60, deadline=None)
+    @given(stochastic_schedules(), st.integers(2, 16))
+    def test_identically_built_schedules_agree(self, sched, n):
+        if isinstance(sched, BernoulliSchedule):
+            clone = BernoulliSchedule(sched.p, seed=sched.seed)
+        else:
+            clock = sched.clock
+            params = {k: v for k, v in vars(clock).items()
+                      if not k.startswith("_")}
+            clone = ClockSchedule(type(clock)(**params))
+        for step in (0, 1, 7, 63, 1000):
+            assert np.array_equal(sched.participants(step, n),
+                                  clone.participants(step, n))

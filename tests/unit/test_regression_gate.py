@@ -14,8 +14,9 @@ import pytest
 _BENCHMARKS = Path(__file__).resolve().parents[2] / "benchmarks"
 sys.path.insert(0, str(_BENCHMARKS))
 
-from regression_gate import (GATED, GATED_CONTROLLERS, GATED_SCALE,
-                             GATED_SIM, _quick_baseline_for_mode,
+from regression_gate import (GATED, GATED_ASYNC, GATED_CONTROLLERS,
+                             GATED_SCALE, GATED_SIM,
+                             _quick_baseline_for_mode,
                              compare, format_report)  # noqa: E402
 
 
@@ -235,3 +236,48 @@ class TestControllersBaseline:
         assert not ok
         failed = [e for e in report if not e["ok"]]
         assert [e["name"] for e in failed] == ["controlled_ensemble"]
+
+
+class TestAsyncBaseline:
+    def _async_baseline(self):
+        return json.loads(
+            (_BENCHMARKS.parent / "BENCH_async.json").read_text())
+
+    def test_baseline_file_has_gated_keys(self):
+        data = self._async_baseline()
+        for name, target_key in GATED_ASYNC:
+            assert "speedup" in data[name]
+            assert target_key in data["targets"]
+            assert target_key in data["quick_targets"]
+            assert data["quick_targets"][target_key] <= \
+                data["targets"][target_key]
+        assert data["targets_met"] is True
+        # The headline claim: the batched engine beats the per-member
+        # Python loop by at least the stated floor at M=256.
+        assert data["async_ensemble"]["members"] >= 256
+        assert data["async_ensemble"]["speedup"] >= \
+            data["targets"]["async_ensemble_speedup_min"]
+
+    def test_gate_passes_against_itself(self):
+        data = self._async_baseline()
+        ok, _ = compare(data, data, gated=GATED_ASYNC)
+        assert ok
+
+    def test_compare_judges_async_keys(self):
+        baseline = {
+            "async_ensemble": {"speedup": 40.0},
+            "delay_ring": {"speedup": 0.8},
+            "targets": {"async_ensemble_speedup_min": 10.0,
+                        "async_delay_ring_ratio_min": 0.5},
+        }
+        fresh = {"async_ensemble": {"speedup": 35.0},
+                 "delay_ring": {"speedup": 0.75}}
+        ok, report = compare(baseline, fresh, gated=GATED_ASYNC)
+        assert ok
+        assert [e["name"] for e in report] == \
+            [name for name, _ in GATED_ASYNC]
+        fresh["async_ensemble"]["speedup"] = 9.0
+        ok, report = compare(baseline, fresh, gated=GATED_ASYNC)
+        assert not ok
+        failed = [e for e in report if not e["ok"]]
+        assert [e["name"] for e in failed] == ["async_ensemble"]
